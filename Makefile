@@ -1,0 +1,55 @@
+# Convenience targets for the wfqueue reproduction repository.
+
+GO ?= go
+
+.PHONY: all build vet test race short bench fuzz stress soak experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./... -count=1
+
+short:
+	$(GO) test ./... -count=1 -short
+
+race:
+	$(GO) test -race ./... -count=1
+
+# One testing.B family per paper table/figure plus ablations (DESIGN.md §4).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test ./internal/core -fuzz FuzzAgainstModel -fuzztime 30s
+	$(GO) test ./internal/lcrq -fuzz FuzzAgainstModel -fuzztime 30s
+
+stress:
+	$(GO) run ./cmd/wfqstress -queue wf-10 -threads 8 -duration 30s
+	$(GO) run ./cmd/wfqstress -queue wf-10 -mode lincheck -duration 10s
+
+# Long validation across every implementation.
+soak:
+	for q in wf-10 wf-0 lcrq msqueue ccqueue kpqueue simqueue of chan; do \
+		$(GO) run ./cmd/wfqstress -queue $$q -threads 8 -duration 10s || exit 1; \
+	done
+
+# Regenerate the paper's tables and figures (quick parameters; add
+# WFQ_FLAGS=-paper for the full methodology).
+experiments:
+	$(GO) run ./cmd/wfqbench all -csv results.csv $(WFQ_FLAGS)
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/pipeline
+	$(GO) run ./examples/taskpool
+	$(GO) run ./examples/latency
+	$(GO) run ./examples/comparison
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,238 @@
+// Command wfqstress validates queue implementations under sustained load.
+// It has two modes:
+//
+//	stress   (default) multi-producer/multi-consumer accounting: producers
+//	         enqueue tagged sequence numbers for a wall-clock duration,
+//	         consumers drain; at the end the tool verifies no value was
+//	         lost or duplicated and per-producer FIFO order held.
+//	lincheck repeated small brutal scenarios whose complete operation
+//	         histories are checked for linearizability with the exact
+//	         checker in internal/lincheck.
+//
+// Usage:
+//
+//	wfqstress [-queue wf-10] [-threads 8] [-duration 10s] [-mode stress|lincheck] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wfqueue/internal/lincheck"
+	"wfqueue/internal/qiface"
+	"wfqueue/internal/registry"
+	"wfqueue/internal/workload"
+)
+
+func main() {
+	queue := flag.String("queue", "wf-10", "queue implementation (see wfqbench -list)")
+	threads := flag.Int("threads", 2*runtime.NumCPU(), "worker count (half produce, half consume)")
+	duration := flag.Duration("duration", 10*time.Second, "stress duration")
+	mode := flag.String("mode", "stress", "stress or lincheck")
+	seed := flag.Uint64("seed", 1, "base RNG seed")
+	flag.Parse()
+
+	if !registry.IsRealQueue(*queue) {
+		fatalf("%s is a microbenchmark, not a queue", *queue)
+	}
+	switch *mode {
+	case "stress":
+		runStress(*queue, *threads, *duration, *seed)
+	case "lincheck":
+		runLincheck(*queue, *duration, *seed)
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wfqstress: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func runStress(name string, threads int, d time.Duration, seed uint64) {
+	if threads < 2 {
+		threads = 2
+	}
+	producers := threads / 2
+	consumers := threads - producers
+	// +1 handle for the drain helper; checked adapters box every value so
+	// the accounting below is exact regardless of scheduling.
+	q, err := registry.NewChecked(name, threads+1)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("stress: %s, %d producers, %d consumers, %v\n", name, producers, consumers, d)
+
+	var stopProducing atomic.Bool
+	var producedTotal, consumedTotal atomic.Int64
+	var produced [1 << 16]int64 // per-producer counts (capped)
+	if producers > len(produced) {
+		fatalf("too many producers")
+	}
+	// Backpressure bound: keeps the queue's live footprint (and the boxed
+	// value population) bounded for arbitrarily long runs.
+	const maxOutstanding = 16384
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		ops, err := q.Register()
+		if err != nil {
+			fatalf("register: %v", err)
+		}
+		wg.Add(1)
+		go func(p int, ops qiface.Ops) {
+			defer wg.Done()
+			var seq int64
+			for !stopProducing.Load() {
+				for producedTotal.Load()-consumedTotal.Load() > maxOutstanding {
+					if stopProducing.Load() {
+						break
+					}
+					runtime.Gosched()
+				}
+				seq++
+				ops.Enqueue(uint64(p)<<32 | uint64(seq))
+				producedTotal.Add(1)
+			}
+			atomic.StoreInt64(&produced[p], seq)
+		}(p, ops)
+	}
+
+	type consumerState struct {
+		last  []int64 // per-producer last seen sequence
+		count int64
+	}
+	states := make([]*consumerState, consumers)
+	var drained atomic.Bool
+	var violations atomic.Int64
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		ops, err := q.Register()
+		if err != nil {
+			fatalf("register: %v", err)
+		}
+		st := &consumerState{last: make([]int64, producers)}
+		states[c] = st
+		cwg.Add(1)
+		go func(st *consumerState, ops qiface.Ops) {
+			defer cwg.Done()
+			for {
+				v, ok := ops.Dequeue()
+				if !ok {
+					if drained.Load() {
+						return
+					}
+					runtime.Gosched()
+					continue
+				}
+				p := int(v >> 32)
+				seq := int64(v & 0xffffffff)
+				if p < producers && st.last[p] >= seq {
+					violations.Add(1)
+				}
+				if p < producers {
+					st.last[p] = seq
+				}
+				st.count++
+				consumedTotal.Add(1)
+			}
+		}(st, ops)
+	}
+
+	time.Sleep(d)
+	stopProducing.Store(true)
+	wg.Wait()
+	// Let consumers drain until the queue reports empty twice in a row.
+	drainOps, err := q.Register()
+	if err == nil {
+		for {
+			if _, ok := drainOps.Dequeue(); !ok {
+				break
+			}
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	drained.Store(true)
+	cwg.Wait()
+
+	var totalProduced, totalConsumed int64
+	for p := 0; p < producers; p++ {
+		totalProduced += atomic.LoadInt64(&produced[p])
+	}
+	for _, st := range states {
+		totalConsumed += st.count
+	}
+	fmt.Printf("produced %d, consumed %d (%.1f Mops/s), order violations: %d\n",
+		totalProduced, totalConsumed,
+		float64(totalProduced+totalConsumed)/d.Seconds()/1e6, violations.Load())
+	if violations.Load() > 0 {
+		fatalf("FIFO order violations detected")
+	}
+	// The drain helper may have discarded values, so consumed <= produced.
+	if totalConsumed > totalProduced {
+		fatalf("consumed more values than produced: duplication")
+	}
+	fmt.Println("OK")
+}
+
+func runLincheck(name string, d time.Duration, seed uint64) {
+	f, err := qiface.Lookup(name)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("lincheck: %s for %v\n", name, d)
+	deadline := time.Now().Add(d)
+	trials := 0
+	for time.Now().Before(deadline) {
+		trials++
+		const nthreads, opsPer = 3, 6
+		q, err := f.New(nthreads)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		col := lincheck.NewCollector(nthreads)
+		var start, done sync.WaitGroup
+		start.Add(1)
+		for i := 0; i < nthreads; i++ {
+			ops, err := q.Register()
+			if err != nil {
+				fatalf("register: %v", err)
+			}
+			log := col.Thread(i)
+			rng := workload.NewRNG(seed + uint64(trials*nthreads+i))
+			done.Add(1)
+			go func(i int, ops qiface.Ops) {
+				defer done.Done()
+				start.Wait()
+				for k := 0; k < opsPer; k++ {
+					if rng.Bool() {
+						v := uint64(i)<<32 | uint64(k+1)
+						log.Enq(v, func() { ops.Enqueue(v) })
+					} else {
+						log.Deq(ops.Dequeue)
+					}
+				}
+			}(i, ops)
+		}
+		start.Done()
+		done.Wait()
+		ok, err := lincheck.Check(col.History())
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if !ok {
+			fmt.Println("NON-LINEARIZABLE HISTORY:")
+			for _, op := range col.History() {
+				fmt.Println("  ", op)
+			}
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("OK: %d histories, all linearizable\n", trials)
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("WFQSTRESS_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "WFQSTRESS_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestStressModeOK(t *testing.T) {
+	out, err := runCLI(t, "-queue", "wf-10", "-threads", "4", "-duration", "300ms")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"produced", "consumed", "order violations: 0", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stress output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLincheckModeOK(t *testing.T) {
+	out, err := runCLI(t, "-queue", "wf-0", "-mode", "lincheck", "-duration", "300ms")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "all linearizable") {
+		t.Errorf("lincheck output malformed:\n%s", out)
+	}
+}
+
+func TestRejectsMicrobenchmark(t *testing.T) {
+	out, err := runCLI(t, "-queue", "faa", "-duration", "100ms")
+	if err == nil {
+		t.Fatalf("faa should be rejected:\n%s", out)
+	}
+}
+
+func TestRejectsUnknownMode(t *testing.T) {
+	if out, err := runCLI(t, "-mode", "bogus", "-duration", "100ms"); err == nil {
+		t.Fatalf("bogus mode should fail:\n%s", out)
+	}
+}
+
+func TestRejectsUnknownQueue(t *testing.T) {
+	if out, err := runCLI(t, "-queue", "no-such", "-duration", "100ms"); err == nil {
+		t.Fatalf("unknown queue should fail:\n%s", out)
+	}
+}

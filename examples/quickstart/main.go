@@ -1,0 +1,76 @@
+// Quickstart: the smallest complete wfqueue program. Four producers and
+// four consumers share one wait-free queue; every operation completes in a
+// bounded number of steps no matter how the goroutines are scheduled.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"wfqueue"
+)
+
+func main() {
+	const (
+		producers   = 4
+		consumers   = 4
+		perProducer = 100_000
+	)
+
+	// One handle per concurrent participant.
+	q := wfqueue.New[int](producers + consumers)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		h, err := q.Register()
+		if err != nil {
+			panic(err)
+		}
+		wg.Add(1)
+		go func(p int, h *wfqueue.Handle[int]) {
+			defer wg.Done()
+			defer h.Release()
+			for i := 0; i < perProducer; i++ {
+				h.Enqueue(p*perProducer + i)
+			}
+		}(p, h)
+	}
+
+	var sum atomic.Int64
+	var consumed atomic.Int64
+	var cg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		h, err := q.Register()
+		if err != nil {
+			panic(err)
+		}
+		cg.Add(1)
+		go func(h *wfqueue.Handle[int]) {
+			defer cg.Done()
+			defer h.Release()
+			for consumed.Load() < producers*perProducer {
+				v, ok := h.Dequeue()
+				if !ok {
+					runtime.Gosched() // queue momentarily empty
+					continue
+				}
+				sum.Add(int64(v))
+				consumed.Add(1)
+			}
+		}(h)
+	}
+
+	wg.Wait()
+	cg.Wait()
+
+	n := int64(producers * perProducer)
+	want := n * (n - 1) / 2
+	fmt.Printf("moved %d values, sum=%d (want %d, match=%v)\n",
+		consumed.Load(), sum.Load(), want, sum.Load() == want)
+
+	st := q.Stats()
+	fmt.Printf("fast-path enqueues: %d, slow-path: %d, helped: %d\n",
+		st.EnqFast, st.EnqSlow, st.HelpEnq)
+}

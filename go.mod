@@ -1,0 +1,3 @@
+module wfqueue
+
+go 1.22

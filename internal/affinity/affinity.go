@@ -1,0 +1,86 @@
+// Package affinity pins benchmark worker threads to hardware threads,
+// reproducing the paper's "compact mapping of software to hardware threads"
+// (§5.1): software thread i is placed on the hardware thread closest to
+// previously mapped threads, so SMT siblings of one core fill up before the
+// next core, and all cores of one package fill up before the next package.
+package affinity
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrBadCPU is returned by Pin for an out-of-range CPU index.
+var ErrBadCPU = errors.New("affinity: cpu index out of range")
+
+type cpuTopo struct {
+	cpu  int
+	pkg  int
+	core int
+}
+
+// CompactOrder returns logical CPU indices in the paper's compact mapping
+// order: grouped by physical package, then by physical core, so consecutive
+// entries are SMT siblings sharing a core. On systems without a readable
+// sysfs topology it falls back to the identity order 0..n-1 where n is
+// runtime.NumCPU().
+func CompactOrder() []int {
+	n := runtime.NumCPU()
+	topo := make([]cpuTopo, 0, n)
+	for cpu := 0; cpu < n; cpu++ {
+		pkg, err1 := readSysInt(cpu, "physical_package_id")
+		core, err2 := readSysInt(cpu, "core_id")
+		if err1 != nil || err2 != nil {
+			return identityOrder(n)
+		}
+		topo = append(topo, cpuTopo{cpu: cpu, pkg: pkg, core: core})
+	}
+	sort.Slice(topo, func(i, j int) bool {
+		a, b := topo[i], topo[j]
+		if a.pkg != b.pkg {
+			return a.pkg < b.pkg
+		}
+		if a.core != b.core {
+			return a.core < b.core
+		}
+		return a.cpu < b.cpu
+	})
+	out := make([]int, n)
+	for i, t := range topo {
+		out[i] = t.cpu
+	}
+	return out
+}
+
+func identityOrder(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func readSysInt(cpu int, leaf string) (int, error) {
+	path := fmt.Sprintf("/sys/devices/system/cpu/cpu%d/topology/%s", cpu, leaf)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(strings.TrimSpace(string(b)))
+}
+
+// PinCompact pins the calling OS thread to the i-th CPU of the compact
+// order, wrapping around when i exceeds the CPU count (oversubscribed runs
+// share hardware threads round-robin, as in the paper's 144/288-thread
+// Table 2 columns). The caller must hold runtime.LockOSThread.
+func PinCompact(order []int, i int) error {
+	if len(order) == 0 {
+		return nil
+	}
+	return Pin(order[i%len(order)])
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Platform summarizes the host the way the paper's Table 1 summarizes its
+// four machines: processor model, clock speed, processor/core/thread
+// counts, and whether fetch-and-add is a native instruction.
+type Platform struct {
+	Model     string
+	ClockGHz  float64
+	Packages  int
+	Cores     int
+	Threads   int
+	GOARCH    string
+	GOOS      string
+	NativeFAA bool
+	FAANote   string
+}
+
+// DetectPlatform gathers Table 1's columns for this host. Fields that sysfs
+// or /proc/cpuinfo cannot answer degrade to zero values rather than errors.
+func DetectPlatform() Platform {
+	p := Platform{
+		Threads: runtime.NumCPU(),
+		GOARCH:  runtime.GOARCH,
+		GOOS:    runtime.GOOS,
+	}
+	switch runtime.GOARCH {
+	case "amd64", "386":
+		p.NativeFAA = true
+		p.FAANote = "LOCK XADD"
+	case "arm64":
+		p.NativeFAA = true // LSE atomics on ARMv8.1+; Go emits LDADDAL
+		p.FAANote = "LSE LDADDAL (LL/SC on pre-8.1 cores)"
+	default:
+		p.NativeFAA = false
+		p.FAANote = "emulated with LL/SC retry loops (sacrifices wait-freedom, like the paper's POWER7)"
+	}
+	p.Model, p.ClockGHz = cpuinfoModel()
+	p.Packages, p.Cores = topologyCounts(p.Threads)
+	return p
+}
+
+func cpuinfoModel() (string, float64) {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return "unknown", 0
+	}
+	model := "unknown"
+	ghz := 0.0
+	for _, line := range strings.Split(string(b), "\n") {
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		switch k {
+		case "model name":
+			if model == "unknown" {
+				model = v
+			}
+		case "cpu MHz":
+			if ghz == 0 {
+				if mhz, err := strconv.ParseFloat(v, 64); err == nil {
+					ghz = mhz / 1000
+				}
+			}
+		}
+	}
+	return model, ghz
+}
+
+func topologyCounts(threads int) (packages, cores int) {
+	pkgs := map[string]bool{}
+	coreSet := map[string]bool{}
+	for cpu := 0; cpu < threads; cpu++ {
+		base := fmt.Sprintf("/sys/devices/system/cpu/cpu%d/topology/", cpu)
+		pkg, err1 := os.ReadFile(base + "physical_package_id")
+		core, err2 := os.ReadFile(base + "core_id")
+		if err1 != nil || err2 != nil {
+			return 0, 0
+		}
+		p := strings.TrimSpace(string(pkg))
+		pkgs[p] = true
+		coreSet[p+"/"+strings.TrimSpace(string(core))] = true
+	}
+	return len(pkgs), len(coreSet)
+}
+
+// Table1Row formats the platform as one row of the paper's Table 1.
+func (p Platform) Table1Row() string {
+	clock := "unknown"
+	if p.ClockGHz > 0 {
+		clock = fmt.Sprintf("%.2f GHz", p.ClockGHz)
+	}
+	pkg, core := "?", "?"
+	if p.Packages > 0 {
+		pkg = strconv.Itoa(p.Packages)
+	}
+	if p.Cores > 0 {
+		core = strconv.Itoa(p.Cores)
+	}
+	faa := "no"
+	if p.NativeFAA {
+		faa = "yes"
+	}
+	return fmt.Sprintf("%s | %s | %s | %s | %d | %s (%s)",
+		p.Model, clock, pkg, core, p.Threads, faa, p.FAANote)
+}

@@ -1,0 +1,187 @@
+// Package ccqueue implements CC-Queue, the blocking combining FIFO queue of
+// Fatourou and Kallimanis ("Revisiting the Combining Synchronization
+// Technique", PPoPP 2012) — the paper's representative of combining-based
+// designs. All threads with a pending operation enqueue themselves on a
+// combining list; the thread at the head of the list (the combiner) executes
+// operations for everyone behind it, so the shared queue state is mutated by
+// one thread at a time with plain loads and stores.
+//
+// CC-Queue uses two independent CC-Synch instances — one serializing
+// enqueues at the queue's tail, one serializing dequeues at its head — so
+// the two kinds of operations proceed in parallel, like Michael and Scott's
+// two-lock queue. Combining has low synchronization overhead (one SWAP per
+// operation) but serializes execution, which is why its throughput plateaus
+// in Figure 2; and it is blocking: a preempted combiner stalls every waiting
+// thread, which is why it lacks any non-blocking progress guarantee.
+package ccqueue
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+
+	"wfqueue/internal/pad"
+)
+
+// ccNode is one slot of a CC-Synch combining list.
+type ccNode struct {
+	req       unsafe.Pointer
+	ret       unsafe.Pointer
+	wait      uint32
+	completed uint32
+	next      unsafe.Pointer // *ccNode
+	_         pad.CacheLinePad
+}
+
+// ccSynch is one combining instance: a swap-updated tail plus the sequential
+// function the combiner applies.
+type ccSynch struct {
+	_     pad.CacheLinePad
+	tail  unsafe.Pointer // *ccNode
+	_     pad.CacheLinePad
+	bound int
+	apply func(req unsafe.Pointer) unsafe.Pointer
+}
+
+func newCCSynch(bound int, apply func(unsafe.Pointer) unsafe.Pointer) *ccSynch {
+	c := &ccSynch{bound: bound, apply: apply}
+	atomic.StorePointer(&c.tail, unsafe.Pointer(&ccNode{}))
+	return c
+}
+
+// ccHandle is a thread's spare node for one combining instance.
+type ccHandle struct {
+	node *ccNode
+}
+
+// run submits req and returns its result, combining pending requests if this
+// thread ends up at the head of the list.
+func (c *ccSynch) run(h *ccHandle, req unsafe.Pointer) unsafe.Pointer {
+	next := h.node
+	atomic.StorePointer(&next.next, nil)
+	atomic.StoreUint32(&next.wait, 1)
+	atomic.StoreUint32(&next.completed, 0)
+
+	cur := (*ccNode)(atomic.SwapPointer(&c.tail, unsafe.Pointer(next)))
+	cur.req = req
+	atomic.StorePointer(&cur.next, unsafe.Pointer(next))
+	h.node = cur
+
+	// Spin until a combiner completes the request or passes the combiner
+	// role here. Periodic Gosched keeps oversubscribed runs live (a pure
+	// spin would deadlock a GOMAXPROCS-saturated schedule whose combiner
+	// was preempted) — the Go analogue of the OS eventually rescheduling a
+	// preempted pthread combiner.
+	for spins := 1; atomic.LoadUint32(&cur.wait) == 1; spins++ {
+		if spins%128 == 0 {
+			runtime.Gosched()
+		}
+	}
+	if atomic.LoadUint32(&cur.completed) == 1 {
+		return cur.ret
+	}
+
+	// This thread is the combiner: apply requests along the list until
+	// reaching the open tail node or the combining bound.
+	tmp := cur
+	for count := 0; count < c.bound; count++ {
+		nxt := (*ccNode)(atomic.LoadPointer(&tmp.next))
+		if nxt == nil {
+			break
+		}
+		tmp.ret = c.apply(tmp.req)
+		atomic.StoreUint32(&tmp.completed, 1)
+		atomic.StoreUint32(&tmp.wait, 0)
+		tmp = nxt
+	}
+	// Pass the combiner role to the owner of the first unserved node.
+	atomic.StoreUint32(&tmp.wait, 0)
+	return cur.ret
+}
+
+// seqNode is a node of the sequential two-pointer queue under the combiners.
+type seqNode struct {
+	val  unsafe.Pointer
+	next unsafe.Pointer // *seqNode
+}
+
+// Queue is a CC-Queue. Use New; operate through per-thread Handles.
+type Queue struct {
+	enq *ccSynch
+	deq *ccSynch
+	// head is touched only by dequeue combiners, tail only by enqueue
+	// combiners; the shared frontier is the atomic next field of the node
+	// both may reach, exactly as in the two-lock queue.
+	head *seqNode
+	_    pad.CacheLinePad
+	tail *seqNode
+	_    pad.CacheLinePad
+}
+
+// Handle carries a thread's combining nodes. One goroutine at a time.
+type Handle struct {
+	e ccHandle
+	d ccHandle
+}
+
+// New creates a CC-Queue. maxThreads sizes the combining bound (the
+// combiner serves at most 2×maxThreads requests before handing off, the
+// bound used in Fatourou and Kallimanis's implementation).
+func New(maxThreads int) *Queue {
+	if maxThreads < 1 {
+		maxThreads = 1
+	}
+	q := &Queue{}
+	dummy := &seqNode{}
+	q.head = dummy
+	q.tail = dummy
+	bound := 2 * maxThreads
+	if bound < 64 {
+		bound = 64
+	}
+	q.enq = newCCSynch(bound, q.applyEnqueue)
+	q.deq = newCCSynch(bound, q.applyDequeue)
+	return q
+}
+
+func (q *Queue) applyEnqueue(v unsafe.Pointer) unsafe.Pointer {
+	n := &seqNode{val: v}
+	atomic.StorePointer(&q.tail.next, unsafe.Pointer(n))
+	q.tail = n
+	return nil
+}
+
+func (q *Queue) applyDequeue(unsafe.Pointer) unsafe.Pointer {
+	n := (*seqNode)(atomic.LoadPointer(&q.head.next))
+	if n == nil {
+		return nil // empty
+	}
+	q.head = n
+	v := n.val
+	n.val = nil // release the value reference; n is the new dummy
+	return v
+}
+
+// Register returns a new per-thread handle. CC-Queue places no hard limit
+// on registrations; maxThreads only tunes the combining bound.
+func (q *Queue) Register() (*Handle, error) {
+	return &Handle{e: ccHandle{node: &ccNode{}}, d: ccHandle{node: &ccNode{}}}, nil
+}
+
+// Enqueue appends v to the queue. v must not be nil (nil encodes EMPTY in
+// the combiner protocol).
+func (q *Queue) Enqueue(h *Handle, v unsafe.Pointer) {
+	if v == nil {
+		panic("ccqueue: Enqueue(nil)")
+	}
+	q.enq.run(&h.e, v)
+}
+
+// Dequeue removes and returns the oldest value, or ok=false when empty.
+func (q *Queue) Dequeue(h *Handle) (v unsafe.Pointer, ok bool) {
+	r := q.deq.run(&h.d, nil)
+	if r == nil {
+		return nil, false
+	}
+	return r, true
+}

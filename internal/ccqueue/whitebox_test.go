@@ -1,0 +1,92 @@
+package ccqueue
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// A ccSynch instance must apply requests exactly once and in list order.
+func TestCCSynchAppliesInOrder(t *testing.T) {
+	var applied []int64
+	c := newCCSynch(64, func(req unsafe.Pointer) unsafe.Pointer {
+		applied = append(applied, *(*int64)(req))
+		return req
+	})
+	h := &ccHandle{node: &ccNode{}}
+	for i := int64(0); i < 10; i++ {
+		v := i
+		got := c.run(h, unsafe.Pointer(&v))
+		if *(*int64)(got) != i {
+			t.Fatalf("run returned %d, want %d", *(*int64)(got), i)
+		}
+	}
+	for i, v := range applied {
+		if v != int64(i) {
+			t.Fatalf("applied[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+// The handle's node identity rotates every run (the CC-Synch node
+// recycling discipline): the node received from the swap becomes the
+// thread's next spare.
+func TestCCSynchNodeRotation(t *testing.T) {
+	c := newCCSynch(64, func(req unsafe.Pointer) unsafe.Pointer { return req })
+	h := &ccHandle{node: &ccNode{}}
+	v := int64(1)
+	before := h.node
+	c.run(h, unsafe.Pointer(&v))
+	if h.node == before {
+		t.Fatal("node should rotate after a run")
+	}
+}
+
+// Concurrent runs must each get their own result (no cross-wiring), even
+// when one thread combines for the others.
+func TestCCSynchConcurrentResults(t *testing.T) {
+	c := newCCSynch(64, func(req unsafe.Pointer) unsafe.Pointer {
+		v := *(*int64)(req)
+		out := new(int64)
+		*out = v * 10
+		return unsafe.Pointer(out)
+	})
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := &ccHandle{node: &ccNode{}}
+			for i := 0; i < per; i++ {
+				v := int64(w*per + i)
+				got := c.run(h, unsafe.Pointer(&v))
+				if *(*int64)(got) != v*10 {
+					errs <- "wrong result"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// The sequential sub-queue must release dequeued value references (the new
+// dummy's val is nilled) so the combiner layer cannot resurrect them.
+func TestApplyDequeueClearsValue(t *testing.T) {
+	q := New(1)
+	v := int64(5)
+	q.applyEnqueue(unsafe.Pointer(&v))
+	got := q.applyDequeue(nil)
+	if *(*int64)(got) != 5 {
+		t.Fatal("wrong value")
+	}
+	if q.head.val != nil {
+		t.Fatal("dummy node still references the dequeued value")
+	}
+}

@@ -1,0 +1,52 @@
+// Package chanq adapts a buffered Go channel to the queue interface as an
+// extra baseline with no counterpart in the paper: it answers the question
+// a Go reader asks first — "how do these queues compare to `chan`?".
+//
+// A channel is a mutex-protected ring buffer: every operation takes a lock,
+// so it is blocking (not even obstruction-free) and serializes all access.
+// It is also bounded; Enqueue on a full channel would block forever under
+// queue semantics, so New sizes the buffer generously and Enqueue panics if
+// it would block, keeping the adapter honest about the semantic mismatch.
+package chanq
+
+import "errors"
+
+// Queue wraps a buffered channel.
+type Queue struct {
+	ch chan uint64
+}
+
+// DefaultCapacity bounds outstanding values (channels cannot be unbounded).
+const DefaultCapacity = 1 << 20
+
+// New creates a channel-backed queue with the given capacity (0 selects
+// DefaultCapacity).
+func New(capacity int) *Queue {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Queue{ch: make(chan uint64, capacity)}
+}
+
+// ErrFull reports an enqueue that would block (queue semantics violated).
+var ErrFull = errors.New("chanq: channel full; a FIFO queue is unbounded")
+
+// Enqueue appends v. It panics with ErrFull rather than block, because a
+// FIFO queue's enqueue is total.
+func (q *Queue) Enqueue(v uint64) {
+	select {
+	case q.ch <- v:
+	default:
+		panic(ErrFull)
+	}
+}
+
+// Dequeue removes and returns the oldest value, or ok=false when empty.
+func (q *Queue) Dequeue() (v uint64, ok bool) {
+	select {
+	case v = <-q.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}

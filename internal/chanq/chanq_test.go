@@ -1,0 +1,41 @@
+package chanq
+
+import (
+	"testing"
+
+	"wfqueue/internal/qtest"
+)
+
+func maker(t testing.TB, nworkers int) func() qtest.Ops {
+	q := New(0)
+	return func() qtest.Ops {
+		return qtest.Ops{
+			Enq: func(v int64) { q.Enqueue(uint64(v)) },
+			Deq: func() (int64, bool) {
+				v, ok := q.Dequeue()
+				return int64(v), ok
+			},
+		}
+	}
+}
+
+func TestConformance(t *testing.T) { qtest.Battery(t, maker) }
+
+func TestFullPanics(t *testing.T) {
+	q := New(2)
+	q.Enqueue(1)
+	q.Enqueue(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("enqueue into a full channel should panic")
+		}
+	}()
+	q.Enqueue(3)
+}
+
+func TestCapacityDefault(t *testing.T) {
+	q := New(-5)
+	if cap(q.ch) != DefaultCapacity {
+		t.Fatalf("cap = %d, want %d", cap(q.ch), DefaultCapacity)
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+// Deterministic adversarial interleavings of the helping machinery,
+// constructed by manipulating internal state directly: the commit-on-behalf
+// path (paper line 125), the EMPTY-with-unsuitable-request path (line 122),
+// Dijkstra's protocol between enqueuer and helper (§3.4), and the helper
+// bookkeeping invariants (Invariants 2-3).
+
+import (
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+// cellAt exposes the cell for index i via a throwaway segment pointer.
+func cellAt(q *Queue, h *Handle, i int64) *cell {
+	sp := unsafe.Pointer(q.oldestSegmentForTest())
+	return q.findCell(h, &sp, i)
+}
+
+// Paper line 125: someone claimed the request for cell i (state (0,i)) but
+// has not committed the value; a helper reading that state must write the
+// value itself.
+func TestHelpEnqCommitsOnClaimantsBehalf(t *testing.T) {
+	q := New(2)
+	h1 := mustRegister(t, q)
+	h2 := mustRegister(t, q)
+
+	v := box(5)
+	r := &h1.enqReq
+	atomic.StorePointer(&r.val, v)
+	atomic.StoreUint64(&r.state, packState(false, 0)) // claimed for cell 0, uncommitted
+
+	c := cellAt(q, h2, 0)
+	atomic.StorePointer(&c.val, topVal)            // dequeuer marked the cell
+	atomic.StorePointer(&c.enq, unsafe.Pointer(r)) // request reserved it
+
+	got := q.helpEnq(h2, c, 0)
+	if got != v {
+		t.Fatalf("helpEnq returned %v, want the committed value", got)
+	}
+	if atomic.LoadPointer(&c.val) != v {
+		t.Fatal("value not committed to the cell")
+	}
+	// Invariant 4: T must exceed the cell index after the commit.
+	if atomic.LoadInt64(&q.T) < 1 {
+		t.Fatalf("T = %d after commit into cell 0, want >= 1", q.T)
+	}
+}
+
+// Paper line 122: the reserved request is unsuitable (id > i); with the
+// cell marked ⊤ and T <= i the helper must report EMPTY.
+func TestHelpEnqEmptyWithUnsuitableRequest(t *testing.T) {
+	q := New(2)
+	h1 := mustRegister(t, q)
+	h2 := mustRegister(t, q)
+
+	r := &h1.enqReq
+	atomic.StorePointer(&r.val, box(9))
+	atomic.StoreUint64(&r.state, packState(true, 5)) // pending for cell >= 5
+
+	c := cellAt(q, h2, 0)
+	atomic.StorePointer(&c.val, topVal)
+	atomic.StorePointer(&c.enq, unsafe.Pointer(r))
+
+	if got := q.helpEnq(h2, c, 0); got != emptyVal {
+		t.Fatalf("helpEnq = %v, want EMPTY (T=%d <= i=0, request id 5 > 0)", got, q.T)
+	}
+
+	// With T advanced past i, the same cell must report ⊤, not EMPTY.
+	atomic.StoreInt64(&q.T, 3)
+	if got := q.helpEnq(h2, c, 0); got != topVal {
+		t.Fatalf("helpEnq = %v, want ⊤ once T > i", got)
+	}
+}
+
+// Dijkstra's protocol, §3.4: a helper that reserves a cell for a pending
+// peer request must lead to the request being claimed and committed, and
+// the helper's peer cursor advances (Invariant 3).
+func TestHelpEnqReservesCellForPeer(t *testing.T) {
+	q := New(2)
+	h1 := mustRegister(t, q)
+	h2 := mustRegister(t, q)
+
+	// h1 publishes a pending enqueue request with id 0, as enqSlow would.
+	v := box(7)
+	r := &h1.enqReq
+	atomic.StorePointer(&r.val, v)
+	atomic.StoreUint64(&r.state, packState(true, 0))
+
+	// h2's enqueue peer is h1 (ring of two).
+	if q.handles[h2.enqPeerIdx] != h1 {
+		t.Fatal("test setup: h2's peer should be h1")
+	}
+
+	// h2 dequeues on the empty queue: its helpEnq marks cell 0 and must
+	// notice h1's pending request, reserve the cell, claim and commit.
+	got, ok := q.Dequeue(h2)
+	if !ok || got != v {
+		// Depending on claim timing the dequeue may also take the value
+		// via a later cell; but with a single helper the direct case is
+		// deterministic.
+		t.Fatalf("Dequeue = (%v,%v), want the helped value", got, ok)
+	}
+	if statePending(atomic.LoadUint64(&r.state)) {
+		t.Fatal("peer request should have been claimed")
+	}
+}
+
+// Helper peer-cursor bookkeeping (Invariants 2-3, paper lines 94-108):
+//
+//   - a remembered request id that still matches the peer's current request
+//     keeps the cursor on that peer;
+//   - a stale remembered id (the peer moved on to a new request) resets the
+//     memo and advances the cursor;
+//   - a pending request whose id exceeds the visited cell cannot use the
+//     cell, so the cursor advances past the peer (line 107-108).
+func TestHelpEnqPeerCursorBookkeeping(t *testing.T) {
+	q := New(3)
+	helper := mustRegister(t, q)
+	mustRegister(t, q)
+	mustRegister(t, q)
+
+	// Case 1: the helper's current peer has a pending request whose id is
+	// beyond the cell (unsuitable): the cursor advances to the next peer.
+	peer := q.handles[helper.enqPeerIdx]
+	wantNext := peer.next
+	rp := &peer.enqReq
+	atomic.StorePointer(&rp.val, box(1))
+	atomic.StoreUint64(&rp.state, packState(true, 42))
+	c := cellAt(q, helper, 0)
+	atomic.StorePointer(&c.val, topVal) // cell pre-marked ⊤
+	q.helpEnq(helper, c, 0)
+	if q.handles[helper.enqPeerIdx] != wantNext {
+		t.Fatal("cursor should advance past a peer whose request cannot use the cell")
+	}
+	// The cell was sealed since no request could use it.
+	if atomic.LoadPointer(&c.enq) != topEnq {
+		t.Fatal("cell should be sealed with ⊤e")
+	}
+	atomic.StoreUint64(&rp.state, packState(false, 0)) // retire the request
+
+	// Case 2: stale memo. The helper remembers failing to help request id
+	// 7, but its current peer has since published request id 9: the memo
+	// is reset and the scan proceeds with a fresh peer.
+	helper.enqID = 7
+	peer2 := q.handles[helper.enqPeerIdx]
+	r2 := &peer2.enqReq
+	atomic.StorePointer(&r2.val, box(2))
+	atomic.StoreUint64(&r2.state, packState(true, 9))
+	c2 := cellAt(q, helper, 1)
+	atomic.StorePointer(&c2.val, topVal)
+	q.helpEnq(helper, c2, 1)
+	if helper.enqID == 7 {
+		t.Fatal("stale request memo should have been reset")
+	}
+}
+
+// enqSlow must terminate even when every cell it tries was already sealed
+// by dequeuers, because a helper claims the request concurrently. Here the
+// "helper" is simulated by claiming the request mid-flight from the test.
+func TestEnqSlowStopsWhenClaimed(t *testing.T) {
+	q := New(2)
+	h1 := mustRegister(t, q)
+	h2 := mustRegister(t, q)
+
+	// Pre-claim h1's upcoming request for cell 0 and commit the value,
+	// exactly what a fast helper would do between h1's publications.
+	// enqSlow must observe pending=false and finish via enqCommit.
+	v := box(3)
+	done := make(chan struct{})
+	go func() {
+		// Claim as soon as the request becomes pending; give up once
+		// enqSlow has finished on its own (the race is best-effort).
+		r := &h1.enqReq
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			s := atomic.LoadUint64(&r.state)
+			if statePending(s) {
+				tryToClaimReq(&r.state, stateID(s), stateID(s))
+				return
+			}
+		}
+	}()
+	q.enqSlow(h1, v, 0)
+	close(done)
+	if statePending(atomic.LoadUint64(&h1.enqReq.state)) {
+		t.Fatal("request still pending after enqSlow")
+	}
+	// The value must be retrievable.
+	if got, ok := q.Dequeue(h2); !ok || got != v {
+		t.Fatalf("Dequeue = (%v,%v), want the slow-path value", got, ok)
+	}
+}
+
+// End-to-end slow-path dequeue: a dequeuer whose fast path lost its cell
+// to a thief must recover the next value through deqSlow/helpDeq.
+func TestDeqSlowRecoversAfterTheft(t *testing.T) {
+	q := New(2)
+	h1 := mustRegister(t, q)
+	h2 := mustRegister(t, q)
+
+	for i := int64(0); i < 3; i++ {
+		q.Enqueue(h1, box(i))
+	}
+	// h2 legitimately dequeues value 0 (cell 0).
+	if v, ok := q.Dequeue(h2); !ok || unbox(v) != 0 {
+		t.Fatal("setup dequeue failed")
+	}
+
+	// Simulate h1's failed fast path at cell 1: it performed the FAA...
+	i := atomic.AddInt64(&q.H, 1) - 1
+	if i != 1 {
+		t.Fatalf("expected to claim index 1, got %d", i)
+	}
+	// ...but a thief claimed the cell's value first (⊤d seals it).
+	c := cellAt(q, h1, i)
+	if !atomic.CompareAndSwapPointer(&c.deq, nil, topDeq) {
+		t.Fatal("setup: could not seal cell 1")
+	}
+
+	// h1 now runs the slow path with the failed cell id, as Dequeue would.
+	v := q.deqSlow(h1, i)
+	if v == emptyVal || unbox(v) != 2 {
+		t.Fatalf("deqSlow returned %v, want value 2", v)
+	}
+	// H must have been advanced past the destination cell (Invariant 8).
+	if atomic.LoadInt64(&q.H) < 3 {
+		t.Fatalf("H = %d after slow dequeue of cell 2, want >= 3", q.H)
+	}
+	// The stolen cell-1 value is gone with the thief; the queue is empty.
+	if _, ok := q.Dequeue(h2); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// deqSlow on a genuinely empty queue must return EMPTY and close its
+// request.
+func TestDeqSlowEmpty(t *testing.T) {
+	q := New(2)
+	h := mustRegister(t, q)
+	i := atomic.AddInt64(&q.H, 1) - 1
+	c := cellAt(q, h, i)
+	// The failed fast path marked the cell and found it dead.
+	atomic.StorePointer(&c.val, topVal)
+	atomic.StorePointer(&c.enq, topEnq)
+	atomic.StorePointer(&c.deq, topDeq)
+
+	if v := q.deqSlow(h, i); v != emptyVal {
+		t.Fatalf("deqSlow = %v, want EMPTY", v)
+	}
+	if statePending(atomic.LoadUint64(&h.deqReq.state)) {
+		t.Fatal("request should be closed")
+	}
+	// The queue still works afterwards.
+	q.Enqueue(h, box(5))
+	if v, ok := q.Dequeue(h); !ok || unbox(v) != 5 {
+		t.Fatal("queue broken after slow EMPTY")
+	}
+}

@@ -1,0 +1,390 @@
+// Package core implements the wait-free FIFO queue of Yang and
+// Mellor-Crummey, "A Wait-free Queue as Fast as Fetch-and-Add"
+// (PPoPP 2016), ported line-by-line from the paper's Listings 2-5.
+//
+// The queue realizes a conceptually infinite array as a singly-linked list
+// of fixed-size segments. Head and tail indices H and T are advanced with
+// fetch-and-add; an enqueue deposits its value in cell Q[FAA(T)] with a
+// single CAS, a dequeue claims the value in cell Q[FAA(H)]. This fast path
+// is obstruction-free; wait-freedom comes from the Kogan-Petrank
+// fast-path-slow-path construction: after PATIENCE failed fast-path
+// attempts an operation publishes a request in its per-thread handle, and
+// the ring of peer handles helps pending requests complete within a bounded
+// number of steps (§3.2).
+//
+// Values are stored as unsafe.Pointer. nil is the paper's ⊥; package-level
+// sentinels play the roles of ⊤, ⊤e and ⊤d. Callers therefore may not
+// enqueue nil; the public wfqueue package boxes arbitrary values.
+//
+// Concurrency notes for the Go port: the paper assumes sequential
+// consistency and relegates fences to its C sources. Go's sync/atomic
+// operations are sequentially consistent, so every access to shared words
+// here is atomic; the algorithm needs no additional barriers. In particular
+// both instances of Dijkstra's protocol (enqueuer reserves cell then checks
+// val / dequeuer marks val then checks enq, §3.4; and the analogous
+// handshake in reclamation, §3.6) are sound under the SC semantics of
+// sync/atomic.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"wfqueue/internal/pad"
+)
+
+// Default tuning parameters, matching the paper's evaluation (§5.1).
+const (
+	// DefaultSegmentShift gives N = 2^10 cells per segment.
+	DefaultSegmentShift = 10
+	// DefaultPatience is the fast-path attempt budget ("WF-10").
+	DefaultPatience = 10
+)
+
+// Reserved cell/value sentinels. nil plays ⊥ (and ⊥e, ⊥d); these pointers
+// play ⊤, ⊤e and ⊤d. They point at private objects so they can never equal
+// a caller-supplied value.
+var (
+	topVal   = unsafe.Pointer(new(int64)) // ⊤: cell unusable for enqueues
+	topEnq   = unsafe.Pointer(new(int64)) // ⊤e: no enqueue request may use the cell
+	topDeq   = unsafe.Pointer(new(int64)) // ⊤d: value claimed by a fast-path dequeue
+	emptyVal = unsafe.Pointer(new(int64)) // EMPTY: internal "queue was empty" result
+)
+
+// state packs a request's (pending, id/idx) pair — the paper's 1+63 bit
+// struct — into one CAS-able word.
+type state = uint64
+
+const pendingBit state = 1 << 63
+
+func packState(pending bool, id int64) state {
+	s := state(id)
+	if pending {
+		s |= pendingBit
+	}
+	return s
+}
+
+func statePending(s state) bool { return s&pendingBit != 0 }
+func stateID(s state) int64     { return int64(s &^ pendingBit) }
+
+// enqReq is the paper's EnqReq: a value and a (pending, id) state. The two
+// words are written and read non-atomically with respect to each other; the
+// protocol in §3.4 ("Write the proper value in a cell") makes the pairing
+// safe: writers store val before state, helpers read state before val.
+type enqReq struct {
+	val   unsafe.Pointer
+	state state
+}
+
+// deqReq is the paper's DeqReq: a request id and a (pending, idx) state.
+type deqReq struct {
+	id    int64
+	state state
+}
+
+// cell is one slot of the infinite array: a value and pointers to the
+// enqueue/dequeue requests that have reserved it. All three words are
+// monotonic in the sense of Invariant 1: once a cell reaches an enqueue
+// result state its enq word never changes, and deq is CASed from ⊥d at most
+// once. Only val can change twice (⊥ → ⊤ → v) when a helper commits a
+// slow-path enqueue into a cell a dequeuer had marked.
+type cell struct {
+	val unsafe.Pointer // user value, topVal, or nil (⊥)
+	enq unsafe.Pointer // *enqReq, topEnq, or nil (⊥e)
+	deq unsafe.Pointer // *deqReq, topDeq, or nil (⊥d)
+}
+
+// segment is 2^segShift cells plus list linkage. Segment ids increase by
+// one along the list; cell Q[i] lives in segment i>>segShift at offset
+// i&segMask.
+type segment struct {
+	id    int64
+	next  unsafe.Pointer // *segment
+	cells []cell
+}
+
+// Handle is a thread's registration with a Queue: its local segment
+// pointers, its helping state, and its slot in the helpers' ring. A Handle
+// may be used by only one goroutine at a time.
+type Handle struct {
+	_ pad.CacheLinePad
+
+	// tail and head are this thread's hints into the segment list, used to
+	// start cell searches. The owner advances them in findCell; cleaners
+	// CAS them forward during reclamation, so access is atomic.
+	tail unsafe.Pointer // *segment
+	head unsafe.Pointer // *segment
+
+	// hzdp is the hazard pointer of §3.6, stored as a segment id (-1 when
+	// idle) rather than a pointer: cleaners re-resolve the id by walking
+	// the still-linked list, and the owner's own head/tail/locals keep the
+	// segment alive for the GC. Publishing an int64 avoids a GC write
+	// barrier on the two publications every operation performs, the Go
+	// analogue of the paper's fence-free fast path.
+	hzdp int64
+
+	_ pad.CacheLinePad
+
+	// next links handles in the static helping ring; idx is this handle's
+	// position in Queue.handles (both fixed after New).
+	next *Handle
+	idx  int
+
+	// Enqueue helping state: the thread's own request, the peer whose
+	// requests it will help next (an index into Queue.handles — an integer
+	// rather than a pointer so the frequent advance writes take no GC
+	// write barrier), and the id of a peer request it tried and failed to
+	// reserve a cell for (the paper's h->enq.id).
+	enqReq     enqReq
+	enqPeerIdx int
+	enqID      int64
+
+	// Dequeue helping state.
+	deqReq     deqReq
+	deqPeerIdx int
+
+	// spare is scratch space reused by cleanup to avoid per-call
+	// allocation (the C original uses a VLA).
+	spare []*Handle
+
+	q *Queue
+
+	// registered tracks whether the handle is currently checked out.
+	registered bool
+
+	stats Counters
+
+	_ pad.CacheLinePad
+}
+
+// Counters are per-handle instrumentation, aggregated by Queue.Stats to
+// regenerate the paper's Table 2. Each counter has a single writer (the
+// handle's owner); Stats aggregates across handles and may observe slightly
+// stale values while operations are in flight.
+type Counters struct {
+	EnqFast  uint64 // enqueues completed on the fast path
+	EnqSlow  uint64 // enqueues completed on the slow path
+	DeqFast  uint64 // dequeues completed on the fast path
+	DeqSlow  uint64 // dequeues completed on the slow path
+	DeqEmpty uint64 // dequeues that returned EMPTY
+	HelpEnq  uint64 // slow-path enqueue requests committed by a helper for a peer
+	HelpDeq  uint64 // help_deq invocations on behalf of a peer
+	Cleanups uint64 // reclamation passes that freed at least one segment
+	Segments uint64 // segments allocated by this handle
+}
+
+// Queue is the wait-free FIFO queue. Create instances with New; all
+// operations go through Handles obtained from Register.
+type Queue struct {
+	_ pad.CacheLinePad
+	// T is the tail index: the next cell an enqueue will try to claim.
+	T int64
+	_ pad.CacheLinePad
+	// H is the head index: the next cell a dequeue will visit.
+	H int64
+	_ pad.CacheLinePad
+	// q points at the oldest segment in the list (the paper's Q).
+	q unsafe.Pointer // *segment
+	// I is the id of the oldest segment, or -1 while a cleaner runs.
+	I int64
+	_ pad.CacheLinePad
+
+	segShift   uint
+	segMask    int64
+	patience   int
+	maxGarbage int64
+	recycle    bool
+
+	handles []*Handle
+
+	mu        sync.Mutex
+	freeList  []*Handle  // registration free list
+	segPool   []*segment // recycled segments (only with WithRecycling)
+	reclaimed uint64     // total segments reclaimed (atomic)
+}
+
+// Option configures a Queue at construction.
+type Option func(*config)
+
+type config struct {
+	segShift   uint
+	patience   int
+	maxGarbage int64
+	recycle    bool
+}
+
+// WithPatience sets the number of extra fast-path attempts before an
+// operation falls back to the slow path. 10 is the paper's WF-10
+// configuration; 0 is WF-0 (a single fast-path attempt). Negative values
+// are clamped to 0.
+func WithPatience(p int) Option {
+	return func(c *config) {
+		if p < 0 {
+			p = 0
+		}
+		c.patience = p
+	}
+}
+
+// WithSegmentShift sets the log2 of the per-segment cell count (default 10,
+// the paper's N = 2^10). Values are clamped to [1, 20].
+func WithSegmentShift(s uint) Option {
+	return func(c *config) {
+		if s < 1 {
+			s = 1
+		}
+		if s > 20 {
+			s = 20
+		}
+		c.segShift = s
+	}
+}
+
+// WithMaxGarbage sets the number of retired segments allowed to accumulate
+// before a dequeuer attempts reclamation (default 2×maxThreads, following
+// the author's reference implementation). Values < 1 are clamped to 1.
+func WithMaxGarbage(g int64) Option {
+	return func(c *config) {
+		if g < 1 {
+			g = 1
+		}
+		c.maxGarbage = g
+	}
+}
+
+// WithRecycling reuses reclaimed segments through an internal pool instead
+// of releasing them to the garbage collector. This emulates the manual
+// reclamation economics of the paper's C implementation; the hazard-pointer
+// protocol of §3.6 is what makes reuse safe.
+func WithRecycling(on bool) Option {
+	return func(c *config) { c.recycle = on }
+}
+
+// ErrTooManyHandles is returned by Register once maxThreads handles are
+// checked out simultaneously.
+var ErrTooManyHandles = errors.New("core: all handles registered; raise maxThreads in New")
+
+// New creates a queue supporting up to maxThreads concurrently registered
+// handles. The handle ring is fixed at construction, as in the paper, so
+// maxThreads bounds concurrency but handles can be released and re-used.
+func New(maxThreads int, opts ...Option) *Queue {
+	if maxThreads < 1 {
+		maxThreads = 1
+	}
+	cfg := config{
+		segShift:   DefaultSegmentShift,
+		patience:   DefaultPatience,
+		maxGarbage: int64(2 * maxThreads),
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	q := &Queue{
+		segShift:   cfg.segShift,
+		segMask:    (1 << cfg.segShift) - 1,
+		patience:   cfg.patience,
+		maxGarbage: cfg.maxGarbage,
+		recycle:    cfg.recycle,
+	}
+	s0 := q.newSegment(0)
+	atomic.StorePointer(&q.q, unsafe.Pointer(s0))
+
+	q.handles = make([]*Handle, maxThreads)
+	for i := range q.handles {
+		q.handles[i] = &Handle{q: q}
+	}
+	for i, h := range q.handles {
+		h.idx = i
+		h.next = q.handles[(i+1)%maxThreads]
+		h.enqPeerIdx = (i + 1) % maxThreads
+		h.deqPeerIdx = (i + 1) % maxThreads
+		atomic.StorePointer(&h.tail, unsafe.Pointer(s0))
+		atomic.StorePointer(&h.head, unsafe.Pointer(s0))
+		h.hzdp = -1
+		h.spare = make([]*Handle, 0, maxThreads)
+	}
+	q.freeList = append(q.freeList, q.handles...)
+	return q
+}
+
+// Register checks out a handle. Each concurrent worker needs its own;
+// callers return it with Handle.Release when done.
+func (q *Queue) Register() (*Handle, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.freeList)
+	if n == 0 {
+		return nil, ErrTooManyHandles
+	}
+	h := q.freeList[n-1]
+	q.freeList = q.freeList[:n-1]
+	h.registered = true
+	return h, nil
+}
+
+// Release returns a handle to the queue's pool. The handle must have no
+// operation in flight. Its ring slot persists (helpers simply see no
+// pending request), so release/re-register cycles are cheap.
+func (h *Handle) Release() {
+	q := h.q
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !h.registered {
+		panic("core: Release of unregistered handle")
+	}
+	h.registered = false
+	q.freeList = append(q.freeList, h)
+}
+
+// Capacity returns the maximum number of concurrently registered handles.
+func (q *Queue) Capacity() int { return len(q.handles) }
+
+// Patience returns the configured fast-path attempt budget.
+func (q *Queue) Patience() int { return q.patience }
+
+// SegmentSize returns the number of cells per segment.
+func (q *Queue) SegmentSize() int64 { return q.segMask + 1 }
+
+// Size returns an instantaneous approximation of the queue length,
+// max(T-H, 0). It is exact only in quiescent states.
+func (q *Queue) Size() int64 {
+	d := atomic.LoadInt64(&q.T) - atomic.LoadInt64(&q.H)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Stats aggregates all handles' counters.
+func (q *Queue) Stats() Counters {
+	var total Counters
+	for _, h := range q.handles {
+		total.EnqFast += ctrLoad(&h.stats.EnqFast)
+		total.EnqSlow += ctrLoad(&h.stats.EnqSlow)
+		total.DeqFast += ctrLoad(&h.stats.DeqFast)
+		total.DeqSlow += ctrLoad(&h.stats.DeqSlow)
+		total.DeqEmpty += ctrLoad(&h.stats.DeqEmpty)
+		total.HelpEnq += ctrLoad(&h.stats.HelpEnq)
+		total.HelpDeq += ctrLoad(&h.stats.HelpDeq)
+		total.Cleanups += ctrLoad(&h.stats.Cleanups)
+		total.Segments += ctrLoad(&h.stats.Segments)
+	}
+	return total
+}
+
+// ReclaimedSegments returns the total number of segments retired by the
+// memory reclamation scheme since the queue was created.
+func (q *Queue) ReclaimedSegments() uint64 { return atomic.LoadUint64(&q.reclaimed) }
+
+// OldestSegmentID returns the id of the oldest live segment (the paper's
+// I), or -1 if a cleanup pass is in flight at the instant of the read.
+func (q *Queue) OldestSegmentID() int64 { return atomic.LoadInt64(&q.I) }
+
+func (q *Queue) String() string {
+	return fmt.Sprintf("core.Queue{patience=%d, N=%d, handles=%d, size≈%d}",
+		q.patience, q.SegmentSize(), len(q.handles), q.Size())
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzAgainstModel drives arbitrary single-threaded op sequences against a
+// slice model across a configuration chosen by the first two fuzz bytes.
+// `go test` runs the seed corpus; `go test -fuzz=FuzzAgainstModel` explores.
+func FuzzAgainstModel(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2, 3, 4, 5})
+	f.Add([]byte{1, 3, 0, 1, 1, 1, 0, 0, 1})
+	f.Add([]byte{2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 1, 1, 1, 1, 0})
+	f.Add([]byte{3, 2, 0, 0, 0, 1, 1, 1, 1, 0, 1, 0, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		patience := int(data[0] % 11)
+		shift := uint(data[1]%6 + 1)
+		ops := data[2:]
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+
+		q := New(2, WithPatience(patience), WithSegmentShift(shift), WithMaxGarbage(1))
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var model []int64
+		next := int64(1)
+		for k, op := range ops {
+			if op%2 == 0 {
+				q.Enqueue(h, box(next))
+				model = append(model, next)
+				next++
+			} else {
+				v, ok := q.Dequeue(h)
+				if len(model) == 0 {
+					if ok {
+						t.Fatalf("op %d: value from empty queue", k)
+					}
+				} else {
+					if !ok {
+						t.Fatalf("op %d: EMPTY, want %d", k, model[0])
+					}
+					if got := unbox(v); got != model[0] {
+						t.Fatalf("op %d: got %d, want %d", k, got, model[0])
+					}
+					model = model[1:]
+				}
+			}
+		}
+		for j, want := range model {
+			v, ok := q.Dequeue(h)
+			if !ok || unbox(v) != want {
+				t.Fatalf("drain %d: got (%v,%v), want %d", j, v, ok, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// sid atomically reads a segment's id; see newSegment for why this must be
+// atomic when recycling is enabled.
+func sid(s *segment) int64 { return atomic.LoadInt64(&s.id) }
+
+// newSegment allocates (or recycles) a segment with the given id and all
+// cells in the initial (⊥, ⊥e, ⊥d) state.
+func (q *Queue) newSegment(id int64) *segment {
+	if q.recycle {
+		if s := q.popSegment(); s != nil {
+			// id is stored atomically: a cleaner that loaded a reference
+			// to this segment before it was recycled may still read the
+			// id (the read is gated — it can only influence the CAS on
+			// q.I, which then fails — but it must be a defined read).
+			atomic.StoreInt64(&s.id, id)
+			s.next = nil
+			clear(s.cells)
+			return s
+		}
+	}
+	return &segment{id: id, cells: make([]cell, q.segMask+1)}
+}
+
+func (q *Queue) popSegment() *segment {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.segPool)
+	if n == 0 {
+		return nil
+	}
+	s := q.segPool[n-1]
+	q.segPool = q.segPool[:n-1]
+	return s
+}
+
+func (q *Queue) pushSegment(s *segment) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.segPool = append(q.segPool, s)
+}
+
+// findCell locates cell Q[cellID], extending the segment list as needed
+// (paper lines 33-52). sp points at a segment pointer — either a local
+// traversal variable or a handle's head/tail field, which cleaners may CAS
+// concurrently — and is updated to the segment containing the cell.
+func (q *Queue) findCell(h *Handle, sp *unsafe.Pointer, cellID int64) *cell {
+	orig := atomic.LoadPointer(sp)
+	s := (*segment)(orig)
+	for i := sid(s); i < cellID>>q.segShift; i++ {
+		next := (*segment)(atomic.LoadPointer(&s.next))
+		if next == nil {
+			// The list needs another segment: allocate one and try to
+			// extend the list. A failed CAS means another thread already
+			// extended it; the loser's segment is dropped (GC) or
+			// recycled.
+			tmp := q.newSegment(i + 1)
+			if atomic.CompareAndSwapPointer(&s.next, nil, unsafe.Pointer(tmp)) {
+				ctrInc(&h.stats.Segments)
+			} else if q.recycle {
+				q.pushSegment(tmp)
+			}
+			next = (*segment)(atomic.LoadPointer(&s.next))
+		}
+		s = next
+	}
+	// Update the caller's segment hint only when it moved: the store is a
+	// GC-write-barriered pointer write, and in the common case (1023 of
+	// 1024 operations with the default segment size) the hint is already
+	// correct.
+	if unsafe.Pointer(s) != orig {
+		atomic.StorePointer(sp, unsafe.Pointer(s))
+	}
+	return &s.cells[cellID&q.segMask]
+}
+
+// advanceEndForLinearizability bumps the head or tail index *e to at least
+// cid (paper lines 53-55), preserving Invariants 4 and 8: a value is only
+// deposited in (taken from) a cell whose index is below T (H) by the time
+// the operation completes.
+func advanceEndForLinearizability(e *int64, cid int64) {
+	for {
+		v := atomic.LoadInt64(e)
+		if v >= cid || atomic.CompareAndSwapInt64(e, v, cid) {
+			return
+		}
+	}
+}

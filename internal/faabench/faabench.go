@@ -1,0 +1,35 @@
+// Package faabench is the paper's fetch-and-add microbenchmark (§5): it
+// "simulates enqueue and dequeue operations with FAA primitives on two
+// shared variables: one for enqueues and the other for dequeues". It is not
+// a queue — values are discarded — but since every FAA-based queue must
+// perform at least this much coordination per operation, its throughput is
+// a practical upper bound for all of them, plotted as the F&A series in
+// Figure 2.
+package faabench
+
+import (
+	"sync/atomic"
+
+	"wfqueue/internal/pad"
+)
+
+// Bench holds the two contended counters.
+type Bench struct {
+	_ pad.CacheLinePad
+	T pad.Int64
+	H pad.Int64
+}
+
+// New creates a microbenchmark instance.
+func New() *Bench { return &Bench{} }
+
+// Enqueue performs the enqueue-side FAA and returns the claimed index.
+func (b *Bench) Enqueue() int64 { return atomic.AddInt64(&b.T.V, 1) - 1 }
+
+// Dequeue performs the dequeue-side FAA and returns the claimed index.
+func (b *Bench) Dequeue() int64 { return atomic.AddInt64(&b.H.V, 1) - 1 }
+
+// Totals reports how many enqueue- and dequeue-side operations ran.
+func (b *Bench) Totals() (enq, deq int64) {
+	return atomic.LoadInt64(&b.T.V), atomic.LoadInt64(&b.H.V)
+}

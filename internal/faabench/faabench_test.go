@@ -1,0 +1,55 @@
+package faabench
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountsExact(t *testing.T) {
+	b := New()
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b.Enqueue()
+				b.Dequeue()
+			}
+		}()
+	}
+	wg.Wait()
+	enq, deq := b.Totals()
+	if enq != workers*per || deq != workers*per {
+		t.Fatalf("totals = (%d,%d), want (%d,%d)", enq, deq, workers*per, workers*per)
+	}
+}
+
+func TestIndicesUnique(t *testing.T) {
+	b := New()
+	const workers, per = 4, 5000
+	got := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]int64, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, b.Enqueue())
+			}
+			got[w] = local
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[int64]bool, workers*per)
+	for _, local := range got {
+		for _, v := range local {
+			if seen[v] {
+				t.Fatalf("index %d claimed twice", v)
+			}
+			seen[v] = true
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package hazard
+
+import (
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+// The cost the paper's reclamation scheme avoids: a hazard publication on
+// every protected access.
+func BenchmarkProtect(b *testing.B) {
+	d := NewDomain(1, 1)
+	r, _ := d.Register()
+	x := new(int)
+	var addr unsafe.Pointer = unsafe.Pointer(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Protect(0, &addr)
+	}
+}
+
+func BenchmarkRetireScan(b *testing.B) {
+	d := NewDomain(4, 2)
+	r, _ := d.Register()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Retire(unsafe.Pointer(new(int)), func(unsafe.Pointer) {})
+	}
+}
+
+func BenchmarkBaselineAtomicLoad(b *testing.B) {
+	x := new(int)
+	var addr unsafe.Pointer = unsafe.Pointer(x)
+	var sink unsafe.Pointer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = atomic.LoadPointer(&addr)
+	}
+	_ = sink
+}

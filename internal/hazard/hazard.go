@@ -1,0 +1,159 @@
+// Package hazard implements Michael's hazard pointers (IEEE TPDS 2004).
+//
+// The paper's evaluation treats memory reclamation as an integral
+// responsibility of each queue and adds hazard pointers to LCRQ and
+// MS-Queue (§5.1 "Implementation"). In Go the garbage collector already
+// guarantees that no node is freed while reachable, so hazard pointers are
+// not needed for *safety* when nodes are heap-allocated and dropped.
+// They matter in two situations this repository exercises:
+//
+//  1. Node recycling through free lists (object pools), where a node may be
+//     reused — and its fields rewritten — while a slow reader still holds a
+//     reference. Hazard pointers defer recycling until no reader can hold
+//     the node, exactly as in C.
+//  2. Reproducing the *cost* the paper measures: each protected traversal
+//     publishes a hazard pointer with a sequentially consistent store, the
+//     fence overhead the paper contrasts with its fence-free scheme.
+package hazard
+
+import (
+	"errors"
+	"sync/atomic"
+	"unsafe"
+
+	"wfqueue/internal/pad"
+)
+
+// Domain is a set of hazard-pointer slots shared by up to maxThreads
+// participants plus the retirement machinery.
+type Domain struct {
+	slotsPerThread int
+	maxThreads     int
+	next           atomic.Int64
+	// slots[t*slotsPerThread+k] is thread t's k-th hazard pointer, each on
+	// its own cache line to keep publications from interfering.
+	slots []pad.Pointer
+	// scanThreshold is the retired-list length that triggers a scan.
+	scanThreshold int
+}
+
+// ErrTooManyThreads is returned when Register exceeds the domain capacity.
+var ErrTooManyThreads = errors.New("hazard: too many registered threads")
+
+// NewDomain creates a domain for maxThreads threads with slotsPerThread
+// hazard slots each. Scans trigger once a thread has retired at least
+// 2 × (maxThreads × slotsPerThread) + 1 pointers, the standard bound that
+// amortizes scan cost to O(1) per retirement.
+func NewDomain(maxThreads, slotsPerThread int) *Domain {
+	if maxThreads < 1 {
+		maxThreads = 1
+	}
+	if slotsPerThread < 1 {
+		slotsPerThread = 1
+	}
+	return &Domain{
+		slotsPerThread: slotsPerThread,
+		maxThreads:     maxThreads,
+		slots:          make([]pad.Pointer, maxThreads*slotsPerThread),
+		scanThreshold:  2*maxThreads*slotsPerThread + 1,
+	}
+}
+
+// Record is one thread's participation in a domain. Not safe for concurrent
+// use by multiple goroutines.
+type Record struct {
+	d       *Domain
+	base    int // index of first slot in d.slots
+	retired []retiredPtr
+}
+
+type retiredPtr struct {
+	p    unsafe.Pointer
+	free func(unsafe.Pointer)
+}
+
+// Register allocates a thread record. It fails once maxThreads records have
+// been handed out.
+func (d *Domain) Register() (*Record, error) {
+	id := d.next.Add(1) - 1
+	if int(id) >= d.maxThreads {
+		return nil, ErrTooManyThreads
+	}
+	return &Record{d: d, base: int(id) * d.slotsPerThread}, nil
+}
+
+// Protect publishes the current value of *addr in hazard slot k and returns
+// it once the publication is provably visible before any re-check of *addr:
+// the standard load; publish; re-load loop. A nil result means *addr was nil.
+func (r *Record) Protect(k int, addr *unsafe.Pointer) unsafe.Pointer {
+	slot := &r.d.slots[r.base+k].V
+	for {
+		p := atomic.LoadPointer(addr)
+		atomic.StorePointer(slot, p)
+		if atomic.LoadPointer(addr) == p {
+			return p
+		}
+	}
+}
+
+// Set publishes p in slot k unconditionally (for pointers obtained by other
+// validated means).
+func (r *Record) Set(k int, p unsafe.Pointer) {
+	atomic.StorePointer(&r.d.slots[r.base+k].V, p)
+}
+
+// Clear erases hazard slot k.
+func (r *Record) Clear(k int) {
+	atomic.StorePointer(&r.d.slots[r.base+k].V, nil)
+}
+
+// ClearAll erases every slot owned by the record.
+func (r *Record) ClearAll() {
+	for k := 0; k < r.d.slotsPerThread; k++ {
+		r.Clear(k)
+	}
+}
+
+// Retire schedules p for free once no thread protects it. free runs at most
+// once, from whichever thread's scan finds p unprotected.
+func (r *Record) Retire(p unsafe.Pointer, free func(unsafe.Pointer)) {
+	if p == nil {
+		return
+	}
+	r.retired = append(r.retired, retiredPtr{p: p, free: free})
+	if len(r.retired) >= r.d.scanThreshold {
+		r.Scan()
+	}
+}
+
+// Scan frees every retired pointer not currently protected by any thread.
+// It is called automatically by Retire; exposing it lets tests and shutdown
+// paths drain deterministically.
+func (r *Record) Scan() {
+	if len(r.retired) == 0 {
+		return
+	}
+	protected := make(map[unsafe.Pointer]struct{}, len(r.d.slots))
+	for i := range r.d.slots {
+		if p := atomic.LoadPointer(&r.d.slots[i].V); p != nil {
+			protected[p] = struct{}{}
+		}
+	}
+	kept := r.retired[:0]
+	for _, rp := range r.retired {
+		if _, busy := protected[rp.p]; busy {
+			kept = append(kept, rp)
+		} else if rp.free != nil {
+			rp.free(rp.p)
+		}
+	}
+	// Zero the tail so freed entries don't pin their targets.
+	for i := len(kept); i < len(r.retired); i++ {
+		r.retired[i] = retiredPtr{}
+	}
+	r.retired = kept
+}
+
+// Retired reports how many pointers the record currently holds retired but
+// not yet freed.
+func (r *Record) Retired() int { return len(r.retired) }

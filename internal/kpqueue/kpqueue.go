@@ -1,0 +1,247 @@
+// Package kpqueue implements the wait-free queue of Kogan and Petrank
+// ("Wait-Free Queues With Multiple Enqueuers and Dequeuers", PPoPP 2011) —
+// the first practical wait-free queue and the paper's representative of
+// prior wait-free designs. It is an MS-Queue wrapped in a priority-based
+// helping scheme: every operation takes a phase number greater than any it
+// observes, publishes an operation descriptor, and then helps every pending
+// operation with a phase no larger than its own before (and while)
+// completing its own. The scheme gives wait-freedom but makes every
+// operation scan all thread states, which is why its throughput in the
+// paper's §2 discussion is at best that of MS-Queue — the motivation for
+// the fast-path-slow-path design of the paper's own queue.
+//
+// Descriptors are immutable and replaced by CAS, as in the original Java;
+// Go's garbage collector plays the role Java's collector does there.
+package kpqueue
+
+import (
+	"errors"
+	"sync/atomic"
+	"unsafe"
+
+	"wfqueue/internal/pad"
+)
+
+type node struct {
+	value  unsafe.Pointer
+	next   unsafe.Pointer // *node
+	enqTid int32
+	deqTid int32 // -1 until a dequeuer claims the node
+}
+
+// opDesc is an immutable operation descriptor.
+type opDesc struct {
+	phase   int64
+	pending bool
+	enqueue bool
+	node    *node
+}
+
+// Queue is a Kogan-Petrank wait-free FIFO queue for up to a fixed number of
+// threads.
+type Queue struct {
+	_    pad.CacheLinePad
+	head unsafe.Pointer // *node
+	_    pad.CacheLinePad
+	tail unsafe.Pointer // *node
+	_    pad.CacheLinePad
+
+	state   []pad.Pointer // per-thread *opDesc
+	nextTid int32
+}
+
+// Handle is a thread's registration (its slot in the state array).
+type Handle struct {
+	q   *Queue
+	tid int32
+}
+
+// ErrTooManyHandles is returned once every thread slot is taken.
+var ErrTooManyHandles = errors.New("kpqueue: all handles registered")
+
+// New creates a queue for at most maxThreads registered threads.
+func New(maxThreads int) *Queue {
+	if maxThreads < 1 {
+		maxThreads = 1
+	}
+	q := &Queue{state: make([]pad.Pointer, maxThreads)}
+	sentinel := &node{enqTid: -1, deqTid: -1}
+	atomic.StorePointer(&q.head, unsafe.Pointer(sentinel))
+	atomic.StorePointer(&q.tail, unsafe.Pointer(sentinel))
+	for i := range q.state {
+		atomic.StorePointer(&q.state[i].V,
+			unsafe.Pointer(&opDesc{phase: -1, pending: false, enqueue: true}))
+	}
+	return q
+}
+
+// Register checks out a thread slot.
+func (q *Queue) Register() (*Handle, error) {
+	tid := atomic.AddInt32(&q.nextTid, 1) - 1
+	if int(tid) >= len(q.state) {
+		return nil, ErrTooManyHandles
+	}
+	return &Handle{q: q, tid: tid}, nil
+}
+
+func (q *Queue) loadState(i int) *opDesc {
+	return (*opDesc)(atomic.LoadPointer(&q.state[i].V))
+}
+
+func (q *Queue) casState(i int, old, new *opDesc) bool {
+	return atomic.CompareAndSwapPointer(&q.state[i].V,
+		unsafe.Pointer(old), unsafe.Pointer(new))
+}
+
+// maxPhase returns the largest phase announced by any thread.
+func (q *Queue) maxPhase() int64 {
+	max := int64(-1)
+	for i := range q.state {
+		if p := q.loadState(i).phase; p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+func (q *Queue) isStillPending(tid int32, phase int64) bool {
+	d := q.loadState(int(tid))
+	return d.pending && d.phase <= phase
+}
+
+// help performs every pending operation with phase ≤ phase, in thread-id
+// order — the core of the priority-based helping scheme.
+func (q *Queue) help(phase int64) {
+	for i := range q.state {
+		d := q.loadState(i)
+		if d.pending && d.phase <= phase {
+			if d.enqueue {
+				q.helpEnq(int32(i), phase)
+			} else {
+				q.helpDeq(int32(i), phase)
+			}
+		}
+	}
+}
+
+// Enqueue appends v (non-nil) to the queue. Wait-free.
+func (q *Queue) Enqueue(h *Handle, v unsafe.Pointer) {
+	if v == nil {
+		panic("kpqueue: Enqueue(nil)")
+	}
+	phase := q.maxPhase() + 1
+	n := &node{value: v, enqTid: h.tid, deqTid: -1}
+	atomic.StorePointer(&q.state[h.tid].V,
+		unsafe.Pointer(&opDesc{phase: phase, pending: true, enqueue: true, node: n}))
+	q.help(phase)
+	q.helpFinishEnq()
+}
+
+func (q *Queue) helpEnq(tid int32, phase int64) {
+	for q.isStillPending(tid, phase) {
+		last := (*node)(atomic.LoadPointer(&q.tail))
+		next := (*node)(atomic.LoadPointer(&last.next))
+		if last != (*node)(atomic.LoadPointer(&q.tail)) {
+			continue
+		}
+		if next == nil {
+			if q.isStillPending(tid, phase) {
+				d := q.loadState(int(tid))
+				if atomic.CompareAndSwapPointer(&last.next, nil, unsafe.Pointer(d.node)) {
+					q.helpFinishEnq()
+					return
+				}
+			}
+		} else {
+			q.helpFinishEnq() // tail is lagging; complete the in-flight enqueue
+		}
+	}
+}
+
+func (q *Queue) helpFinishEnq() {
+	last := (*node)(atomic.LoadPointer(&q.tail))
+	next := (*node)(atomic.LoadPointer(&last.next))
+	if next == nil {
+		return
+	}
+	tid := next.enqTid
+	if tid >= 0 {
+		cur := q.loadState(int(tid))
+		if last == (*node)(atomic.LoadPointer(&q.tail)) && cur.node == next {
+			q.casState(int(tid), cur,
+				&opDesc{phase: cur.phase, pending: false, enqueue: true, node: next})
+		}
+	}
+	atomic.CompareAndSwapPointer(&q.tail, unsafe.Pointer(last), unsafe.Pointer(next))
+}
+
+// Dequeue removes and returns the oldest value, or ok=false when the queue
+// was empty. Wait-free.
+func (q *Queue) Dequeue(h *Handle) (v unsafe.Pointer, ok bool) {
+	phase := q.maxPhase() + 1
+	atomic.StorePointer(&q.state[h.tid].V,
+		unsafe.Pointer(&opDesc{phase: phase, pending: true, enqueue: false}))
+	q.help(phase)
+	q.helpFinishDeq()
+	d := q.loadState(int(h.tid))
+	if d.node == nil {
+		return nil, false
+	}
+	// d.node is the sentinel that preceded the dequeued node; the value
+	// travels in its successor, exactly as in the original.
+	next := (*node)(atomic.LoadPointer(&d.node.next))
+	return next.value, true
+}
+
+func (q *Queue) helpDeq(tid int32, phase int64) {
+	for q.isStillPending(tid, phase) {
+		first := (*node)(atomic.LoadPointer(&q.head))
+		last := (*node)(atomic.LoadPointer(&q.tail))
+		next := (*node)(atomic.LoadPointer(&first.next))
+		if first != (*node)(atomic.LoadPointer(&q.head)) {
+			continue
+		}
+		if first == last {
+			if next == nil {
+				// Queue empty: record the empty result.
+				cur := q.loadState(int(tid))
+				if last == (*node)(atomic.LoadPointer(&q.tail)) &&
+					q.isStillPending(tid, phase) {
+					q.casState(int(tid), cur,
+						&opDesc{phase: cur.phase, pending: false, enqueue: false})
+				}
+			} else {
+				q.helpFinishEnq() // tail lagging behind an in-flight enqueue
+			}
+			continue
+		}
+		cur := q.loadState(int(tid))
+		if !q.isStillPending(tid, phase) {
+			break
+		}
+		if cur.node != first {
+			// Announce first as this dequeue's candidate node.
+			nd := &opDesc{phase: cur.phase, pending: true, enqueue: false, node: first}
+			if !q.casState(int(tid), cur, nd) {
+				continue
+			}
+		}
+		atomic.CompareAndSwapInt32(&first.deqTid, -1, tid)
+		q.helpFinishDeq()
+	}
+}
+
+func (q *Queue) helpFinishDeq() {
+	first := (*node)(atomic.LoadPointer(&q.head))
+	next := (*node)(atomic.LoadPointer(&first.next))
+	tid := atomic.LoadInt32(&first.deqTid)
+	if tid < 0 {
+		return
+	}
+	cur := q.loadState(int(tid))
+	if first == (*node)(atomic.LoadPointer(&q.head)) && next != nil {
+		q.casState(int(tid), cur,
+			&opDesc{phase: cur.phase, pending: false, enqueue: false, node: cur.node})
+		atomic.CompareAndSwapPointer(&q.head, unsafe.Pointer(first), unsafe.Pointer(next))
+	}
+}

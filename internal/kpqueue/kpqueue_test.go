@@ -1,0 +1,75 @@
+package kpqueue
+
+import (
+	"testing"
+	"unsafe"
+
+	"wfqueue/internal/qtest"
+)
+
+func maker(t testing.TB, nworkers int) func() qtest.Ops {
+	q := New(nworkers)
+	return func() qtest.Ops {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return qtest.Ops{
+			Enq: func(v int64) {
+				p := new(int64)
+				*p = v
+				q.Enqueue(h, unsafe.Pointer(p))
+			},
+			Deq: func() (int64, bool) {
+				p, ok := q.Dequeue(h)
+				if !ok {
+					return 0, false
+				}
+				return *(*int64)(p), true
+			},
+		}
+	}
+}
+
+func TestConformance(t *testing.T) { qtest.Battery(t, maker) }
+
+func TestRegisterLimit(t *testing.T) {
+	q := New(2)
+	if _, err := q.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Register(); err == nil {
+		t.Fatal("third Register should fail")
+	}
+}
+
+func TestEnqueueNilPanics(t *testing.T) {
+	q := New(1)
+	h, _ := q.Register()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Enqueue(nil) should panic")
+		}
+	}()
+	q.Enqueue(h, nil)
+}
+
+// Phases must increase monotonically across operations, the property the
+// helping priority relies on.
+func TestPhasesIncrease(t *testing.T) {
+	q := New(2)
+	h, _ := q.Register()
+	prev := int64(-1)
+	for i := 0; i < 50; i++ {
+		p := new(int64)
+		q.Enqueue(h, unsafe.Pointer(p))
+		cur := q.loadState(int(h.tid)).phase
+		if cur <= prev {
+			t.Fatalf("phase did not increase: %d after %d", cur, prev)
+		}
+		prev = cur
+	}
+}

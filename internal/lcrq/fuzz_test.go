@@ -1,0 +1,61 @@
+package lcrq
+
+import "testing"
+
+// FuzzAgainstModel drives arbitrary single-threaded op sequences against a
+// slice model, varying ring size and reclamation mode with the first two
+// fuzz bytes. `go test` runs the seed corpus; -fuzz explores further.
+func FuzzAgainstModel(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 0, 1, 1})
+	f.Add([]byte{1, 1, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1})
+	f.Add([]byte{2, 0, 1, 1, 1, 1, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		shift := uint(data[0]%4 + 1) // rings of 2..16 cells force chaining
+		gc := data[1]%2 == 0
+		ops := data[2:]
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+
+		var q *Queue
+		if gc {
+			q = NewGC(shift)
+		} else {
+			q = New(1, shift)
+		}
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var model []uint64
+		next := uint64(1)
+		for k, op := range ops {
+			if op%2 == 0 {
+				q.Enqueue(h, next)
+				model = append(model, next)
+				next++
+			} else {
+				v, ok := q.Dequeue(h)
+				if len(model) == 0 {
+					if ok {
+						t.Fatalf("op %d: value %d from empty queue", k, v)
+					}
+				} else {
+					if !ok || v != model[0] {
+						t.Fatalf("op %d: got (%d,%v), want %d", k, v, ok, model[0])
+					}
+					model = model[1:]
+				}
+			}
+		}
+		for j, want := range model {
+			v, ok := q.Dequeue(h)
+			if !ok || v != want {
+				t.Fatalf("drain %d: got (%d,%v), want %d", j, v, ok, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package lcrq
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"wfqueue/internal/qtest"
+)
+
+func maker(gc bool, shift uint) qtest.Maker {
+	return func(t testing.TB, nworkers int) func() qtest.Ops {
+		var q *Queue
+		if gc {
+			q = NewGC(shift)
+		} else {
+			q = New(nworkers, shift)
+		}
+		return func() qtest.Ops {
+			h, err := q.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return qtest.Ops{
+				Enq: func(v int64) { q.Enqueue(h, uint64(v)) },
+				Deq: func() (int64, bool) {
+					v, ok := q.Dequeue(h)
+					return int64(v), ok
+				},
+			}
+		}
+	}
+}
+
+func TestConformanceHazard(t *testing.T)    { qtest.Battery(t, maker(false, 0)) }
+func TestConformanceGC(t *testing.T)        { qtest.Battery(t, maker(true, 0)) }
+func TestConformanceTinyRings(t *testing.T) { qtest.Battery(t, maker(false, 2)) }
+
+func TestCellPackingRoundTrip(t *testing.T) {
+	f := func(roundRaw uint32, valRaw uint64, safe, occupied bool) bool {
+		round := int64(roundRaw) & int64(cellRoundMask)
+		val := valRaw & cellValMask
+		w := packCell(safe, occupied, round, val)
+		return cellSafe(w) == safe && cellOccupied(w) == occupied &&
+			cellRound(w) == round && cellVal(w) == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueRangePanics(t *testing.T) {
+	q := NewGC(0)
+	h, _ := q.Register()
+	q.Enqueue(h, MaxValue) // largest legal value
+	if v, ok := q.Dequeue(h); !ok || v != MaxValue {
+		t.Fatalf("MaxValue round-trip failed: (%d,%v)", v, ok)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Enqueue above MaxValue should panic")
+		}
+	}()
+	q.Enqueue(h, MaxValue+1)
+}
+
+// Force CRQ closing: a ring of 4 cells with more than 4 outstanding values
+// must chain multiple CRQs and still preserve FIFO order.
+func TestCRQChaining(t *testing.T) {
+	q := New(1, 2)
+	h, _ := q.Register()
+	const n = 1000
+	for i := uint64(0); i < n; i++ {
+		q.Enqueue(h, i+1)
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := q.Dequeue(h)
+		if !ok || v != i+1 {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestCRQClose(t *testing.T) {
+	c := newCRQ(2)
+	for i := uint64(0); i < 4; i++ {
+		if !c.enqueue(i) {
+			t.Fatalf("enqueue %d into empty ring failed", i)
+		}
+	}
+	// Ring full: the next enqueue must close the CRQ.
+	if c.enqueue(99) {
+		t.Fatal("enqueue into full ring should fail")
+	}
+	if c.tail&tailClosedBit == 0 {
+		t.Fatal("CRQ should be closed")
+	}
+	// Draining a closed CRQ still yields all values in order.
+	for i := uint64(0); i < 4; i++ {
+		v, ok := c.dequeue()
+		if !ok || v != i {
+			t.Fatalf("drain %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := c.dequeue(); ok {
+		t.Fatal("closed drained CRQ should be empty")
+	}
+}
+
+func TestFixStateAfterEmptyPolls(t *testing.T) {
+	c := newCRQ(2)
+	for i := 0; i < 50; i++ {
+		if _, ok := c.dequeue(); ok {
+			t.Fatal("empty ring returned a value")
+		}
+	}
+	// After fixState, enqueues must still work.
+	if !c.enqueue(7) {
+		t.Fatal("enqueue after empty polls failed")
+	}
+	if v, ok := c.dequeue(); !ok || v != 7 {
+		t.Fatalf("got (%d,%v), want (7,true)", v, ok)
+	}
+}
+
+func TestRegisterLimit(t *testing.T) {
+	q := New(1, 0)
+	if _, err := q.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Register(); err == nil {
+		t.Fatal("second Register should fail with maxThreads=1")
+	}
+}
+
+// CRQ recycling through the hazard pool must not corrupt values.
+func TestCRQRecycling(t *testing.T) {
+	q := New(2, 2) // tiny rings force constant CRQ turnover
+	var wg sync.WaitGroup
+	h1, _ := q.Register()
+	h2, _ := q.Register()
+	const n = 20000
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); i <= n; i++ {
+			q.Enqueue(h1, i)
+		}
+	}()
+	var got uint64
+	last := uint64(0)
+	for got < n {
+		v, ok := q.Dequeue(h2)
+		if !ok {
+			continue
+		}
+		if v <= last {
+			t.Fatalf("order violation: %d after %d", v, last)
+		}
+		last = v
+		got++
+	}
+	wg.Wait()
+	if _, ok := q.Dequeue(h2); ok {
+		t.Fatal("queue should be empty")
+	}
+}

@@ -1,0 +1,123 @@
+package lcrq
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// An unsafe cell must not accept an enqueue whose round the dequeuers have
+// already passed (head > t); the enqueuer skips to the next index.
+func TestEnqueueSkipsUnsafeCell(t *testing.T) {
+	c := newCRQ(2)
+	// Cell 0 marked unsafe; dequeuers are far ahead.
+	c.ring[0] = packCell(false, false, 0, 0)
+	atomic.StoreInt64(&c.head, 100)
+
+	if !c.enqueue(7) {
+		t.Fatal("enqueue should succeed in a later cell")
+	}
+	if cellOccupied(atomic.LoadUint64(&c.ring[0])) {
+		t.Fatal("unsafe cell 0 must not have been used")
+	}
+	// The deposit landed in cell 1 (t=1), round 0.
+	w := atomic.LoadUint64(&c.ring[1])
+	if !cellOccupied(w) || cellVal(w) != 7 {
+		t.Fatalf("cell 1 = %x, want occupied value 7", w)
+	}
+}
+
+// Enqueueing into an unsafe cell IS allowed when the dequeuer for that
+// round has not passed yet (head <= t), and doing so re-safes the cell.
+func TestEnqueueResafesCellWhenHeadBehind(t *testing.T) {
+	c := newCRQ(2)
+	c.ring[0] = packCell(false, false, 0, 0) // unsafe, empty, round 0
+	// head = 0 <= t = 0: usable.
+	if !c.enqueue(9) {
+		t.Fatal("enqueue failed")
+	}
+	w := atomic.LoadUint64(&c.ring[0])
+	if !cellSafe(w) || !cellOccupied(w) || cellVal(w) != 9 {
+		t.Fatalf("cell 0 = %x, want safe occupied 9", w)
+	}
+	if v, ok := c.dequeue(); !ok || v != 9 {
+		t.Fatalf("dequeue got (%d,%v)", v, ok)
+	}
+}
+
+// Empty dequeues advance cell rounds so a later-round enqueue/dequeue pair
+// still matches up.
+func TestEmptyDequeueAdvancesRounds(t *testing.T) {
+	c := newCRQ(2)
+	for i := 0; i < 4; i++ {
+		if _, ok := c.dequeue(); ok {
+			t.Fatal("empty ring returned a value")
+		}
+	}
+	// All four cells should now be at round >= 1 (advanced by the passes);
+	// fixState has pulled tail up to head, so the next enqueue uses t=4.
+	for j, w := range c.ring {
+		if cellRound(atomic.LoadUint64(&w)) < 1 {
+			t.Fatalf("cell %d round = %d, want >= 1", j, cellRound(w))
+		}
+	}
+	if !c.enqueue(3) {
+		t.Fatal("enqueue after empty polls failed")
+	}
+	if v, ok := c.dequeue(); !ok || v != 3 {
+		t.Fatalf("got (%d,%v), want 3", v, ok)
+	}
+}
+
+// A closed CRQ stays closed through fixState.
+func TestFixStatePreservesClosedBit(t *testing.T) {
+	c := newCRQ(2)
+	c.close()
+	// Force head past tail and repair.
+	atomic.StoreInt64(&c.head, 10)
+	c.fixState()
+	tt := atomic.LoadUint64(&c.tail)
+	if tt&tailClosedBit == 0 {
+		t.Fatal("fixState dropped the closed bit")
+	}
+	if int64(tt&^tailClosedBit) != 10 {
+		t.Fatalf("tail index = %d, want 10", int64(tt&^tailClosedBit))
+	}
+	if c.enqueue(1) {
+		t.Fatal("closed CRQ accepted an enqueue")
+	}
+}
+
+// The LCRQ list head must advance past a drained closed CRQ exactly once,
+// and a value enqueued between the drain and the close must not be lost
+// (the "second dequeue" in Queue.Dequeue).
+func TestDrainedClosedCRQAdvances(t *testing.T) {
+	q := NewGC(2) // 4-cell rings
+	h, _ := q.Register()
+	// Fill and overflow the first CRQ so a second is appended.
+	for i := uint64(1); i <= 10; i++ {
+		q.Enqueue(h, i)
+	}
+	first := atomic.LoadPointer(&q.head)
+	for i := uint64(1); i <= 10; i++ {
+		v, ok := q.Dequeue(h)
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if atomic.LoadPointer(&q.head) == first {
+		t.Fatal("head CRQ was not retired after draining")
+	}
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	c := newCRQ(2)
+	c.close()
+	tt := atomic.LoadUint64(&c.tail)
+	c.close()
+	if atomic.LoadUint64(&c.tail) != tt {
+		t.Fatal("second close changed tail")
+	}
+}

@@ -1,0 +1,223 @@
+// Package lincheck decides whether a concurrent history of FIFO queue
+// operations is linearizable (Herlihy & Wing 1990), the correctness
+// condition the paper proves for its queue (§4). The checker is a
+// Wing–Gong style search: it tries to pick, among the not-yet-linearized
+// operations, one whose invocation precedes every outstanding response and
+// whose effect is legal for the current abstract queue state, backtracking
+// on failure. Visited (chosen-set, queue-state) pairs are memoized (Lowe's
+// optimization), which keeps the brutal-but-small histories used in tests
+// tractable.
+//
+// The checker is exact: it accepts a history if and only if some
+// linearization into a sequential FIFO history exists.
+package lincheck
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Kind distinguishes operation types.
+type Kind int
+
+const (
+	// Enq is an enqueue of Op.Value.
+	Enq Kind = iota
+	// Deq is a dequeue; Op.OK reports whether it returned a value
+	// (Op.Value) or EMPTY.
+	Deq
+)
+
+// Op is one completed operation with its real-time interval.
+type Op struct {
+	Kind   Kind
+	Value  uint64
+	OK     bool  // Deq only: false means the operation returned EMPTY
+	Start  int64 // invocation timestamp
+	End    int64 // response timestamp
+	Thread int
+}
+
+func (o Op) String() string {
+	switch {
+	case o.Kind == Enq:
+		return fmt.Sprintf("t%d: Enq(%d) [%d,%d]", o.Thread, o.Value, o.Start, o.End)
+	case o.OK:
+		return fmt.Sprintf("t%d: Deq()=%d [%d,%d]", o.Thread, o.Value, o.Start, o.End)
+	default:
+		return fmt.Sprintf("t%d: Deq()=EMPTY [%d,%d]", o.Thread, o.Start, o.End)
+	}
+}
+
+// History is a set of completed operations.
+type History []Op
+
+// MaxOps bounds the history size the checker accepts (the chosen-set is a
+// 64-bit mask).
+const MaxOps = 64
+
+// ErrTooLarge is returned for histories beyond MaxOps operations.
+var ErrTooLarge = errors.New("lincheck: history exceeds MaxOps operations")
+
+// Check reports whether the history is linearizable as a FIFO queue.
+func Check(h History) (bool, error) {
+	n := len(h)
+	if n > MaxOps {
+		return false, ErrTooLarge
+	}
+	if n == 0 {
+		return true, nil
+	}
+	// Sort by start time: candidate enumeration visits plausible picks
+	// first, and ordering makes the memo keys denser.
+	ops := make([]Op, n)
+	copy(ops, h)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+
+	c := &checker{ops: ops, visited: make(map[string]struct{})}
+	return c.dfs(0, nil), nil
+}
+
+type checker struct {
+	ops     []Op
+	visited map[string]struct{}
+}
+
+// key encodes (mask, queue content) compactly.
+func key(mask uint64, queue []uint64) string {
+	b := make([]byte, 8, 8+8*len(queue))
+	for i := 0; i < 8; i++ {
+		b[i] = byte(mask >> (8 * i))
+	}
+	for _, v := range queue {
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(v>>(8*i)))
+		}
+	}
+	return string(b)
+}
+
+func (c *checker) dfs(mask uint64, queue []uint64) bool {
+	n := len(c.ops)
+	if mask == 1<<uint(n)-1 {
+		return true
+	}
+	k := key(mask, queue)
+	if _, seen := c.visited[k]; seen {
+		return false
+	}
+	c.visited[k] = struct{}{}
+
+	// minEnd over unlinearized ops: an op may only linearize next if its
+	// invocation precedes every unlinearized response (otherwise some
+	// other operation completed strictly before it began and must come
+	// first).
+	minEnd := int64(1<<63 - 1)
+	for i := 0; i < n; i++ {
+		if mask&(1<<uint(i)) == 0 && c.ops[i].End < minEnd {
+			minEnd = c.ops[i].End
+		}
+	}
+	for i := 0; i < n; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			continue
+		}
+		op := c.ops[i]
+		if op.Start > minEnd {
+			// ops are start-sorted: no later op can qualify either.
+			break
+		}
+		next, legal := apply(op, queue)
+		if !legal {
+			continue
+		}
+		if c.dfs(mask|1<<uint(i), next) {
+			return true
+		}
+	}
+	return false
+}
+
+// apply returns the queue state after op, and whether op is legal in the
+// given state.
+func apply(op Op, queue []uint64) ([]uint64, bool) {
+	switch {
+	case op.Kind == Enq:
+		next := make([]uint64, len(queue)+1)
+		copy(next, queue)
+		next[len(queue)] = op.Value
+		return next, true
+	case !op.OK: // Deq -> EMPTY
+		if len(queue) != 0 {
+			return nil, false
+		}
+		return queue, true
+	default: // Deq -> value
+		if len(queue) == 0 || queue[0] != op.Value {
+			return nil, false
+		}
+		next := make([]uint64, len(queue)-1)
+		copy(next, queue[1:])
+		return next, true
+	}
+}
+
+// --- history recording ---------------------------------------------------
+
+// Collector gathers per-thread operation logs with a shared monotonic
+// clock.
+type Collector struct {
+	base    time.Time
+	threads []*ThreadLog
+}
+
+// NewCollector creates a collector for n threads.
+func NewCollector(n int) *Collector {
+	c := &Collector{base: time.Now()}
+	c.threads = make([]*ThreadLog, n)
+	for i := range c.threads {
+		c.threads[i] = &ThreadLog{c: c, thread: i}
+	}
+	return c
+}
+
+// Now returns nanoseconds since the collector's base time.
+func (c *Collector) Now() int64 { return int64(time.Since(c.base)) }
+
+// Thread returns thread i's log. Each log may be used by one goroutine.
+func (c *Collector) Thread(i int) *ThreadLog { return c.threads[i] }
+
+// History merges all thread logs.
+func (c *Collector) History() History {
+	var h History
+	for _, t := range c.threads {
+		h = append(h, t.ops...)
+	}
+	return h
+}
+
+// ThreadLog records one thread's operations.
+type ThreadLog struct {
+	c      *Collector
+	thread int
+	ops    []Op
+}
+
+// Enq runs the enqueue closure and records it.
+func (t *ThreadLog) Enq(v uint64, run func()) {
+	start := t.c.Now()
+	run()
+	end := t.c.Now()
+	t.ops = append(t.ops, Op{Kind: Enq, Value: v, OK: true, Start: start, End: end, Thread: t.thread})
+}
+
+// Deq runs the dequeue closure and records its result.
+func (t *ThreadLog) Deq(run func() (uint64, bool)) (uint64, bool) {
+	start := t.c.Now()
+	v, ok := run()
+	end := t.c.Now()
+	t.ops = append(t.ops, Op{Kind: Deq, Value: v, OK: ok, Start: start, End: end, Thread: t.thread})
+	return v, ok
+}

@@ -1,0 +1,192 @@
+package lincheck
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func mustCheck(t *testing.T, h History) bool {
+	t.Helper()
+	ok, err := Check(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ok
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if !mustCheck(t, nil) {
+		t.Error("empty history must be linearizable")
+	}
+}
+
+func TestSequentialValid(t *testing.T) {
+	h := History{
+		{Kind: Enq, Value: 1, Start: 0, End: 1},
+		{Kind: Enq, Value: 2, Start: 2, End: 3},
+		{Kind: Deq, Value: 1, OK: true, Start: 4, End: 5},
+		{Kind: Deq, Value: 2, OK: true, Start: 6, End: 7},
+		{Kind: Deq, OK: false, Start: 8, End: 9},
+	}
+	if !mustCheck(t, h) {
+		t.Error("valid sequential history rejected")
+	}
+}
+
+func TestSequentialFIFOViolation(t *testing.T) {
+	h := History{
+		{Kind: Enq, Value: 1, Start: 0, End: 1},
+		{Kind: Enq, Value: 2, Start: 2, End: 3},
+		{Kind: Deq, Value: 2, OK: true, Start: 4, End: 5}, // LIFO!
+		{Kind: Deq, Value: 1, OK: true, Start: 6, End: 7},
+	}
+	if mustCheck(t, h) {
+		t.Error("LIFO history accepted")
+	}
+}
+
+func TestConcurrentEnqueuesReorderable(t *testing.T) {
+	h := History{
+		{Kind: Enq, Value: 1, Start: 0, End: 10, Thread: 0},
+		{Kind: Enq, Value: 2, Start: 5, End: 15, Thread: 1},
+		{Kind: Deq, Value: 2, OK: true, Start: 20, End: 25},
+		{Kind: Deq, Value: 1, OK: true, Start: 30, End: 35},
+	}
+	if !mustCheck(t, h) {
+		t.Error("overlapping enqueues must be reorderable")
+	}
+}
+
+func TestNonOverlappingEnqueuesOrdered(t *testing.T) {
+	h := History{
+		{Kind: Enq, Value: 1, Start: 0, End: 5},
+		{Kind: Enq, Value: 2, Start: 10, End: 15},
+		{Kind: Deq, Value: 2, OK: true, Start: 20, End: 25},
+		{Kind: Deq, Value: 1, OK: true, Start: 30, End: 35},
+	}
+	if mustCheck(t, h) {
+		t.Error("real-time enqueue order violated but history accepted")
+	}
+}
+
+func TestFalseEmpty(t *testing.T) {
+	h := History{
+		{Kind: Enq, Value: 1, Start: 0, End: 5},
+		{Kind: Deq, OK: false, Start: 10, End: 15}, // after the enqueue completed
+	}
+	if mustCheck(t, h) {
+		t.Error("EMPTY after completed enqueue with no dequeue accepted")
+	}
+}
+
+func TestEmptyOverlappingEnqueueOK(t *testing.T) {
+	h := History{
+		{Kind: Enq, Value: 1, Start: 0, End: 20, Thread: 0},
+		{Kind: Deq, OK: false, Start: 5, End: 10, Thread: 1}, // may linearize before the enqueue
+		{Kind: Deq, Value: 1, OK: true, Start: 30, End: 35, Thread: 1},
+	}
+	if !mustCheck(t, h) {
+		t.Error("EMPTY concurrent with enqueue must be acceptable")
+	}
+}
+
+func TestDuplicateDequeue(t *testing.T) {
+	h := History{
+		{Kind: Enq, Value: 1, Start: 0, End: 1},
+		{Kind: Deq, Value: 1, OK: true, Start: 2, End: 3},
+		{Kind: Deq, Value: 1, OK: true, Start: 4, End: 5},
+	}
+	if mustCheck(t, h) {
+		t.Error("duplicated dequeue accepted")
+	}
+}
+
+func TestDequeueOfNeverEnqueued(t *testing.T) {
+	h := History{
+		{Kind: Enq, Value: 1, Start: 0, End: 1},
+		{Kind: Deq, Value: 7, OK: true, Start: 2, End: 3},
+	}
+	if mustCheck(t, h) {
+		t.Error("dequeue of a value never enqueued accepted")
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	h := make(History, MaxOps+1)
+	for i := range h {
+		h[i] = Op{Kind: Enq, Value: uint64(i), Start: int64(2 * i), End: int64(2*i + 1)}
+	}
+	if _, err := Check(h); err != ErrTooLarge {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+// Randomized soundness: build a random legal sequential execution, then
+// expand each linearization point into a random enclosing interval (which
+// only adds concurrency). The result must always be accepted.
+func TestRandomSmearedHistoriesAccepted(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		nops := 4 + rng.Intn(14)
+		var queue []uint64
+		next := uint64(1)
+		h := make(History, 0, nops)
+		for i := 0; i < nops; i++ {
+			lin := int64(i * 100)
+			start := lin - int64(rng.Intn(99))
+			end := lin + int64(rng.Intn(99))
+			switch {
+			case len(queue) == 0 && rng.Intn(3) == 0:
+				h = append(h, Op{Kind: Deq, OK: false, Start: start, End: end})
+			case len(queue) > 0 && rng.Intn(2) == 0:
+				h = append(h, Op{Kind: Deq, Value: queue[0], OK: true, Start: start, End: end})
+				queue = queue[1:]
+			default:
+				h = append(h, Op{Kind: Enq, Value: next, Start: start, End: end})
+				queue = append(queue, next)
+				next++
+			}
+		}
+		if !mustCheck(t, h) {
+			t.Fatalf("trial %d: smeared legal history rejected: %v", trial, h)
+		}
+	}
+}
+
+func TestCollectorRecordsIntervals(t *testing.T) {
+	c := NewCollector(2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			log := c.Thread(i)
+			log.Enq(uint64(i), func() {})
+			log.Deq(func() (uint64, bool) { return uint64(i), true })
+		}(i)
+	}
+	wg.Wait()
+	h := c.History()
+	if len(h) != 4 {
+		t.Fatalf("history has %d ops, want 4", len(h))
+	}
+	for _, op := range h {
+		if op.End < op.Start {
+			t.Errorf("op %v has End < Start", op)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	ops := History{
+		{Kind: Enq, Value: 3, Thread: 1},
+		{Kind: Deq, Value: 3, OK: true},
+		{Kind: Deq, OK: false},
+	}
+	for _, op := range ops {
+		if op.String() == "" {
+			t.Error("empty Op string")
+		}
+	}
+}

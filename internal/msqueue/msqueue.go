@@ -1,0 +1,190 @@
+// Package msqueue implements Michael and Scott's classic lock-free FIFO
+// queue (PODC 1996), the paper's representative of CAS-based non-blocking
+// queues. Its head and tail pointers are updated with CAS in retry loops,
+// so under heavy contention most CASes fail — the "CAS retry problem"
+// (Morrison & Afek) that the paper's FAA-based design avoids, and the
+// reason MS-Queue's throughput collapses in Figure 2.
+//
+// Following the paper's evaluation (§5.1), which added hazard pointers to
+// MS-Queue to make memory reclamation an integral part of the algorithm,
+// the default configuration recycles dequeued nodes through per-thread free
+// lists guarded by hazard pointers. A GC-only mode (no hazard publication,
+// nodes dropped to the Go collector) is available as an ablation.
+package msqueue
+
+import (
+	"errors"
+	"sync/atomic"
+	"unsafe"
+
+	"wfqueue/internal/hazard"
+	"wfqueue/internal/pad"
+)
+
+type node struct {
+	val  unsafe.Pointer
+	next unsafe.Pointer // *node
+}
+
+// Queue is a Michael-Scott lock-free FIFO queue. Use New or NewGC; operate
+// through per-thread Handles.
+type Queue struct {
+	_    pad.CacheLinePad
+	head unsafe.Pointer // *node
+	_    pad.CacheLinePad
+	tail unsafe.Pointer // *node
+	_    pad.CacheLinePad
+
+	dom *hazard.Domain // nil in GC mode
+}
+
+// Handle is a thread's registration: its hazard record and node free list.
+// A Handle may be used by only one goroutine at a time.
+type Handle struct {
+	q    *Queue
+	rec  *hazard.Record // nil in GC mode
+	pool []*node
+	_    pad.CacheLinePad
+}
+
+// Hazard slot roles.
+const (
+	hpHead = 0
+	hpNext = 1
+	hpTail = 2
+	nSlots = 3
+)
+
+// New creates a queue whose nodes are reclaimed with hazard pointers and
+// recycled through per-thread free lists, as in the paper's evaluation.
+// maxThreads bounds concurrent Register calls.
+func New(maxThreads int) *Queue {
+	q := &Queue{dom: hazard.NewDomain(maxThreads, nSlots)}
+	dummy := unsafe.Pointer(&node{})
+	atomic.StorePointer(&q.head, dummy)
+	atomic.StorePointer(&q.tail, dummy)
+	return q
+}
+
+// NewGC creates a queue that leaves reclamation entirely to the Go garbage
+// collector: no hazard publications, no node reuse.
+func NewGC() *Queue {
+	q := &Queue{}
+	dummy := unsafe.Pointer(&node{})
+	atomic.StorePointer(&q.head, dummy)
+	atomic.StorePointer(&q.tail, dummy)
+	return q
+}
+
+// ErrTooManyHandles mirrors hazard.ErrTooManyThreads for this package.
+var ErrTooManyHandles = errors.New("msqueue: all handles registered")
+
+// Register checks out a per-thread handle.
+func (q *Queue) Register() (*Handle, error) {
+	h := &Handle{q: q}
+	if q.dom != nil {
+		rec, err := q.dom.Register()
+		if err != nil {
+			return nil, ErrTooManyHandles
+		}
+		h.rec = rec
+	}
+	return h, nil
+}
+
+func (h *Handle) allocNode(v unsafe.Pointer) *node {
+	if n := len(h.pool); n > 0 {
+		nd := h.pool[n-1]
+		h.pool = h.pool[:n-1]
+		nd.val = v
+		nd.next = nil
+		return nd
+	}
+	return &node{val: v}
+}
+
+// Enqueue appends v. v must not be nil (nil signals the dummy node's empty
+// value slot).
+func (q *Queue) Enqueue(h *Handle, v unsafe.Pointer) {
+	if v == nil {
+		panic("msqueue: Enqueue(nil)")
+	}
+	n := unsafe.Pointer(h.allocNode(v))
+	for {
+		var t unsafe.Pointer
+		if h.rec != nil {
+			t = h.rec.Protect(hpTail, &q.tail)
+		} else {
+			t = atomic.LoadPointer(&q.tail)
+		}
+		tn := (*node)(t)
+		next := atomic.LoadPointer(&tn.next)
+		if t != atomic.LoadPointer(&q.tail) {
+			continue
+		}
+		if next == nil {
+			if atomic.CompareAndSwapPointer(&tn.next, nil, n) {
+				atomic.CompareAndSwapPointer(&q.tail, t, n)
+				break
+			}
+		} else {
+			// Help swing the lagging tail forward.
+			atomic.CompareAndSwapPointer(&q.tail, t, next)
+		}
+	}
+	if h.rec != nil {
+		h.rec.Clear(hpTail)
+	}
+}
+
+// Dequeue removes and returns the oldest value, or ok=false if the queue
+// was empty.
+func (q *Queue) Dequeue(h *Handle) (v unsafe.Pointer, ok bool) {
+	for {
+		var hd unsafe.Pointer
+		if h.rec != nil {
+			hd = h.rec.Protect(hpHead, &q.head)
+		} else {
+			hd = atomic.LoadPointer(&q.head)
+		}
+		t := atomic.LoadPointer(&q.tail)
+		hn := (*node)(hd)
+		next := atomic.LoadPointer(&hn.next)
+		if h.rec != nil {
+			// Protect next before dereferencing it; revalidate head so
+			// the protection is known to have been published in time.
+			h.rec.Set(hpNext, next)
+			if hd != atomic.LoadPointer(&q.head) {
+				continue
+			}
+		} else if hd != atomic.LoadPointer(&q.head) {
+			continue
+		}
+		if hd == t {
+			if next == nil {
+				if h.rec != nil {
+					h.rec.Clear(hpHead)
+					h.rec.Clear(hpNext)
+				}
+				return nil, false
+			}
+			// Tail is lagging; help it forward.
+			atomic.CompareAndSwapPointer(&q.tail, t, next)
+			continue
+		}
+		val := atomic.LoadPointer(&(*node)(next).val)
+		if atomic.CompareAndSwapPointer(&q.head, hd, next) {
+			if h.rec != nil {
+				h.rec.Clear(hpHead)
+				h.rec.Clear(hpNext)
+				h.rec.Retire(hd, func(p unsafe.Pointer) {
+					nd := (*node)(p)
+					nd.val = nil
+					nd.next = nil
+					h.pool = append(h.pool, nd)
+				})
+			}
+			return val, true
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package msqueue
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+	"unsafe"
+)
+
+func box(v int64) unsafe.Pointer {
+	p := new(int64)
+	*p = v
+	return unsafe.Pointer(p)
+}
+
+func unbox(p unsafe.Pointer) int64 { return *(*int64)(p) }
+
+func variants(t *testing.T, f func(t *testing.T, mk func(int) *Queue)) {
+	t.Run("hazard", func(t *testing.T) { f(t, New) })
+	t.Run("gc", func(t *testing.T) { f(t, func(int) *Queue { return NewGC() }) })
+}
+
+func TestSequentialFIFO(t *testing.T) {
+	variants(t, func(t *testing.T, mk func(int) *Queue) {
+		q := mk(1)
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 2000
+		for i := int64(0); i < n; i++ {
+			q.Enqueue(h, box(i))
+		}
+		for i := int64(0); i < n; i++ {
+			v, ok := q.Dequeue(h)
+			if !ok || unbox(v) != i {
+				t.Fatalf("dequeue %d: got (%v,%v)", i, v, ok)
+			}
+		}
+		if _, ok := q.Dequeue(h); ok {
+			t.Fatal("drained queue should be empty")
+		}
+	})
+}
+
+func TestEmptyThenReuse(t *testing.T) {
+	variants(t, func(t *testing.T, mk func(int) *Queue) {
+		q := mk(1)
+		h, _ := q.Register()
+		for i := 0; i < 5; i++ {
+			if _, ok := q.Dequeue(h); ok {
+				t.Fatal("empty queue returned value")
+			}
+		}
+		q.Enqueue(h, box(9))
+		if v, ok := q.Dequeue(h); !ok || unbox(v) != 9 {
+			t.Fatal("queue broken after empty dequeues")
+		}
+	})
+}
+
+func TestQuickAgainstModel(t *testing.T) {
+	variants(t, func(t *testing.T, mk func(int) *Queue) {
+		f := func(ops []byte) bool {
+			q := mk(1)
+			h, _ := q.Register()
+			var model []int64
+			next := int64(1)
+			for _, op := range ops {
+				if op%2 == 0 {
+					q.Enqueue(h, box(next))
+					model = append(model, next)
+					next++
+				} else {
+					v, ok := q.Dequeue(h)
+					if len(model) == 0 {
+						if ok {
+							return false
+						}
+					} else {
+						if !ok || unbox(v) != model[0] {
+							return false
+						}
+						model = model[1:]
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestConcurrentMPMC(t *testing.T) {
+	variants(t, func(t *testing.T, mk func(int) *Queue) {
+		const producers, consumers = 4, 4
+		per := 10000
+		if testing.Short() {
+			per = 1000
+		}
+		total := producers * per
+		q := mk(producers + consumers)
+
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			h, err := q.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func(p int, h *Handle) {
+				defer wg.Done()
+				for s := 0; s < per; s++ {
+					q.Enqueue(h, box(int64(p)<<32|int64(s)))
+				}
+			}(p, h)
+		}
+
+		results := make([][]int64, consumers)
+		var remaining sync.WaitGroup
+		var count int64
+		var mu sync.Mutex
+		for c := 0; c < consumers; c++ {
+			h, err := q.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			remaining.Add(1)
+			go func(c int, h *Handle) {
+				defer remaining.Done()
+				var local []int64
+				for {
+					mu.Lock()
+					if count >= int64(total) {
+						mu.Unlock()
+						break
+					}
+					mu.Unlock()
+					v, ok := q.Dequeue(h)
+					if !ok {
+						runtime.Gosched()
+						continue
+					}
+					local = append(local, unbox(v))
+					mu.Lock()
+					count++
+					mu.Unlock()
+				}
+				results[c] = local
+			}(c, h)
+		}
+		wg.Wait()
+		remaining.Wait()
+
+		seen := make(map[int64]bool, total)
+		for c, local := range results {
+			last := map[int64]int64{}
+			for _, v := range local {
+				if seen[v] {
+					t.Fatalf("duplicate value %d", v)
+				}
+				seen[v] = true
+				p, s := v>>32, v&0xffffffff
+				if l, ok := last[p]; ok && s <= l {
+					t.Fatalf("consumer %d: order violation for producer %d", c, p)
+				}
+				last[p] = s
+			}
+		}
+		if len(seen) != total {
+			t.Fatalf("got %d values, want %d", len(seen), total)
+		}
+	})
+}
+
+func TestNodeRecycling(t *testing.T) {
+	q := New(1)
+	h, _ := q.Register()
+	// Cycle enough ops through one thread that retirement scans run and
+	// the pool gets refilled.
+	for i := int64(0); i < 1000; i++ {
+		q.Enqueue(h, box(i))
+		q.Dequeue(h)
+	}
+	h.rec.Scan()
+	if len(h.pool) == 0 {
+		t.Error("expected recycled nodes in the free list")
+	}
+	// Recycled nodes must behave like fresh ones.
+	for i := int64(0); i < 100; i++ {
+		q.Enqueue(h, box(i))
+		if v, ok := q.Dequeue(h); !ok || unbox(v) != i {
+			t.Fatalf("recycled node misbehaved at %d", i)
+		}
+	}
+}
+
+func TestRegisterLimit(t *testing.T) {
+	q := New(1)
+	if _, err := q.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Register(); err == nil {
+		t.Fatal("second Register should fail with maxThreads=1")
+	}
+	// GC mode has no registration limit.
+	qgc := NewGC()
+	for i := 0; i < 5; i++ {
+		if _, err := qgc.Register(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEnqueueNilPanics(t *testing.T) {
+	q := NewGC()
+	h, _ := q.Register()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Enqueue(nil) should panic")
+		}
+	}()
+	q.Enqueue(h, nil)
+}

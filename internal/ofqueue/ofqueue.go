@@ -1,0 +1,125 @@
+// Package ofqueue implements the paper's Listing 1: the simple
+// obstruction-free FIFO queue over an infinite array that is the base
+// algorithm of the wait-free queue (and of LCRQ). An enqueue claims index
+// FAA(T) and CASes its value into cell Q[t]; a dequeue claims index FAA(H)
+// and CASes the cell from ⊥ to ⊤ — if that fails the cell has a value to
+// return, and if T ≤ h the queue is empty.
+//
+// The queue is only obstruction-free: an enqueuer and a dequeuer that
+// interleave adversarially can starve each other forever (§3.2 gives the
+// schedule). It exists here as the ablation baseline separating the paper's
+// fast path from its helping machinery: WF-0/WF-10 minus wait-freedom.
+//
+// The infinite array is a segment list as in the core queue. There is no
+// reclamation protocol: per-thread segment hints are the only long-lived
+// references, so once every hint has moved past a segment the Go garbage
+// collector frees it — the "let GC handle it" strategy the paper's
+// evaluation explicitly rejects for C, available in Go for free.
+package ofqueue
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"wfqueue/internal/pad"
+)
+
+// DefaultSegmentShift gives 2^10 cells per segment, as in the core queue.
+const DefaultSegmentShift = 10
+
+var topVal = unsafe.Pointer(new(int64)) // ⊤: cell consumed by a dequeuer
+
+type segment struct {
+	id    int64
+	next  unsafe.Pointer // *segment
+	cells []unsafe.Pointer
+}
+
+// Queue is the obstruction-free infinite-array queue.
+type Queue struct {
+	_        pad.CacheLinePad
+	T        int64
+	_        pad.CacheLinePad
+	H        int64
+	_        pad.CacheLinePad
+	segShift uint
+	segMask  int64
+	seg0     unsafe.Pointer // *segment; kept only so Register can seed hints
+}
+
+// Handle holds a thread's segment hints. One goroutine at a time.
+type Handle struct {
+	q    *Queue
+	tail unsafe.Pointer // *segment
+	head unsafe.Pointer // *segment
+	_    pad.CacheLinePad
+}
+
+// New creates an obstruction-free queue with 2^shift cells per segment
+// (shift 0 selects the default).
+func New(shift uint) *Queue {
+	if shift == 0 {
+		shift = DefaultSegmentShift
+	}
+	q := &Queue{segShift: shift, segMask: (1 << shift) - 1}
+	s0 := &segment{cells: make([]unsafe.Pointer, q.segMask+1)}
+	atomic.StorePointer(&q.seg0, unsafe.Pointer(s0))
+	return q
+}
+
+// Register returns a fresh handle seeded at the current oldest reachable
+// segment.
+func (q *Queue) Register() (*Handle, error) {
+	h := &Handle{q: q}
+	s := atomic.LoadPointer(&q.seg0)
+	atomic.StorePointer(&h.tail, s)
+	atomic.StorePointer(&h.head, s)
+	return h, nil
+}
+
+func (q *Queue) findCell(sp *unsafe.Pointer, cellID int64) *unsafe.Pointer {
+	s := (*segment)(atomic.LoadPointer(sp))
+	for i := s.id; i < cellID>>q.segShift; i++ {
+		next := (*segment)(atomic.LoadPointer(&s.next))
+		if next == nil {
+			tmp := &segment{id: i + 1, cells: make([]unsafe.Pointer, q.segMask+1)}
+			atomic.CompareAndSwapPointer(&s.next, nil, unsafe.Pointer(tmp))
+			next = (*segment)(atomic.LoadPointer(&s.next))
+		}
+		s = next
+	}
+	atomic.StorePointer(sp, unsafe.Pointer(s))
+	// Keep seg0 current-ish so late registrants do not resurrect old
+	// segments; monotonicity is not required, it is only a seed.
+	return &s.cells[cellID&q.segMask]
+}
+
+// Enqueue appends v (non-nil) to the queue. Obstruction-free: it can retry
+// forever if dequeuers keep marking the cells it claims.
+func (q *Queue) Enqueue(h *Handle, v unsafe.Pointer) {
+	if v == nil || v == topVal {
+		panic("ofqueue: Enqueue of nil or reserved sentinel")
+	}
+	for {
+		t := atomic.AddInt64(&q.T, 1) - 1
+		c := q.findCell(&h.tail, t)
+		if atomic.CompareAndSwapPointer(c, nil, v) {
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest value, or ok=false if empty.
+func (q *Queue) Dequeue(h *Handle) (v unsafe.Pointer, ok bool) {
+	for {
+		i := atomic.AddInt64(&q.H, 1) - 1
+		c := q.findCell(&h.head, i)
+		if !atomic.CompareAndSwapPointer(c, nil, topVal) {
+			// The CAS failed, so an enqueued value is available here.
+			return atomic.LoadPointer(c), true
+		}
+		if atomic.LoadInt64(&q.T) <= i {
+			return nil, false
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package ofqueue
+
+import (
+	"testing"
+	"unsafe"
+
+	"wfqueue/internal/qtest"
+)
+
+func maker(shift uint) qtest.Maker {
+	return func(t testing.TB, nworkers int) func() qtest.Ops {
+		q := New(shift)
+		return func() qtest.Ops {
+			h, err := q.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return qtest.Ops{
+				Enq: func(v int64) {
+					p := new(int64)
+					*p = v
+					q.Enqueue(h, unsafe.Pointer(p))
+				},
+				Deq: func() (int64, bool) {
+					p, ok := q.Dequeue(h)
+					if !ok {
+						return 0, false
+					}
+					return *(*int64)(p), true
+				},
+			}
+		}
+	}
+}
+
+func TestConformance(t *testing.T)             { qtest.Battery(t, maker(0)) }
+func TestConformanceTinySegments(t *testing.T) { qtest.Battery(t, maker(2)) }
+
+func TestEnqueueNilPanics(t *testing.T) {
+	q := New(0)
+	h, _ := q.Register()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Enqueue(nil) should panic")
+		}
+	}()
+	q.Enqueue(h, nil)
+}
+
+func TestLateRegistrantSeesValues(t *testing.T) {
+	q := New(2)
+	h1, _ := q.Register()
+	for i := int64(1); i <= 20; i++ {
+		p := new(int64)
+		*p = i
+		q.Enqueue(h1, unsafe.Pointer(p))
+	}
+	// A handle registered after traffic must still find all values.
+	h2, _ := q.Register()
+	for i := int64(1); i <= 20; i++ {
+		p, ok := q.Dequeue(h2)
+		if !ok || *(*int64)(p) != i {
+			t.Fatalf("late registrant: dequeue %d failed", i)
+		}
+	}
+}

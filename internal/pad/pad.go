@@ -1,0 +1,37 @@
+// Package pad provides cache-line padding primitives used to avoid false
+// sharing between hot shared words in concurrent data structures.
+//
+// The paper's C implementation lays out the queue's head index, tail index
+// and per-thread handles on separate cache lines ("DOUBLE_CACHE_ALIGNED");
+// this package is the Go equivalent. All sizes assume the common 64-byte
+// line; CacheLineSize is exported so callers can assert their assumptions.
+package pad
+
+import "unsafe"
+
+// CacheLineSize is the assumed size in bytes of one cache line.
+// 64 bytes is correct for every x86-64 and most ARM64 parts.
+const CacheLineSize = 64
+
+// CacheLinePad occupies exactly one cache line. Embed it between fields that
+// must not share a line.
+type CacheLinePad struct{ _ [CacheLineSize]byte }
+
+// Int64 is an int64 alone on (at least) one cache line. It is not itself
+// atomic; callers use sync/atomic on the V field.
+type Int64 struct {
+	V int64
+	_ [CacheLineSize - 8]byte
+}
+
+// Uint64 is a uint64 alone on (at least) one cache line.
+type Uint64 struct {
+	V uint64
+	_ [CacheLineSize - 8]byte
+}
+
+// Pointer is an unsafe.Pointer alone on (at least) one cache line.
+type Pointer struct {
+	V unsafe.Pointer
+	_ [CacheLineSize - unsafe.Sizeof(unsafe.Pointer(nil))]byte
+}

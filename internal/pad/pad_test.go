@@ -1,0 +1,33 @@
+package pad
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestSizes(t *testing.T) {
+	if s := unsafe.Sizeof(CacheLinePad{}); s != CacheLineSize {
+		t.Errorf("CacheLinePad size = %d, want %d", s, CacheLineSize)
+	}
+	if s := unsafe.Sizeof(Int64{}); s != CacheLineSize {
+		t.Errorf("Int64 size = %d, want %d", s, CacheLineSize)
+	}
+	if s := unsafe.Sizeof(Uint64{}); s != CacheLineSize {
+		t.Errorf("Uint64 size = %d, want %d", s, CacheLineSize)
+	}
+	if s := unsafe.Sizeof(Pointer{}); s != CacheLineSize {
+		t.Errorf("Pointer size = %d, want %d", s, CacheLineSize)
+	}
+}
+
+func TestAdjacentInt64DoNotShareLine(t *testing.T) {
+	var two struct {
+		a Int64
+		b Int64
+	}
+	pa := uintptr(unsafe.Pointer(&two.a.V))
+	pb := uintptr(unsafe.Pointer(&two.b.V))
+	if pb-pa < CacheLineSize {
+		t.Errorf("padded fields %d bytes apart, want >= %d", pb-pa, CacheLineSize)
+	}
+}

@@ -1,0 +1,191 @@
+// Package plot renders throughput-versus-threads series as ASCII line
+// charts so `wfqbench figure2 -plot` can reproduce the paper's Figure 2 as
+// an actual figure in the terminal, error bars and all, with no external
+// dependencies.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one line on the chart.
+type Series struct {
+	Name string
+	// X are thread counts, Y the throughput means, E the CI half-widths
+	// (optional, same length as Y or nil).
+	X []int
+	Y []float64
+	E []float64
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders the series into a width×height character grid with axes,
+// a title and a legend. X positions are categorical (one column block per
+// distinct thread count, as in the paper's bar-chart-like figure).
+func Chart(title string, series []Series, width, height int) string {
+	if width < 30 {
+		width = 30
+	}
+	if height < 8 {
+		height = 8
+	}
+	// Collect the categorical x domain and the y range.
+	xset := map[int]bool{}
+	ymax := 0.0
+	for _, s := range series {
+		for i, x := range s.X {
+			xset[x] = true
+			y := s.Y[i]
+			if s.E != nil {
+				y += s.E[i]
+			}
+			if y > ymax {
+				ymax = y
+			}
+		}
+	}
+	if len(xset) == 0 || ymax <= 0 {
+		return title + "\n(no data)\n"
+	}
+	xs := make([]int, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	ymax = niceCeil(ymax)
+
+	const yLabelW = 8
+	plotW := width - yLabelW - 1
+	plotH := height
+
+	grid := make([][]byte, plotH)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", plotW))
+	}
+
+	col := func(xi int) int {
+		if len(xs) == 1 {
+			return plotW / 2
+		}
+		return xi * (plotW - 1) / (len(xs) - 1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((1 - y/ymax) * float64(plotH-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= plotH {
+			r = plotH - 1
+		}
+		return r
+	}
+
+	xIndex := map[int]int{}
+	for i, x := range xs {
+		xIndex[x] = i
+	}
+
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		prevC, prevR := -1, -1
+		for i, x := range s.X {
+			c := col(xIndex[x])
+			r := row(s.Y[i])
+			// Error bar: vertical span of '|' characters.
+			if s.E != nil && s.E[i] > 0 {
+				lo, hi := row(s.Y[i]-s.E[i]), row(s.Y[i]+s.E[i])
+				for rr := hi; rr <= lo; rr++ {
+					if rr >= 0 && rr < plotH && grid[rr][c] == ' ' {
+						grid[rr][c] = '|'
+					}
+				}
+			}
+			// Connect to the previous point with a sparse line.
+			if prevC >= 0 {
+				steps := c - prevC
+				for k := 1; k < steps; k++ {
+					cc := prevC + k
+					rr := prevR + (r-prevR)*k/steps
+					if grid[rr][cc] == ' ' {
+						grid[rr][cc] = '.'
+					}
+				}
+			}
+			grid[r][c] = m
+			prevC, prevR = c, r
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	for r := 0; r < plotH; r++ {
+		// y labels on the first, middle and last rows.
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.1f ", ymax)
+		case plotH / 2:
+			label = fmt.Sprintf("%7.1f ", ymax/2)
+		case plotH - 1:
+			label = fmt.Sprintf("%7.1f ", 0.0)
+		}
+		b.WriteString(label)
+		b.WriteByte('|')
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", yLabelW))
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", plotW))
+	b.WriteByte('\n')
+
+	// X tick labels.
+	ticks := []byte(strings.Repeat(" ", plotW))
+	for i, x := range xs {
+		lbl := fmt.Sprintf("%d", x)
+		c := col(i)
+		start := c - len(lbl)/2
+		if start < 0 {
+			start = 0
+		}
+		if start+len(lbl) > plotW {
+			start = plotW - len(lbl)
+		}
+		copy(ticks[start:], lbl)
+	}
+	b.WriteString(strings.Repeat(" ", yLabelW+1))
+	b.Write(ticks)
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat(" ", yLabelW+1) + "threads\n")
+
+	// Legend.
+	b.WriteString("  legend: ")
+	for si, s := range series {
+		if si > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%c %s", markers[si%len(markers)], s.Name)
+	}
+	b.WriteString("   (y: Mops/s, | = 95% CI)\n")
+	return b.String()
+}
+
+// niceCeil rounds up to 1/2/5 × 10^k for a clean axis maximum.
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}

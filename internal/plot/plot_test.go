@@ -1,0 +1,89 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleSeries() []Series {
+	return []Series{
+		{Name: "wf-10", X: []int{1, 2, 4, 8}, Y: []float64{9.6, 8.0, 8.0, 8.2}, E: []float64{0.5, 0.2, 0.3, 0.4}},
+		{Name: "faa", X: []int{1, 2, 4, 8}, Y: []float64{13.1, 13.2, 13.4, 14.2}},
+	}
+}
+
+func TestChartContainsStructure(t *testing.T) {
+	out := Chart("Figure 2: pairs", sampleSeries(), 70, 14)
+	for _, want := range []string{"Figure 2: pairs", "threads", "legend:", "wf-10", "faa", "|", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Both series markers must appear.
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, 'o') {
+		t.Errorf("series markers missing:\n%s", out)
+	}
+}
+
+func TestChartXTickLabels(t *testing.T) {
+	out := Chart("t", sampleSeries(), 70, 10)
+	for _, tick := range []string{"1", "2", "4", "8"} {
+		if !strings.Contains(out, tick) {
+			t.Errorf("missing x tick %s", tick)
+		}
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("empty", nil, 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart should say so: %q", out)
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	s := []Series{{Name: "x", X: []int{4}, Y: []float64{5}}}
+	out := Chart("single", s, 40, 8)
+	if !strings.ContainsRune(out, '*') {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestChartClampsTinyDimensions(t *testing.T) {
+	out := Chart("tiny", sampleSeries(), 1, 1)
+	if len(strings.Split(out, "\n")) < 8 {
+		t.Error("dimensions should be clamped to a usable minimum")
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0.9, 1}, {1, 1}, {1.2, 2}, {3.5, 5}, {7, 10}, {14.2, 20}, {99, 100}, {0, 1},
+	}
+	for _, c := range cases {
+		if got := niceCeil(c.in); got != c.want {
+			t.Errorf("niceCeil(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// Higher throughput must render on a higher row (smaller row index).
+func TestChartOrdering(t *testing.T) {
+	s := []Series{
+		{Name: "low", X: []int{1, 2}, Y: []float64{1, 1}},
+		{Name: "high", X: []int{1, 2}, Y: []float64{9, 9}},
+	}
+	out := Chart("ord", s, 50, 12)
+	lines := strings.Split(out, "\n")
+	rowOf := func(marker byte) int {
+		for i, l := range lines {
+			if strings.IndexByte(l, marker) >= 0 {
+				return i
+			}
+		}
+		return -1
+	}
+	if rowOf('o') >= rowOf('*') { // 'o' = high series, '*' = low
+		t.Errorf("high series should be above low series:\n%s", out)
+	}
+}

@@ -1,0 +1,106 @@
+// Package qiface defines the uniform interface through which the benchmark
+// harness, the stress tester and the linearizability tests drive every queue
+// implementation in this repository (the paper's wait-free queue and all of
+// its baselines).
+//
+// The currency of the interface is a uint64 value, mirroring the paper's C
+// benchmark which enqueues small integers cast to void*. Implementations
+// whose cells hold pointers adapt internally (see the per-package adapters);
+// implementations with narrower value ranges (LCRQ's packed cells) document
+// their limits via Factory.MaxValue.
+package qiface
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Ops is a pair of per-thread operation closures. Register returns one Ops
+// per worker thread; the closures are NOT safe for use from more than one
+// goroutine, matching the paper's per-thread handle discipline.
+type Ops struct {
+	// Enqueue appends v to the queue.
+	Enqueue func(v uint64)
+	// Dequeue removes and returns the oldest value. ok is false when the
+	// queue observed an EMPTY linearization point.
+	Dequeue func() (v uint64, ok bool)
+}
+
+// Queue is one live queue instance.
+type Queue interface {
+	// Name reports the implementation's registry name.
+	Name() string
+	// Register allocates a per-thread handle and returns its operation
+	// closures. Implementations may limit the number of registrations to
+	// the maxThreads passed at construction; exceeding it returns an error.
+	Register() (Ops, error)
+}
+
+// StatsProvider is implemented by queues that expose execution-path counters
+// (used to regenerate the paper's Table 2).
+type StatsProvider interface {
+	// Stats returns named monotonic counters aggregated across all handles.
+	Stats() map[string]uint64
+}
+
+// Factory describes a registered queue implementation.
+type Factory struct {
+	// Name is the short registry key, e.g. "wf-10", "lcrq", "msqueue".
+	Name string
+	// Doc is a one-line human description for CLI listings.
+	Doc string
+	// MaxValue is the largest enqueueable value (0 means full uint64).
+	MaxValue uint64
+	// WaitFree reports whether the implementation guarantees wait-freedom.
+	WaitFree bool
+	// New builds an instance sized for at most maxThreads registrations.
+	New func(maxThreads int) (Queue, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register adds a factory to the global registry. It panics on duplicate
+// names; registration happens from package init functions, so a duplicate is
+// a programming error.
+func Register(f Factory) {
+	if f.Name == "" || f.New == nil {
+		panic("qiface: Register with empty Name or nil New")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[f.Name]; dup {
+		panic("qiface: duplicate registration of " + f.Name)
+	}
+	registry[f.Name] = f
+}
+
+// Lookup returns the factory registered under name.
+func Lookup(name string) (Factory, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	f, ok := registry[name]
+	if !ok {
+		return Factory{}, fmt.Errorf("qiface: unknown queue %q (have %v)", name, namesLocked())
+	}
+	return f, nil
+}
+
+// Names returns all registered names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

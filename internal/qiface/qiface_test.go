@@ -1,0 +1,80 @@
+package qiface
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+type fakeQueue struct{ name string }
+
+func (f *fakeQueue) Name() string           { return f.name }
+func (f *fakeQueue) Register() (Ops, error) { return Ops{}, errors.New("fake") }
+
+func fakeFactory(name string) Factory {
+	return Factory{
+		Name: name,
+		Doc:  "test-only",
+		New:  func(int) (Queue, error) { return &fakeQueue{name: name}, nil },
+	}
+}
+
+func TestRegisterLookup(t *testing.T) {
+	Register(fakeFactory("zz-test-a"))
+	f, err := Lookup("zz-test-a")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	q, err := f.New(4)
+	if err != nil || q.Name() != "zz-test-a" {
+		t.Fatalf("New: q=%v err=%v", q, err)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	_, err := Lookup("no-such-queue")
+	if err == nil {
+		t.Fatal("want error for unknown queue")
+	}
+	if !strings.Contains(err.Error(), "no-such-queue") {
+		t.Errorf("error should name the missing queue: %v", err)
+	}
+}
+
+func TestNamesSortedAndContainsRegistered(t *testing.T) {
+	Register(fakeFactory("zz-test-b"))
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+	found := false
+	for _, n := range names {
+		if n == "zz-test-b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered name missing from %v", names)
+	}
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	Register(fakeFactory("zz-test-dup"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register should panic")
+		}
+	}()
+	Register(fakeFactory("zz-test-dup"))
+}
+
+func TestRegisterInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register with nil New should panic")
+		}
+	}()
+	Register(Factory{Name: "zz-bad"})
+}

@@ -1,0 +1,193 @@
+// Package qtest provides a reusable conformance battery for concurrent FIFO
+// queue implementations: sequential semantics, model-based property checks,
+// and multi-producer/multi-consumer stress with no-loss/no-duplication and
+// per-producer order validation. Every queue in this repository — the
+// paper's wait-free queue and all baselines — must pass it.
+package qtest
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// Ops is one worker's view of a queue under test. Values are int64 in
+// [0, 2^62) so the battery also fits LCRQ's packed-cell value range.
+type Ops struct {
+	Enq func(int64)
+	Deq func() (int64, bool)
+}
+
+// Maker builds a fresh queue sized for n workers and returns a registration
+// function handing out per-worker Ops.
+type Maker func(t testing.TB, nworkers int) func() Ops
+
+// Sequential drives n enqueues then n dequeues through one worker and
+// checks FIFO order and emptiness at the end.
+func Sequential(t *testing.T, mk Maker, n int64) {
+	t.Helper()
+	ops := mk(t, 1)()
+	for i := int64(0); i < n; i++ {
+		ops.Enq(i + 1)
+	}
+	for i := int64(0); i < n; i++ {
+		v, ok := ops.Deq()
+		if !ok || v != i+1 {
+			t.Fatalf("dequeue %d: got (%d,%v), want (%d,true)", i, v, ok, i+1)
+		}
+	}
+	if v, ok := ops.Deq(); ok {
+		t.Fatalf("drained queue returned %d", v)
+	}
+}
+
+// EmptyResilience interleaves dequeues on an empty queue with normal
+// traffic: empty dequeues must not corrupt later operations.
+func EmptyResilience(t *testing.T, mk Maker, rounds int) {
+	t.Helper()
+	ops := mk(t, 1)()
+	next := int64(1)
+	for r := 0; r < rounds; r++ {
+		if _, ok := ops.Deq(); ok {
+			t.Fatalf("round %d: empty queue returned a value", r)
+		}
+		ops.Enq(next)
+		v, ok := ops.Deq()
+		if !ok || v != next {
+			t.Fatalf("round %d: got (%d,%v), want (%d,true)", r, v, ok, next)
+		}
+		next++
+	}
+}
+
+// QuickModel checks arbitrary single-threaded op interleavings against a
+// slice model with testing/quick.
+func QuickModel(t *testing.T, mk Maker, maxCount int) {
+	t.Helper()
+	f := func(opsBytes []byte) bool {
+		ops := mk(t, 1)()
+		var model []int64
+		next := int64(1)
+		for _, b := range opsBytes {
+			if b%2 == 0 {
+				ops.Enq(next)
+				model = append(model, next)
+				next++
+			} else {
+				v, ok := ops.Deq()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+		}
+		for _, want := range model {
+			v, ok := ops.Deq()
+			if !ok || v != want {
+				return false
+			}
+		}
+		_, ok := ops.Deq()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: maxCount}); err != nil {
+		t.Error(err)
+	}
+}
+
+// MPMC runs producers×perProducer enqueues against consumers concurrent
+// dequeuers and validates no loss, no duplication, and per-producer FIFO
+// order. Values encode (producer, seq) as producer<<32 | seq+1.
+func MPMC(t *testing.T, mk Maker, producers, consumers, perProducer int) {
+	t.Helper()
+	total := producers * perProducer
+	register := mk(t, producers+consumers)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		ops := register()
+		wg.Add(1)
+		go func(p int, ops Ops) {
+			defer wg.Done()
+			for s := 0; s < perProducer; s++ {
+				ops.Enq(int64(p)<<32 | int64(s+1))
+			}
+		}(p, ops)
+	}
+
+	results := make([][]int64, consumers)
+	var consumed sync.WaitGroup
+	var count int64
+	var mu sync.Mutex
+	for c := 0; c < consumers; c++ {
+		ops := register()
+		consumed.Add(1)
+		go func(c int, ops Ops) {
+			defer consumed.Done()
+			var local []int64
+			for {
+				mu.Lock()
+				done := count >= int64(total)
+				mu.Unlock()
+				if done {
+					break
+				}
+				v, ok := ops.Deq()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				local = append(local, v)
+				mu.Lock()
+				count++
+				mu.Unlock()
+			}
+			results[c] = local
+		}(c, ops)
+	}
+	wg.Wait()
+	consumed.Wait()
+
+	seen := make(map[int64]bool, total)
+	for c, local := range results {
+		last := map[int64]int64{}
+		for _, v := range local {
+			if seen[v] {
+				t.Fatalf("value %d dequeued twice", v)
+			}
+			seen[v] = true
+			p, s := v>>32, v&0xffffffff
+			if l, ok := last[p]; ok && s <= l {
+				t.Fatalf("consumer %d: order violation for producer %d: seq %d after %d", c, p, s, l)
+			}
+			last[p] = s
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("dequeued %d distinct values, want %d", len(seen), total)
+	}
+}
+
+// Battery runs the full conformance suite with sizes scaled by -short.
+func Battery(t *testing.T, mk Maker) {
+	t.Helper()
+	per := 10000
+	quickN := 200
+	if testing.Short() {
+		per = 1000
+		quickN = 50
+	}
+	t.Run("Sequential", func(t *testing.T) { Sequential(t, mk, 2000) })
+	t.Run("EmptyResilience", func(t *testing.T) { EmptyResilience(t, mk, 300) })
+	t.Run("QuickModel", func(t *testing.T) { QuickModel(t, mk, quickN) })
+	t.Run("MPMC-4x4", func(t *testing.T) { MPMC(t, mk, 4, 4, per) })
+	t.Run("MPMC-1x8", func(t *testing.T) { MPMC(t, mk, 1, 8, per) })
+	t.Run("MPMC-8x1", func(t *testing.T) { MPMC(t, mk, 8, 1, per/4) })
+}

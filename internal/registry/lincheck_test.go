@@ -1,0 +1,80 @@
+package registry
+
+import (
+	"sync"
+	"testing"
+
+	"wfqueue/internal/lincheck"
+	"wfqueue/internal/qiface"
+	"wfqueue/internal/workload"
+)
+
+// runRecordedScenario hammers a fresh queue with nthreads workers doing a
+// few random operations each, recording every operation, and checks the
+// resulting history for linearizability.
+func runRecordedScenario(t *testing.T, name string, nthreads, opsPerThread int, seed uint64) {
+	t.Helper()
+	f := MustLookup(name)
+	q, err := f.New(nthreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := lincheck.NewCollector(nthreads)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < nthreads; i++ {
+		ops, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		log := col.Thread(i)
+		rng := workload.NewRNG(seed + uint64(i)*977)
+		done.Add(1)
+		go func(i int, ops qiface.Ops) {
+			defer done.Done()
+			start.Wait()
+			for k := 0; k < opsPerThread; k++ {
+				if rng.Bool() {
+					v := uint64(i)<<32 | uint64(k) + 1
+					log.Enq(v, func() { ops.Enqueue(v) })
+				} else {
+					log.Deq(ops.Dequeue)
+				}
+			}
+		}(i, ops)
+	}
+	start.Done()
+	done.Wait()
+
+	h := col.History()
+	ok, err := lincheck.Check(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("%s: non-linearizable history:\n%v", name, h)
+	}
+}
+
+// TestLinearizabilityAllQueues records many small brutal histories for each
+// real queue implementation and verifies each is linearizable — the
+// empirical counterpart of the paper's §4 proof.
+func TestLinearizabilityAllQueues(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	for _, name := range realQueues(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for trial := 0; trial < trials; trial++ {
+				runRecordedScenario(t, name, 3, 6, uint64(trial)*131+7)
+			}
+			// A couple of wider, shallower scenarios.
+			for trial := 0; trial < trials/4; trial++ {
+				runRecordedScenario(t, name, 6, 3, uint64(trial)*733+1)
+			}
+		})
+	}
+}

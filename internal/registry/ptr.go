@@ -1,0 +1,16 @@
+package registry
+
+import "unsafe"
+
+// ptr converts a *uint64 arena slot to the unsafe.Pointer currency of the
+// pointer-based queues.
+func ptr(p *uint64) unsafe.Pointer { return unsafe.Pointer(p) }
+
+// boxVal heap-allocates a value for the checked adapters: the pointer stays
+// valid for as long as any consumer can reach it, so values read back are
+// always exact.
+func boxVal(v uint64) unsafe.Pointer {
+	p := new(uint64)
+	*p = v
+	return unsafe.Pointer(p)
+}

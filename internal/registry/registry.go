@@ -1,0 +1,488 @@
+// Package registry wires every queue implementation in this repository into
+// the qiface registry under the names the paper's evaluation uses:
+//
+//	wf-10      the paper's wait-free queue, PATIENCE=10 (§5 "WF-10")
+//	wf-0       the paper's wait-free queue, PATIENCE=0  (§5 "WF-0")
+//	lcrq       Morrison & Afek's LCRQ with hazard-pointer reclamation
+//	msqueue    Michael & Scott's queue with hazard-pointer reclamation
+//	ccqueue    Fatourou & Kallimanis's combining queue
+//	kpqueue    Kogan & Petrank's wait-free queue
+//	of         the obstruction-free Listing 1 queue (ablation)
+//	faa        the fetch-and-add microbenchmark (upper bound, not a queue)
+//	simqueue   P-Sim style wait-free universal-construction queue
+//	chan       buffered Go channel (blocking; Go-native baseline)
+//	lcrq-gc    LCRQ leaving reclamation to the Go GC (ablation)
+//	msqueue-gc MS-Queue leaving reclamation to the Go GC (ablation)
+//	wf-10-recycle  wf-10 with segment recycling (ablation)
+//
+// Pointer-based queues are adapted to the uint64 currency of qiface through
+// per-thread value arenas: an enqueue writes the value into the next arena
+// slot and enqueues the slot's address, so no operation allocates. The
+// arena has 2^16 slots per thread; a thread may therefore have at most 2^16
+// values outstanding before slots are reused, which only affects the values
+// read back (never memory safety) and is far beyond what any workload here
+// keeps in flight.
+package registry
+
+import (
+	"fmt"
+
+	"wfqueue/internal/ccqueue"
+	"wfqueue/internal/chanq"
+	"wfqueue/internal/core"
+	"wfqueue/internal/faabench"
+	"wfqueue/internal/kpqueue"
+	"wfqueue/internal/lcrq"
+	"wfqueue/internal/msqueue"
+	"wfqueue/internal/ofqueue"
+	"wfqueue/internal/qiface"
+	"wfqueue/internal/simqueue"
+)
+
+// arenaSize is the per-thread value arena length (power of two).
+const arenaSize = 1 << 16
+
+// arena hands out stable addresses for enqueued values.
+type arena struct {
+	slots [arenaSize]uint64
+	next  int
+}
+
+func (a *arena) put(v uint64) *uint64 {
+	p := &a.slots[a.next&(arenaSize-1)]
+	a.next++
+	*p = v
+	return p
+}
+
+// FigureSeries is the ordered list of series plotted in the paper's
+// Figure 2.
+var FigureSeries = []string{"wf-10", "wf-0", "faa", "ccqueue", "msqueue", "lcrq"}
+
+func init() {
+	qiface.Register(qiface.Factory{
+		Name: "wf-10", Doc: "paper's wait-free queue, PATIENCE=10", WaitFree: true,
+		New: func(n int) (qiface.Queue, error) { return newWF("wf-10", n, 10, false, false) },
+	})
+	qiface.Register(qiface.Factory{
+		Name: "wf-0", Doc: "paper's wait-free queue, PATIENCE=0 (slow-path emphasis)", WaitFree: true,
+		New: func(n int) (qiface.Queue, error) { return newWF("wf-0", n, 0, false, false) },
+	})
+	qiface.Register(qiface.Factory{
+		Name: "wf-10-recycle", Doc: "wf-10 with segment recycling (ablation)", WaitFree: true,
+		New: func(n int) (qiface.Queue, error) { return newWF("wf-10-recycle", n, 10, true, false) },
+	})
+	qiface.Register(qiface.Factory{
+		Name: "of", Doc: "obstruction-free Listing 1 queue (ablation)",
+		New: func(n int) (qiface.Queue, error) { return newOF("of", n, false) },
+	})
+	qiface.Register(qiface.Factory{
+		Name: "lcrq", Doc: "Morrison & Afek's LCRQ, hazard-pointer reclamation",
+		MaxValue: lcrq.MaxValue,
+		New:      func(n int) (qiface.Queue, error) { return newLCRQ("lcrq", n, false) },
+	})
+	qiface.Register(qiface.Factory{
+		Name: "lcrq-gc", Doc: "LCRQ with GC reclamation (ablation)",
+		MaxValue: lcrq.MaxValue,
+		New:      func(n int) (qiface.Queue, error) { return newLCRQ("lcrq-gc", n, true) },
+	})
+	qiface.Register(qiface.Factory{
+		Name: "msqueue", Doc: "Michael & Scott's queue, hazard-pointer reclamation",
+		New: func(n int) (qiface.Queue, error) { return newMS("msqueue", n, false, false) },
+	})
+	qiface.Register(qiface.Factory{
+		Name: "msqueue-gc", Doc: "MS-Queue with GC reclamation (ablation)",
+		New: func(n int) (qiface.Queue, error) { return newMS("msqueue-gc", n, true, false) },
+	})
+	qiface.Register(qiface.Factory{
+		Name: "ccqueue", Doc: "Fatourou & Kallimanis's combining queue (blocking)",
+		New: func(n int) (qiface.Queue, error) { return newCC("ccqueue", n, false) },
+	})
+	qiface.Register(qiface.Factory{
+		Name: "kpqueue", Doc: "Kogan & Petrank's wait-free queue", WaitFree: true,
+		New: func(n int) (qiface.Queue, error) { return newKP("kpqueue", n, false) },
+	})
+	qiface.Register(qiface.Factory{
+		Name: "faa", Doc: "fetch-and-add microbenchmark (throughput upper bound)",
+		New: func(n int) (qiface.Queue, error) { return newFAA("faa") },
+	})
+	qiface.Register(qiface.Factory{
+		Name: "simqueue", Doc: "P-Sim style wait-free universal-construction queue", WaitFree: true,
+		MaxValue: simqueue.MaxValue,
+		New:      func(n int) (qiface.Queue, error) { return newSim("simqueue", n) },
+	})
+	qiface.Register(qiface.Factory{
+		Name: "chan", Doc: "buffered Go channel (blocking, bounded; Go-native baseline)",
+		New: func(n int) (qiface.Queue, error) { return newChan("chan") },
+	})
+}
+
+// --- adapters -----------------------------------------------------------
+
+type wfAdapter struct {
+	name  string
+	boxed bool
+	q     *core.Queue
+}
+
+func newWF(name string, n, patience int, recycle, boxed bool) (qiface.Queue, error) {
+	return &wfAdapter{name: name, boxed: boxed, q: core.New(n,
+		core.WithPatience(patience), core.WithRecycling(recycle))}, nil
+}
+
+func (a *wfAdapter) Name() string { return a.name }
+
+func (a *wfAdapter) Register() (qiface.Ops, error) {
+	h, err := a.q.Register()
+	if err != nil {
+		return qiface.Ops{}, err
+	}
+	if a.boxed {
+		return qiface.Ops{
+			Enqueue: func(v uint64) { a.q.Enqueue(h, boxVal(v)) },
+			Dequeue: func() (uint64, bool) {
+				p, ok := a.q.Dequeue(h)
+				if !ok {
+					return 0, false
+				}
+				return *(*uint64)(p), true
+			},
+		}, nil
+	}
+	ar := &arena{}
+	return qiface.Ops{
+		Enqueue: func(v uint64) { a.q.Enqueue(h, ptr(ar.put(v))) },
+		Dequeue: func() (uint64, bool) {
+			p, ok := a.q.Dequeue(h)
+			if !ok {
+				return 0, false
+			}
+			return *(*uint64)(p), true
+		},
+	}, nil
+}
+
+// Stats implements qiface.StatsProvider for the paper's Table 2.
+func (a *wfAdapter) Stats() map[string]uint64 {
+	s := a.q.Stats()
+	return map[string]uint64{
+		"enq_fast":  s.EnqFast,
+		"enq_slow":  s.EnqSlow,
+		"deq_fast":  s.DeqFast,
+		"deq_slow":  s.DeqSlow,
+		"deq_empty": s.DeqEmpty,
+		"help_enq":  s.HelpEnq,
+		"help_deq":  s.HelpDeq,
+		"cleanups":  s.Cleanups,
+		"segments":  s.Segments,
+	}
+}
+
+type ofAdapter struct {
+	name  string
+	boxed bool
+	q     *ofqueue.Queue
+}
+
+func newOF(name string, _ int, boxed bool) (qiface.Queue, error) {
+	return &ofAdapter{name: name, boxed: boxed, q: ofqueue.New(0)}, nil
+}
+
+func (a *ofAdapter) Name() string { return a.name }
+
+func (a *ofAdapter) Register() (qiface.Ops, error) {
+	h, err := a.q.Register()
+	if err != nil {
+		return qiface.Ops{}, err
+	}
+	if a.boxed {
+		return qiface.Ops{
+			Enqueue: func(v uint64) { a.q.Enqueue(h, boxVal(v)) },
+			Dequeue: func() (uint64, bool) {
+				p, ok := a.q.Dequeue(h)
+				if !ok {
+					return 0, false
+				}
+				return *(*uint64)(p), true
+			},
+		}, nil
+	}
+	ar := &arena{}
+	return qiface.Ops{
+		Enqueue: func(v uint64) { a.q.Enqueue(h, ptr(ar.put(v))) },
+		Dequeue: func() (uint64, bool) {
+			p, ok := a.q.Dequeue(h)
+			if !ok {
+				return 0, false
+			}
+			return *(*uint64)(p), true
+		},
+	}, nil
+}
+
+type lcrqAdapter struct {
+	name string
+	q    *lcrq.Queue
+}
+
+func newLCRQ(name string, n int, gc bool) (qiface.Queue, error) {
+	var q *lcrq.Queue
+	if gc {
+		q = lcrq.NewGC(0)
+	} else {
+		q = lcrq.New(n, 0)
+	}
+	return &lcrqAdapter{name: name, q: q}, nil
+}
+
+func (a *lcrqAdapter) Name() string { return a.name }
+
+func (a *lcrqAdapter) Register() (qiface.Ops, error) {
+	h, err := a.q.Register()
+	if err != nil {
+		return qiface.Ops{}, err
+	}
+	return qiface.Ops{
+		Enqueue: func(v uint64) { a.q.Enqueue(h, v) },
+		Dequeue: func() (uint64, bool) { return a.q.Dequeue(h) },
+	}, nil
+}
+
+type msAdapter struct {
+	name  string
+	boxed bool
+	q     *msqueue.Queue
+}
+
+func newMS(name string, n int, gc, boxed bool) (qiface.Queue, error) {
+	var q *msqueue.Queue
+	if gc {
+		q = msqueue.NewGC()
+	} else {
+		q = msqueue.New(n)
+	}
+	return &msAdapter{name: name, boxed: boxed, q: q}, nil
+}
+
+func (a *msAdapter) Name() string { return a.name }
+
+func (a *msAdapter) Register() (qiface.Ops, error) {
+	h, err := a.q.Register()
+	if err != nil {
+		return qiface.Ops{}, err
+	}
+	if a.boxed {
+		return qiface.Ops{
+			Enqueue: func(v uint64) { a.q.Enqueue(h, boxVal(v)) },
+			Dequeue: func() (uint64, bool) {
+				p, ok := a.q.Dequeue(h)
+				if !ok {
+					return 0, false
+				}
+				return *(*uint64)(p), true
+			},
+		}, nil
+	}
+	ar := &arena{}
+	return qiface.Ops{
+		Enqueue: func(v uint64) { a.q.Enqueue(h, ptr(ar.put(v))) },
+		Dequeue: func() (uint64, bool) {
+			p, ok := a.q.Dequeue(h)
+			if !ok {
+				return 0, false
+			}
+			return *(*uint64)(p), true
+		},
+	}, nil
+}
+
+type ccAdapter struct {
+	name  string
+	boxed bool
+	q     *ccqueue.Queue
+}
+
+func newCC(name string, n int, boxed bool) (qiface.Queue, error) {
+	return &ccAdapter{name: name, boxed: boxed, q: ccqueue.New(n)}, nil
+}
+
+func (a *ccAdapter) Name() string { return a.name }
+
+func (a *ccAdapter) Register() (qiface.Ops, error) {
+	h, err := a.q.Register()
+	if err != nil {
+		return qiface.Ops{}, err
+	}
+	if a.boxed {
+		return qiface.Ops{
+			Enqueue: func(v uint64) { a.q.Enqueue(h, boxVal(v)) },
+			Dequeue: func() (uint64, bool) {
+				p, ok := a.q.Dequeue(h)
+				if !ok {
+					return 0, false
+				}
+				return *(*uint64)(p), true
+			},
+		}, nil
+	}
+	ar := &arena{}
+	return qiface.Ops{
+		Enqueue: func(v uint64) { a.q.Enqueue(h, ptr(ar.put(v))) },
+		Dequeue: func() (uint64, bool) {
+			p, ok := a.q.Dequeue(h)
+			if !ok {
+				return 0, false
+			}
+			return *(*uint64)(p), true
+		},
+	}, nil
+}
+
+type kpAdapter struct {
+	name  string
+	boxed bool
+	q     *kpqueue.Queue
+}
+
+func newKP(name string, n int, boxed bool) (qiface.Queue, error) {
+	return &kpAdapter{name: name, boxed: boxed, q: kpqueue.New(n)}, nil
+}
+
+func (a *kpAdapter) Name() string { return a.name }
+
+func (a *kpAdapter) Register() (qiface.Ops, error) {
+	h, err := a.q.Register()
+	if err != nil {
+		return qiface.Ops{}, err
+	}
+	if a.boxed {
+		return qiface.Ops{
+			Enqueue: func(v uint64) { a.q.Enqueue(h, boxVal(v)) },
+			Dequeue: func() (uint64, bool) {
+				p, ok := a.q.Dequeue(h)
+				if !ok {
+					return 0, false
+				}
+				return *(*uint64)(p), true
+			},
+		}, nil
+	}
+	ar := &arena{}
+	return qiface.Ops{
+		Enqueue: func(v uint64) { a.q.Enqueue(h, ptr(ar.put(v))) },
+		Dequeue: func() (uint64, bool) {
+			p, ok := a.q.Dequeue(h)
+			if !ok {
+				return 0, false
+			}
+			return *(*uint64)(p), true
+		},
+	}, nil
+}
+
+type faaAdapter struct {
+	name string
+	b    *faabench.Bench
+}
+
+func newFAA(name string) (qiface.Queue, error) {
+	return &faaAdapter{name: name, b: faabench.New()}, nil
+}
+
+func (a *faaAdapter) Name() string { return a.name }
+
+// Register returns operations that only perform the FAAs; Dequeue always
+// "succeeds" since the microbenchmark transfers no values.
+func (a *faaAdapter) Register() (qiface.Ops, error) {
+	return qiface.Ops{
+		Enqueue: func(uint64) { a.b.Enqueue() },
+		Dequeue: func() (uint64, bool) { return uint64(a.b.Dequeue()), true },
+	}, nil
+}
+
+// IsRealQueue reports whether the named implementation has real FIFO
+// semantics (false only for the FAA microbenchmark).
+func IsRealQueue(name string) bool { return name != "faa" }
+
+// MustLookup is Lookup with a panic, for init-time wiring in tools.
+func MustLookup(name string) qiface.Factory {
+	f, err := qiface.Lookup(name)
+	if err != nil {
+		panic(fmt.Sprintf("registry: %v", err))
+	}
+	return f
+}
+
+type chanAdapter struct {
+	name string
+	q    *chanq.Queue
+}
+
+func newChan(name string) (qiface.Queue, error) {
+	return &chanAdapter{name: name, q: chanq.New(0)}, nil
+}
+
+func (a *chanAdapter) Name() string { return a.name }
+
+func (a *chanAdapter) Register() (qiface.Ops, error) {
+	return qiface.Ops{
+		Enqueue: a.q.Enqueue,
+		Dequeue: a.q.Dequeue,
+	}, nil
+}
+
+type simAdapter struct {
+	name string
+	q    *simqueue.Queue
+}
+
+func newSim(name string, n int) (qiface.Queue, error) {
+	return &simAdapter{name: name, q: simqueue.New(n)}, nil
+}
+
+func (a *simAdapter) Name() string { return a.name }
+
+func (a *simAdapter) Register() (qiface.Ops, error) {
+	h, err := a.q.Register()
+	if err != nil {
+		return qiface.Ops{}, err
+	}
+	return qiface.Ops{
+		Enqueue: func(v uint64) { a.q.Enqueue(h, v) },
+		Dequeue: func() (uint64, bool) { return a.q.Dequeue(h) },
+	}, nil
+}
+
+// NewChecked builds the named queue with value-exact adapters: pointer-based
+// queues box every value on the heap instead of cycling a fixed arena. Use
+// this for correctness validation (stress accounting, long soaks); the
+// registered factories' arena adapters are for throughput benchmarking,
+// where a consumer descheduled long enough for 2^16 subsequent enqueues may
+// read back a recycled slot's newer value (never unsafe memory).
+func NewChecked(name string, n int) (qiface.Queue, error) {
+	switch name {
+	case "wf-10":
+		return newWF(name, n, 10, false, true)
+	case "wf-0":
+		return newWF(name, n, 0, false, true)
+	case "wf-10-recycle":
+		return newWF(name, n, 10, true, true)
+	case "of":
+		return newOF(name, n, true)
+	case "msqueue":
+		return newMS(name, n, false, true)
+	case "msqueue-gc":
+		return newMS(name, n, true, true)
+	case "ccqueue":
+		return newCC(name, n, true)
+	case "kpqueue":
+		return newKP(name, n, true)
+	default:
+		// Value-based implementations are exact already.
+		f, err := qiface.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		return f.New(n)
+	}
+}

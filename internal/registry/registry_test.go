@@ -1,0 +1,159 @@
+package registry
+
+import (
+	"testing"
+
+	"wfqueue/internal/qiface"
+	"wfqueue/internal/qtest"
+)
+
+// realQueues are all registered implementations with actual FIFO semantics.
+func realQueues(t *testing.T) []string {
+	var names []string
+	for _, n := range qiface.Names() {
+		if IsRealQueue(n) {
+			names = append(names, n)
+		}
+	}
+	if len(names) < 9 {
+		t.Fatalf("expected at least 9 real queues registered, have %v", names)
+	}
+	return names
+}
+
+func makerFor(name string) qtest.Maker {
+	return func(t testing.TB, nworkers int) func() qtest.Ops {
+		f, err := qiface.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := f.New(nworkers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return func() qtest.Ops {
+			ops, err := q.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return qtest.Ops{
+				Enq: func(v int64) { ops.Enqueue(uint64(v)) },
+				Deq: func() (int64, bool) {
+					v, ok := ops.Dequeue()
+					return int64(v), ok
+				},
+			}
+		}
+	}
+}
+
+// TestConformanceAllQueues runs the full battery over every real queue via
+// its registry adapter — the cross-implementation integration test.
+func TestConformanceAllQueues(t *testing.T) {
+	for _, name := range realQueues(t) {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			qtest.Battery(t, makerFor(name))
+		})
+	}
+}
+
+func TestFAAAdapterCounts(t *testing.T) {
+	f := MustLookup("faa")
+	q, err := f.New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops.Enqueue(1)
+	if _, ok := ops.Dequeue(); !ok {
+		t.Fatal("faa dequeue must always succeed")
+	}
+}
+
+func TestWaitFreeFlags(t *testing.T) {
+	waitFree := map[string]bool{
+		"wf-10": true, "wf-0": true, "wf-10-recycle": true, "kpqueue": true, "simqueue": true,
+		"lcrq": false, "msqueue": false, "ccqueue": false, "of": false, "faa": false, "chan": false,
+	}
+	for name, want := range waitFree {
+		f := MustLookup(name)
+		if f.WaitFree != want {
+			t.Errorf("%s: WaitFree = %v, want %v", name, f.WaitFree, want)
+		}
+	}
+}
+
+func TestStatsProvider(t *testing.T) {
+	f := MustLookup("wf-0")
+	q, _ := f.New(2)
+	sp, ok := q.(qiface.StatsProvider)
+	if !ok {
+		t.Fatal("wf queues must expose stats for Table 2")
+	}
+	ops, _ := q.Register()
+	for i := 0; i < 100; i++ {
+		ops.Enqueue(uint64(i))
+	}
+	for i := 0; i < 100; i++ {
+		ops.Dequeue()
+	}
+	st := sp.Stats()
+	if st["enq_fast"]+st["enq_slow"] != 100 {
+		t.Errorf("stats enqueues = %d+%d, want 100", st["enq_fast"], st["enq_slow"])
+	}
+}
+
+func TestLCRQMaxValueDeclared(t *testing.T) {
+	f := MustLookup("lcrq")
+	if f.MaxValue == 0 {
+		t.Error("lcrq must declare its packed-cell MaxValue")
+	}
+}
+
+func TestRegisterLimitPropagates(t *testing.T) {
+	for _, name := range []string{"wf-10", "lcrq", "msqueue", "kpqueue"} {
+		f := MustLookup(name)
+		q, _ := f.New(1)
+		if _, err := q.Register(); err != nil {
+			t.Fatalf("%s: first Register failed: %v", name, err)
+		}
+		if _, err := q.Register(); err == nil {
+			t.Errorf("%s: second Register should fail with maxThreads=1", name)
+		}
+	}
+}
+
+// Checked adapters must be value-exact even with huge outstanding counts
+// (far beyond the arena size), which the arena adapters do not promise.
+func TestNewCheckedValueFidelity(t *testing.T) {
+	for _, name := range []string{"wf-10", "msqueue", "ccqueue", "kpqueue", "of", "lcrq"} {
+		q, err := NewChecked(name, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ops, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = arenaSize + 1000 // overflow any per-thread arena
+		for i := uint64(0); i < n; i++ {
+			ops.Enqueue(i)
+		}
+		for i := uint64(0); i < n; i++ {
+			v, ok := ops.Dequeue()
+			if !ok || v != i {
+				t.Fatalf("%s: dequeue %d got (%d,%v)", name, i, v, ok)
+			}
+		}
+	}
+}
+
+func TestNewCheckedUnknown(t *testing.T) {
+	if _, err := NewChecked("no-such", 1); err == nil {
+		t.Fatal("unknown queue should error")
+	}
+}

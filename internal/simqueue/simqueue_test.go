@@ -1,0 +1,178 @@
+package simqueue
+
+import (
+	"sync/atomic"
+	"testing"
+	"unsafe"
+
+	"wfqueue/internal/qtest"
+)
+
+func maker(t testing.TB, nworkers int) func() qtest.Ops {
+	q := New(nworkers)
+	return func() qtest.Ops {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return qtest.Ops{
+			Enq: func(v int64) { q.Enqueue(h, uint64(v)) },
+			Deq: func() (int64, bool) {
+				v, ok := q.Dequeue(h)
+				return int64(v), ok
+			},
+		}
+	}
+}
+
+func TestConformance(t *testing.T) { qtest.Battery(t, maker) }
+
+func TestRegisterLimit(t *testing.T) {
+	q := New(1)
+	if _, err := q.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Register(); err == nil {
+		t.Fatal("second Register should fail")
+	}
+}
+
+func TestMaxThreadsClamp(t *testing.T) {
+	q := New(1000)
+	if q.n != MaxThreads {
+		t.Fatalf("n = %d, want %d", q.n, MaxThreads)
+	}
+}
+
+func TestMaxValuePanics(t *testing.T) {
+	q := New(1)
+	h, _ := q.Register()
+	q.Enqueue(h, MaxValue)
+	if v, ok := q.Dequeue(h); !ok || v != MaxValue {
+		t.Fatalf("MaxValue round trip: (%d,%v)", v, ok)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Enqueue above MaxValue should panic")
+		}
+	}()
+	q.Enqueue(h, MaxValue+1)
+}
+
+func TestTogglesRoundTrip(t *testing.T) {
+	q := New(2)
+	h, _ := q.Register()
+	if tg := atomic.LoadUint64(&q.toggles); tg != 0 {
+		t.Fatalf("initial toggles = %b", tg)
+	}
+	q.Enqueue(h, 1)
+	q.Enqueue(h, 2) // two ops: toggle set then cleared
+	tg := atomic.LoadUint64(&q.toggles)
+	if tg>>uint(h.id)&1 != 0 {
+		t.Fatalf("toggle bit should be clear after an even op count, toggles=%b", tg)
+	}
+	q.Dequeue(h)
+	tg = atomic.LoadUint64(&q.toggles)
+	if tg>>uint(h.id)&1 != 1 {
+		t.Fatalf("toggle bit should be set after an odd op count, toggles=%b", tg)
+	}
+}
+
+func TestLen(t *testing.T) {
+	q := New(1)
+	h, _ := q.Register()
+	for i := uint64(0); i < 5; i++ {
+		q.Enqueue(h, i)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", q.Len())
+	}
+	q.Dequeue(h)
+	q.Dequeue(h)
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+}
+
+// The persistent state must never be mutated after publication: capture a
+// record, run more operations, and verify the captured record still
+// describes its snapshot.
+func TestStateImmutability(t *testing.T) {
+	q := New(1)
+	h, _ := q.Register()
+	q.Enqueue(h, 10)
+	q.Enqueue(h, 20)
+	snap := (*state)(atomic.LoadPointer(&q.s))
+	snapLen := 0
+	for b := snap.back; b != nil; b = b.next {
+		snapLen++
+	}
+
+	q.Dequeue(h)
+	q.Enqueue(h, 30)
+	q.Dequeue(h)
+
+	n := 0
+	for b := snap.back; b != nil; b = b.next {
+		n++
+	}
+	if n != snapLen {
+		t.Fatal("published state record was mutated")
+	}
+}
+
+// Front-list reversal: drain order must be FIFO across the front/back
+// boundary.
+func TestReversalPreservesOrder(t *testing.T) {
+	q := New(1)
+	h, _ := q.Register()
+	for i := uint64(1); i <= 3; i++ {
+		q.Enqueue(h, i)
+	}
+	if v, _ := q.Dequeue(h); v != 1 {
+		t.Fatalf("got %d, want 1", v)
+	}
+	// Enqueue more after the reversal so both lists are populated.
+	q.Enqueue(h, 4)
+	for want := uint64(2); want <= 4; want++ {
+		v, ok := q.Dequeue(h)
+		if !ok || v != want {
+			t.Fatalf("got (%d,%v), want %d", v, ok, want)
+		}
+	}
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// A stalled peer's announced operation is applied by others (the universal
+// construction's helping): announce without self-applying, then let another
+// thread's operation fold it in.
+func TestAnnouncedOpAppliedByPeer(t *testing.T) {
+	q := New(2)
+	h1, _ := q.Register()
+	h2, _ := q.Register()
+
+	// Manually announce an enqueue for h1 (as apply would) without running
+	// h1's copy/CAS attempts — the "suspended thread" scenario.
+	atomic.StoreUint64(&q.announce[h1.id].V, enqBit|77)
+	atomic.AddUint64(&q.toggles, 1<<uint(h1.id))
+	h1.parity = 1
+
+	// h2's operation must apply h1's announce too.
+	q.Enqueue(h2, 88)
+	s := (*state)(atomic.LoadPointer(&q.s))
+	if s.applied>>uint(h1.id)&1 != 1 {
+		t.Fatal("peer's announced op was not applied")
+	}
+	// Both values are present; h1's was announced (toggled) before h2's
+	// combine, so it is in the same batch.
+	seen := map[uint64]bool{}
+	v1, _ := q.Dequeue(h2)
+	v2, _ := q.Dequeue(h2)
+	seen[v1], seen[v2] = true, true
+	if !seen[77] || !seen[88] {
+		t.Fatalf("values lost: got %d,%d want {77,88}", v1, v2)
+	}
+	_ = unsafe.Pointer(nil)
+}

@@ -1,0 +1,17 @@
+package stats
+
+import "testing"
+
+func BenchmarkTInv(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		TInv(0.975, 9)
+	}
+}
+
+func BenchmarkSteadyState(b *testing.B) {
+	xs := []float64{9, 11, 10, 10.2, 9.9, 10.1, 10, 10.05, 9.95, 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SteadyState(xs)
+	}
+}

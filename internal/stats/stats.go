@@ -1,0 +1,256 @@
+// Package stats implements the statistically rigorous evaluation methodology
+// of Georges, Buytaert and Eeckhout (OOPSLA 2007) that the paper adopts in
+// §5.1: steady-state detection via the coefficient of variation (COV) over a
+// sliding window of benchmark iterations, and confidence intervals over trial
+// means computed from the Student t-distribution (appropriate for the small
+// sample sizes — 10 invocations — the methodology prescribes).
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (divisor n-1) of xs.
+// It returns 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// Stddev returns the sample standard deviation of xs.
+func Stddev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// COV returns the coefficient of variation (stddev / mean) of xs.
+// A zero mean yields +Inf unless the stddev is also zero, in which case
+// COV is 0 (a constant all-zero series is perfectly steady).
+func COV(xs []float64) float64 {
+	m := Mean(xs)
+	s := Stddev(xs)
+	if m == 0 {
+		if s == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return s / math.Abs(m)
+}
+
+// SteadyWindow is the window length over which the paper requires
+// COV < SteadyCOV before an invocation is considered to have reached
+// steady state (§5.1: "the most recent 5 iterations").
+const (
+	SteadyWindow = 5
+	SteadyCOV    = 0.02
+)
+
+// SteadyState returns the mean over the steady-state window of the iteration
+// measurements xs, following the paper: the first window of SteadyWindow
+// consecutive iterations whose COV falls below SteadyCOV; if no window
+// qualifies, the window with the lowest COV. The returned index is the
+// first iteration of the chosen window; reached reports whether the COV
+// threshold was met.
+func SteadyState(xs []float64) (mean float64, start int, reached bool) {
+	if len(xs) == 0 {
+		return 0, 0, false
+	}
+	if len(xs) < SteadyWindow {
+		return Mean(xs), 0, false
+	}
+	bestCOV := math.Inf(1)
+	best := 0
+	for i := 0; i+SteadyWindow <= len(xs); i++ {
+		w := xs[i : i+SteadyWindow]
+		c := COV(w)
+		if c < SteadyCOV {
+			return Mean(w), i, true
+		}
+		if c < bestCOV {
+			bestCOV, best = c, i
+		}
+	}
+	return Mean(xs[best : best+SteadyWindow]), best, false
+}
+
+// Interval is a two-sided confidence interval around a sample mean.
+type Interval struct {
+	Mean  float64
+	Lo    float64
+	Hi    float64
+	Level float64 // e.g. 0.95
+	N     int     // number of samples
+}
+
+// Half returns the half-width of the interval.
+func (iv Interval) Half() float64 { return (iv.Hi - iv.Lo) / 2 }
+
+// ErrTooFewSamples is returned when a confidence interval is requested for
+// fewer than two samples.
+var ErrTooFewSamples = errors.New("stats: need at least 2 samples for a confidence interval")
+
+// ConfidenceInterval computes the two-sided confidence interval for the
+// population mean from the samples xs at the given level (e.g. 0.95),
+// using the Student t-distribution with len(xs)-1 degrees of freedom,
+// exactly as prescribed by Georges et al. for small n.
+func ConfidenceInterval(xs []float64, level float64) (Interval, error) {
+	n := len(xs)
+	if n < 2 {
+		return Interval{}, ErrTooFewSamples
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, errors.New("stats: confidence level must be in (0,1)")
+	}
+	m := Mean(xs)
+	s := Stddev(xs)
+	t := TInv(1-(1-level)/2, float64(n-1))
+	h := t * s / math.Sqrt(float64(n))
+	return Interval{Mean: m, Lo: m - h, Hi: m + h, Level: level, N: n}, nil
+}
+
+// TInv returns the p-quantile (inverse CDF) of the Student t-distribution
+// with df degrees of freedom, for p in (0,1). It inverts TCDF by bisection;
+// accuracy is ~1e-10, far beyond what benchmarking needs.
+func TInv(p, df float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 || df <= 0 {
+		return math.NaN()
+	}
+	if p == 0.5 {
+		return 0
+	}
+	// The t quantile is symmetric: solve for p > 0.5 and mirror.
+	if p < 0.5 {
+		return -TInv(1-p, df)
+	}
+	lo, hi := 0.0, 1.0
+	for TCDF(hi, df) < p {
+		hi *= 2
+		if hi > 1e12 {
+			return math.Inf(1)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if TCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// TCDF returns the CDF of the Student t-distribution with df degrees of
+// freedom evaluated at t, via the regularized incomplete beta function:
+//
+//	P(T <= t) = 1 - I_{df/(df+t^2)}(df/2, 1/2) / 2   for t >= 0.
+func TCDF(t, df float64) float64 {
+	if math.IsNaN(t) || df <= 0 {
+		return math.NaN()
+	}
+	if t == 0 {
+		return 0.5
+	}
+	x := df / (df + t*t)
+	ib := RegIncBeta(df/2, 0.5, x)
+	if t > 0 {
+		return 1 - ib/2
+	}
+	return ib / 2
+}
+
+// RegIncBeta returns the regularized incomplete beta function I_x(a, b),
+// computed with the continued-fraction expansion of Lentz's method
+// (Numerical Recipes §6.4). Valid for a, b > 0 and x in [0, 1].
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	// Use the symmetry relation to keep the continued fraction convergent.
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (tol %v)", what, got, want, tol)
+	}
+}
+
+func TestMeanVarianceStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, Mean(xs), 5, 1e-12, "Mean")
+	approx(t, Variance(xs), 32.0/7.0, 1e-12, "Variance")
+	approx(t, Stddev(xs), math.Sqrt(32.0/7.0), 1e-12, "Stddev")
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should yield 0")
+	}
+}
+
+func TestCOV(t *testing.T) {
+	approx(t, COV([]float64{10, 10, 10}), 0, 1e-12, "COV constant")
+	if COV([]float64{0, 0, 0}) != 0 {
+		t.Error("all-zero COV should be 0")
+	}
+	if !math.IsInf(COV([]float64{-1, 1}), 1) {
+		t.Error("zero-mean nonconstant COV should be +Inf")
+	}
+	// COV is scale invariant.
+	xs := []float64{3, 5, 9, 11}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 7 * x
+	}
+	approx(t, COV(ys), COV(xs), 1e-12, "COV scale invariance")
+}
+
+func TestCOVScaleInvarianceProperty(t *testing.T) {
+	f := func(a, b, c, d uint8, scale uint8) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1, float64(d) + 1}
+		k := float64(scale) + 1
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = k * x
+		}
+		return math.Abs(COV(xs)-COV(ys)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSteadyStateReached(t *testing.T) {
+	// Noisy warm-up followed by a steady plateau.
+	xs := []float64{1, 9, 3, 8, 100, 100.5, 99.8, 100.2, 100.1, 99.9}
+	mean, start, ok := SteadyState(xs)
+	if !ok {
+		t.Fatal("steady state should be reached")
+	}
+	if start < 4 {
+		t.Errorf("steady window should start at/after the plateau, got %d", start)
+	}
+	if mean < 99 || mean > 101 {
+		t.Errorf("steady mean = %v, want ~100", mean)
+	}
+}
+
+func TestSteadyStateNotReached(t *testing.T) {
+	xs := []float64{1, 100, 1, 100, 1, 100, 1, 100}
+	_, _, ok := SteadyState(xs)
+	if ok {
+		t.Error("alternating series should not reach steady state")
+	}
+}
+
+func TestSteadyStateShort(t *testing.T) {
+	mean, _, ok := SteadyState([]float64{5, 7})
+	if ok || mean != 6 {
+		t.Errorf("short series: mean=%v ok=%v, want mean=6 ok=false", mean, ok)
+	}
+	if m, _, ok := SteadyState(nil); m != 0 || ok {
+		t.Error("empty series should return 0,false")
+	}
+}
+
+// Reference values from standard t tables.
+func TestTInvKnownValues(t *testing.T) {
+	cases := []struct{ p, df, want float64 }{
+		{0.975, 9, 2.262157}, // the paper's n=10 trials, 95% two-sided
+		{0.975, 4, 2.776445}, // COV window of 5
+		{0.95, 9, 1.833113},
+		{0.975, 1, 12.706205},
+		{0.975, 30, 2.042272},
+		{0.995, 9, 3.249836},
+		{0.975, 1000, 1.962339}, // approaches the normal quantile 1.959964
+	}
+	for _, c := range cases {
+		approx(t, TInv(c.p, c.df), c.want, 2e-4, "TInv")
+	}
+}
+
+func TestTInvSymmetry(t *testing.T) {
+	approx(t, TInv(0.025, 9), -TInv(0.975, 9), 1e-9, "TInv symmetry")
+	approx(t, TInv(0.5, 7), 0, 1e-12, "TInv median")
+}
+
+func TestTInvInvalid(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, math.NaN()} {
+		if !math.IsNaN(TInv(p, 5)) {
+			t.Errorf("TInv(%v,5) should be NaN", p)
+		}
+	}
+	if !math.IsNaN(TInv(0.9, 0)) {
+		t.Error("TInv with df=0 should be NaN")
+	}
+}
+
+func TestTCDFRoundTrip(t *testing.T) {
+	f := func(praw, dfraw uint16) bool {
+		p := 0.01 + 0.98*float64(praw)/65535
+		df := 1 + float64(dfraw%60)
+		x := TInv(p, df)
+		return math.Abs(TCDF(x, df)-p) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegIncBeta(t *testing.T) {
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		approx(t, RegIncBeta(1, 1, x), x, 1e-10, "I_x(1,1)")
+	}
+	// I_x(a,b) + I_{1-x}(b,a) = 1.
+	approx(t, RegIncBeta(2.5, 1.5, 0.3)+RegIncBeta(1.5, 2.5, 0.7), 1, 1e-10, "beta symmetry")
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	xs := []float64{10, 12, 9, 11, 10, 10, 12, 9, 11, 10}
+	iv, err := ConfidenceInterval(xs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Mean != Mean(xs) {
+		t.Errorf("interval mean mismatch")
+	}
+	if iv.Lo >= iv.Mean || iv.Hi <= iv.Mean {
+		t.Errorf("interval [%v,%v] must bracket mean %v", iv.Lo, iv.Hi, iv.Mean)
+	}
+	// Hand check: t(0.975, 9)=2.2622, s=1.0593, n=10 => half = 0.7578.
+	approx(t, iv.Half(), 2.262157*Stddev(xs)/math.Sqrt(10), 1e-6, "half width")
+}
+
+func TestConfidenceIntervalErrors(t *testing.T) {
+	if _, err := ConfidenceInterval([]float64{1}, 0.95); err == nil {
+		t.Error("want error for n<2")
+	}
+	if _, err := ConfidenceInterval([]float64{1, 2}, 1.5); err == nil {
+		t.Error("want error for invalid level")
+	}
+}
+
+func TestConfidenceIntervalWiderAtHigherLevel(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	iv95, _ := ConfidenceInterval(xs, 0.95)
+	iv99, _ := ConfidenceInterval(xs, 0.99)
+	if iv99.Half() <= iv95.Half() {
+		t.Errorf("99%% CI (%v) should be wider than 95%% CI (%v)", iv99.Half(), iv95.Half())
+	}
+}

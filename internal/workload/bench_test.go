@@ -1,0 +1,22 @@
+package workload
+
+import "testing"
+
+func BenchmarkRNGNext(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Next()
+	}
+	_ = sink
+}
+
+// The calibrated 50-100ns inter-operation work of §5.1.
+func BenchmarkWork(b *testing.B) {
+	Calibrate()
+	r := NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Work(&r, 50, 100)
+	}
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	if Pairs.String() != "enqueue-dequeue-pairs" {
+		t.Error(Pairs.String())
+	}
+	if HalfHalf.String() != "50%-enqueues" {
+		t.Error(HalfHalf.String())
+	}
+	if Kind(99).String() != "unknown" {
+		t.Error("unknown kind")
+	}
+}
+
+func TestRNGDeterministicAndDistinct(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(8)
+	same := 0
+	a = NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 equal values", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Next() == 0 && r.Next() == 0 {
+		t.Error("zero seed must still produce a nonzero stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(42)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(51)
+		if v < 0 || v >= 51 {
+			t.Fatalf("Intn(51) = %d out of range", v)
+		}
+	}
+}
+
+func TestBoolRoughlyFair(t *testing.T) {
+	r := NewRNG(1)
+	trues := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if trues < n*45/100 || trues > n*55/100 {
+		t.Errorf("Bool: %d/%d true, want ~50%%", trues, n)
+	}
+}
+
+func TestCalibrateAndDelay(t *testing.T) {
+	Calibrate()
+	// A 100µs delay must take at least ~20µs and at most ~10ms even under
+	// heavy CI noise; this only checks the calibration is the right order
+	// of magnitude.
+	start := time.Now()
+	Delay(100_000)
+	d := time.Since(start)
+	if d < 20*time.Microsecond {
+		t.Errorf("Delay(100µs) returned after only %v", d)
+	}
+	if d > 10*time.Millisecond {
+		t.Errorf("Delay(100µs) took %v", d)
+	}
+}
+
+func TestWorkBounds(t *testing.T) {
+	Calibrate()
+	r := NewRNG(3)
+	for i := 0; i < 100; i++ {
+		ns := Work(&r, 50, 100)
+		if ns < 50 || ns > 100 {
+			t.Fatalf("Work returned %d, want [50,100]", ns)
+		}
+	}
+	if ns := Work(&r, 70, 70); ns != 70 {
+		t.Errorf("degenerate range: got %d want 70", ns)
+	}
+	if ns := Work(&r, 70, 30); ns != 70 {
+		t.Errorf("inverted range: got %d want 70 (min)", ns)
+	}
+}
+
+func TestSplitExactTotal(t *testing.T) {
+	f := func(totalRaw uint16, nRaw uint8) bool {
+		total := int(totalRaw)
+		n := int(nRaw%64) + 1
+		plans := Split(Pairs, total, n, 99)
+		sum := 0
+		for _, p := range plans {
+			sum += p.Ops
+		}
+		if sum != total {
+			return false
+		}
+		// Even split: max-min <= 1.
+		mn, mx := plans[0].Ops, plans[0].Ops
+		for _, p := range plans {
+			if p.Ops < mn {
+				mn = p.Ops
+			}
+			if p.Ops > mx {
+				mx = p.Ops
+			}
+		}
+		return mx-mn <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitSeedsDistinct(t *testing.T) {
+	plans := Split(HalfHalf, 1000, 8, 7)
+	seen := map[uint64]bool{}
+	for _, p := range plans {
+		if seen[p.Seed] {
+			t.Fatalf("duplicate seed %d", p.Seed)
+		}
+		seen[p.Seed] = true
+		if p.MinWorkNS != 50 || p.MaxWorkNS != 100 {
+			t.Errorf("work bounds = [%d,%d], want paper's [50,100]", p.MinWorkNS, p.MaxWorkNS)
+		}
+	}
+}
+
+func TestSplitDegenerate(t *testing.T) {
+	if Split(Pairs, 10, 0, 1) != nil {
+		t.Error("nthreads=0 should return nil")
+	}
+}

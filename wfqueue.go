@@ -1,0 +1,155 @@
+// Package wfqueue is a fast wait-free multi-producer multi-consumer FIFO
+// queue for Go — an implementation of Chaoran Yang and John Mellor-Crummey,
+// "A Wait-free Queue as Fast as Fetch-and-Add" (PPoPP 2016).
+//
+// The queue coordinates enqueuers and dequeuers with fetch-and-add on its
+// head and tail indices instead of CAS retry loops, so throughput does not
+// collapse under contention; and every operation completes in a bounded
+// number of steps regardless of how other goroutines are scheduled
+// (wait-freedom), because stalled operations publish requests that peers
+// help complete.
+//
+// # Usage
+//
+// A Queue is created for a maximum number of concurrent participants; each
+// participating goroutine registers a Handle and performs operations
+// through it:
+//
+//	q := wfqueue.New[string](8) // up to 8 concurrent handles
+//	h, err := q.Register()
+//	if err != nil { ... }
+//	defer h.Release()
+//	h.Enqueue("hello")
+//	v, ok := h.Dequeue() // ok=false when the queue is empty
+//
+// Handles exist because the algorithm's helping ring, hazard pointers and
+// segment hints are per-thread state (the paper's handle_t). A Handle may
+// be used by one goroutine at a time; Release returns it for reuse so a
+// pool of workers larger than the momentary concurrency can share a queue.
+//
+// The package-level documentation of internal/core describes the algorithm
+// port in detail; DESIGN.md maps the paper's listings, tables and figures
+// to this repository.
+package wfqueue
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+
+	"wfqueue/internal/core"
+)
+
+// Queue is a wait-free FIFO queue holding values of type T.
+type Queue[T any] struct {
+	q *core.Queue
+}
+
+// Option configures a Queue at construction time.
+type Option = core.Option
+
+// WithPatience sets how many times an operation retries its FAA+CAS fast
+// path before publishing a helping request (default 10, the paper's WF-10;
+// 0 gives the paper's WF-0, which exercises the slow path on first
+// failure).
+func WithPatience(p int) Option { return core.WithPatience(p) }
+
+// WithSegmentShift sets the log2 of the cells per segment (default 10).
+// Smaller segments reclaim memory sooner; larger segments amortize
+// allocation across more operations.
+func WithSegmentShift(s uint) Option { return core.WithSegmentShift(s) }
+
+// WithMaxGarbage sets how many retired segments may accumulate before a
+// dequeue triggers reclamation (default 2×maxHandles).
+func WithMaxGarbage(g int64) Option { return core.WithMaxGarbage(g) }
+
+// WithRecycling reuses reclaimed segments through an internal pool instead
+// of releasing them to the garbage collector.
+func WithRecycling(on bool) Option { return core.WithRecycling(on) }
+
+// New creates a queue that supports up to maxHandles concurrently
+// registered handles. maxHandles fixes the size of the helping ring, as in
+// the paper; handles can be released and re-registered freely.
+func New[T any](maxHandles int, opts ...Option) *Queue[T] {
+	return &Queue[T]{q: core.New(maxHandles, opts...)}
+}
+
+// Register checks out a Handle. It returns core.ErrTooManyHandles when
+// maxHandles handles are already in use.
+//
+// A Handle that becomes garbage without Release is returned to the pool by
+// a finalizer, so a worker goroutine that exits abnormally cannot leak its
+// slot permanently; explicit Release remains the reliable (and immediate)
+// path.
+func (q *Queue[T]) Register() (*Handle[T], error) {
+	h, err := q.q.Register()
+	if err != nil {
+		return nil, err
+	}
+	hh := &Handle[T]{q: q.q, h: h}
+	runtime.SetFinalizer(hh, func(hh *Handle[T]) { hh.release() })
+	return hh, nil
+}
+
+// Capacity returns the maximum number of concurrently registered handles.
+func (q *Queue[T]) Capacity() int { return q.q.Capacity() }
+
+// Len returns an instantaneous approximation of the queue length. It is
+// exact only while the queue is quiescent.
+func (q *Queue[T]) Len() int { return int(q.q.Size()) }
+
+// Stats returns aggregate execution-path counters: how many operations
+// completed on the fast and slow paths, EMPTY dequeues, helping events and
+// reclamation activity. Useful for tuning PATIENCE and for observability.
+func (q *Queue[T]) Stats() core.Counters { return q.q.Stats() }
+
+// ReclaimedSegments reports how many retired segments the reclamation
+// scheme has freed since construction.
+func (q *Queue[T]) ReclaimedSegments() uint64 { return q.q.ReclaimedSegments() }
+
+// Handle is a registration of one concurrent participant. A Handle must be
+// used by at most one goroutine at a time.
+type Handle[T any] struct {
+	q        *core.Queue
+	h        *core.Handle
+	released atomic.Bool
+}
+
+// Enqueue appends v to the queue in a bounded number of steps.
+func (h *Handle[T]) Enqueue(v T) {
+	h.q.Enqueue(h.h, unsafe.Pointer(&v))
+}
+
+// Dequeue removes and returns the oldest value. ok is false when the queue
+// was observed empty (a valid linearization point at which it held no
+// values).
+func (h *Handle[T]) Dequeue() (v T, ok bool) {
+	p, ok := h.q.Dequeue(h.h)
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	return *(*T)(p), true
+}
+
+// Release returns the handle to the queue's pool. The handle must not be
+// used afterwards. Release is idempotent only through the finalizer path;
+// calling it twice explicitly panics, as that indicates a handle shared
+// between goroutines.
+func (h *Handle[T]) Release() {
+	if h.released.Swap(true) {
+		panic("wfqueue: Handle released twice")
+	}
+	runtime.SetFinalizer(h, nil)
+	h.h.Release()
+}
+
+// release is the finalizer path: best-effort, idempotent.
+func (h *Handle[T]) release() {
+	if !h.released.Swap(true) {
+		h.h.Release()
+	}
+}
+
+// ErrTooManyHandles is returned by Register when every handle is in use.
+var ErrTooManyHandles = core.ErrTooManyHandles

@@ -1,0 +1,203 @@
+package wfqueue_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"wfqueue"
+)
+
+func TestBasicUsage(t *testing.T) {
+	q := wfqueue.New[string](4)
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	h.Enqueue("a")
+	h.Enqueue("b")
+	if v, ok := h.Dequeue(); !ok || v != "a" {
+		t.Fatalf("got (%q,%v), want (a,true)", v, ok)
+	}
+	if v, ok := h.Dequeue(); !ok || v != "b" {
+		t.Fatalf("got (%q,%v), want (b,true)", v, ok)
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("empty queue returned a value")
+	}
+}
+
+func TestZeroValues(t *testing.T) {
+	// The facade boxes values, so zero values — including nil-like ones —
+	// are first-class, unlike the pointer-based core.
+	q := wfqueue.New[int](1)
+	h, _ := q.Register()
+	h.Enqueue(0)
+	if v, ok := h.Dequeue(); !ok || v != 0 {
+		t.Fatalf("zero int: got (%d,%v)", v, ok)
+	}
+
+	qp := wfqueue.New[*int](1)
+	hp, _ := qp.Register()
+	hp.Enqueue(nil)
+	if v, ok := hp.Dequeue(); !ok || v != nil {
+		t.Fatalf("nil pointer: got (%v,%v)", v, ok)
+	}
+}
+
+func TestStructValues(t *testing.T) {
+	type pair struct {
+		A int
+		B string
+	}
+	q := wfqueue.New[pair](2)
+	h, _ := q.Register()
+	for i := 0; i < 100; i++ {
+		h.Enqueue(pair{A: i, B: "x"})
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := h.Dequeue()
+		if !ok || v.A != i || v.B != "x" {
+			t.Fatalf("dequeue %d: got (%+v,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestLenAndStats(t *testing.T) {
+	q := wfqueue.New[int](2)
+	h, _ := q.Register()
+	for i := 0; i < 10; i++ {
+		h.Enqueue(i)
+	}
+	if q.Len() != 10 {
+		t.Errorf("Len = %d, want 10", q.Len())
+	}
+	st := q.Stats()
+	if st.EnqFast+st.EnqSlow != 10 {
+		t.Errorf("stats enqueues = %d, want 10", st.EnqFast+st.EnqSlow)
+	}
+	if q.Capacity() != 2 {
+		t.Errorf("Capacity = %d, want 2", q.Capacity())
+	}
+}
+
+func TestRegisterExhaustion(t *testing.T) {
+	q := wfqueue.New[int](1)
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Register(); err == nil {
+		t.Fatal("expected ErrTooManyHandles")
+	}
+	h.Release()
+	if _, err := q.Register(); err != nil {
+		t.Fatalf("re-register after Release: %v", err)
+	}
+}
+
+func TestConcurrentFacade(t *testing.T) {
+	const workers = 8
+	per := 5000
+	if testing.Short() {
+		per = 500
+	}
+	q := wfqueue.New[int](workers, wfqueue.WithSegmentShift(6))
+	var wg sync.WaitGroup
+	var got sync.Map
+	var count int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(w int, h *wfqueue.Handle[int]) {
+			defer wg.Done()
+			defer h.Release()
+			for i := 0; i < per; i++ {
+				h.Enqueue(w*per*10 + i)
+				for {
+					v, ok := h.Dequeue()
+					if ok {
+						if _, dup := got.LoadOrStore(v, true); dup {
+							t.Errorf("duplicate %d", v)
+						}
+						mu.Lock()
+						count++
+						mu.Unlock()
+						break
+					}
+					runtime.Gosched()
+				}
+			}
+		}(w, h)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if count != int64(workers*per) {
+		t.Fatalf("dequeued %d values, want %d", count, workers*per)
+	}
+}
+
+func TestOptionsRoundTrip(t *testing.T) {
+	q := wfqueue.New[int](2,
+		wfqueue.WithPatience(0),
+		wfqueue.WithSegmentShift(4),
+		wfqueue.WithMaxGarbage(1),
+		wfqueue.WithRecycling(true))
+	h, _ := q.Register()
+	for i := 0; i < 1000; i++ {
+		h.Enqueue(i)
+		if v, ok := h.Dequeue(); !ok || v != i {
+			t.Fatalf("round %d: got (%d,%v)", i, v, ok)
+		}
+	}
+	if q.ReclaimedSegments() == 0 {
+		t.Error("tiny segments + MaxGarbage(1) should reclaim")
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	q := wfqueue.New[int](1)
+	h, _ := q.Register()
+	h.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release should panic")
+		}
+	}()
+	h.Release()
+}
+
+// A handle leaked by a dead goroutine must eventually return to the pool
+// via its finalizer.
+func TestLeakedHandleReclaimed(t *testing.T) {
+	q := wfqueue.New[int](1)
+	func() {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Enqueue(1)
+		// h goes out of scope without Release — a "crashed" worker.
+	}()
+	var ok bool
+	for i := 0; i < 50 && !ok; i++ {
+		runtime.GC()
+		if h2, err := q.Register(); err == nil {
+			// Slot recovered; the queue content survived the leak.
+			if v, got := h2.Dequeue(); !got || v != 1 {
+				t.Fatalf("value lost across handle leak: (%d,%v)", v, got)
+			}
+			h2.Release()
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatal("leaked handle was never reclaimed by the finalizer")
+	}
+}
