@@ -2,9 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench fuzz stress soak experiments examples clean
+.PHONY: all build vet test race short bench fuzz stress soak ci experiments examples clean
 
 all: build vet test
+
+# What .github/workflows/ci.yml runs; keep the two in sync.
+ci: build vet
+	$(GO) test -short -count=1 ./...
+	$(GO) test -race -short -count=1 ./...
+	$(GO) test ./internal/core -fuzz FuzzAgainstModel -fuzztime 10s -run '^$$'
 
 build:
 	$(GO) build ./...
@@ -33,11 +39,13 @@ stress:
 	$(GO) run ./cmd/wfqstress -queue wf-10 -threads 8 -duration 30s
 	$(GO) run ./cmd/wfqstress -queue wf-10 -mode lincheck -duration 10s
 
-# Long validation across every implementation.
+# Long validation across every implementation, plus one batched pass over
+# the wait-free queue's native k-cell reservation path.
 soak:
 	for q in wf-10 wf-0 lcrq msqueue ccqueue kpqueue simqueue of chan; do \
 		$(GO) run ./cmd/wfqstress -queue $$q -threads 8 -duration 10s || exit 1; \
 	done
+	$(GO) run ./cmd/wfqstress -queue wf-10 -threads 8 -duration 10s -batch 8
 
 # Regenerate the paper's tables and figures (quick parameters; add
 # WFQ_FLAGS=-paper for the full methodology).

@@ -276,3 +276,98 @@ func BenchmarkAblationMaxGarbage(b *testing.B) {
 		})
 	}
 }
+
+// --- batched-operation benches -------------------------------------------
+
+// batchSizes is the batch sweep for the Batch* families; 1 is included as
+// the baseline that must stay within noise of the single-op path.
+var batchSizes = []int{1, 4, 16, 64}
+
+// runQueueBenchBatched drives b.N values of PairsBatched through nthreads
+// goroutines: each round is one EnqueueBatch of `batch` values followed by
+// one DequeueBatch of the same size.
+func runQueueBenchBatched(b *testing.B, name string, nthreads, batch int) {
+	b.Helper()
+	f, err := qiface.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := f.New(nthreads)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := make([]qiface.Ops, nthreads)
+	for w := range workers {
+		ops, err := q.Register()
+		if err != nil {
+			b.Fatal(err)
+		}
+		workers[w] = qiface.WithBatchFallback(ops)
+	}
+	plans := workload.Split(workload.PairsBatched, b.N, nthreads, 0x5EED)
+
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for w := 0; w < nthreads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ops := workers[w]
+			vs := make([]uint64, batch)
+			dst := make([]uint64, batch)
+			for i := 0; i < plans[w].Ops/(2*batch); i++ {
+				for j := range vs {
+					vs[j] = uint64(i*batch+j) + 1
+				}
+				ops.EnqueueBatch(vs)
+				ops.DequeueBatch(dst)
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mops/s")
+}
+
+// BenchmarkBatchPairs sweeps batch size over the wait-free queue (native
+// single-FAA reservations) and two fallback-adapter baselines, at 1 and 4
+// threads. batch=1 is the degenerate case and must stay within noise of
+// BenchmarkFigure2Pairs' single-op loop.
+func BenchmarkBatchPairs(b *testing.B) {
+	for _, qn := range []string{"wf-10", "wf-0", "lcrq", "msqueue"} {
+		for _, t := range []int{1, 4} {
+			for _, k := range batchSizes {
+				b.Run(fmt.Sprintf("%s/threads=%d/batch=%d", qn, t, k), func(b *testing.B) {
+					runQueueBenchBatched(b, qn, t, k)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkBatchFacade measures the public generic batched API, whose
+// boxing is amortized to one backing allocation per batch.
+func BenchmarkBatchFacade(b *testing.B) {
+	for _, k := range batchSizes {
+		b.Run(fmt.Sprintf("batch=%d", k), func(b *testing.B) {
+			q := wfqueue.New[int](1)
+			h, err := q.Register()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer h.Release()
+			vs := make([]int, k)
+			dst := make([]int, k)
+			b.ResetTimer()
+			for i := 0; i < b.N/(2*k); i++ {
+				for j := range vs {
+					vs[j] = i*k + j
+				}
+				h.EnqueueBatch(vs)
+				h.DequeueBatch(dst)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mops/s")
+		})
+	}
+}

@@ -17,6 +17,9 @@
 //	-queues  comma-separated registry names (default: the paper's series)
 //	-threads comma-separated thread counts (default: host sweep ×2 oversub)
 //	-ops     operations per iteration (default 1e6; -paper uses 1e7)
+//	-batch   values per batched operation; >1 drives the pairs workload
+//	         through EnqueueBatch/DequeueBatch (one FAA reserves the batch
+//	         on the wait-free queue; baselines use the single-op fallback)
 //	-trials  trials per cell (default 3; -paper uses 10)
 //	-iters   max iterations per trial (default 8; -paper uses 20)
 //	-paper   use the paper's full parameters (slow!)
@@ -47,6 +50,7 @@ type options struct {
 	queues  []string
 	threads []int
 	ops     int
+	batch   int
 	trials  int
 	iters   int
 	paper   bool
@@ -66,6 +70,7 @@ func main() {
 	queues := fs.String("queues", strings.Join(registry.FigureSeries, ","), "queue implementations to run")
 	threads := fs.String("threads", "", "comma-separated thread counts (default: host sweep)")
 	ops := fs.Int("ops", 1_000_000, "operations per iteration")
+	batch := fs.Int("batch", 1, "values per batched operation; >1 drives the pairs workload through EnqueueBatch/DequeueBatch")
 	trials := fs.Int("trials", 3, "trials per cell")
 	iters := fs.Int("iters", 8, "max iterations per trial")
 	paper := fs.Bool("paper", false, "use the paper's full parameters (10^7 ops, 10 trials, 20 iters)")
@@ -85,6 +90,7 @@ func main() {
 	o := options{
 		plot:    *doPlot,
 		ops:     *ops,
+		batch:   *batch,
 		trials:  *trials,
 		iters:   *iters,
 		paper:   *paper,
@@ -118,6 +124,18 @@ func main() {
 		o.benchKs = []workload.Kind{workload.Pairs, workload.HalfHalf}
 	default:
 		fatalf("bad -bench %q (pairs|half|both)", *benchSel)
+	}
+	if o.batch < 1 {
+		fatalf("bad -batch %d (must be >= 1)", o.batch)
+	}
+	if o.batch > 1 {
+		// Batching applies to the pairs workload: each round is one
+		// EnqueueBatch of -batch values then one DequeueBatch.
+		for i, k := range o.benchKs {
+			if k == workload.Pairs {
+				o.benchKs[i] = workload.PairsBatched
+			}
+		}
 	}
 
 	switch cmd {
@@ -167,6 +185,7 @@ func listQueues() {
 func (o options) config(queue string, k workload.Kind, threads int) bench.Config {
 	cfg := bench.DefaultConfig(queue, k, threads)
 	cfg.Ops = o.ops
+	cfg.Batch = o.batch
 	cfg.Trials = o.trials
 	cfg.Iters = o.iters
 	if o.nowork {
@@ -206,18 +225,18 @@ func runTable1() {
 
 func runFigure2(o options) {
 	for _, k := range o.benchKs {
-		fmt.Printf("## Figure 2: %s (%s)\n\n", k, benchHost())
+		fmt.Printf("## Figure 2: %s, batch=%d (%s)\n\n", k, o.batch, benchHost())
 		header := append([]string{"threads"}, o.queues...)
 		fmt.Println(strings.Join(header, " | "))
 		fmt.Println(strings.Repeat("--- | ", len(header)-1) + "---")
-		o.csv("figure2," + k.String() + ",threads," + strings.Join(o.queues, ",excl,wall per queue"))
+		o.csv("figure2," + k.String() + ",threads,batch," + strings.Join(o.queues, ",excl,wall per queue"))
 		series := make([]plot.Series, len(o.queues))
 		for i, qn := range o.queues {
 			series[i].Name = qn
 		}
 		for _, t := range o.threads {
 			row := []string{strconv.Itoa(t)}
-			csv := []string{"figure2", k.String(), strconv.Itoa(t)}
+			csv := []string{"figure2", k.String(), strconv.Itoa(t), strconv.Itoa(o.batch)}
 			for i, qn := range o.queues {
 				res, err := bench.Run(o.config(qn, k, t))
 				if err != nil {
@@ -320,7 +339,7 @@ func runSingle(o options) {
 	fmt.Println()
 	queues := []string{"wf-10", "lcrq", "ccqueue", "msqueue", "faa"}
 	for _, k := range o.benchKs {
-		fmt.Printf("%s (wall-clock Mops/s):\n", k)
+		fmt.Printf("%s, batch=%d (wall-clock Mops/s):\n", k, o.batch)
 		type entry struct {
 			name string
 			mops float64
@@ -333,7 +352,7 @@ func runSingle(o options) {
 				fatalf("single %s: %v", qn, err)
 			}
 			es = append(es, entry{qn, res.WallInterval.Mean, res.WallInterval.Half()})
-			o.csv(fmt.Sprintf("single,%s,%s,%.4f,%.4f", k, qn, res.Mops(), res.WallInterval.Mean))
+			o.csv(fmt.Sprintf("single,%s,%s,%d,%.4f,%.4f", k, qn, o.batch, res.Mops(), res.WallInterval.Mean))
 		}
 		sort.Slice(es, func(i, j int) bool { return es[i].mops > es[j].mops })
 		for _, e := range es {

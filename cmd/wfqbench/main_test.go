@@ -131,3 +131,30 @@ func TestCLIBadFlags(t *testing.T) {
 		t.Errorf("unknown queue should fail:\n%s", out)
 	}
 }
+
+func TestCLIFigure2Batched(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "r.csv")
+	args := append([]string{"figure2", "-bench", "pairs", "-queues", "wf-10,msqueue",
+		"-threads", "2", "-batch", "8", "-csv", csv}, quick...)
+	out, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	// The report names the batched workload and the batch size; the CSV
+	// rows carry batch as a column.
+	for _, want := range []string{"enqueue-dequeue-pairs-batched", "batch=8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("batched figure2 missing %q:\n%s", want, out)
+		}
+	}
+	b, err := os.ReadFile(csv)
+	if err != nil || !strings.Contains(string(b), "figure2,enqueue-dequeue-pairs-batched,2,8,") {
+		t.Errorf("batched csv row missing: %v %q", err, b)
+	}
+}
+
+func TestCLIRejectsBadBatch(t *testing.T) {
+	if out, err := runCLI(t, append([]string{"figure2", "-batch", "0"}, quick...)...); err == nil {
+		t.Errorf("batch 0 should fail:\n%s", out)
+	}
+}

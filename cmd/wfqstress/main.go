@@ -11,7 +11,11 @@
 //
 // Usage:
 //
-//	wfqstress [-queue wf-10] [-threads 8] [-duration 10s] [-mode stress|lincheck] [-seed 1]
+//	wfqstress [-queue wf-10] [-threads 8] [-duration 10s] [-mode stress|lincheck] [-batch 1] [-seed 1]
+//
+// With -batch k > 1 both modes drive the queue through the batched
+// operations (EnqueueBatch/DequeueBatch): the wait-free queue's native
+// single-FAA k-cell reservation, or the single-op fallback for baselines.
 package main
 
 import (
@@ -34,17 +38,21 @@ func main() {
 	threads := flag.Int("threads", 2*runtime.NumCPU(), "worker count (half produce, half consume)")
 	duration := flag.Duration("duration", 10*time.Second, "stress duration")
 	mode := flag.String("mode", "stress", "stress or lincheck")
+	batch := flag.Int("batch", 1, "values per batched operation (1 = single-op mode)")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
 	flag.Parse()
 
 	if !registry.IsRealQueue(*queue) {
 		fatalf("%s is a microbenchmark, not a queue", *queue)
 	}
+	if *batch < 1 {
+		fatalf("bad -batch %d (must be >= 1)", *batch)
+	}
 	switch *mode {
 	case "stress":
-		runStress(*queue, *threads, *duration, *seed)
+		runStress(*queue, *threads, *duration, *batch, *seed)
 	case "lincheck":
-		runLincheck(*queue, *duration, *seed)
+		runLincheck(*queue, *duration, *batch, *seed)
 	default:
 		fatalf("unknown mode %q", *mode)
 	}
@@ -55,7 +63,7 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
-func runStress(name string, threads int, d time.Duration, seed uint64) {
+func runStress(name string, threads int, d time.Duration, batch int, seed uint64) {
 	if threads < 2 {
 		threads = 2
 	}
@@ -68,7 +76,8 @@ func runStress(name string, threads int, d time.Duration, seed uint64) {
 		fatalf("%v", err)
 	}
 
-	fmt.Printf("stress: %s, %d producers, %d consumers, %v\n", name, producers, consumers, d)
+	fmt.Printf("stress: %s, %d producers, %d consumers, batch=%d, %v\n",
+		name, producers, consumers, batch, d)
 
 	var stopProducing atomic.Bool
 	var producedTotal, consumedTotal atomic.Int64
@@ -88,7 +97,9 @@ func runStress(name string, threads int, d time.Duration, seed uint64) {
 		wg.Add(1)
 		go func(p int, ops qiface.Ops) {
 			defer wg.Done()
+			ops = qiface.WithBatchFallback(ops)
 			var seq int64
+			vs := make([]uint64, batch)
 			for !stopProducing.Load() {
 				for producedTotal.Load()-consumedTotal.Load() > maxOutstanding {
 					if stopProducing.Load() {
@@ -96,9 +107,18 @@ func runStress(name string, threads int, d time.Duration, seed uint64) {
 					}
 					runtime.Gosched()
 				}
-				seq++
-				ops.Enqueue(uint64(p)<<32 | uint64(seq))
-				producedTotal.Add(1)
+				if batch == 1 {
+					seq++
+					ops.Enqueue(uint64(p)<<32 | uint64(seq))
+					producedTotal.Add(1)
+				} else {
+					for j := range vs {
+						seq++
+						vs[j] = uint64(p)<<32 | uint64(seq)
+					}
+					ops.EnqueueBatch(vs)
+					producedTotal.Add(int64(batch))
+				}
 			}
 			atomic.StoreInt64(&produced[p], seq)
 		}(p, ops)
@@ -122,25 +142,37 @@ func runStress(name string, threads int, d time.Duration, seed uint64) {
 		cwg.Add(1)
 		go func(st *consumerState, ops qiface.Ops) {
 			defer cwg.Done()
+			ops = qiface.WithBatchFallback(ops)
+			dst := make([]uint64, batch)
 			for {
-				v, ok := ops.Dequeue()
-				if !ok {
+				var n int
+				if batch == 1 {
+					if v, ok := ops.Dequeue(); ok {
+						dst[0] = v
+						n = 1
+					}
+				} else {
+					n = ops.DequeueBatch(dst)
+				}
+				if n == 0 {
 					if drained.Load() {
 						return
 					}
 					runtime.Gosched()
 					continue
 				}
-				p := int(v >> 32)
-				seq := int64(v & 0xffffffff)
-				if p < producers && st.last[p] >= seq {
-					violations.Add(1)
+				for _, v := range dst[:n] {
+					p := int(v >> 32)
+					seq := int64(v & 0xffffffff)
+					if p < producers && st.last[p] >= seq {
+						violations.Add(1)
+					}
+					if p < producers {
+						st.last[p] = seq
+					}
+					st.count++
+					consumedTotal.Add(1)
 				}
-				if p < producers {
-					st.last[p] = seq
-				}
-				st.count++
-				consumedTotal.Add(1)
 			}
 		}(st, ops)
 	}
@@ -181,17 +213,31 @@ func runStress(name string, threads int, d time.Duration, seed uint64) {
 	fmt.Println("OK")
 }
 
-func runLincheck(name string, d time.Duration, seed uint64) {
+func runLincheck(name string, d time.Duration, batch int, seed uint64) {
 	f, err := qiface.Lookup(name)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("lincheck: %s for %v\n", name, d)
+	// Each batched call records up to batch+1 ops (values + a possible
+	// EMPTY) sharing one interval; the checker's search is exponential in
+	// history length, so keep worst-case histories near the single-op
+	// scenarios' size. opsPer*(batch+1) stays around 6-8 per thread.
+	const nthreads = 3
+	opsPer := 6
+	if batch > 1 {
+		if batch > 6 {
+			fatalf("lincheck mode supports -batch up to 6 (history size limit)")
+		}
+		opsPer = 8 / (batch + 1)
+		if opsPer < 1 {
+			opsPer = 1
+		}
+	}
+	fmt.Printf("lincheck: %s, batch=%d for %v\n", name, batch, d)
 	deadline := time.Now().Add(d)
 	trials := 0
 	for time.Now().Before(deadline) {
 		trials++
-		const nthreads, opsPer = 3, 6
 		q, err := f.New(nthreads)
 		if err != nil {
 			fatalf("%v", err)
@@ -204,18 +250,36 @@ func runLincheck(name string, d time.Duration, seed uint64) {
 			if err != nil {
 				fatalf("register: %v", err)
 			}
+			ops = qiface.WithBatchFallback(ops)
 			log := col.Thread(i)
 			rng := workload.NewRNG(seed + uint64(trials*nthreads+i))
 			done.Add(1)
 			go func(i int, ops qiface.Ops) {
 				defer done.Done()
 				start.Wait()
+				next := uint64(1)
 				for k := 0; k < opsPer; k++ {
-					if rng.Bool() {
+					switch {
+					case batch == 1 && rng.Bool():
 						v := uint64(i)<<32 | uint64(k+1)
 						log.Enq(v, func() { ops.Enqueue(v) })
-					} else {
+					case batch == 1:
 						log.Deq(ops.Dequeue)
+					case rng.Bool():
+						b := int(rng.Next()%uint64(batch)) + 1
+						vs := make([]uint64, b)
+						for j := range vs {
+							vs[j] = uint64(i)<<32 | next
+							next++
+						}
+						log.EnqBatch(vs, func() { ops.EnqueueBatch(vs) })
+					default:
+						b := int(rng.Next()%uint64(batch)) + 1
+						dst := make([]uint64, b)
+						log.DeqBatch(func() []uint64 {
+							n := ops.DequeueBatch(dst)
+							return dst[:n]
+						}, b)
 					}
 				}
 			}(i, ops)

@@ -63,3 +63,36 @@ func TestRejectsUnknownQueue(t *testing.T) {
 		t.Fatalf("unknown queue should fail:\n%s", out)
 	}
 }
+
+func TestStressModeBatched(t *testing.T) {
+	for _, queue := range []string{"wf-10", "msqueue"} { // native + fallback
+		out, err := runCLI(t, "-queue", queue, "-threads", "4", "-duration", "300ms", "-batch", "8")
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", queue, err, out)
+		}
+		for _, want := range []string{"batch=8", "order violations: 0", "OK"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s: batched stress output missing %q:\n%s", queue, want, out)
+			}
+		}
+	}
+}
+
+func TestLincheckModeBatched(t *testing.T) {
+	out, err := runCLI(t, "-queue", "wf-0", "-mode", "lincheck", "-duration", "300ms", "-batch", "3")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "batch=3") || !strings.Contains(out, "all linearizable") {
+		t.Errorf("batched lincheck output malformed:\n%s", out)
+	}
+}
+
+func TestRejectsBadBatch(t *testing.T) {
+	if out, err := runCLI(t, "-batch", "0", "-duration", "100ms"); err == nil {
+		t.Fatalf("batch 0 should fail:\n%s", out)
+	}
+	if out, err := runCLI(t, "-mode", "lincheck", "-batch", "40", "-duration", "100ms"); err == nil {
+		t.Fatalf("lincheck batch 40 should fail:\n%s", out)
+	}
+}

@@ -34,9 +34,14 @@ import (
 // one workload).
 type Config struct {
 	Queue     string        // registry name
-	Workload  workload.Kind // Pairs or HalfHalf
+	Workload  workload.Kind // Pairs, HalfHalf or PairsBatched
 	Threads   int
-	Ops       int  // total operations per iteration (a pair counts as 2)
+	Ops       int // total operations per iteration (a pair counts as 2)
+	// Batch is the number of values per batched operation for the
+	// PairsBatched workload (0 is normalized to 1; other workloads ignore
+	// it). Implementations without a native batch path are driven through
+	// qiface.WithBatchFallback.
+	Batch     int
 	Trials    int  // paper: 10
 	Iters     int  // max iterations per trial; paper: 20
 	Pin       bool // pin workers to hardware threads (compact order)
@@ -52,6 +57,7 @@ func DefaultConfig(queue string, k workload.Kind, threads int) Config {
 		Workload:  k,
 		Threads:   threads,
 		Ops:       workload.DefaultOps,
+		Batch:     1,
 		Trials:    10,
 		Iters:     20,
 		Pin:       affinity.Supported(),
@@ -101,6 +107,9 @@ func Run(cfg Config) (Result, error) {
 	}
 	if cfg.Iters < 1 {
 		cfg.Iters = 1
+	}
+	if cfg.Batch < 1 {
+		cfg.Batch = 1
 	}
 	factory, err := qiface.Lookup(cfg.Queue)
 	if err != nil {
@@ -193,6 +202,9 @@ func runTrial(cfg Config, factory qiface.Factory, order []int, seed uint64) (exc
 				regErr <- err
 				return
 			}
+			// Guarantee batch closures even for adapters that predate them,
+			// so PairsBatched runs on every registered implementation.
+			ops = qiface.WithBatchFallback(ops)
 			regErr <- nil
 			ready <- struct{}{}
 			rng := workload.NewRNG(plans[w].Seed)
@@ -294,6 +306,30 @@ func runWorkerIteration(cfg Config, plan workload.Plan, rng *workload.RNG, ops q
 				}
 				deqs++
 			}
+			workNS += int64(workload.Work(rng, cfg.WorkMinNS, cfg.WorkMaxNS))
+		}
+	case workload.PairsBatched:
+		// Like Pairs, but each round moves a whole batch: one EnqueueBatch
+		// of B values, the inter-op work, one DequeueBatch of B. A round
+		// counts as 2B operations, so throughput numbers remain in
+		// operations (values moved), comparable with Pairs.
+		b := cfg.Batch
+		if b < 1 {
+			b = 1
+		}
+		vs := make([]uint64, b)
+		dst := make([]uint64, b)
+		rounds := plan.Ops / (2 * b)
+		for i := 0; i < rounds; i++ {
+			for j := range vs {
+				vs[j] = uint64(i*b+j) + 1
+			}
+			ops.EnqueueBatch(vs)
+			enqs += uint64(b)
+			workNS += int64(workload.Work(rng, cfg.WorkMinNS, cfg.WorkMaxNS))
+			got := ops.DequeueBatch(dst)
+			empty += uint64(b - got)
+			deqs += uint64(b)
 			workNS += int64(workload.Work(rng, cfg.WorkMinNS, cfg.WorkMaxNS))
 		}
 	}

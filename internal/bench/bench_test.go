@@ -175,3 +175,41 @@ func TestPercentilesEmpty(t *testing.T) {
 		t.Error("empty percentiles should be zero")
 	}
 }
+
+func TestRunPairsBatched(t *testing.T) {
+	for _, q := range []string{"wf-10", "lcrq"} { // native + fallback path
+		for _, batch := range []int{1, 8} {
+			cfg := smallConfig(q, workload.PairsBatched, 2)
+			cfg.Batch = batch
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s batch=%d: %v", q, batch, err)
+			}
+			if res.Mops() <= 0 {
+				t.Errorf("%s batch=%d: nonpositive throughput", q, batch)
+			}
+			if res.Enqueues == 0 || res.Enqueues != res.Dequeues {
+				t.Errorf("%s batch=%d: accounting enq=%d deq=%d", q, batch, res.Enqueues, res.Dequeues)
+			}
+		}
+	}
+}
+
+// The batched workload with the native path must show batch FAA counters in
+// the exposed queue stats.
+func TestRunPairsBatchedStats(t *testing.T) {
+	cfg := smallConfig("wf-10", workload.PairsBatched, 2)
+	cfg.Batch = 8
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueueStats["enq_batch_calls"] == 0 || res.QueueStats["deq_batch_calls"] == 0 {
+		t.Errorf("batch counters missing from stats: %v", res.QueueStats)
+	}
+	// Amortization: far fewer enqueue-side FAAs than enqueued values.
+	if res.QueueStats["enq_batch_faas"] >= res.Enqueues {
+		t.Errorf("no FAA amortization: faas=%d enqueues=%d",
+			res.QueueStats["enq_batch_faas"], res.Enqueues)
+	}
+}

@@ -1,0 +1,412 @@
+package core
+
+// Tests of the batched fast path: the single-FAA reservation contract, the
+// window-slide over poisoned cells, the degrade to per-item slow-path
+// requests, and batched MPMC correctness.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+func boxN(n int64) []unsafe.Pointer {
+	vs := make([]unsafe.Pointer, n)
+	for i := range vs {
+		vs[i] = box(int64(i) + 1)
+	}
+	return vs
+}
+
+// TestBatchEnqueueSingleFAA pins the acceptance contract: an uncontended
+// batch enqueue of k items issues exactly one FAA on T, and an uncontended
+// batch dequeue of k items exactly one FAA on H.
+func TestBatchEnqueueSingleFAA(t *testing.T) {
+	const k = 64
+	q := New(2)
+	h := mustRegister(t, q)
+
+	q.EnqueueBatch(h, boxN(k))
+	st := q.Stats()
+	if st.EnqBatchCalls != 1 || st.EnqBatchFAAs != 1 {
+		t.Fatalf("enqueue batch of %d: calls=%d FAAs=%d, want 1/1", k, st.EnqBatchCalls, st.EnqBatchFAAs)
+	}
+	if st.EnqFast != k || st.EnqSlow != 0 {
+		t.Fatalf("enqueue batch of %d: fast=%d slow=%d, want %d/0", k, st.EnqFast, st.EnqSlow, k)
+	}
+	if got := q.Size(); got != k {
+		t.Fatalf("Size = %d, want %d", got, k)
+	}
+
+	dst := make([]unsafe.Pointer, k)
+	n := q.DequeueBatch(h, dst)
+	if n != k {
+		t.Fatalf("DequeueBatch returned %d, want %d", n, k)
+	}
+	for i, p := range dst {
+		if got := unbox(p); got != int64(i)+1 {
+			t.Fatalf("dst[%d] = %d, want %d (FIFO order)", i, got, i+1)
+		}
+	}
+	st = q.Stats()
+	if st.DeqBatchCalls != 1 || st.DeqBatchFAAs != 1 {
+		t.Fatalf("dequeue batch of %d: calls=%d FAAs=%d, want 1/1", k, st.DeqBatchCalls, st.DeqBatchFAAs)
+	}
+	if st.DeqFast != k || st.DeqSlow != 0 {
+		t.Fatalf("dequeue batch of %d: fast=%d slow=%d, want %d/0", k, st.DeqFast, st.DeqSlow, k)
+	}
+}
+
+// TestBatchDequeueShortReturn: a batch dequeue wider than the queue returns
+// exactly the queued values and witnesses EMPTY for the rest; the queue
+// stays fully usable afterwards even though H ran ahead of T.
+func TestBatchDequeueShortReturn(t *testing.T) {
+	q := New(2)
+	h := mustRegister(t, q)
+	for i := int64(1); i <= 5; i++ {
+		q.Enqueue(h, box(i))
+	}
+	dst := make([]unsafe.Pointer, 8)
+	if n := q.DequeueBatch(h, dst); n != 5 {
+		t.Fatalf("DequeueBatch = %d, want 5", n)
+	}
+	for i := 0; i < 5; i++ {
+		if got := unbox(dst[i]); got != int64(i)+1 {
+			t.Fatalf("dst[%d] = %d, want %d", i, got, i+1)
+		}
+	}
+	// H is now 3 cells past T; subsequent traffic must slide over the
+	// poisoned cells and still come back in order.
+	q.EnqueueBatch(h, boxN(4))
+	if n := q.DequeueBatch(h, dst[:4]); n != 4 {
+		t.Fatalf("post-shortfall DequeueBatch = %d, want 4", n)
+	}
+	for i := 0; i < 4; i++ {
+		if got := unbox(dst[i]); got != int64(i)+1 {
+			t.Fatalf("post-shortfall dst[%d] = %d, want %d", i, got, i+1)
+		}
+	}
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// TestBatchWindowSlide drives the enqueue window over cells a dequeuer
+// poisoned: the whole reserved window is unusable, so every item must
+// complete through per-item fast retries, preserving order.
+func TestBatchWindowSlide(t *testing.T) {
+	q := New(2)
+	h := mustRegister(t, q)
+	// Poison cells 0..3 (EMPTY observations push H to 4).
+	if n := q.DequeueBatch(h, make([]unsafe.Pointer, 4)); n != 0 {
+		t.Fatalf("empty DequeueBatch = %d, want 0", n)
+	}
+	// The reserved window [0,4) is fully poisoned; items land at 4..7.
+	q.EnqueueBatch(h, boxN(4))
+	st := q.Stats()
+	if st.EnqFast != 4 || st.EnqSlow != 0 {
+		t.Fatalf("fast=%d slow=%d, want 4/0", st.EnqFast, st.EnqSlow)
+	}
+	// 1 window FAA + 1 per-item retry FAA each.
+	if st.EnqBatchFAAs != 5 {
+		t.Fatalf("EnqBatchFAAs = %d, want 5", st.EnqBatchFAAs)
+	}
+	dst := make([]unsafe.Pointer, 4)
+	if n := q.DequeueBatch(h, dst); n != 4 {
+		t.Fatalf("DequeueBatch = %d, want 4", n)
+	}
+	for i := 0; i < 4; i++ {
+		if got := unbox(dst[i]); got != int64(i)+1 {
+			t.Fatalf("dst[%d] = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+// TestBatchDegradesToSlowPath exhausts the batch's PATIENCE budget so the
+// remainder must publish ordinary slow-path requests — and still deliver
+// every value in order.
+func TestBatchDegradesToSlowPath(t *testing.T) {
+	q := New(2, WithPatience(0))
+	h := mustRegister(t, q)
+	// Poison a wide stretch of cells.
+	if n := q.DequeueBatch(h, make([]unsafe.Pointer, 8)); n != 0 {
+		t.Fatalf("empty DequeueBatch = %d, want 0", n)
+	}
+	q.EnqueueBatch(h, boxN(3))
+	st := q.Stats()
+	if st.EnqFast+st.EnqSlow != 3 {
+		t.Fatalf("fast+slow = %d, want 3", st.EnqFast+st.EnqSlow)
+	}
+	if st.EnqSlow == 0 {
+		t.Fatal("patience 0 over a poisoned window should take the slow path")
+	}
+	dst := make([]unsafe.Pointer, 3)
+	if n := q.DequeueBatch(h, dst); n != 3 {
+		t.Fatalf("DequeueBatch = %d, want 3", n)
+	}
+	for i := 0; i < 3; i++ {
+		if got := unbox(dst[i]); got != int64(i)+1 {
+			t.Fatalf("dst[%d] = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+// TestBatchEdgeCases: zero-length batches are no-ops, length-1 batches
+// delegate to the single-op path, nil values panic.
+func TestBatchEdgeCases(t *testing.T) {
+	q := New(1)
+	h := mustRegister(t, q)
+	q.EnqueueBatch(h, nil)
+	if n := q.DequeueBatch(h, nil); n != 0 {
+		t.Fatalf("empty dst DequeueBatch = %d, want 0", n)
+	}
+	q.EnqueueBatch(h, []unsafe.Pointer{box(7)})
+	dst := make([]unsafe.Pointer, 1)
+	if n := q.DequeueBatch(h, dst); n != 1 || unbox(dst[0]) != 7 {
+		t.Fatalf("len-1 batch roundtrip: n=%d", n)
+	}
+	st := q.Stats()
+	if st.EnqBatchCalls != 0 || st.DeqBatchCalls != 0 {
+		t.Fatalf("len-1 batches must delegate to the single-op path: %+v", st)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnqueueBatch with nil value should panic")
+		}
+	}()
+	q.EnqueueBatch(h, []unsafe.Pointer{box(1), nil})
+}
+
+// TestBatchSpansSegments reserves a window far larger than a segment in one
+// FAA and checks the list is extended correctly.
+func TestBatchSpansSegments(t *testing.T) {
+	const k = 64
+	q := New(2, WithSegmentShift(2)) // 4 cells per segment
+	h := mustRegister(t, q)
+	q.EnqueueBatch(h, boxN(k))
+	if st := q.Stats(); st.EnqBatchFAAs != 1 || st.EnqFast != k {
+		t.Fatalf("spanning batch: FAAs=%d fast=%d", st.EnqBatchFAAs, st.EnqFast)
+	}
+	dst := make([]unsafe.Pointer, k)
+	if n := q.DequeueBatch(h, dst); n != k {
+		t.Fatalf("DequeueBatch = %d, want %d", n, k)
+	}
+	for i := 0; i < k; i++ {
+		if got := unbox(dst[i]); got != int64(i)+1 {
+			t.Fatalf("dst[%d] = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+// batchMPMC runs producers×consumers batched traffic over a queue built by
+// mk and validates no loss, no duplication and per-producer FIFO order.
+func batchMPMC(t *testing.T, q *Queue, producers, consumers, perProducer, batch int) {
+	t.Helper()
+	total := producers * perProducer
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		h := mustRegister(t, q)
+		wg.Add(1)
+		go func(p int, h *Handle) {
+			defer wg.Done()
+			defer h.Release()
+			buf := make([]unsafe.Pointer, batch)
+			for s := 0; s < perProducer; s += batch {
+				n := batch
+				if s+n > perProducer {
+					n = perProducer - s
+				}
+				for j := 0; j < n; j++ {
+					buf[j] = box(int64(p)<<32 | int64(s+j+1))
+				}
+				q.EnqueueBatch(h, buf[:n])
+			}
+		}(p, h)
+	}
+
+	var mu sync.Mutex
+	var count int
+	var failed atomic.Bool
+	seen := make(map[int64]bool, total)
+	lastSeq := make([][]int64, consumers)
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		h := mustRegister(t, q)
+		lastSeq[c] = make([]int64, producers)
+		cwg.Add(1)
+		go func(c int, h *Handle) {
+			defer cwg.Done()
+			defer h.Release()
+			buf := make([]unsafe.Pointer, batch)
+			for {
+				mu.Lock()
+				done := count >= total
+				mu.Unlock()
+				if done || failed.Load() {
+					return
+				}
+				n := q.DequeueBatch(h, buf)
+				if n == 0 {
+					runtime.Gosched()
+					continue
+				}
+				mu.Lock()
+				for j := 0; j < n; j++ {
+					v := unbox(buf[j])
+					if seen[v] {
+						mu.Unlock()
+						failed.Store(true)
+						t.Errorf("value %x dequeued twice", v)
+						return
+					}
+					seen[v] = true
+					p, s := v>>32, v&0xffffffff
+					if lastSeq[c][p] >= s {
+						mu.Unlock()
+						failed.Store(true)
+						t.Errorf("consumer %d: producer %d seq %d after %d", c, p, s, lastSeq[c][p])
+						return
+					}
+					lastSeq[c][p] = s
+					count++
+				}
+				mu.Unlock()
+			}
+		}(c, h)
+	}
+	wg.Wait()
+	cwg.Wait()
+	if t.Failed() {
+		return
+	}
+	if len(seen) != total {
+		t.Fatalf("dequeued %d distinct values, want %d", len(seen), total)
+	}
+}
+
+func TestBatchConcurrentMPMC(t *testing.T) {
+	per := 20000
+	if testing.Short() {
+		per = 4000
+	}
+	q := New(8)
+	batchMPMC(t, q, 4, 4, per, 8)
+}
+
+func TestBatchConcurrentMPMCPatienceZero(t *testing.T) {
+	per := 10000
+	if testing.Short() {
+		per = 2000
+	}
+	q := New(8, WithPatience(0))
+	batchMPMC(t, q, 4, 4, per, 4)
+}
+
+func TestBatchConcurrentTinySegmentsReclaim(t *testing.T) {
+	per := 10000
+	if testing.Short() {
+		per = 2000
+	}
+	q := New(8, WithSegmentShift(3), WithMaxGarbage(1))
+	batchMPMC(t, q, 4, 4, per, 16)
+	if q.ReclaimedSegments() == 0 {
+		t.Error("tiny segments under batched traffic should reclaim")
+	}
+}
+
+// TestBatchMixedWithSingles interleaves batched and single operations on
+// the same queue from different handles.
+func TestBatchMixedWithSingles(t *testing.T) {
+	per := 10000
+	if testing.Short() {
+		per = 2000
+	}
+	q := New(8)
+	var wg sync.WaitGroup
+	// Two single-op producers and two batch producers; one single-op
+	// consumer and one batch consumer drain a known total.
+	total := 4 * per
+	var consumed sync.Map
+	var got int64
+	var mu sync.Mutex
+	var failed atomic.Bool
+	producer := func(p int, batched bool) {
+		defer wg.Done()
+		h := mustRegister(t, q)
+		defer h.Release()
+		if batched {
+			buf := make([]unsafe.Pointer, 8)
+			for s := 0; s < per; s += 8 {
+				n := 8
+				if s+n > per {
+					n = per - s
+				}
+				for j := 0; j < n; j++ {
+					buf[j] = box(int64(p)<<32 | int64(s+j+1))
+				}
+				q.EnqueueBatch(h, buf[:n])
+			}
+		} else {
+			for s := 0; s < per; s++ {
+				q.Enqueue(h, box(int64(p)<<32|int64(s+1)))
+			}
+		}
+	}
+	consumer := func(batched bool) {
+		defer wg.Done()
+		h := mustRegister(t, q)
+		defer h.Release()
+		buf := make([]unsafe.Pointer, 8)
+		for {
+			mu.Lock()
+			done := got >= int64(total)
+			mu.Unlock()
+			if done || failed.Load() {
+				return
+			}
+			var vals []unsafe.Pointer
+			if batched {
+				n := q.DequeueBatch(h, buf)
+				vals = buf[:n]
+			} else {
+				if v, ok := q.Dequeue(h); ok {
+					vals = append(vals[:0], v)
+				}
+			}
+			if len(vals) == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for _, p := range vals {
+				v := unbox(p)
+				if _, dup := consumed.LoadOrStore(v, true); dup {
+					failed.Store(true)
+					t.Errorf("value %x dequeued twice", v)
+					return
+				}
+				mu.Lock()
+				got++
+				mu.Unlock()
+			}
+		}
+	}
+	wg.Add(6)
+	go producer(0, false)
+	go producer(1, false)
+	go producer(2, true)
+	go producer(3, true)
+	go consumer(false)
+	go consumer(true)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got != int64(total) {
+		t.Fatalf("consumed %d, want %d", got, total)
+	}
+}

@@ -175,6 +175,16 @@ type Counters struct {
 	HelpDeq  uint64 // help_deq invocations on behalf of a peer
 	Cleanups uint64 // reclamation passes that freed at least one segment
 	Segments uint64 // segments allocated by this handle
+
+	// Batched-operation instrumentation. The FAA counters cover the fast
+	// path only (the batch window and per-item fast retries); slow-path
+	// FAAs are uncounted, as on the single-operation path. On an
+	// uncontended EnqueueBatch/DequeueBatch of k items, exactly one FAA is
+	// issued for the whole batch.
+	EnqBatchCalls uint64 // EnqueueBatch invocations taking the native batched path
+	EnqBatchFAAs  uint64 // fast-path FAAs on T issued by batched enqueues
+	DeqBatchCalls uint64 // DequeueBatch invocations taking the native batched path
+	DeqBatchFAAs  uint64 // fast-path FAAs on H issued by batched dequeues
 }
 
 // Queue is the wait-free FIFO queue. Create instances with New; all
@@ -372,6 +382,10 @@ func (q *Queue) Stats() Counters {
 		total.HelpDeq += ctrLoad(&h.stats.HelpDeq)
 		total.Cleanups += ctrLoad(&h.stats.Cleanups)
 		total.Segments += ctrLoad(&h.stats.Segments)
+		total.EnqBatchCalls += ctrLoad(&h.stats.EnqBatchCalls)
+		total.EnqBatchFAAs += ctrLoad(&h.stats.EnqBatchFAAs)
+		total.DeqBatchCalls += ctrLoad(&h.stats.DeqBatchCalls)
+		total.DeqBatchFAAs += ctrLoad(&h.stats.DeqBatchFAAs)
 	}
 	return total
 }

@@ -2,16 +2,21 @@ package core
 
 import (
 	"testing"
+	"unsafe"
 )
 
 // FuzzAgainstModel drives arbitrary single-threaded op sequences against a
 // slice model across a configuration chosen by the first two fuzz bytes.
+// Each op byte selects mod 4: single enqueue, single dequeue, batched
+// enqueue or batched dequeue (batch size from the byte's high bits).
 // `go test` runs the seed corpus; `go test -fuzz=FuzzAgainstModel` explores.
 func FuzzAgainstModel(f *testing.F) {
 	f.Add([]byte{0, 0, 1, 2, 3, 4, 5})
 	f.Add([]byte{1, 3, 0, 1, 1, 1, 0, 0, 1})
 	f.Add([]byte{2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 1, 1, 1, 1, 0})
 	f.Add([]byte{3, 2, 0, 0, 0, 1, 1, 1, 1, 0, 1, 0, 1})
+	f.Add([]byte{0, 2, 2, 3, 2, 7, 3, 30, 2, 255, 3, 254})
+	f.Add([]byte{1, 1, 2, 2, 1, 3, 3, 0, 2, 6, 1, 3, 7})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 3 {
@@ -32,11 +37,12 @@ func FuzzAgainstModel(f *testing.F) {
 		var model []int64
 		next := int64(1)
 		for k, op := range ops {
-			if op%2 == 0 {
+			switch op % 4 {
+			case 0:
 				q.Enqueue(h, box(next))
 				model = append(model, next)
 				next++
-			} else {
+			case 1:
 				v, ok := q.Dequeue(h)
 				if len(model) == 0 {
 					if ok {
@@ -51,6 +57,35 @@ func FuzzAgainstModel(f *testing.F) {
 					}
 					model = model[1:]
 				}
+			case 2:
+				// Batched enqueue of 1..64 values.
+				n := int64(op>>2)%64 + 1
+				vs := make([]unsafe.Pointer, n)
+				for j := range vs {
+					vs[j] = box(next)
+					model = append(model, next)
+					next++
+				}
+				q.EnqueueBatch(h, vs)
+			case 3:
+				// Batched dequeue of 1..64 values. Single-threaded the
+				// return count is exact: min(queue length, batch size).
+				n := int(op>>2)%64 + 1
+				dst := make([]unsafe.Pointer, n)
+				got := q.DequeueBatch(h, dst)
+				want := len(model)
+				if want > n {
+					want = n
+				}
+				if got != want {
+					t.Fatalf("op %d: DequeueBatch(%d) = %d, want %d", k, n, got, want)
+				}
+				for j := 0; j < got; j++ {
+					if v := unbox(dst[j]); v != model[j] {
+						t.Fatalf("op %d: batch[%d] = %d, want %d", k, j, v, model[j])
+					}
+				}
+				model = model[got:]
 			}
 		}
 		for j, want := range model {

@@ -221,3 +221,37 @@ func (t *ThreadLog) Deq(run func() (uint64, bool)) (uint64, bool) {
 	t.ops = append(t.ops, Op{Kind: Deq, Value: v, OK: ok, Start: start, End: end, Thread: t.thread})
 	return v, ok
 }
+
+// EnqBatch runs the batched-enqueue closure and records one Enq op per
+// value, all sharing the call's [start,end] interval. This is the exact
+// model of a non-atomic batch: each value has its own linearization point
+// somewhere inside the call, in any order consistent with FIFO — and since
+// the checker explores all orderings of identical intervals, batch
+// implementations that preserve intra-batch order are accepted while any
+// lost or duplicated value is rejected.
+func (t *ThreadLog) EnqBatch(vs []uint64, run func()) {
+	start := t.c.Now()
+	run()
+	end := t.c.Now()
+	for _, v := range vs {
+		t.ops = append(t.ops, Op{Kind: Enq, Value: v, OK: true, Start: start, End: end, Thread: t.thread})
+	}
+}
+
+// DeqBatch runs the batched-dequeue closure and records one Deq op per
+// returned value, sharing the call's interval. When the batch comes back
+// short — the implementation's claim that the queue was observed EMPTY
+// during the call — one EMPTY Deq op is recorded with the same interval,
+// so the checker verifies a legal empty linearization point existed.
+func (t *ThreadLog) DeqBatch(run func() []uint64, want int) []uint64 {
+	start := t.c.Now()
+	got := run()
+	end := t.c.Now()
+	for _, v := range got {
+		t.ops = append(t.ops, Op{Kind: Deq, Value: v, OK: true, Start: start, End: end, Thread: t.thread})
+	}
+	if len(got) < want {
+		t.ops = append(t.ops, Op{Kind: Deq, OK: false, Start: start, End: end, Thread: t.thread})
+	}
+	return got
+}

@@ -190,3 +190,72 @@ func TestOpString(t *testing.T) {
 		}
 	}
 }
+
+func TestBatchRecording(t *testing.T) {
+	c := NewCollector(1)
+	log := c.Thread(0)
+	log.EnqBatch([]uint64{1, 2, 3}, func() {})
+	got := log.DeqBatch(func() []uint64 { return []uint64{1, 2} }, 2)
+	if len(got) != 2 {
+		t.Fatalf("DeqBatch returned %v", got)
+	}
+	// Short batch: 1 value back out of 2 asked -> one value op + one EMPTY.
+	log.DeqBatch(func() []uint64 { return []uint64{3} }, 2)
+
+	h := c.History()
+	// 3 enq + 2 deq + (1 deq + 1 empty) = 7 ops.
+	if len(h) != 7 {
+		t.Fatalf("history has %d ops, want 7", len(h))
+	}
+	ok, err := Check(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("legal batched history rejected:\n%v", h)
+	}
+}
+
+// A short DeqBatch claims an EMPTY observation; if values provably remained
+// in the queue for the whole call the history must be rejected.
+func TestBatchShortClaimRejected(t *testing.T) {
+	h := History{
+		// Three values enqueued, all before time 10.
+		{Kind: Enq, Value: 1, Start: 0, End: 1, Thread: 0},
+		{Kind: Enq, Value: 2, Start: 2, End: 3, Thread: 0},
+		{Kind: Enq, Value: 3, Start: 4, End: 5, Thread: 0},
+		// A batched dequeue of 2 that returned only value 1 and claimed
+		// EMPTY — impossible: 2 and 3 are in the queue throughout.
+		{Kind: Deq, Value: 1, OK: true, Start: 10, End: 12, Thread: 1},
+		{Kind: Deq, OK: false, Start: 10, End: 12, Thread: 1},
+	}
+	ok, err := Check(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("impossible EMPTY claim accepted")
+	}
+}
+
+// A batch that loses a value must be rejected: the enqueues are strictly
+// ordered in real time, yet 2 never comes out while 3 does. (Within ONE
+// batch the recorded intervals are identical, so the checker permits
+// intra-batch reorderings — order across sequential operations is what it
+// enforces, as here.)
+func TestBatchLostValueRejected(t *testing.T) {
+	h := History{
+		{Kind: Enq, Value: 1, Start: 0, End: 1, Thread: 0},
+		{Kind: Enq, Value: 2, Start: 2, End: 3, Thread: 0},
+		{Kind: Enq, Value: 3, Start: 4, End: 5, Thread: 0},
+		{Kind: Deq, Value: 1, OK: true, Start: 10, End: 12, Thread: 1},
+		{Kind: Deq, Value: 3, OK: true, Start: 10, End: 12, Thread: 1},
+	}
+	ok, err := Check(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("history with a skipped FIFO value accepted")
+	}
+}

@@ -16,7 +16,7 @@ import (
 	"sync"
 )
 
-// Ops is a pair of per-thread operation closures. Register returns one Ops
+// Ops is a set of per-thread operation closures. Register returns one Ops
 // per worker thread; the closures are NOT safe for use from more than one
 // goroutine, matching the paper's per-thread handle discipline.
 type Ops struct {
@@ -25,6 +25,50 @@ type Ops struct {
 	// Dequeue removes and returns the oldest value. ok is false when the
 	// queue observed an EMPTY linearization point.
 	Dequeue func() (v uint64, ok bool)
+
+	// EnqueueBatch appends all values of vs to the queue in order. It is
+	// semantically equivalent to calling Enqueue once per value;
+	// implementations with a native batched path (the wait-free queue's
+	// single-FAA k-cell reservation) amortize coordination across the
+	// batch. May be nil; use WithBatchFallback to guarantee presence.
+	EnqueueBatch func(vs []uint64)
+	// DequeueBatch fills dst from the front of the queue in FIFO order and
+	// returns the number of values stored. A return n < len(dst)
+	// guarantees the queue was observed EMPTY at some linearizable point
+	// during the call (the batched analogue of Dequeue's ok=false). May be
+	// nil; use WithBatchFallback to guarantee presence.
+	DequeueBatch func(dst []uint64) int
+}
+
+// WithBatchFallback returns ops with any missing batch closure synthesized
+// from the single-operation closures: EnqueueBatch becomes an enqueue per
+// value, DequeueBatch dequeues until dst is full or EMPTY is observed. The
+// fallback preserves the batch contract (short DequeueBatch returns imply
+// an EMPTY observation) so harnesses can drive every implementation —
+// native or not — through the batched surface uniformly.
+func WithBatchFallback(ops Ops) Ops {
+	if ops.EnqueueBatch == nil {
+		enq := ops.Enqueue
+		ops.EnqueueBatch = func(vs []uint64) {
+			for _, v := range vs {
+				enq(v)
+			}
+		}
+	}
+	if ops.DequeueBatch == nil {
+		deq := ops.Dequeue
+		ops.DequeueBatch = func(dst []uint64) int {
+			for i := range dst {
+				v, ok := deq()
+				if !ok {
+					return i
+				}
+				dst[i] = v
+			}
+			return len(dst)
+		}
+	}
+	return ops
 }
 
 // Queue is one live queue instance.

@@ -78,3 +78,79 @@ func TestRegisterInvalidPanics(t *testing.T) {
 	}()
 	Register(Factory{Name: "zz-bad"})
 }
+
+// sliceOps builds single-op closures over a plain slice model.
+func sliceOps(model *[]uint64) Ops {
+	return Ops{
+		Enqueue: func(v uint64) { *model = append(*model, v) },
+		Dequeue: func() (uint64, bool) {
+			if len(*model) == 0 {
+				return 0, false
+			}
+			v := (*model)[0]
+			*model = (*model)[1:]
+			return v, true
+		},
+	}
+}
+
+func TestWithBatchFallbackSynthesizes(t *testing.T) {
+	var model []uint64
+	ops := WithBatchFallback(sliceOps(&model))
+	if ops.EnqueueBatch == nil || ops.DequeueBatch == nil {
+		t.Fatal("fallback left a batch closure nil")
+	}
+
+	ops.EnqueueBatch([]uint64{1, 2, 3, 4, 5})
+	if len(model) != 5 {
+		t.Fatalf("model has %d values after batch enqueue, want 5", len(model))
+	}
+
+	dst := make([]uint64, 3)
+	if n := ops.DequeueBatch(dst); n != 3 {
+		t.Fatalf("DequeueBatch(3) = %d, want 3", n)
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		if dst[i] != want {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst[i], want)
+		}
+	}
+
+	// Short return must witness EMPTY: 2 values left, ask for 4.
+	dst = make([]uint64, 4)
+	if n := ops.DequeueBatch(dst); n != 2 {
+		t.Fatalf("DequeueBatch(4) on 2 values = %d, want 2", n)
+	}
+	if dst[0] != 4 || dst[1] != 5 {
+		t.Fatalf("tail = %v, want [4 5 _ _]", dst)
+	}
+	if n := ops.DequeueBatch(dst); n != 0 {
+		t.Fatalf("DequeueBatch on empty = %d, want 0", n)
+	}
+}
+
+func TestWithBatchFallbackKeepsNative(t *testing.T) {
+	nativeEnqs, nativeDeqs := 0, 0
+	var model []uint64
+	ops := sliceOps(&model)
+	ops.EnqueueBatch = func(vs []uint64) { nativeEnqs++; model = append(model, vs...) }
+	ops.DequeueBatch = func(dst []uint64) int { nativeDeqs++; return 0 }
+	ops = WithBatchFallback(ops)
+	ops.EnqueueBatch([]uint64{7, 8})
+	ops.DequeueBatch(make([]uint64, 2))
+	if nativeEnqs != 1 || nativeDeqs != 1 {
+		t.Fatalf("native closures not preserved: enq=%d deq=%d", nativeEnqs, nativeDeqs)
+	}
+}
+
+func TestWithBatchFallbackZeroLength(t *testing.T) {
+	var model []uint64
+	ops := WithBatchFallback(sliceOps(&model))
+	ops.EnqueueBatch(nil)
+	if n := ops.DequeueBatch(nil); n != 0 {
+		t.Fatalf("DequeueBatch(nil) = %d, want 0", n)
+	}
+	if len(model) != 0 {
+		t.Fatalf("zero-length batches mutated the queue: %v", model)
+	}
+}

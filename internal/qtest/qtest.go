@@ -14,9 +14,46 @@ import (
 
 // Ops is one worker's view of a queue under test. Values are int64 in
 // [0, 2^62) so the battery also fits LCRQ's packed-cell value range.
+//
+// EnqBatch and DeqBatch are optional; when a Maker leaves them nil the
+// battery synthesizes them from the single-op closures (mirroring
+// qiface.WithBatchFallback), so every queue is exercised through the
+// batched surface whether or not it has a native batch path.
 type Ops struct {
 	Enq func(int64)
 	Deq func() (int64, bool)
+	// EnqBatch enqueues all values in order.
+	EnqBatch func([]int64)
+	// DeqBatch fills dst from the front and returns the count; a short
+	// return means the queue was observed empty during the call.
+	DeqBatch func(dst []int64) int
+}
+
+// withBatch returns ops with nil batch closures synthesized from the
+// single-op ones.
+func withBatch(ops Ops) Ops {
+	if ops.EnqBatch == nil {
+		enq := ops.Enq
+		ops.EnqBatch = func(vs []int64) {
+			for _, v := range vs {
+				enq(v)
+			}
+		}
+	}
+	if ops.DeqBatch == nil {
+		deq := ops.Deq
+		ops.DeqBatch = func(dst []int64) int {
+			for i := range dst {
+				v, ok := deq()
+				if !ok {
+					return i
+				}
+				dst[i] = v
+			}
+			return len(dst)
+		}
+	}
+	return ops
 }
 
 // Maker builds a fresh queue sized for n workers and returns a registration
@@ -175,6 +212,157 @@ func MPMC(t *testing.T, mk Maker, producers, consumers, perProducer int) {
 	}
 }
 
+// SequentialBatch drives mixed-size batched enqueues and dequeues through
+// one worker and checks FIFO order, exact shortfall semantics, and
+// emptiness at the end.
+func SequentialBatch(t *testing.T, mk Maker, rounds int) {
+	t.Helper()
+	ops := withBatch(mk(t, 1)())
+	sizes := []int{1, 2, 3, 7, 16, 64}
+	next := int64(1)
+	var model []int64
+	for r := 0; r < rounds; r++ {
+		k := sizes[r%len(sizes)]
+		vs := make([]int64, k)
+		for i := range vs {
+			vs[i] = next
+			model = append(model, next)
+			next++
+		}
+		ops.EnqBatch(vs)
+
+		// Dequeue a batch of a different size to shear the boundaries.
+		d := sizes[(r+2)%len(sizes)]
+		dst := make([]int64, d)
+		n := ops.DeqBatch(dst)
+		want := len(model)
+		if want > d {
+			want = d
+		}
+		if n != want {
+			t.Fatalf("round %d: DeqBatch(%d) = %d, want %d", r, d, n, want)
+		}
+		for i := 0; i < n; i++ {
+			if dst[i] != model[i] {
+				t.Fatalf("round %d: dst[%d] = %d, want %d", r, i, dst[i], model[i])
+			}
+		}
+		model = model[n:]
+	}
+	// Drain and verify emptiness.
+	dst := make([]int64, len(model)+8)
+	n := ops.DeqBatch(dst)
+	if n != len(model) {
+		t.Fatalf("drain: got %d, want %d", n, len(model))
+	}
+	for i, want := range model {
+		if dst[i] != want {
+			t.Fatalf("drain: dst[%d] = %d, want %d", i, dst[i], want)
+		}
+	}
+	if n := ops.DeqBatch(dst[:4]); n != 0 {
+		t.Fatalf("empty DeqBatch = %d, want 0", n)
+	}
+}
+
+// BatchShortfall checks the batched-dequeue contract: a return shorter than
+// the destination implies the queue was observed empty, and a short return
+// never loses values.
+func BatchShortfall(t *testing.T, mk Maker) {
+	t.Helper()
+	ops := withBatch(mk(t, 1)())
+	ops.EnqBatch([]int64{1, 2, 3})
+	dst := make([]int64, 8)
+	if n := ops.DeqBatch(dst); n != 3 || dst[0] != 1 || dst[1] != 2 || dst[2] != 3 {
+		t.Fatalf("shortfall: got n=%d dst=%v", n, dst[:3])
+	}
+	// The queue must remain fully usable after over-asking.
+	ops.EnqBatch([]int64{4})
+	if v, ok := ops.Deq(); !ok || v != 4 {
+		t.Fatalf("after shortfall: got (%d,%v), want (4,true)", v, ok)
+	}
+}
+
+// MPMCBatch runs batched producers against batched consumers and validates
+// no loss, no duplication, and per-producer FIFO order, with the same value
+// encoding as MPMC. Batch sizes vary per round to exercise reservation
+// windows that span segment boundaries unevenly.
+func MPMCBatch(t *testing.T, mk Maker, producers, consumers, perProducer, batch int) {
+	t.Helper()
+	perProducer -= perProducer % batch // whole batches only
+	total := producers * perProducer
+	register := mk(t, producers+consumers)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		ops := withBatch(register())
+		wg.Add(1)
+		go func(p int, ops Ops) {
+			defer wg.Done()
+			vs := make([]int64, batch)
+			for s := 0; s < perProducer; s += batch {
+				for i := range vs {
+					vs[i] = int64(p)<<32 | int64(s+i+1)
+				}
+				ops.EnqBatch(vs)
+			}
+		}(p, ops)
+	}
+
+	results := make([][]int64, consumers)
+	var consumed sync.WaitGroup
+	var count int64
+	var mu sync.Mutex
+	for c := 0; c < consumers; c++ {
+		ops := withBatch(register())
+		consumed.Add(1)
+		go func(c int, ops Ops) {
+			defer consumed.Done()
+			var local []int64
+			dst := make([]int64, batch)
+			for {
+				mu.Lock()
+				done := count >= int64(total)
+				mu.Unlock()
+				if done {
+					break
+				}
+				n := ops.DeqBatch(dst)
+				if n == 0 {
+					runtime.Gosched()
+					continue
+				}
+				local = append(local, dst[:n]...)
+				mu.Lock()
+				count += int64(n)
+				mu.Unlock()
+			}
+			results[c] = local
+		}(c, ops)
+	}
+	wg.Wait()
+	consumed.Wait()
+
+	seen := make(map[int64]bool, total)
+	for c, local := range results {
+		last := map[int64]int64{}
+		for _, v := range local {
+			if seen[v] {
+				t.Fatalf("value %d dequeued twice", v)
+			}
+			seen[v] = true
+			p, s := v>>32, v&0xffffffff
+			if l, ok := last[p]; ok && s <= l {
+				t.Fatalf("consumer %d: order violation for producer %d: seq %d after %d", c, p, s, l)
+			}
+			last[p] = s
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("dequeued %d distinct values, want %d", len(seen), total)
+	}
+}
+
 // Battery runs the full conformance suite with sizes scaled by -short.
 func Battery(t *testing.T, mk Maker) {
 	t.Helper()
@@ -187,7 +375,11 @@ func Battery(t *testing.T, mk Maker) {
 	t.Run("Sequential", func(t *testing.T) { Sequential(t, mk, 2000) })
 	t.Run("EmptyResilience", func(t *testing.T) { EmptyResilience(t, mk, 300) })
 	t.Run("QuickModel", func(t *testing.T) { QuickModel(t, mk, quickN) })
+	t.Run("SequentialBatch", func(t *testing.T) { SequentialBatch(t, mk, 200) })
+	t.Run("BatchShortfall", func(t *testing.T) { BatchShortfall(t, mk) })
 	t.Run("MPMC-4x4", func(t *testing.T) { MPMC(t, mk, 4, 4, per) })
 	t.Run("MPMC-1x8", func(t *testing.T) { MPMC(t, mk, 1, 8, per) })
 	t.Run("MPMC-8x1", func(t *testing.T) { MPMC(t, mk, 8, 1, per/4) })
+	t.Run("MPMCBatch-4x4", func(t *testing.T) { MPMCBatch(t, mk, 4, 4, per, 8) })
+	t.Run("MPMCBatch-2x2", func(t *testing.T) { MPMCBatch(t, mk, 2, 2, per, 13) })
 }

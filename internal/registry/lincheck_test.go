@@ -78,3 +78,90 @@ func TestLinearizabilityAllQueues(t *testing.T) {
 		})
 	}
 }
+
+// runRecordedBatchScenario is runRecordedScenario over the batched surface:
+// every operation is an EnqueueBatch or DequeueBatch of 1..maxBatch values.
+// Each batch value is recorded as an individual op sharing the whole call's
+// interval — the exact model of a non-atomic batch — and a short dequeue
+// adds one EMPTY op asserting the implementation's emptiness claim.
+func runRecordedBatchScenario(t *testing.T, name string, nthreads, opsPerThread, maxBatch int, seed uint64) {
+	t.Helper()
+	f := MustLookup(name)
+	q, err := f.New(nthreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := lincheck.NewCollector(nthreads)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < nthreads; i++ {
+		ops, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		log := col.Thread(i)
+		rng := workload.NewRNG(seed + uint64(i)*977)
+		done.Add(1)
+		go func(i int, ops qiface.Ops) {
+			defer done.Done()
+			start.Wait()
+			next := uint64(1)
+			for k := 0; k < opsPerThread; k++ {
+				b := int(rng.Next()%uint64(maxBatch)) + 1
+				if rng.Bool() {
+					vs := make([]uint64, b)
+					for j := range vs {
+						vs[j] = uint64(i)<<32 | next
+						next++
+					}
+					log.EnqBatch(vs, func() { ops.EnqueueBatch(vs) })
+				} else {
+					dst := make([]uint64, b)
+					log.DeqBatch(func() []uint64 {
+						n := ops.DequeueBatch(dst)
+						return dst[:n]
+					}, b)
+				}
+			}
+		}(i, ops)
+	}
+	start.Done()
+	done.Wait()
+
+	h := col.History()
+	ok, err := lincheck.Check(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("%s: non-linearizable batched history:\n%v", name, h)
+	}
+}
+
+// TestBatchLinearizabilityAllQueues validates the batched operations —
+// native single-FAA reservations on the wait-free queues, the synthesized
+// fallback on every baseline — against the linearizability model. History
+// sizing: nthreads*opsPerThread*(maxBatch+1) must stay within
+// lincheck.MaxOps.
+func TestBatchLinearizabilityAllQueues(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	for _, name := range realQueues(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for trial := 0; trial < trials; trial++ {
+				// Worst case 3 threads * 2 ops * (2+1) = 18 recorded ops —
+				// sized like the single-op scenarios; the checker's search
+				// is exponential in history length.
+				runRecordedBatchScenario(t, name, 3, 2, 2, uint64(trial)*419+11)
+			}
+			for trial := 0; trial < trials/4; trial++ {
+				// Worst case 2 threads * 2 ops * (5+1) = 24 recorded ops.
+				runRecordedBatchScenario(t, name, 2, 2, 5, uint64(trial)*523+3)
+			}
+		})
+	}
+}

@@ -26,6 +26,7 @@ package registry
 
 import (
 	"fmt"
+	"unsafe"
 
 	"wfqueue/internal/ccqueue"
 	"wfqueue/internal/chanq"
@@ -53,6 +54,21 @@ func (a *arena) put(v uint64) *uint64 {
 	a.next++
 	*p = v
 	return p
+}
+
+// batchScratch is a per-Ops reusable pointer buffer for the wait-free
+// queue's native batch path. Ops are single-goroutine by contract, so one
+// buffer per Ops suffices and steady-state batched operation allocates
+// nothing beyond what the value representation itself requires.
+type batchScratch struct {
+	buf []unsafe.Pointer
+}
+
+func (s *batchScratch) grow(n int) []unsafe.Pointer {
+	if cap(s.buf) < n {
+		s.buf = make([]unsafe.Pointer, n)
+	}
+	return s.buf[:n]
 }
 
 // FigureSeries is the ordered list of series plotted in the paper's
@@ -137,6 +153,16 @@ func (a *wfAdapter) Register() (qiface.Ops, error) {
 	if err != nil {
 		return qiface.Ops{}, err
 	}
+	scr := &batchScratch{}
+	deqBatch := func(dst []uint64) int {
+		buf := scr.grow(len(dst))
+		n := a.q.DequeueBatch(h, buf)
+		for i := 0; i < n; i++ {
+			dst[i] = *(*uint64)(buf[i])
+			buf[i] = nil
+		}
+		return n
+	}
 	if a.boxed {
 		return qiface.Ops{
 			Enqueue: func(v uint64) { a.q.Enqueue(h, boxVal(v)) },
@@ -147,6 +173,19 @@ func (a *wfAdapter) Register() (qiface.Ops, error) {
 				}
 				return *(*uint64)(p), true
 			},
+			EnqueueBatch: func(vs []uint64) {
+				// One heap backing array for the whole batch amortizes the
+				// boxing allocation the single-op checked adapter pays per
+				// value.
+				vals := make([]uint64, len(vs))
+				copy(vals, vs)
+				buf := scr.grow(len(vs))
+				for i := range vals {
+					buf[i] = unsafe.Pointer(&vals[i])
+				}
+				a.q.EnqueueBatch(h, buf)
+			},
+			DequeueBatch: deqBatch,
 		}, nil
 	}
 	ar := &arena{}
@@ -159,6 +198,14 @@ func (a *wfAdapter) Register() (qiface.Ops, error) {
 			}
 			return *(*uint64)(p), true
 		},
+		EnqueueBatch: func(vs []uint64) {
+			buf := scr.grow(len(vs))
+			for i, v := range vs {
+				buf[i] = ptr(ar.put(v))
+			}
+			a.q.EnqueueBatch(h, buf)
+		},
+		DequeueBatch: deqBatch,
 	}, nil
 }
 
@@ -166,15 +213,19 @@ func (a *wfAdapter) Register() (qiface.Ops, error) {
 func (a *wfAdapter) Stats() map[string]uint64 {
 	s := a.q.Stats()
 	return map[string]uint64{
-		"enq_fast":  s.EnqFast,
-		"enq_slow":  s.EnqSlow,
-		"deq_fast":  s.DeqFast,
-		"deq_slow":  s.DeqSlow,
-		"deq_empty": s.DeqEmpty,
-		"help_enq":  s.HelpEnq,
-		"help_deq":  s.HelpDeq,
-		"cleanups":  s.Cleanups,
-		"segments":  s.Segments,
+		"enq_fast":        s.EnqFast,
+		"enq_slow":        s.EnqSlow,
+		"deq_fast":        s.DeqFast,
+		"deq_slow":        s.DeqSlow,
+		"deq_empty":       s.DeqEmpty,
+		"help_enq":        s.HelpEnq,
+		"help_deq":        s.HelpDeq,
+		"cleanups":        s.Cleanups,
+		"segments":        s.Segments,
+		"enq_batch_calls": s.EnqBatchCalls,
+		"enq_batch_faas":  s.EnqBatchFAAs,
+		"deq_batch_calls": s.DeqBatchCalls,
+		"deq_batch_faas":  s.DeqBatchFAAs,
 	}
 }
 
@@ -196,7 +247,7 @@ func (a *ofAdapter) Register() (qiface.Ops, error) {
 		return qiface.Ops{}, err
 	}
 	if a.boxed {
-		return qiface.Ops{
+		return qiface.WithBatchFallback(qiface.Ops{
 			Enqueue: func(v uint64) { a.q.Enqueue(h, boxVal(v)) },
 			Dequeue: func() (uint64, bool) {
 				p, ok := a.q.Dequeue(h)
@@ -205,10 +256,10 @@ func (a *ofAdapter) Register() (qiface.Ops, error) {
 				}
 				return *(*uint64)(p), true
 			},
-		}, nil
+		}), nil
 	}
 	ar := &arena{}
-	return qiface.Ops{
+	return qiface.WithBatchFallback(qiface.Ops{
 		Enqueue: func(v uint64) { a.q.Enqueue(h, ptr(ar.put(v))) },
 		Dequeue: func() (uint64, bool) {
 			p, ok := a.q.Dequeue(h)
@@ -217,7 +268,7 @@ func (a *ofAdapter) Register() (qiface.Ops, error) {
 			}
 			return *(*uint64)(p), true
 		},
-	}, nil
+	}), nil
 }
 
 type lcrqAdapter struct {
@@ -242,10 +293,10 @@ func (a *lcrqAdapter) Register() (qiface.Ops, error) {
 	if err != nil {
 		return qiface.Ops{}, err
 	}
-	return qiface.Ops{
+	return qiface.WithBatchFallback(qiface.Ops{
 		Enqueue: func(v uint64) { a.q.Enqueue(h, v) },
 		Dequeue: func() (uint64, bool) { return a.q.Dequeue(h) },
-	}, nil
+	}), nil
 }
 
 type msAdapter struct {
@@ -272,7 +323,7 @@ func (a *msAdapter) Register() (qiface.Ops, error) {
 		return qiface.Ops{}, err
 	}
 	if a.boxed {
-		return qiface.Ops{
+		return qiface.WithBatchFallback(qiface.Ops{
 			Enqueue: func(v uint64) { a.q.Enqueue(h, boxVal(v)) },
 			Dequeue: func() (uint64, bool) {
 				p, ok := a.q.Dequeue(h)
@@ -281,10 +332,10 @@ func (a *msAdapter) Register() (qiface.Ops, error) {
 				}
 				return *(*uint64)(p), true
 			},
-		}, nil
+		}), nil
 	}
 	ar := &arena{}
-	return qiface.Ops{
+	return qiface.WithBatchFallback(qiface.Ops{
 		Enqueue: func(v uint64) { a.q.Enqueue(h, ptr(ar.put(v))) },
 		Dequeue: func() (uint64, bool) {
 			p, ok := a.q.Dequeue(h)
@@ -293,7 +344,7 @@ func (a *msAdapter) Register() (qiface.Ops, error) {
 			}
 			return *(*uint64)(p), true
 		},
-	}, nil
+	}), nil
 }
 
 type ccAdapter struct {
@@ -314,7 +365,7 @@ func (a *ccAdapter) Register() (qiface.Ops, error) {
 		return qiface.Ops{}, err
 	}
 	if a.boxed {
-		return qiface.Ops{
+		return qiface.WithBatchFallback(qiface.Ops{
 			Enqueue: func(v uint64) { a.q.Enqueue(h, boxVal(v)) },
 			Dequeue: func() (uint64, bool) {
 				p, ok := a.q.Dequeue(h)
@@ -323,10 +374,10 @@ func (a *ccAdapter) Register() (qiface.Ops, error) {
 				}
 				return *(*uint64)(p), true
 			},
-		}, nil
+		}), nil
 	}
 	ar := &arena{}
-	return qiface.Ops{
+	return qiface.WithBatchFallback(qiface.Ops{
 		Enqueue: func(v uint64) { a.q.Enqueue(h, ptr(ar.put(v))) },
 		Dequeue: func() (uint64, bool) {
 			p, ok := a.q.Dequeue(h)
@@ -335,7 +386,7 @@ func (a *ccAdapter) Register() (qiface.Ops, error) {
 			}
 			return *(*uint64)(p), true
 		},
-	}, nil
+	}), nil
 }
 
 type kpAdapter struct {
@@ -356,7 +407,7 @@ func (a *kpAdapter) Register() (qiface.Ops, error) {
 		return qiface.Ops{}, err
 	}
 	if a.boxed {
-		return qiface.Ops{
+		return qiface.WithBatchFallback(qiface.Ops{
 			Enqueue: func(v uint64) { a.q.Enqueue(h, boxVal(v)) },
 			Dequeue: func() (uint64, bool) {
 				p, ok := a.q.Dequeue(h)
@@ -365,10 +416,10 @@ func (a *kpAdapter) Register() (qiface.Ops, error) {
 				}
 				return *(*uint64)(p), true
 			},
-		}, nil
+		}), nil
 	}
 	ar := &arena{}
-	return qiface.Ops{
+	return qiface.WithBatchFallback(qiface.Ops{
 		Enqueue: func(v uint64) { a.q.Enqueue(h, ptr(ar.put(v))) },
 		Dequeue: func() (uint64, bool) {
 			p, ok := a.q.Dequeue(h)
@@ -377,7 +428,7 @@ func (a *kpAdapter) Register() (qiface.Ops, error) {
 			}
 			return *(*uint64)(p), true
 		},
-	}, nil
+	}), nil
 }
 
 type faaAdapter struct {
@@ -394,10 +445,10 @@ func (a *faaAdapter) Name() string { return a.name }
 // Register returns operations that only perform the FAAs; Dequeue always
 // "succeeds" since the microbenchmark transfers no values.
 func (a *faaAdapter) Register() (qiface.Ops, error) {
-	return qiface.Ops{
+	return qiface.WithBatchFallback(qiface.Ops{
 		Enqueue: func(uint64) { a.b.Enqueue() },
 		Dequeue: func() (uint64, bool) { return uint64(a.b.Dequeue()), true },
-	}, nil
+	}), nil
 }
 
 // IsRealQueue reports whether the named implementation has real FIFO
@@ -425,10 +476,10 @@ func newChan(name string) (qiface.Queue, error) {
 func (a *chanAdapter) Name() string { return a.name }
 
 func (a *chanAdapter) Register() (qiface.Ops, error) {
-	return qiface.Ops{
+	return qiface.WithBatchFallback(qiface.Ops{
 		Enqueue: a.q.Enqueue,
 		Dequeue: a.q.Dequeue,
-	}, nil
+	}), nil
 }
 
 type simAdapter struct {
@@ -447,10 +498,10 @@ func (a *simAdapter) Register() (qiface.Ops, error) {
 	if err != nil {
 		return qiface.Ops{}, err
 	}
-	return qiface.Ops{
+	return qiface.WithBatchFallback(qiface.Ops{
 		Enqueue: func(v uint64) { a.q.Enqueue(h, v) },
 		Dequeue: func() (uint64, bool) { return a.q.Dequeue(h) },
-	}, nil
+	}), nil
 }
 
 // NewChecked builds the named queue with value-exact adapters: pointer-based

@@ -42,6 +42,23 @@ func makerFor(name string) qtest.Maker {
 					v, ok := ops.Dequeue()
 					return int64(v), ok
 				},
+				// Pass the adapter's batch closures through so the battery
+				// exercises the native batched path where one exists.
+				EnqBatch: func(vs []int64) {
+					us := make([]uint64, len(vs))
+					for i, v := range vs {
+						us[i] = uint64(v)
+					}
+					ops.EnqueueBatch(us)
+				},
+				DeqBatch: func(dst []int64) int {
+					us := make([]uint64, len(dst))
+					n := ops.DequeueBatch(us)
+					for i := 0; i < n; i++ {
+						dst[i] = int64(us[i])
+					}
+					return n
+				},
 			}
 		}
 	}
@@ -155,5 +172,90 @@ func TestNewCheckedValueFidelity(t *testing.T) {
 func TestNewCheckedUnknown(t *testing.T) {
 	if _, err := NewChecked("no-such", 1); err == nil {
 		t.Fatal("unknown queue should error")
+	}
+}
+
+// TestBatchOpsAllQueues drives every real queue through the batched surface.
+// Register now always yields batch closures — native for the wait-free
+// queue, synthesized by qiface.WithBatchFallback for the baselines — so the
+// harness can treat every implementation uniformly.
+func TestBatchOpsAllQueues(t *testing.T) {
+	for _, name := range realQueues(t) {
+		t.Run(name, func(t *testing.T) {
+			q, err := NewChecked(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ops, err := q.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ops.EnqueueBatch == nil || ops.DequeueBatch == nil {
+				t.Fatal("Register must return batch closures (native or fallback)")
+			}
+			const k = 100
+			vs := make([]uint64, k)
+			for i := range vs {
+				vs[i] = uint64(i + 1)
+			}
+			ops.EnqueueBatch(vs)
+			dst := make([]uint64, k+20)
+			// chan is bounded/blocking, so only ask for what was enqueued.
+			if name == "chan" {
+				dst = dst[:k]
+			}
+			n := ops.DequeueBatch(dst)
+			if n != k {
+				t.Fatalf("DequeueBatch = %d, want %d", n, k)
+			}
+			for i := 0; i < k; i++ {
+				if dst[i] != uint64(i+1) {
+					t.Fatalf("dst[%d] = %d, want %d", i, dst[i], i+1)
+				}
+			}
+			if name != "chan" {
+				if n := ops.DequeueBatch(dst[:4]); n != 0 {
+					t.Fatalf("DequeueBatch on drained queue = %d, want 0", n)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchStatsSingleFAA verifies through the adapter that an uncontended
+// batched pair issues exactly one FAA on T and one on H, and that the Stats
+// map surfaces the batch counters for Table 2 style reporting.
+func TestBatchStatsSingleFAA(t *testing.T) {
+	for _, name := range []string{"wf-10", "wf-0"} {
+		t.Run(name, func(t *testing.T) {
+			q, err := NewChecked(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ops, err := q.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			const k = 32
+			vs := make([]uint64, k)
+			for i := range vs {
+				vs[i] = uint64(i)
+			}
+			ops.EnqueueBatch(vs)
+			if n := ops.DequeueBatch(make([]uint64, k)); n != k {
+				t.Fatalf("DequeueBatch = %d, want %d", n, k)
+			}
+			st := q.(qiface.StatsProvider).Stats()
+			for key, want := range map[string]uint64{
+				"enq_batch_calls": 1,
+				"enq_batch_faas":  1,
+				"deq_batch_calls": 1,
+				"deq_batch_faas":  1,
+			} {
+				if st[key] != want {
+					t.Errorf("stats[%q] = %d, want %d", key, st[key], want)
+				}
+			}
+		})
 	}
 }

@@ -25,6 +25,11 @@ const (
 	Pairs Kind = iota
 	// HalfHalf is the 50%-enqueues benchmark.
 	HalfHalf
+	// PairsBatched is the pairs benchmark driven through the batched
+	// operations: each iteration is an EnqueueBatch of B values followed by
+	// a DequeueBatch of B, so one iteration counts as 2B operations. With
+	// B=1 it degenerates to Pairs.
+	PairsBatched
 )
 
 // String returns the workload's conventional name.
@@ -34,6 +39,8 @@ func (k Kind) String() string {
 		return "enqueue-dequeue-pairs"
 	case HalfHalf:
 		return "50%-enqueues"
+	case PairsBatched:
+		return "enqueue-dequeue-pairs-batched"
 	default:
 		return "unknown"
 	}

@@ -113,10 +113,32 @@ type Handle[T any] struct {
 	q        *core.Queue
 	h        *core.Handle
 	released atomic.Bool
+	// scratch is reused across batched calls so a steady-state batch
+	// performs one allocation (the boxed values' backing array) regardless
+	// of batch size. Safe because a Handle is single-goroutine by contract.
+	scratch []unsafe.Pointer
+}
+
+func (h *Handle[T]) scratchPtrs(n int) []unsafe.Pointer {
+	if cap(h.scratch) < n {
+		h.scratch = make([]unsafe.Pointer, n)
+	}
+	return h.scratch[:n]
+}
+
+// check panics when the handle was already released: its core.Handle slot
+// may have been handed to another goroutine, so continuing would corrupt a
+// stranger's helping-ring state. One atomic load, negligible next to the
+// operation's FAA.
+func (h *Handle[T]) check() {
+	if h.released.Load() {
+		panic("wfqueue: operation on released Handle")
+	}
 }
 
 // Enqueue appends v to the queue in a bounded number of steps.
 func (h *Handle[T]) Enqueue(v T) {
+	h.check()
 	h.q.Enqueue(h.h, unsafe.Pointer(&v))
 }
 
@@ -124,6 +146,7 @@ func (h *Handle[T]) Enqueue(v T) {
 // was observed empty (a valid linearization point at which it held no
 // values).
 func (h *Handle[T]) Dequeue() (v T, ok bool) {
+	h.check()
 	p, ok := h.q.Dequeue(h.h)
 	if !ok {
 		var zero T
@@ -132,13 +155,57 @@ func (h *Handle[T]) Dequeue() (v T, ok bool) {
 	return *(*T)(p), true
 }
 
+// EnqueueBatch appends all values of vs to the queue in order. It is
+// semantically equivalent to calling Enqueue once per value, but the
+// uncontended case issues a single fetch-and-add on the tail index for the
+// whole batch — coordination cost is amortized over len(vs) — and the
+// values share one backing allocation. The call as a whole is not atomic:
+// a concurrent dequeuer may observe a prefix of the batch, but intra-batch
+// FIFO order is always preserved. Wait-freedom is unchanged (a batch of k
+// is bounded by k single operations).
+func (h *Handle[T]) EnqueueBatch(vs []T) {
+	h.check()
+	if len(vs) == 0 {
+		return
+	}
+	// One heap copy for the whole batch: the cells hold pointers into this
+	// backing array, which stays reachable until every value is dequeued.
+	vals := make([]T, len(vs))
+	copy(vals, vs)
+	buf := h.scratchPtrs(len(vs))
+	for i := range vals {
+		buf[i] = unsafe.Pointer(&vals[i])
+	}
+	h.q.EnqueueBatch(h.h, buf)
+}
+
+// DequeueBatch removes up to len(dst) values from the front of the queue,
+// storing them into dst in FIFO order, and returns the number stored. The
+// uncontended case issues a single fetch-and-add on the head index for the
+// whole batch. A return n < len(dst) means the queue was observed empty at
+// some point during the call — the batched analogue of Dequeue's ok=false.
+func (h *Handle[T]) DequeueBatch(dst []T) int {
+	h.check()
+	if len(dst) == 0 {
+		return 0
+	}
+	buf := h.scratchPtrs(len(dst))
+	n := h.q.DequeueBatch(h.h, buf)
+	for i := 0; i < n; i++ {
+		dst[i] = *(*T)(buf[i])
+		buf[i] = nil // release the reference for the GC
+	}
+	return n
+}
+
 // Release returns the handle to the queue's pool. The handle must not be
-// used afterwards. Release is idempotent only through the finalizer path;
-// calling it twice explicitly panics, as that indicates a handle shared
-// between goroutines.
+// used afterwards: any further operation on it panics, since its slot may
+// already belong to another goroutine. Release itself is idempotent —
+// calling it again (explicitly or via the finalizer) is a no-op, so
+// deferred cleanup composes with explicit release.
 func (h *Handle[T]) Release() {
 	if h.released.Swap(true) {
-		panic("wfqueue: Handle released twice")
+		return
 	}
 	runtime.SetFinalizer(h, nil)
 	h.h.Release()

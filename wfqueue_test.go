@@ -3,6 +3,7 @@ package wfqueue_test
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"wfqueue"
@@ -161,16 +162,169 @@ func TestOptionsRoundTrip(t *testing.T) {
 	}
 }
 
-func TestDoubleReleasePanics(t *testing.T) {
+func TestReleaseIdempotent(t *testing.T) {
 	q := wfqueue.New[int](1)
 	h, _ := q.Register()
 	h.Release()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("double Release should panic")
-		}
-	}()
+	h.Release() // must be a no-op, so `defer h.Release()` composes
+	// The slot must be checked in exactly once: after re-registering, the
+	// queue is at capacity again.
+	h2, err := q.Register()
+	if err != nil {
+		t.Fatalf("re-register after double Release: %v", err)
+	}
+	if _, err := q.Register(); err == nil {
+		t.Fatal("double Release must not free the slot twice")
+	}
+	h2.Release()
+}
+
+func TestUseAfterReleasePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on released Handle should panic", name)
+			}
+		}()
+		f()
+	}
+	q := wfqueue.New[int](1)
+	h, _ := q.Register()
 	h.Release()
+	mustPanic("Enqueue", func() { h.Enqueue(1) })
+	mustPanic("Dequeue", func() { h.Dequeue() })
+	mustPanic("EnqueueBatch", func() { h.EnqueueBatch([]int{1, 2}) })
+	mustPanic("DequeueBatch", func() { h.DequeueBatch(make([]int, 2)) })
+}
+
+func TestBatchFacade(t *testing.T) {
+	q := wfqueue.New[string](2)
+	h, _ := q.Register()
+	defer h.Release()
+
+	h.EnqueueBatch([]string{"a", "b", "c"})
+	h.EnqueueBatch(nil) // no-op
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	dst := make([]string, 5)
+	if n := h.DequeueBatch(dst); n != 3 {
+		t.Fatalf("DequeueBatch = %d, want 3", n)
+	}
+	if dst[0] != "a" || dst[1] != "b" || dst[2] != "c" {
+		t.Fatalf("batch order wrong: %v", dst[:3])
+	}
+	if n := h.DequeueBatch(dst); n != 0 {
+		t.Fatalf("DequeueBatch on empty = %d, want 0", n)
+	}
+	if n := h.DequeueBatch(nil); n != 0 {
+		t.Fatalf("DequeueBatch(nil) = %d, want 0", n)
+	}
+
+	// The caller's input slice can be reused immediately: values were
+	// copied to a private backing array.
+	src := []string{"x", "y"}
+	h.EnqueueBatch(src)
+	src[0], src[1] = "mut", "ated"
+	if n := h.DequeueBatch(dst[:2]); n != 2 || dst[0] != "x" || dst[1] != "y" {
+		t.Fatalf("batch values aliased the caller's slice: %v", dst[:2])
+	}
+}
+
+func TestBatchFacadeSingleFAA(t *testing.T) {
+	q := wfqueue.New[int](1)
+	h, _ := q.Register()
+	defer h.Release()
+	vs := make([]int, 64)
+	for i := range vs {
+		vs[i] = i
+	}
+	h.EnqueueBatch(vs)
+	got := make([]int, 64)
+	if n := h.DequeueBatch(got); n != 64 {
+		t.Fatalf("DequeueBatch = %d, want 64", n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+	st := q.Stats()
+	if st.EnqBatchCalls != 1 || st.EnqBatchFAAs != 1 {
+		t.Errorf("enq batch: calls=%d faas=%d, want 1/1", st.EnqBatchCalls, st.EnqBatchFAAs)
+	}
+	if st.DeqBatchCalls != 1 || st.DeqBatchFAAs != 1 {
+		t.Errorf("deq batch: calls=%d faas=%d, want 1/1", st.DeqBatchCalls, st.DeqBatchFAAs)
+	}
+}
+
+func TestConcurrentBatchFacade(t *testing.T) {
+	const workers = 4
+	const batch = 16
+	rounds := 200
+	if testing.Short() {
+		rounds = 50
+	}
+	q := wfqueue.New[int](2*workers, wfqueue.WithSegmentShift(6))
+	var wg sync.WaitGroup
+	var got sync.Map
+	var count int64
+	var mu sync.Mutex
+	var failed atomic.Bool
+	for w := 0; w < workers; w++ {
+		hp, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hc, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(2)
+		go func(w int, h *wfqueue.Handle[int]) {
+			defer wg.Done()
+			defer h.Release()
+			vs := make([]int, batch)
+			for r := 0; r < rounds; r++ {
+				for i := range vs {
+					vs[i] = (w*rounds+r)*batch + i
+				}
+				h.EnqueueBatch(vs)
+			}
+		}(w, hp)
+		go func(h *wfqueue.Handle[int]) {
+			defer wg.Done()
+			defer h.Release()
+			dst := make([]int, batch)
+			for {
+				mu.Lock()
+				done := count == int64(workers*rounds*batch)
+				mu.Unlock()
+				if done || failed.Load() {
+					return
+				}
+				n := h.DequeueBatch(dst)
+				if n == 0 {
+					runtime.Gosched()
+					continue
+				}
+				for _, v := range dst[:n] {
+					if _, dup := got.LoadOrStore(v, true); dup {
+						t.Errorf("duplicate %d", v)
+						failed.Store(true)
+						return
+					}
+				}
+				mu.Lock()
+				count += int64(n)
+				mu.Unlock()
+			}
+		}(hc)
+	}
+	wg.Wait()
+	if !failed.Load() && count != int64(workers*rounds*batch) {
+		t.Fatalf("dequeued %d values, want %d", count, workers*rounds*batch)
+	}
 }
 
 // A handle leaked by a dead goroutine must eventually return to the pool
