@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build vet test race short bench fuzz stress soak ci experiments examples clean
+# All generated output (CSV results, soak/stress logs, benchmark baselines)
+# lands here; the directory is untracked (see .gitignore).
+ARTIFACTS ?= artifacts
+
+.PHONY: all build vet test race short bench bench-json fuzz stress soak ci experiments examples clean
 
 all: build vet test
 
@@ -31,26 +35,34 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Machine-readable perf baseline: throughput + memory metrics per queue and
+# the zero-allocation gate on the core hot path (exits nonzero if the
+# recycling path allocates at steady state). Writes BENCH_core.json at the
+# repo root — the committed baseline. CI runs this as bench-smoke.
+bench-json:
+	$(GO) run ./cmd/wfqbench json -out BENCH_core.json \
+		-ops 50000 -trials 3 -iters 3 -nowork -nopin
+
 fuzz:
 	$(GO) test ./internal/core -fuzz FuzzAgainstModel -fuzztime 30s
 	$(GO) test ./internal/lcrq -fuzz FuzzAgainstModel -fuzztime 30s
 
-stress:
-	$(GO) run ./cmd/wfqstress -queue wf-10 -threads 8 -duration 30s
-	$(GO) run ./cmd/wfqstress -queue wf-10 -mode lincheck -duration 10s
+stress: | $(ARTIFACTS)
+	$(GO) run ./cmd/wfqstress -queue wf-10 -threads 8 -duration 30s | tee $(ARTIFACTS)/stress_output.txt
+	$(GO) run ./cmd/wfqstress -queue wf-10 -mode lincheck -duration 10s | tee -a $(ARTIFACTS)/stress_output.txt
 
 # Long validation across every implementation, plus one batched pass over
 # the wait-free queue's native k-cell reservation path.
-soak:
+soak: | $(ARTIFACTS)
 	for q in wf-10 wf-0 lcrq msqueue ccqueue kpqueue simqueue of chan; do \
 		$(GO) run ./cmd/wfqstress -queue $$q -threads 8 -duration 10s || exit 1; \
-	done
-	$(GO) run ./cmd/wfqstress -queue wf-10 -threads 8 -duration 10s -batch 8
+	done 2>&1 | tee $(ARTIFACTS)/soak_output.txt
+	$(GO) run ./cmd/wfqstress -queue wf-10 -threads 8 -duration 10s -batch 8 2>&1 | tee -a $(ARTIFACTS)/soak_output.txt
 
 # Regenerate the paper's tables and figures (quick parameters; add
 # WFQ_FLAGS=-paper for the full methodology).
-experiments:
-	$(GO) run ./cmd/wfqbench all -csv results.csv $(WFQ_FLAGS)
+experiments: | $(ARTIFACTS)
+	$(GO) run ./cmd/wfqbench all -csv $(ARTIFACTS)/results.csv $(WFQ_FLAGS) | tee $(ARTIFACTS)/experiments_run.txt
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -59,5 +71,9 @@ examples:
 	$(GO) run ./examples/latency
 	$(GO) run ./examples/comparison
 
+$(ARTIFACTS):
+	mkdir -p $(ARTIFACTS)
+
 clean:
 	$(GO) clean -testcache
+	rm -rf $(ARTIFACTS)

@@ -55,6 +55,7 @@ func runQueueBench(b *testing.B, name string, k workload.Kind, nthreads int) {
 	plans := workload.Split(k, b.N, nthreads, 0x5EED)
 
 	var wg sync.WaitGroup
+	b.ReportAllocs()
 	b.ResetTimer()
 	for w := 0; w < nthreads; w++ {
 		wg.Add(1)
@@ -131,6 +132,7 @@ func BenchmarkTable2Breakdown(b *testing.B) {
 			}
 			plans := workload.Split(workload.HalfHalf, b.N, t, 7)
 			var wg sync.WaitGroup
+			b.ReportAllocs()
 			b.ResetTimer()
 			for w := 0; w < t; w++ {
 				wg.Add(1)
@@ -175,6 +177,7 @@ func BenchmarkSingleThread(b *testing.B) {
 // BenchmarkTable1Platform measures platform detection and, more usefully,
 // prints the Table 1 row once.
 func BenchmarkTable1Platform(b *testing.B) {
+	b.ReportAllocs()
 	var row string
 	for i := 0; i < b.N; i++ {
 		row = bench.DetectPlatform().Table1Row()
@@ -249,6 +252,7 @@ func benchFacadePairs(b *testing.B, q *wfqueue.Queue[int], nthreads int) {
 		per = 1
 	}
 	var wg sync.WaitGroup
+	b.ReportAllocs()
 	b.ResetTimer()
 	for w := 0; w < nthreads; w++ {
 		wg.Add(1)
@@ -307,6 +311,7 @@ func runQueueBenchBatched(b *testing.B, name string, nthreads, batch int) {
 	plans := workload.Split(workload.PairsBatched, b.N, nthreads, 0x5EED)
 
 	var wg sync.WaitGroup
+	b.ReportAllocs()
 	b.ResetTimer()
 	for w := 0; w < nthreads; w++ {
 		wg.Add(1)
@@ -346,7 +351,7 @@ func BenchmarkBatchPairs(b *testing.B) {
 }
 
 // BenchmarkBatchFacade measures the public generic batched API, whose
-// boxing is amortized to one backing allocation per batch.
+// boxing cycles through recycled boxes (zero steady-state allocations).
 func BenchmarkBatchFacade(b *testing.B) {
 	for _, k := range batchSizes {
 		b.Run(fmt.Sprintf("batch=%d", k), func(b *testing.B) {
@@ -358,6 +363,7 @@ func BenchmarkBatchFacade(b *testing.B) {
 			defer h.Release()
 			vs := make([]int, k)
 			dst := make([]int, k)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N/(2*k); i++ {
 				for j := range vs {

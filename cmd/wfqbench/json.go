@@ -1,0 +1,180 @@
+package main
+
+// The json subcommand: the repository's machine-readable perf baseline
+// (BENCH_core.json). One document records, for a single run on a single
+// host:
+//
+//   - the platform (so baselines from different hosts are never compared
+//     blindly),
+//   - the core queue's steady-state allocation count — the CI gate: any
+//     nonzero allocs/op on the recycling hot path exits 1,
+//   - throughput + memory metrics (allocs/op, bytes/op, GC pauses) for
+//     every selected queue under the pairs workload,
+//   - the pairwise wf-10-recycle / wf-10 throughput ratio from this same
+//     run, the regression-visible headline for the zero-allocation memory
+//     path.
+//
+// Thresholding on cross-run throughput is deliberately NOT done here:
+// shared CI runners make absolute Mops/s unstable. The allocation gate is
+// exact and deterministic; the throughput rows are the recorded
+// trajectory.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"slices"
+
+	"wfqueue/internal/bench"
+	"wfqueue/internal/workload"
+)
+
+const benchSchema = "wfqueue/bench-core/v1"
+
+type jsonDoc struct {
+	Schema   string       `json:"schema"`
+	Platform jsonPlatform `json:"platform"`
+	Params   jsonParams   `json:"params"`
+	Core     jsonCore     `json:"core_steady_state"`
+	Queues   []jsonQueue  `json:"queues"`
+	Pairwise jsonPairwise `json:"pairwise"`
+}
+
+type jsonPlatform struct {
+	Model      string `json:"model"`
+	HWThreads  int    `json:"hw_threads"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+type jsonParams struct {
+	Workload string `json:"workload"`
+	Threads  int    `json:"threads"`
+	Ops      int    `json:"ops"`
+	Trials   int    `json:"trials"`
+	Iters    int    `json:"iters"`
+}
+
+// jsonCore is the deterministic zero-allocation measurement the CI gate
+// keys on (bench.SteadyStateAllocs).
+type jsonCore struct {
+	Ops              int     `json:"ops"`
+	AllocsPerOp      float64 `json:"allocs_per_op"`
+	BytesPerOp       float64 `json:"bytes_per_op"`
+	RecycledSegments uint64  `json:"recycled_segments"`
+}
+
+type jsonQueue struct {
+	Name        string  `json:"name"`
+	Mops        float64 `json:"mops"`          // work-excluded steady-state mean
+	MopsCIHalf  float64 `json:"mops_ci_half"`  // 95% CI half-width
+	WallMops    float64 `json:"wall_mops"`     // wall-clock mean (work included)
+	AllocsPerOp float64 `json:"allocs_per_op"` // last trial, MemStats delta
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	GCPauseNS   uint64  `json:"gc_pause_total_ns"`
+	GCCycles    uint32  `json:"gc_cycles"`
+}
+
+type jsonPairwise struct {
+	// RecycleVsBase is wf-10-recycle wall throughput over wf-10's, from
+	// this run: the cost (or win) of the recycling memory path against the
+	// GC path, measured under identical conditions.
+	RecycleVsBase float64 `json:"wf10_recycle_over_wf10_wall"`
+}
+
+// jsonQueueSet returns the queues the baseline covers: the user's -queues
+// selection with the pairwise pair (wf-10, wf-10-recycle) always included.
+func jsonQueueSet(selected []string) []string {
+	qs := slices.Clone(selected)
+	for _, need := range []string{"wf-10", "wf-10-recycle"} {
+		if !slices.Contains(qs, need) {
+			qs = append(qs, need)
+		}
+	}
+	return qs
+}
+
+func runJSON(o options) {
+	// One thread count per queue keeps the emitter CI-sized (~1s per
+	// queue with the smoke parameters). Default: the host's core count
+	// capped at 4 so laptop and CI baselines exercise comparable
+	// contention.
+	threads := runtime.NumCPU()
+	if threads > 4 {
+		threads = 4
+	}
+	if o.threadsSet {
+		threads = o.threads[0]
+	}
+
+	// The exact gate first: cheap, deterministic, and if it fails the
+	// baseline below would be recording a broken memory path anyway.
+	const coreOps = 200_000
+	core := bench.SteadyStateAllocs(coreOps)
+	doc := jsonDoc{
+		Schema: benchSchema,
+		Core: jsonCore{
+			Ops:              core.Ops,
+			AllocsPerOp:      core.AllocsPerOp,
+			BytesPerOp:       core.BytesPerOp,
+			RecycledSegments: core.Recycled,
+		},
+	}
+	p := bench.DetectPlatform()
+	doc.Platform = jsonPlatform{
+		Model:      p.Model,
+		HWThreads:  p.Threads,
+		GOOS:       p.GOOS,
+		GOARCH:     p.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	doc.Params = jsonParams{
+		Workload: workload.Pairs.String(),
+		Threads:  threads,
+		Ops:      o.ops,
+		Trials:   o.trials,
+		Iters:    o.iters,
+	}
+
+	byName := map[string]jsonQueue{}
+	for _, qn := range jsonQueueSet(o.queues) {
+		res, err := bench.Run(o.config(qn, workload.Pairs, threads))
+		if err != nil {
+			fatalf("json %s: %v", qn, err)
+		}
+		row := jsonQueue{
+			Name:        qn,
+			Mops:        res.Mops(),
+			MopsCIHalf:  res.Interval.Half(),
+			WallMops:    res.WallInterval.Mean,
+			AllocsPerOp: res.AllocsPerOp,
+			BytesPerOp:  res.BytesPerOp,
+			GCPauseNS:   res.GCPauseNS,
+			GCCycles:    res.GCCycles,
+		}
+		doc.Queues = append(doc.Queues, row)
+		byName[qn] = row
+		fmt.Printf("json: %-14s %8.2f Mops/s (wall %.2f)  %.4f allocs/op  %.1f B/op\n",
+			qn, row.Mops, row.WallMops, row.AllocsPerOp, row.BytesPerOp)
+	}
+	if base, ok := byName["wf-10"]; ok && base.WallMops > 0 {
+		doc.Pairwise.RecycleVsBase = byName["wf-10-recycle"].WallMops / base.WallMops
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatalf("json: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(o.outPath, buf, 0o644); err != nil {
+		fatalf("json: %v", err)
+	}
+	fmt.Printf("json: wrote %s (core steady state: %.4f allocs/op over %d ops, %d segments recycled; recycle/base = %.2fx)\n",
+		o.outPath, core.AllocsPerOp, core.Ops, core.Recycled, doc.Pairwise.RecycleVsBase)
+
+	if core.AllocsPerOp > 0 {
+		fatalf("core hot path allocated %.4f objects/op at steady state, want 0 (gate failed)", core.AllocsPerOp)
+	}
+}

@@ -10,7 +10,15 @@
 //	wfqbench figure2 [-bench pairs|half|both] [flags]
 //	wfqbench table2  [flags]
 //	wfqbench single  [flags]
+//	wfqbench json    [-out BENCH_core.json] [flags]
 //	wfqbench all     [flags]
+//
+// The json subcommand is the repository's perf-baseline emitter: it runs
+// the pairs workload for every selected queue, records throughput plus the
+// memory-path metrics (allocs/op, bytes/op, GC pause totals), verifies the
+// core queue's hot path performs zero steady-state heap allocations
+// (exiting nonzero if not — the CI gate), and writes it all as one
+// machine-readable JSON document.
 //
 // Common flags:
 //
@@ -46,18 +54,20 @@ import (
 )
 
 type options struct {
-	plot    bool
-	queues  []string
-	threads []int
-	ops     int
-	batch   int
-	trials  int
-	iters   int
-	paper   bool
-	nowork  bool
-	nopin   bool
-	csvPath string
-	benchKs []workload.Kind
+	plot       bool
+	queues     []string
+	threads    []int
+	threadsSet bool // -threads was given explicitly
+	ops        int
+	batch      int
+	trials     int
+	iters      int
+	paper      bool
+	nowork     bool
+	nopin      bool
+	csvPath    string
+	outPath    string
+	benchKs    []workload.Kind
 }
 
 func main() {
@@ -77,6 +87,7 @@ func main() {
 	nowork := fs.Bool("nowork", false, "no random work between operations")
 	nopin := fs.Bool("nopin", false, "do not pin threads")
 	csvPath := fs.String("csv", "", "append results as CSV to this file")
+	outPath := fs.String("out", "BENCH_core.json", "json: output path for the benchmark baseline")
 	benchSel := fs.String("bench", "both", "workload: pairs, half, or both")
 	doPlot := fs.Bool("plot", false, "render figure2 as ASCII charts")
 	list := fs.Bool("list", false, "list registered queues and exit")
@@ -97,6 +108,7 @@ func main() {
 		nowork:  *nowork,
 		nopin:   *nopin,
 		csvPath: *csvPath,
+		outPath: *outPath,
 	}
 	if *paper {
 		o.ops = workload.DefaultOps
@@ -105,6 +117,7 @@ func main() {
 	}
 	o.queues = strings.Split(*queues, ",")
 	if *threads != "" {
+		o.threadsSet = true
 		for _, s := range strings.Split(*threads, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil || n < 1 {
@@ -149,6 +162,8 @@ func main() {
 		runSingle(o)
 	case "latency":
 		runLatency(o)
+	case "json":
+		runJSON(o)
 	case "all":
 		runTable1()
 		runFigure2(o)
@@ -162,7 +177,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wfqbench {table1|figure2|table2|single|latency|all} [flags]  (see -h per subcommand)")
+	fmt.Fprintln(os.Stderr, "usage: wfqbench {table1|figure2|table2|single|latency|json|all} [flags]  (see -h per subcommand)")
 }
 
 func fatalf(format string, args ...any) {

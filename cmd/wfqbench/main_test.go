@@ -6,6 +6,7 @@ package main
 // with tiny workloads.
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -150,6 +151,59 @@ func TestCLIFigure2Batched(t *testing.T) {
 	b, err := os.ReadFile(csv)
 	if err != nil || !strings.Contains(string(b), "figure2,enqueue-dequeue-pairs-batched,2,8,") {
 		t.Errorf("batched csv row missing: %v %q", err, b)
+	}
+}
+
+func TestCLIJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_core.json")
+	args := append([]string{"json", "-queues", "wf-10,wf-10-recycle",
+		"-threads", "2", "-out", out}, quick...)
+	stdout, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stdout)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+	var doc struct {
+		Schema string `json:"schema"`
+		Core   struct {
+			AllocsPerOp      float64 `json:"allocs_per_op"`
+			RecycledSegments uint64  `json:"recycled_segments"`
+		} `json:"core_steady_state"`
+		Queues []struct {
+			Name     string  `json:"name"`
+			WallMops float64 `json:"wall_mops"`
+		} `json:"queues"`
+		Pairwise struct {
+			Ratio float64 `json:"wf10_recycle_over_wf10_wall"`
+		} `json:"pairwise"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v\n%s", err, b)
+	}
+	if doc.Schema != "wfqueue/bench-core/v1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	if doc.Core.AllocsPerOp != 0 {
+		t.Errorf("core steady state allocated: %v allocs/op", doc.Core.AllocsPerOp)
+	}
+	if doc.Core.RecycledSegments == 0 {
+		t.Error("core steady state recycled no segments; measurement is not exercising the pool")
+	}
+	names := map[string]bool{}
+	for _, q := range doc.Queues {
+		names[q.Name] = true
+		if q.WallMops <= 0 {
+			t.Errorf("%s: wall_mops = %v", q.Name, q.WallMops)
+		}
+	}
+	if !names["wf-10"] || !names["wf-10-recycle"] {
+		t.Errorf("pairwise pair missing from queues: %v", names)
+	}
+	if doc.Pairwise.Ratio <= 0 {
+		t.Errorf("pairwise ratio = %v", doc.Pairwise.Ratio)
 	}
 }
 

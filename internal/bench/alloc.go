@@ -1,0 +1,69 @@
+// Steady-state allocation measurement for the zero-allocation gate: the
+// CI bench-smoke job fails when the core hot path allocates at steady
+// state (see cmd/wfqbench's json subcommand).
+package bench
+
+import (
+	"runtime"
+	"unsafe"
+
+	"wfqueue/internal/core"
+)
+
+// SteadyStateResult reports what one SteadyStateAllocs run observed.
+type SteadyStateResult struct {
+	Ops         int     // measured enqueue+dequeue pairs
+	AllocsPerOp float64 // heap allocations per pair (expected: 0)
+	BytesPerOp  float64 // heap bytes per pair (expected: 0)
+	Recycled    uint64  // segments the queue reclaimed during measurement
+}
+
+// SteadyStateAllocs measures the heap allocations of the core queue's
+// enqueue/dequeue hot path at steady state, with recycling on and segments
+// small enough (shift 6, maxGarbage 1) that the measured window crosses
+// many segment boundaries — so the number proves segment recycling, not
+// just in-segment cell reuse. The queue is warmed through one full
+// reclamation cycle first, then ops enqueue/dequeue pairs run under
+// MemStats accounting on a single goroutine (the allocation behavior of
+// the data structure is thread-count independent: the same code paths
+// run, only their interleaving changes).
+func SteadyStateAllocs(ops int) SteadyStateResult {
+	if ops < 1 {
+		ops = 1
+	}
+	q := core.New(1,
+		core.WithSegmentShift(6),
+		core.WithMaxGarbage(1),
+		core.WithRecycling(true))
+	h, err := q.Register()
+	if err != nil {
+		panic(err) // cannot happen: fresh queue, first handle
+	}
+	v := new(uint64)
+	p := unsafe.Pointer(v)
+
+	// Warm up past the first reclamation so the segment pool and handle
+	// cache are populated: four segments' worth of pairs.
+	warm := 4 << 6
+	for i := 0; i < warm; i++ {
+		q.Enqueue(h, p)
+		q.Dequeue(h)
+	}
+
+	before := q.ReclaimedSegments()
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < ops; i++ {
+		q.Enqueue(h, p)
+		q.Dequeue(h)
+	}
+	runtime.ReadMemStats(&m1)
+
+	return SteadyStateResult{
+		Ops:         ops,
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(ops),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ops),
+		Recycled:    q.ReclaimedSegments() - before,
+	}
+}

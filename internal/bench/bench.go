@@ -33,10 +33,10 @@ import (
 // Config describes one benchmark cell (one queue at one thread count under
 // one workload).
 type Config struct {
-	Queue     string        // registry name
-	Workload  workload.Kind // Pairs, HalfHalf or PairsBatched
-	Threads   int
-	Ops       int // total operations per iteration (a pair counts as 2)
+	Queue    string        // registry name
+	Workload workload.Kind // Pairs, HalfHalf or PairsBatched
+	Threads  int
+	Ops      int // total operations per iteration (a pair counts as 2)
 	// Batch is the number of values per batched operation for the
 	// PairsBatched workload (0 is normalized to 1; other workloads ignore
 	// it). Implementations without a native batch path are driven through
@@ -85,6 +85,16 @@ type Result struct {
 	Dequeues      uint64
 	EmptyDeqs     uint64            // dequeues that returned EMPTY (last trial)
 	QueueStats    map[string]uint64 // implementation counters, if exposed
+
+	// Memory-path metrics over the last trial's measured iterations
+	// (runtime.MemStats deltas across the whole process; the workers are
+	// the only mutators while a trial runs). AllocsPerOp and BytesPerOp are
+	// averaged over every operation executed in the trial; GCPauseNS and
+	// GCCycles are trial totals.
+	AllocsPerOp float64
+	BytesPerOp  float64
+	GCPauseNS   uint64
+	GCCycles    uint32
 }
 
 // Mops returns the mean steady-state throughput in million operations per
@@ -135,6 +145,12 @@ func Run(cfg Config) (Result, error) {
 		res.Dequeues = last.deqs
 		res.EmptyDeqs = last.empties
 		res.QueueStats = last.queueStats
+		if last.opsDone > 0 {
+			res.AllocsPerOp = float64(last.allocs) / float64(last.opsDone)
+			res.BytesPerOp = float64(last.bytes) / float64(last.opsDone)
+		}
+		res.GCPauseNS = last.gcPauseNS
+		res.GCCycles = last.gcCycles
 		runtime.GC() // isolate trials, mirroring fresh process invocations
 	}
 	res.Interval = interval(res.TrialMops)
@@ -155,6 +171,13 @@ func interval(xs []float64) stats.Interval {
 type trialTotals struct {
 	enqs, deqs, empties uint64
 	queueStats          map[string]uint64
+
+	// Heap accounting over the trial's measured iterations.
+	opsDone   uint64 // operations actually executed (Ops × iterations run)
+	allocs    uint64 // heap allocations (MemStats.Mallocs delta)
+	bytes     uint64 // heap bytes allocated (MemStats.TotalAlloc delta)
+	gcPauseNS uint64 // stop-the-world pause total (PauseTotalNs delta)
+	gcCycles  uint32 // completed GC cycles (NumGC delta)
 }
 
 // workerCtl is one worker's accounting, shared with the trial driver.
@@ -226,6 +249,13 @@ func runTrial(cfg Config, factory qiface.Factory, order []int, seed uint64) (exc
 		<-ready
 	}
 
+	// Memory baseline: workers are registered and parked on the first
+	// iteration barrier, so every allocation from here to the end of the
+	// iteration loop is queue traffic (plus harness noise measured in
+	// bytes, amortized over millions of operations).
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+
 	mops := make([]float64, 0, cfg.Iters)
 	wallMops := make([]float64, 0, cfg.Iters)
 	for it := 0; it < cfg.Iters; it++ {
@@ -266,6 +296,13 @@ func runTrial(cfg Config, factory qiface.Factory, order []int, seed uint64) (exc
 			break
 		}
 	}
+
+	runtime.ReadMemStats(&m1)
+	totals.opsDone = uint64(cfg.Ops) * uint64(len(mops))
+	totals.allocs = m1.Mallocs - m0.Mallocs
+	totals.bytes = m1.TotalAlloc - m0.TotalAlloc
+	totals.gcPauseNS = m1.PauseTotalNs - m0.PauseTotalNs
+	totals.gcCycles = m1.NumGC - m0.NumGC
 
 	for _, c := range ctls {
 		totals.enqs += atomic.LoadUint64(&c.enqs)

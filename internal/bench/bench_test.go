@@ -213,3 +213,47 @@ func TestRunPairsBatchedStats(t *testing.T) {
 			res.QueueStats["enq_batch_faas"], res.Enqueues)
 	}
 }
+
+func TestRunMemoryMetrics(t *testing.T) {
+	// msqueue allocates a node per enqueue, so its allocs/op must be
+	// clearly positive — a sanity check that the MemStats plumbing
+	// attributes traffic to operations at all.
+	res, err := Run(smallConfig("msqueue", workload.Pairs, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllocsPerOp <= 0 {
+		t.Errorf("msqueue allocs/op = %v, want > 0 (it allocates a node per enqueue)", res.AllocsPerOp)
+	}
+	if res.BytesPerOp <= 0 {
+		t.Errorf("msqueue bytes/op = %v, want > 0", res.BytesPerOp)
+	}
+
+	// The recycling wait-free queue must be near-zero: harness noise only.
+	// (-race instrumentation allocates, so exactness only holds without it.)
+	if !raceEnabled {
+		res, err = Run(smallConfig("wf-10-recycle", workload.Pairs, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AllocsPerOp > 0.01 {
+			t.Errorf("wf-10-recycle allocs/op = %v, want ~0", res.AllocsPerOp)
+		}
+	}
+}
+
+func TestSteadyStateAllocsZero(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation exactness is meaningless under -race")
+	}
+	r := SteadyStateAllocs(200000)
+	if r.AllocsPerOp != 0 {
+		t.Errorf("core steady-state allocs/op = %v, want exactly 0", r.AllocsPerOp)
+	}
+	if r.BytesPerOp != 0 {
+		t.Errorf("core steady-state bytes/op = %v, want exactly 0", r.BytesPerOp)
+	}
+	if r.Recycled == 0 {
+		t.Error("measurement window recycled no segments; it proves nothing about the segment path")
+	}
+}

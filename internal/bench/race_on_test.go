@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled gates allocation-exactness assertions: race-detector
+// instrumentation allocates, so they are meaningless under -race.
+const raceEnabled = true

@@ -151,6 +151,12 @@ type Handle struct {
 	// allocation (the C original uses a VLA).
 	spare []*Handle
 
+	// segCache holds one retired segment for reuse by this handle, the
+	// paper's §3.6 per-thread reuse of the last reclaimed segment. Only
+	// the handle's owner reads/writes it (newSegment, recycleSegment and
+	// freeSegments all run on the owning goroutine), so access is plain.
+	segCache *segment
+
 	q *Queue
 
 	// registered tracks whether the handle is currently checked out.
@@ -174,7 +180,15 @@ type Counters struct {
 	HelpEnq  uint64 // slow-path enqueue requests committed by a helper for a peer
 	HelpDeq  uint64 // help_deq invocations on behalf of a peer
 	Cleanups uint64 // reclamation passes that freed at least one segment
-	Segments uint64 // segments allocated by this handle
+	Segments uint64 // segments linked into the list by this handle
+
+	// Memory-path instrumentation (WithRecycling): where newSegment got
+	// its segment from. SegAllocs counts fresh heap allocations; the two
+	// hit counters count reuses, so SegAllocs stabilizing while the hit
+	// counters grow is the observable form of the zero-allocation claim.
+	SegCacheHits uint64 // segments reused from the per-handle cache
+	SegPoolHits  uint64 // segments reused from the shared lock-free pool
+	SegAllocs    uint64 // segments freshly heap-allocated
 
 	// Batched-operation instrumentation. The FAA counters cover the fast
 	// path only (the batch window and per-item fast retries); slow-path
@@ -211,10 +225,15 @@ type Queue struct {
 
 	handles []*Handle
 
+	// pool recycles retired segments without locks (only with
+	// WithRecycling; nil otherwise). See segpool.go.
+	pool *segPool
+
+	// mu guards Register/Release bookkeeping only. No segment path —
+	// find_cell extension, cleanup, pool push/pop — ever takes a lock.
 	mu        sync.Mutex
-	freeList  []*Handle  // registration free list
-	segPool   []*segment // recycled segments (only with WithRecycling)
-	reclaimed uint64     // total segments reclaimed (atomic)
+	freeList  []*Handle // registration free list
+	reclaimed uint64    // total segments reclaimed (atomic)
 }
 
 // Option configures a Queue at construction.
@@ -300,7 +319,13 @@ func New(maxThreads int, opts ...Option) *Queue {
 		maxGarbage: cfg.maxGarbage,
 		recycle:    cfg.recycle,
 	}
-	s0 := q.newSegment(0)
+	if cfg.recycle {
+		// A cleanup retires at most the garbage backlog in one pass and
+		// every handle can park one segment in its cache, so this bound
+		// makes steady-state pool overflow (→ GC) essentially impossible.
+		q.pool = newSegPool(int(2*cfg.maxGarbage) + 2*maxThreads)
+	}
+	s0 := q.newSegment(nil, 0)
 	atomic.StorePointer(&q.q, unsafe.Pointer(s0))
 
 	q.handles = make([]*Handle, maxThreads)
@@ -382,6 +407,9 @@ func (q *Queue) Stats() Counters {
 		total.HelpDeq += ctrLoad(&h.stats.HelpDeq)
 		total.Cleanups += ctrLoad(&h.stats.Cleanups)
 		total.Segments += ctrLoad(&h.stats.Segments)
+		total.SegCacheHits += ctrLoad(&h.stats.SegCacheHits)
+		total.SegPoolHits += ctrLoad(&h.stats.SegPoolHits)
+		total.SegAllocs += ctrLoad(&h.stats.SegAllocs)
 		total.EnqBatchCalls += ctrLoad(&h.stats.EnqBatchCalls)
 		total.EnqBatchFAAs += ctrLoad(&h.stats.EnqBatchFAAs)
 		total.DeqBatchCalls += ctrLoad(&h.stats.DeqBatchCalls)

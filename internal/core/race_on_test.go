@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled gates allocation-exactness assertions: race-detector
+// instrumentation allocates, so AllocsPerRun-style tests are meaningless
+// under -race and are skipped.
+const raceEnabled = true

@@ -85,7 +85,7 @@ func (q *Queue) cleanup(h *Handle) {
 	atomic.StorePointer(&q.q, unsafe.Pointer(e))
 	atomic.StoreInt64(&q.I, sid(e))
 	ctrInc(&h.stats.Cleanups)
-	q.freeSegments(s, e)
+	q.freeSegments(h, s, e)
 }
 
 // update advances the head or tail pointer *from to the cleaner's target
@@ -130,15 +130,16 @@ func verify(seg **segment, anchor *segment, hz int64) {
 }
 
 // freeSegments retires segments [s, e). With recycling they return to the
-// pool for newSegment to reuse — safe because the hazard protocol above
-// proved no thread can reach them; otherwise dropping the q.q reference has
-// already made them unreachable and the garbage collector reclaims them.
-func (q *Queue) freeSegments(s, e *segment) {
+// cleaner's one-segment cache and then the shared lock-free pool for
+// newSegment to reuse — safe because the hazard protocol above proved no
+// thread can reach them; otherwise dropping the q.q reference has already
+// made them unreachable and the garbage collector reclaims them.
+func (q *Queue) freeSegments(h *Handle, s, e *segment) {
 	n := uint64(0)
 	for s != e {
 		next := (*segment)(atomic.LoadPointer(&s.next))
 		if q.recycle {
-			q.pushSegment(s)
+			q.recycleSegment(h, s)
 		}
 		s = next
 		n++

@@ -10,10 +10,21 @@ import (
 func sid(s *segment) int64 { return atomic.LoadInt64(&s.id) }
 
 // newSegment allocates (or recycles) a segment with the given id and all
-// cells in the initial (⊥, ⊥e, ⊥d) state.
-func (q *Queue) newSegment(id int64) *segment {
+// cells in the initial (⊥, ⊥e, ⊥d) state. With recycling the handle's
+// one-segment cache is consulted first, then the shared lock-free pool
+// (segpool.go), so the common steady-state case — a thread reusing the
+// segment it itself retired — touches no shared state at all. h is nil
+// only for the initial segment built by New, before any handle exists.
+func (q *Queue) newSegment(h *Handle, id int64) *segment {
 	if q.recycle {
-		if s := q.popSegment(); s != nil {
+		s := (*segment)(nil)
+		if h != nil && h.segCache != nil {
+			s, h.segCache = h.segCache, nil
+			ctrInc(&h.stats.SegCacheHits)
+		} else if s = q.pool.pop(); s != nil && h != nil {
+			ctrInc(&h.stats.SegPoolHits)
+		}
+		if s != nil {
 			// id is stored atomically: a cleaner that loaded a reference
 			// to this segment before it was recycled may still read the
 			// id (the read is gated — it can only influence the CAS on
@@ -24,25 +35,21 @@ func (q *Queue) newSegment(id int64) *segment {
 			return s
 		}
 	}
+	if h != nil {
+		ctrInc(&h.stats.SegAllocs)
+	}
 	return &segment{id: id, cells: make([]cell, q.segMask+1)}
 }
 
-func (q *Queue) popSegment() *segment {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	n := len(q.segPool)
-	if n == 0 {
-		return nil
+// recycleSegment takes back a retired segment the hazard protocol has
+// proved unreachable: into the handle's cache if empty, else the shared
+// pool, else dropped for the GC (the pool is bounded; see segpool.go).
+func (q *Queue) recycleSegment(h *Handle, s *segment) {
+	if h != nil && h.segCache == nil {
+		h.segCache = s
+		return
 	}
-	s := q.segPool[n-1]
-	q.segPool = q.segPool[:n-1]
-	return s
-}
-
-func (q *Queue) pushSegment(s *segment) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.segPool = append(q.segPool, s)
+	q.pool.push(s)
 }
 
 // findCell locates cell Q[cellID], extending the segment list as needed
@@ -59,11 +66,11 @@ func (q *Queue) findCell(h *Handle, sp *unsafe.Pointer, cellID int64) *cell {
 			// extend the list. A failed CAS means another thread already
 			// extended it; the loser's segment is dropped (GC) or
 			// recycled.
-			tmp := q.newSegment(i + 1)
+			tmp := q.newSegment(h, i+1)
 			if atomic.CompareAndSwapPointer(&s.next, nil, unsafe.Pointer(tmp)) {
 				ctrInc(&h.stats.Segments)
 			} else if q.recycle {
-				q.pushSegment(tmp)
+				q.recycleSegment(h, tmp)
 			}
 			next = (*segment)(atomic.LoadPointer(&s.next))
 		}

@@ -9,6 +9,7 @@ import (
 // The cost the paper's reclamation scheme avoids: a hazard publication on
 // every protected access.
 func BenchmarkProtect(b *testing.B) {
+	b.ReportAllocs()
 	d := NewDomain(1, 1)
 	r, _ := d.Register()
 	x := new(int)
@@ -20,6 +21,7 @@ func BenchmarkProtect(b *testing.B) {
 }
 
 func BenchmarkRetireScan(b *testing.B) {
+	b.ReportAllocs()
 	d := NewDomain(4, 2)
 	r, _ := d.Register()
 	b.ResetTimer()
@@ -29,6 +31,7 @@ func BenchmarkRetireScan(b *testing.B) {
 }
 
 func BenchmarkBaselineAtomicLoad(b *testing.B) {
+	b.ReportAllocs()
 	x := new(int)
 	var addr unsafe.Pointer = unsafe.Pointer(x)
 	var sink unsafe.Pointer

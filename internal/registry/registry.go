@@ -14,6 +14,11 @@
 //	lcrq-gc    LCRQ leaving reclamation to the Go GC (ablation)
 //	msqueue-gc MS-Queue leaving reclamation to the Go GC (ablation)
 //	wf-10-recycle  wf-10 with segment recycling (ablation)
+//	wf-10-tiny     wf-10 with recycling, 4-cell segments, maxGarbage=1
+//	               (adversarial configuration: every few operations cross a
+//	               segment boundary and most segments served are recycled,
+//	               so the lincheck/fuzz/battery suites exercise the
+//	               reclamation and reuse paths under contention)
 //
 // Pointer-based queues are adapted to the uint64 currency of qiface through
 // per-thread value arenas: an enqueue writes the value into the next arena
@@ -89,6 +94,13 @@ func init() {
 		New: func(n int) (qiface.Queue, error) { return newWF("wf-10-recycle", n, 10, true, false) },
 	})
 	qiface.Register(qiface.Factory{
+		Name: "wf-10-tiny", Doc: "wf-10, recycling, 4-cell segments, maxGarbage=1 (reclamation stress)", WaitFree: true,
+		New: func(n int) (qiface.Queue, error) {
+			return newWF("wf-10-tiny", n, 10, true, false,
+				core.WithSegmentShift(2), core.WithMaxGarbage(1))
+		},
+	})
+	qiface.Register(qiface.Factory{
 		Name: "of", Doc: "obstruction-free Listing 1 queue (ablation)",
 		New: func(n int) (qiface.Queue, error) { return newOF("of", n, false) },
 	})
@@ -141,9 +153,11 @@ type wfAdapter struct {
 	q     *core.Queue
 }
 
-func newWF(name string, n, patience int, recycle, boxed bool) (qiface.Queue, error) {
-	return &wfAdapter{name: name, boxed: boxed, q: core.New(n,
-		core.WithPatience(patience), core.WithRecycling(recycle))}, nil
+func newWF(name string, n, patience int, recycle, boxed bool, extra ...core.Option) (qiface.Queue, error) {
+	opts := make([]core.Option, 0, 2+len(extra))
+	opts = append(opts, core.WithPatience(patience), core.WithRecycling(recycle))
+	opts = append(opts, extra...)
+	return &wfAdapter{name: name, boxed: boxed, q: core.New(n, opts...)}, nil
 }
 
 func (a *wfAdapter) Name() string { return a.name }
@@ -222,6 +236,9 @@ func (a *wfAdapter) Stats() map[string]uint64 {
 		"help_deq":        s.HelpDeq,
 		"cleanups":        s.Cleanups,
 		"segments":        s.Segments,
+		"seg_cache_hits":  s.SegCacheHits,
+		"seg_pool_hits":   s.SegPoolHits,
+		"seg_allocs":      s.SegAllocs,
 		"enq_batch_calls": s.EnqBatchCalls,
 		"enq_batch_faas":  s.EnqBatchFAAs,
 		"deq_batch_calls": s.DeqBatchCalls,
@@ -518,6 +535,9 @@ func NewChecked(name string, n int) (qiface.Queue, error) {
 		return newWF(name, n, 0, false, true)
 	case "wf-10-recycle":
 		return newWF(name, n, 10, true, true)
+	case "wf-10-tiny":
+		return newWF(name, n, 10, true, true,
+			core.WithSegmentShift(2), core.WithMaxGarbage(1))
 	case "of":
 		return newOF(name, n, true)
 	case "msqueue":

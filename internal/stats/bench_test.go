@@ -3,12 +3,14 @@ package stats
 import "testing"
 
 func BenchmarkTInv(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		TInv(0.975, 9)
 	}
 }
 
 func BenchmarkSteadyState(b *testing.B) {
+	b.ReportAllocs()
 	xs := []float64{9, 11, 10, 10.2, 9.9, 10.1, 10, 10.05, 9.95, 10}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

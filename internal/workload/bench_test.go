@@ -3,6 +3,7 @@ package workload
 import "testing"
 
 func BenchmarkRNGNext(b *testing.B) {
+	b.ReportAllocs()
 	r := NewRNG(1)
 	var sink uint64
 	for i := 0; i < b.N; i++ {
@@ -13,6 +14,7 @@ func BenchmarkRNGNext(b *testing.B) {
 
 // The calibrated 50-100ns inter-operation work of §5.1.
 func BenchmarkWork(b *testing.B) {
+	b.ReportAllocs()
 	Calibrate()
 	r := NewRNG(1)
 	b.ResetTimer()

@@ -34,6 +34,7 @@ package wfqueue
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"unsafe"
 
@@ -43,6 +44,13 @@ import (
 // Queue is a wait-free FIFO queue holding values of type T.
 type Queue[T any] struct {
 	q *core.Queue
+	// boxes recycles the heap cells values travel through. The core queue
+	// stores unsafe.Pointer, so the facade boxes each value; recycling the
+	// boxes (each Dequeue returns the box its value arrived in) makes
+	// steady-state Enqueue/Dequeue allocation-free. Handles keep a private
+	// free list and fall back to this shared Pool only when production and
+	// consumption are imbalanced across handles.
+	boxes sync.Pool
 }
 
 // Option configures a Queue at construction time.
@@ -71,7 +79,9 @@ func WithRecycling(on bool) Option { return core.WithRecycling(on) }
 // registered handles. maxHandles fixes the size of the helping ring, as in
 // the paper; handles can be released and re-registered freely.
 func New[T any](maxHandles int, opts ...Option) *Queue[T] {
-	return &Queue[T]{q: core.New(maxHandles, opts...)}
+	q := &Queue[T]{q: core.New(maxHandles, opts...)}
+	q.boxes.New = func() any { return new(T) }
+	return q
 }
 
 // Register checks out a Handle. It returns core.ErrTooManyHandles when
@@ -86,7 +96,10 @@ func (q *Queue[T]) Register() (*Handle[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	hh := &Handle[T]{q: q.q, h: h}
+	// The box free list is pre-sized to its cap so putBox's append never
+	// allocates; Register is off the hot path, so the one-time allocation
+	// is paid here.
+	hh := &Handle[T]{q: q.q, qt: q, h: h, free: make([]*T, 0, boxFreeListCap)}
 	runtime.SetFinalizer(hh, func(hh *Handle[T]) { hh.release() })
 	return hh, nil
 }
@@ -111,19 +124,56 @@ func (q *Queue[T]) ReclaimedSegments() uint64 { return q.q.ReclaimedSegments() }
 // used by at most one goroutine at a time.
 type Handle[T any] struct {
 	q        *core.Queue
+	qt       *Queue[T]
 	h        *core.Handle
 	released atomic.Bool
-	// scratch is reused across batched calls so a steady-state batch
-	// performs one allocation (the boxed values' backing array) regardless
-	// of batch size. Safe because a Handle is single-goroutine by contract.
+	// scratch is reused across batched calls so batches of any size reuse
+	// one pointer buffer. Safe because a Handle is single-goroutine by
+	// contract.
 	scratch []unsafe.Pointer
+	// free is this handle's LIFO of recycled value boxes: Dequeue pushes
+	// the box it just emptied, Enqueue pops. A balanced
+	// produce-then-consume workload cycles through a handful of boxes and
+	// never touches the shared Pool. Bounded (boxFreeListCap) so a
+	// consume-heavy handle cannot hoard boxes a producer needs.
+	free []*T
 }
+
+// boxFreeListCap bounds each handle's private box free list. Past it,
+// boxes spill to the queue's shared sync.Pool, which rebalances
+// producer-heavy vs consumer-heavy handles.
+const boxFreeListCap = 256
 
 func (h *Handle[T]) scratchPtrs(n int) []unsafe.Pointer {
 	if cap(h.scratch) < n {
 		h.scratch = make([]unsafe.Pointer, n)
 	}
 	return h.scratch[:n]
+}
+
+// getBox produces an empty value box: from the handle free list, else the
+// shared Pool, else (via Pool.New) the heap. Allocation-free once enough
+// boxes circulate.
+func (h *Handle[T]) getBox() *T {
+	if n := len(h.free) - 1; n >= 0 {
+		b := h.free[n]
+		h.free[n] = nil
+		h.free = h.free[:n]
+		return b
+	}
+	return h.qt.boxes.Get().(*T)
+}
+
+// putBox recycles an emptied box. The box is zeroed first so a recycled
+// box never pins the previous value for the garbage collector.
+func (h *Handle[T]) putBox(b *T) {
+	var zero T
+	*b = zero
+	if len(h.free) < cap(h.free) {
+		h.free = append(h.free, b)
+		return
+	}
+	h.qt.boxes.Put(b)
 }
 
 // check panics when the handle was already released: its core.Handle slot
@@ -136,10 +186,14 @@ func (h *Handle[T]) check() {
 	}
 }
 
-// Enqueue appends v to the queue in a bounded number of steps.
+// Enqueue appends v to the queue in a bounded number of steps. The value
+// travels in a recycled box (see Queue.boxes), so steady-state enqueues of
+// any fixed-size T perform zero heap allocations.
 func (h *Handle[T]) Enqueue(v T) {
 	h.check()
-	h.q.Enqueue(h.h, unsafe.Pointer(&v))
+	b := h.getBox()
+	*b = v
+	h.q.Enqueue(h.h, unsafe.Pointer(b))
 }
 
 // Dequeue removes and returns the oldest value. ok is false when the queue
@@ -152,31 +206,36 @@ func (h *Handle[T]) Dequeue() (v T, ok bool) {
 		var zero T
 		return zero, false
 	}
-	return *(*T)(p), true
+	// A dequeued pointer is exclusively ours (each cell's value is claimed
+	// once), so the box can be recycled immediately after copying out.
+	b := (*T)(p)
+	v = *b
+	h.putBox(b)
+	return v, true
 }
 
 // EnqueueBatch appends all values of vs to the queue in order. It is
 // semantically equivalent to calling Enqueue once per value, but the
 // uncontended case issues a single fetch-and-add on the tail index for the
 // whole batch — coordination cost is amortized over len(vs) — and the
-// values share one backing allocation. The call as a whole is not atomic:
-// a concurrent dequeuer may observe a prefix of the batch, but intra-batch
-// FIFO order is always preserved. Wait-freedom is unchanged (a batch of k
-// is bounded by k single operations).
+// values travel in recycled boxes, so steady-state batches allocate
+// nothing. The call as a whole is not atomic: a concurrent dequeuer may
+// observe a prefix of the batch, but intra-batch FIFO order is always
+// preserved. Wait-freedom is unchanged (a batch of k is bounded by k
+// single operations).
 func (h *Handle[T]) EnqueueBatch(vs []T) {
 	h.check()
 	if len(vs) == 0 {
 		return
 	}
-	// One heap copy for the whole batch: the cells hold pointers into this
-	// backing array, which stays reachable until every value is dequeued.
-	vals := make([]T, len(vs))
-	copy(vals, vs)
 	buf := h.scratchPtrs(len(vs))
-	for i := range vals {
-		buf[i] = unsafe.Pointer(&vals[i])
+	for i := range vs {
+		b := h.getBox()
+		*b = vs[i]
+		buf[i] = unsafe.Pointer(b)
 	}
 	h.q.EnqueueBatch(h.h, buf)
+	clear(buf) // the cells own the boxes now; don't pin them here
 }
 
 // DequeueBatch removes up to len(dst) values from the front of the queue,
@@ -192,7 +251,9 @@ func (h *Handle[T]) DequeueBatch(dst []T) int {
 	buf := h.scratchPtrs(len(dst))
 	n := h.q.DequeueBatch(h.h, buf)
 	for i := 0; i < n; i++ {
-		dst[i] = *(*T)(buf[i])
+		b := (*T)(buf[i])
+		dst[i] = *b
+		h.putBox(b)
 		buf[i] = nil // release the reference for the GC
 	}
 	return n
