@@ -6,7 +6,7 @@ GO ?= go
 # lands here; the directory is untracked (see .gitignore).
 ARTIFACTS ?= artifacts
 
-.PHONY: all build vet test race short bench bench-json fuzz stress soak ci experiments examples clean
+.PHONY: all build vet test race short bench bench-json bench-json-sharded bench-compare fuzz stress soak ci experiments examples clean
 
 all: build vet test
 
@@ -31,7 +31,7 @@ short:
 race:
 	$(GO) test -race ./... -count=1
 
-# One testing.B family per paper table/figure plus ablations (DESIGN.md §4).
+# One testing.B family per paper table/figure plus ablations (DESIGN.md §5).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -42,6 +42,21 @@ bench:
 bench-json:
 	$(GO) run ./cmd/wfqbench json -out BENCH_core.json \
 		-ops 50000 -trials 3 -iters 3 -nowork -nopin
+
+# Lane-scaling baseline for the sharded multi-lane queue: the sharded
+# variants against wf-10 under oversubscription (GOMAXPROCS=8, 8 threads),
+# recording the wf-sharded/wf-10 pairwise ratio. Writes BENCH_sharded.json
+# at the repo root — the committed baseline.
+bench-json-sharded:
+	GOMAXPROCS=8 $(GO) run ./cmd/wfqbench json -out BENCH_sharded.json \
+		-queues wf-sharded,wf-sharded-8,wf-sharded-1,wf-sharded-rr \
+		-threads 8 -ops 50000 -trials 3 -iters 3 -nowork -nopin
+
+# Bench trajectory gate: re-run the committed baseline's measurement and
+# fail on any steady-state allocation regression, or on a >20% wall
+# throughput drop when run on the baseline's platform. CI runs this.
+bench-compare:
+	$(GO) run ./cmd/wfqbench compare -baseline BENCH_core.json -nowork -nopin
 
 fuzz:
 	$(GO) test ./internal/core -fuzz FuzzAgainstModel -fuzztime 30s
@@ -54,7 +69,7 @@ stress: | $(ARTIFACTS)
 # Long validation across every implementation, plus one batched pass over
 # the wait-free queue's native k-cell reservation path.
 soak: | $(ARTIFACTS)
-	for q in wf-10 wf-0 lcrq msqueue ccqueue kpqueue simqueue of chan; do \
+	for q in wf-10 wf-0 lcrq msqueue ccqueue kpqueue simqueue of chan wf-sharded wf-sharded-1 wf-sharded-8; do \
 		$(GO) run ./cmd/wfqstress -queue $$q -threads 8 -duration 10s || exit 1; \
 	done 2>&1 | tee $(ARTIFACTS)/soak_output.txt
 	$(GO) run ./cmd/wfqstress -queue wf-10 -threads 8 -duration 10s -batch 8 2>&1 | tee -a $(ARTIFACTS)/soak_output.txt

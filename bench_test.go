@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's evaluation artifacts with testing.B,
-// one benchmark family per table/figure (see DESIGN.md §4 for the index):
+// one benchmark family per table/figure (see DESIGN.md §5 for the index):
 //
 //	BenchmarkFigure2Pairs       Figure 2, enqueue-dequeue pairs rows
 //	BenchmarkFigure2Half        Figure 2, 50%-enqueues rows
@@ -217,6 +217,21 @@ func BenchmarkAblationRecycling(b *testing.B) {
 			q := wfqueue.New[int](4, wfqueue.WithRecycling(on), wfqueue.WithSegmentShift(6))
 			benchFacadePairs(b, q, 4)
 		})
+	}
+}
+
+// BenchmarkShardedLanes sweeps the sharded queue's lane count against the
+// single-queue wf-10 under the pairs workload (EXPERIMENTS.md lane-scaling
+// section): on a many-core host the multi-lane variants should pull away
+// from wf-10 as threads grow; on one hardware thread the series stay
+// within noise of each other.
+func BenchmarkShardedLanes(b *testing.B) {
+	for _, qn := range []string{"wf-10", "wf-sharded-1", "wf-sharded", "wf-sharded-8", "wf-sharded-rr"} {
+		for _, t := range benchThreads {
+			b.Run(fmt.Sprintf("%s/T=%d", qn, t), func(b *testing.B) {
+				runQueueBench(b, qn, workload.Pairs, t)
+			})
+		}
 	}
 }
 

@@ -1,0 +1,115 @@
+package main
+
+// The compare subcommand: the bench trajectory gate. It loads a committed
+// baseline document (BENCH_core.json, written by `wfqbench json`), re-runs
+// the same measurement with the baseline's own parameters, and fails (exit
+// 1) when the fresh run regresses:
+//
+//   - allocation regressions always fail: the steady-state alloc gate is
+//     deterministic, and any queue whose allocs/op grew beyond the baseline
+//     (with a small absolute floor for measurement noise) is a real code
+//     change, not runner jitter;
+//   - throughput regressions beyond -tolerance (default 20%) fail only when
+//     the fresh run is on the same platform as the baseline (model, hardware
+//     threads, GOMAXPROCS) — cross-host Mops/s comparisons are noise, not
+//     signal. -strict forces the throughput gate on anyway, for when the
+//     operator knows the hosts are comparable.
+//
+// The comparison keys on wall-clock throughput (work included), the stabler
+// of the two recorded series.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"wfqueue/internal/bench"
+	"wfqueue/internal/workload"
+)
+
+func runCompare(o options, baselinePath string, tolerance float64, strict bool) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fatalf("compare: %v", err)
+	}
+	var base jsonDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("compare: %s: %v", baselinePath, err)
+	}
+	if base.Schema != benchSchema {
+		fatalf("compare: %s has schema %q, want %q", baselinePath, base.Schema, benchSchema)
+	}
+	if tolerance <= 0 || tolerance >= 1 {
+		fatalf("compare: bad -tolerance %.2f (need 0 < t < 1)", tolerance)
+	}
+
+	p := bench.DetectPlatform()
+	samePlatform := p.Model == base.Platform.Model &&
+		p.Threads == base.Platform.HWThreads &&
+		runtime.GOMAXPROCS(0) == base.Platform.GOMAXPROCS
+	gateThroughput := samePlatform || strict
+	fmt.Printf("compare: baseline %s (%s, %d hw threads, GOMAXPROCS=%d)\n",
+		baselinePath, base.Platform.Model, base.Platform.HWThreads, base.Platform.GOMAXPROCS)
+	if !gateThroughput {
+		fmt.Printf("compare: platform differs (%s, %d hw threads, GOMAXPROCS=%d) — throughput informational only (use -strict to gate)\n",
+			p.Model, p.Threads, runtime.GOMAXPROCS(0))
+	}
+
+	// Re-measure with the baseline's parameters so rows are comparable.
+	o.ops = base.Params.Ops
+	o.trials = base.Params.Trials
+	o.iters = base.Params.Iters
+
+	var failures []string
+
+	// The deterministic gate first, against zero — not against the baseline:
+	// the recycling hot path must never allocate, whatever the old file says.
+	core := bench.SteadyStateAllocs(base.Core.Ops)
+	fmt.Printf("compare: core steady state %.4f allocs/op over %d ops (baseline %.4f)\n",
+		core.AllocsPerOp, core.Ops, base.Core.AllocsPerOp)
+	if core.AllocsPerOp > 0 {
+		failures = append(failures,
+			fmt.Sprintf("core hot path allocates %.4f objects/op at steady state, want 0", core.AllocsPerOp))
+	}
+
+	fmt.Println()
+	fmt.Println("queue | base wall Mops | fresh wall Mops | ratio | base allocs/op | fresh allocs/op")
+	fmt.Println("--- | --- | --- | --- | --- | ---")
+	for _, b := range base.Queues {
+		res, err := bench.Run(o.config(b.Name, workload.Pairs, base.Params.Threads))
+		if err != nil {
+			fatalf("compare %s: %v", b.Name, err)
+		}
+		fresh := res.WallInterval.Mean
+		ratio := 0.0
+		if b.WallMops > 0 {
+			ratio = fresh / b.WallMops
+		}
+		fmt.Printf("%s | %.2f | %.2f | %.2fx | %.4f | %.4f\n",
+			b.Name, b.WallMops, fresh, ratio, b.AllocsPerOp, res.AllocsPerOp)
+
+		// Allocation gate: always on. The floor absorbs MemStats jitter on
+		// queues that allocate legitimately (GC-reclaimed baselines).
+		if res.AllocsPerOp > b.AllocsPerOp*1.1+0.02 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: steady-state allocations regressed %.4f -> %.4f allocs/op",
+				b.Name, b.AllocsPerOp, res.AllocsPerOp))
+		}
+		if gateThroughput && b.WallMops > 0 && ratio < 1-tolerance {
+			failures = append(failures, fmt.Sprintf(
+				"%s: wall throughput regressed %.2f -> %.2f Mops/s (%.0f%% < -%0.f%% tolerance)",
+				b.Name, b.WallMops, fresh, 100*(ratio-1), 100*tolerance))
+		}
+	}
+	fmt.Println()
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "wfqbench compare: REGRESSION: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("compare: OK — no alloc regressions, throughput within %.0f%% of baseline%s\n",
+		100*tolerance, map[bool]string{true: "", false: " (throughput informational)"}[gateThroughput])
+}

@@ -25,6 +25,7 @@ import (
 	"os"
 	"runtime"
 	"slices"
+	"strings"
 
 	"wfqueue/internal/bench"
 	"wfqueue/internal/workload"
@@ -82,6 +83,16 @@ type jsonPairwise struct {
 	// this run: the cost (or win) of the recycling memory path against the
 	// GC path, measured under identical conditions.
 	RecycleVsBase float64 `json:"wf10_recycle_over_wf10_wall"`
+	// ShardedVsBase is the first selected wf-sharded* variant's wall
+	// throughput over wf-10's, from this run: the lane-scaling headline.
+	// Present only when a sharded variant is in the queue set. On hosts
+	// with one hardware thread there is no FAA contention to relieve, so
+	// a ratio near 1.0 is the honest expectation there (see
+	// EXPERIMENTS.md); the field exists to carry the trajectory on hosts
+	// where the single-FAA wall is real.
+	ShardedVsBase float64 `json:"wf_sharded_over_wf10_wall,omitempty"`
+	// ShardedName records which variant ShardedVsBase measured.
+	ShardedName string `json:"wf_sharded_variant,omitempty"`
 }
 
 // jsonQueueSet returns the queues the baseline covers: the user's -queues
@@ -161,6 +172,13 @@ func runJSON(o options) {
 	}
 	if base, ok := byName["wf-10"]; ok && base.WallMops > 0 {
 		doc.Pairwise.RecycleVsBase = byName["wf-10-recycle"].WallMops / base.WallMops
+		for _, row := range doc.Queues {
+			if strings.HasPrefix(row.Name, "wf-sharded") {
+				doc.Pairwise.ShardedVsBase = row.WallMops / base.WallMops
+				doc.Pairwise.ShardedName = row.Name
+				break
+			}
+		}
 	}
 
 	buf, err := json.MarshalIndent(doc, "", "  ")

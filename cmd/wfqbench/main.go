@@ -11,6 +11,7 @@
 //	wfqbench table2  [flags]
 //	wfqbench single  [flags]
 //	wfqbench json    [-out BENCH_core.json] [flags]
+//	wfqbench compare [-baseline BENCH_core.json] [-tolerance 0.20] [-strict] [flags]
 //	wfqbench all     [flags]
 //
 // The json subcommand is the repository's perf-baseline emitter: it runs
@@ -19,6 +20,11 @@
 // core queue's hot path performs zero steady-state heap allocations
 // (exiting nonzero if not — the CI gate), and writes it all as one
 // machine-readable JSON document.
+//
+// The compare subcommand is the trajectory gate over such a document: it
+// re-runs the baseline's measurement with the baseline's own parameters and
+// exits 1 on any steady-state allocation regression, or on a >-tolerance
+// wall-throughput regression when the platforms match (or -strict).
 //
 // Common flags:
 //
@@ -88,6 +94,9 @@ func main() {
 	nopin := fs.Bool("nopin", false, "do not pin threads")
 	csvPath := fs.String("csv", "", "append results as CSV to this file")
 	outPath := fs.String("out", "BENCH_core.json", "json: output path for the benchmark baseline")
+	baselinePath := fs.String("baseline", "BENCH_core.json", "compare: committed baseline to diff against")
+	tolerance := fs.Float64("tolerance", 0.20, "compare: allowed fractional wall-throughput drop before failing")
+	strict := fs.Bool("strict", false, "compare: gate throughput even when the platform differs from the baseline's")
 	benchSel := fs.String("bench", "both", "workload: pairs, half, or both")
 	doPlot := fs.Bool("plot", false, "render figure2 as ASCII charts")
 	list := fs.Bool("list", false, "list registered queues and exit")
@@ -164,6 +173,8 @@ func main() {
 		runLatency(o)
 	case "json":
 		runJSON(o)
+	case "compare":
+		runCompare(o, *baselinePath, *tolerance, *strict)
 	case "all":
 		runTable1()
 		runFigure2(o)
@@ -177,7 +188,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wfqbench {table1|figure2|table2|single|latency|json|all} [flags]  (see -h per subcommand)")
+	fmt.Fprintln(os.Stderr, "usage: wfqbench {table1|figure2|table2|single|latency|json|compare|all} [flags]  (see -h per subcommand)")
 }
 
 func fatalf(format string, args ...any) {

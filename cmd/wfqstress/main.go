@@ -48,10 +48,19 @@ func main() {
 	if *batch < 1 {
 		fatalf("bad -batch %d (must be >= 1)", *batch)
 	}
+	// Each mode checks an ordering property, so it only applies to queues
+	// that actually promise that property (Factory.Ordering).
+	ordering := registry.MustLookup(*queue).Ordering
 	switch *mode {
 	case "stress":
+		if ordering == qiface.OrderNone {
+			fatalf("%s declares no ordering (%s); stress mode validates per-producer FIFO", *queue, ordering)
+		}
 		runStress(*queue, *threads, *duration, *batch, *seed)
 	case "lincheck":
+		if ordering != qiface.OrderFIFO {
+			fatalf("%s declares %s order; lincheck requires full FIFO linearizability (try wf-sharded-1)", *queue, ordering)
+		}
 		runLincheck(*queue, *duration, *batch, *seed)
 	default:
 		fatalf("unknown mode %q", *mode)

@@ -3,6 +3,7 @@
 package affinity
 
 import (
+	"runtime"
 	"syscall"
 	"unsafe"
 )
@@ -34,3 +35,46 @@ func Pin(cpu int) error {
 
 // Supported reports whether thread pinning works on this platform.
 func Supported() bool { return true }
+
+// sysGetcpu is the getcpu(2) syscall number for this architecture. Go's
+// syscall package defines SYS_GETCPU for most linux ports but not amd64,
+// so the table is carried here (0 = architecture not covered; CurrentCPU
+// then reports no CPU and callers fall back to round-robin homing).
+var sysGetcpu = map[string]uintptr{
+	"386":      318,
+	"amd64":    309,
+	"arm":      345,
+	"arm64":    168,
+	"loong64":  168,
+	"ppc64":    302,
+	"ppc64le":  302,
+	"riscv64":  168,
+	"s390x":    311,
+	"mips":     4312,
+	"mipsle":   4312,
+	"mips64":   5271,
+	"mips64le": 5271,
+}[runtime.GOARCH]
+
+// CurrentCPU returns the CPU the calling thread is executing on, via the
+// getcpu syscall. ok is false if the kernel rejects the call or the
+// architecture is not in the table. The result is only a hint unless the
+// thread is pinned: the scheduler may migrate the thread immediately after
+// the syscall returns. The sharded queue uses it to home a pinned worker's
+// handle on the lane matching its CPU.
+func CurrentCPU() (cpu int, ok bool) {
+	if sysGetcpu == 0 {
+		return 0, false
+	}
+	var c, node uint32
+	_, _, errno := syscall.RawSyscall(
+		sysGetcpu,
+		uintptr(unsafe.Pointer(&c)),
+		uintptr(unsafe.Pointer(&node)),
+		0,
+	)
+	if errno != 0 {
+		return 0, false
+	}
+	return int(c), true
+}

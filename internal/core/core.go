@@ -29,6 +29,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -42,7 +43,17 @@ const (
 	DefaultSegmentShift = 10
 	// DefaultPatience is the fast-path attempt budget ("WF-10").
 	DefaultPatience = 10
+	// DefaultMaxSpin is the paper's MAX_SPIN: how many times a dequeuer
+	// re-reads a claimed-but-unfilled cell before poisoning it with ⊤.
+	// 100 loads ≈ 100ns on the evaluation hosts, about one fast-path
+	// enqueue latency — long enough for an in-flight enqueuer to complete
+	// its deposit, short enough to stay negligible against a slow path.
+	DefaultMaxSpin = 100
 )
+
+// yield parks the calling goroutine when a bounded spin expires; a variable
+// so the whitebox spin tests can intercept the fallback.
+var yield = runtime.Gosched
 
 // Reserved cell/value sentinels. nil plays ⊥ (and ⊥e, ⊥d); these pointers
 // play ⊤, ⊤e and ⊤d. They point at private objects so they can never equal
@@ -129,22 +140,30 @@ type Handle struct {
 
 	_ pad.CacheLinePad
 
+	// The thread's own slow-path requests. Helpers CAS these words from
+	// other threads, so they live on their own cache line: sharing a line
+	// with the owner-written fields below would put every helper CAS in
+	// false-sharing conflict with the owner's per-operation peer-index and
+	// stats writes (caught by the padding audit in padding_test.go).
+	enqReq enqReq
+	deqReq deqReq
+
+	_ pad.CacheLinePad
+
 	// next links handles in the static helping ring; idx is this handle's
 	// position in Queue.handles (both fixed after New).
 	next *Handle
 	idx  int
 
-	// Enqueue helping state: the thread's own request, the peer whose
-	// requests it will help next (an index into Queue.handles — an integer
-	// rather than a pointer so the frequent advance writes take no GC
-	// write barrier), and the id of a peer request it tried and failed to
-	// reserve a cell for (the paper's h->enq.id).
-	enqReq     enqReq
+	// Enqueue helping state: the peer whose requests this handle will help
+	// next (an index into Queue.handles — an integer rather than a pointer
+	// so the frequent advance writes take no GC write barrier), and the id
+	// of a peer request it tried and failed to reserve a cell for (the
+	// paper's h->enq.id).
 	enqPeerIdx int
 	enqID      int64
 
 	// Dequeue helping state.
-	deqReq     deqReq
 	deqPeerIdx int
 
 	// spare is scratch space reused by cleanup to avoid per-call
@@ -177,7 +196,11 @@ type Counters struct {
 	DeqFast  uint64 // dequeues completed on the fast path
 	DeqSlow  uint64 // dequeues completed on the slow path
 	DeqEmpty uint64 // dequeues that returned EMPTY
-	HelpEnq  uint64 // slow-path enqueue requests committed by a helper for a peer
+	// SpinFallbacks counts helpEnq invocations that exhausted the MAX_SPIN
+	// budget waiting for an in-flight enqueuer and yielded the processor
+	// before poisoning the cell.
+	SpinFallbacks uint64
+	HelpEnq       uint64 // slow-path enqueue requests committed by a helper for a peer
 	HelpDeq  uint64 // help_deq invocations on behalf of a peer
 	Cleanups uint64 // reclamation passes that freed at least one segment
 	Segments uint64 // segments linked into the list by this handle
@@ -220,6 +243,7 @@ type Queue struct {
 	segShift   uint
 	segMask    int64
 	patience   int
+	maxSpin    int
 	maxGarbage int64
 	recycle    bool
 
@@ -242,6 +266,7 @@ type Option func(*config)
 type config struct {
 	segShift   uint
 	patience   int
+	maxSpin    int
 	maxGarbage int64
 	recycle    bool
 }
@@ -256,6 +281,24 @@ func WithPatience(p int) Option {
 			p = 0
 		}
 		c.patience = p
+	}
+}
+
+// WithMaxSpin sets the paper's MAX_SPIN: the number of times a dequeuer
+// re-reads a cell claimed by an in-flight enqueuer before poisoning it with
+// ⊤ and forcing that enqueuer toward another cell (helpEnq, paper line 90).
+// After the spin budget expires the dequeuer yields the processor once
+// (runtime.Gosched) — on oversubscribed hosts the enqueuer it is waiting
+// for may need the timeslice to finish its deposit. The bound keeps the
+// operation wait-free. 0 disables both the spin and the yield (poison
+// immediately, the pre-tuning behavior); negative values are clamped to 0.
+// The default is DefaultMaxSpin.
+func WithMaxSpin(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		c.maxSpin = n
 	}
 }
 
@@ -307,6 +350,7 @@ func New(maxThreads int, opts ...Option) *Queue {
 	cfg := config{
 		segShift:   DefaultSegmentShift,
 		patience:   DefaultPatience,
+		maxSpin:    DefaultMaxSpin,
 		maxGarbage: int64(2 * maxThreads),
 	}
 	for _, o := range opts {
@@ -316,6 +360,7 @@ func New(maxThreads int, opts ...Option) *Queue {
 		segShift:   cfg.segShift,
 		segMask:    (1 << cfg.segShift) - 1,
 		patience:   cfg.patience,
+		maxSpin:    cfg.maxSpin,
 		maxGarbage: cfg.maxGarbage,
 		recycle:    cfg.recycle,
 	}
@@ -381,6 +426,9 @@ func (q *Queue) Capacity() int { return len(q.handles) }
 // Patience returns the configured fast-path attempt budget.
 func (q *Queue) Patience() int { return q.patience }
 
+// MaxSpin returns the configured MAX_SPIN bound.
+func (q *Queue) MaxSpin() int { return q.maxSpin }
+
 // SegmentSize returns the number of cells per segment.
 func (q *Queue) SegmentSize() int64 { return q.segMask + 1 }
 
@@ -403,6 +451,7 @@ func (q *Queue) Stats() Counters {
 		total.DeqFast += ctrLoad(&h.stats.DeqFast)
 		total.DeqSlow += ctrLoad(&h.stats.DeqSlow)
 		total.DeqEmpty += ctrLoad(&h.stats.DeqEmpty)
+		total.SpinFallbacks += ctrLoad(&h.stats.SpinFallbacks)
 		total.HelpEnq += ctrLoad(&h.stats.HelpEnq)
 		total.HelpDeq += ctrLoad(&h.stats.HelpDeq)
 		total.Cleanups += ctrLoad(&h.stats.Cleanups)

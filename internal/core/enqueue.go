@@ -111,12 +111,35 @@ func (q *Queue) enqSlow(h *Handle, v unsafe.Pointer, cellID int64) {
 //   - emptyVal: the queue was observed empty at this cell (T ≤ i with no
 //     pending enqueue able to fill cell i, Invariant 6).
 func (q *Queue) helpEnq(h *Handle, c *cell, i int64) unsafe.Pointer {
+	v := atomic.LoadPointer(&c.val)
+	// MAX_SPIN (paper line 90): if the cell's index has already been handed
+	// to an enqueuer by a fast-path FAA (T > i) but the value has not landed
+	// yet, give the enqueuer a bounded grace period before poisoning the
+	// cell — poisoning forces it to pay for another cell and, on the slow
+	// path, drags in the helping machinery. The T > i gate keeps polls of a
+	// genuinely empty queue (T <= i: no enqueuer can be in flight for this
+	// cell) on the immediate-poison path, so EMPTY detection stays cheap.
+	if v == nil && q.maxSpin > 0 && atomic.LoadInt64(&q.T) > i {
+		for spins := q.maxSpin; spins > 0 && v == nil; spins-- {
+			v = atomic.LoadPointer(&c.val)
+		}
+		if v == nil {
+			// Budget exhausted: the enqueuer is likely descheduled. Yield
+			// once — on oversubscribed hosts it may need this timeslice to
+			// finish the deposit — then proceed to poison. Both bounds keep
+			// the operation wait-free.
+			ctrInc(&h.stats.SpinFallbacks)
+			yield()
+			v = atomic.LoadPointer(&c.val)
+		}
+	}
 	// Try to mark the cell unusable; if it already holds a real value,
 	// return it (line 91).
-	if !atomic.CompareAndSwapPointer(&c.val, nil, topVal) {
-		if cv := atomic.LoadPointer(&c.val); cv != topVal {
-			return cv
-		}
+	if v == nil && !atomic.CompareAndSwapPointer(&c.val, nil, topVal) {
+		v = atomic.LoadPointer(&c.val)
+	}
+	if v != nil && v != topVal {
+		return v
 	}
 
 	// c.val is ⊤; help slow-path enqueues.
@@ -174,7 +197,7 @@ func (q *Queue) helpEnq(h *Handle, c *cell, i int64) unsafe.Pointer {
 	// Read state before val so the value belongs to request s.id or a
 	// later one (§3.4).
 	s := atomic.LoadUint64(&r.state)
-	v := atomic.LoadPointer(&r.val)
+	v = atomic.LoadPointer(&r.val)
 	switch {
 	case stateID(s) > i:
 		// The request is unsuitable for this cell; EMPTY if not enough

@@ -88,6 +88,41 @@ type StatsProvider interface {
 	Stats() map[string]uint64
 }
 
+// Ordering classifies the FIFO guarantee a queue implementation provides,
+// so harnesses apply the right oracle: the exact linearizability checker
+// only makes sense for OrderFIFO queues, the per-producer order validation
+// of the MPMC batteries for OrderFIFO and OrderPerProducer, and only the
+// loss/duplication accounting for OrderNone.
+type Ordering int
+
+const (
+	// OrderFIFO: a single linearizable FIFO queue (the default; every
+	// pre-sharding implementation in this repository).
+	OrderFIFO Ordering = iota
+	// OrderPerProducer: values from one producer handle are dequeued in
+	// their enqueue order, and no value is lost or duplicated, but values
+	// from different producers may be reordered arbitrarily (the sharded
+	// queue's affinity dispatch: each handle's values land in one lane in
+	// order).
+	OrderPerProducer
+	// OrderNone: only no-loss/no-duplication holds (the sharded queue's
+	// round-robin dispatch: one producer's consecutive values land in
+	// different lanes).
+	OrderNone
+)
+
+func (o Ordering) String() string {
+	switch o {
+	case OrderFIFO:
+		return "fifo"
+	case OrderPerProducer:
+		return "per-producer"
+	case OrderNone:
+		return "none"
+	}
+	return fmt.Sprintf("Ordering(%d)", int(o))
+}
+
 // Factory describes a registered queue implementation.
 type Factory struct {
 	// Name is the short registry key, e.g. "wf-10", "lcrq", "msqueue".
@@ -98,6 +133,9 @@ type Factory struct {
 	MaxValue uint64
 	// WaitFree reports whether the implementation guarantees wait-freedom.
 	WaitFree bool
+	// Ordering is the implementation's FIFO guarantee (zero value:
+	// OrderFIFO, a single linearizable queue).
+	Ordering Ordering
 	// New builds an instance sized for at most maxThreads registrations.
 	New func(maxThreads int) (Queue, error)
 }

@@ -19,6 +19,15 @@
 //	               segment boundary and most segments served are recycled,
 //	               so the lincheck/fuzz/battery suites exercise the
 //	               reclamation and reuse paths under contention)
+//	wf-sharded     multi-lane sharded queue over wf-10 lanes, one lane per
+//	               CPU by default, affinity dispatch + work stealing
+//	               (per-producer ordering, qiface.OrderPerProducer)
+//	wf-sharded-1   sharded queue pinned to one lane — strict FIFO
+//	               degenerate configuration (qiface.OrderFIFO, lincheck-able)
+//	wf-sharded-8   sharded queue with exactly 8 lanes (lane-scaling probe)
+//	wf-sharded-rr  sharded queue with round-robin dispatch: balanced lanes,
+//	               no per-producer ordering (qiface.OrderNone; only
+//	               no-loss/no-duplication harnesses apply)
 //
 // Pointer-based queues are adapted to the uint64 currency of qiface through
 // per-thread value arenas: an enqueue writes the value into the next arena
@@ -42,6 +51,7 @@ import (
 	"wfqueue/internal/msqueue"
 	"wfqueue/internal/ofqueue"
 	"wfqueue/internal/qiface"
+	"wfqueue/internal/sharded"
 	"wfqueue/internal/simqueue"
 )
 
@@ -143,6 +153,32 @@ func init() {
 		Name: "chan", Doc: "buffered Go channel (blocking, bounded; Go-native baseline)",
 		New: func(n int) (qiface.Queue, error) { return newChan("chan") },
 	})
+	qiface.Register(qiface.Factory{
+		Name: "wf-sharded", Doc: "sharded multi-lane wf-10 (lane per CPU, affinity dispatch, stealing)",
+		WaitFree: true, Ordering: qiface.OrderPerProducer,
+		New: func(n int) (qiface.Queue, error) { return newSharded("wf-sharded", n, false) },
+	})
+	qiface.Register(qiface.Factory{
+		Name: "wf-sharded-1", Doc: "sharded queue, single lane (strict FIFO degenerate configuration)",
+		WaitFree: true, Ordering: qiface.OrderFIFO,
+		New: func(n int) (qiface.Queue, error) {
+			return newSharded("wf-sharded-1", n, false, sharded.WithLanes(1))
+		},
+	})
+	qiface.Register(qiface.Factory{
+		Name: "wf-sharded-8", Doc: "sharded queue, 8 lanes (lane-scaling probe)",
+		WaitFree: true, Ordering: qiface.OrderPerProducer,
+		New: func(n int) (qiface.Queue, error) {
+			return newSharded("wf-sharded-8", n, false, sharded.WithLanes(8))
+		},
+	})
+	qiface.Register(qiface.Factory{
+		Name: "wf-sharded-rr", Doc: "sharded queue, round-robin dispatch (balanced lanes, unordered)",
+		WaitFree: true, Ordering: qiface.OrderNone,
+		New: func(n int) (qiface.Queue, error) {
+			return newSharded("wf-sharded-rr", n, false, sharded.WithDispatch(sharded.DispatchRoundRobin))
+		},
+	})
 }
 
 // --- adapters -----------------------------------------------------------
@@ -232,6 +268,7 @@ func (a *wfAdapter) Stats() map[string]uint64 {
 		"deq_fast":        s.DeqFast,
 		"deq_slow":        s.DeqSlow,
 		"deq_empty":       s.DeqEmpty,
+		"spin_fallbacks":  s.SpinFallbacks,
 		"help_enq":        s.HelpEnq,
 		"help_deq":        s.HelpDeq,
 		"cleanups":        s.Cleanups,
@@ -243,6 +280,111 @@ func (a *wfAdapter) Stats() map[string]uint64 {
 		"enq_batch_faas":  s.EnqBatchFAAs,
 		"deq_batch_calls": s.DeqBatchCalls,
 		"deq_batch_faas":  s.DeqBatchFAAs,
+	}
+}
+
+// shardedAdapter drives the multi-lane sharded queue through the same
+// arena/boxed value adapters as the core. Each Register homes its handle by
+// the sharded queue's own policy (round-robin over lanes), so the harnesses'
+// workers spread across lanes exactly as library users would.
+type shardedAdapter struct {
+	name  string
+	boxed bool
+	q     *sharded.Queue
+}
+
+func newSharded(name string, n int, boxed bool, opts ...sharded.Option) (qiface.Queue, error) {
+	return &shardedAdapter{name: name, boxed: boxed, q: sharded.New(n, opts...)}, nil
+}
+
+func (a *shardedAdapter) Name() string { return a.name }
+
+func (a *shardedAdapter) Register() (qiface.Ops, error) {
+	h, err := a.q.Register()
+	if err != nil {
+		return qiface.Ops{}, err
+	}
+	scr := &batchScratch{}
+	deqBatch := func(dst []uint64) int {
+		buf := scr.grow(len(dst))
+		n := a.q.DequeueBatch(h, buf)
+		for i := 0; i < n; i++ {
+			dst[i] = *(*uint64)(buf[i])
+			buf[i] = nil
+		}
+		return n
+	}
+	if a.boxed {
+		return qiface.Ops{
+			Enqueue: func(v uint64) { a.q.Enqueue(h, boxVal(v)) },
+			Dequeue: func() (uint64, bool) {
+				p, ok := a.q.Dequeue(h)
+				if !ok {
+					return 0, false
+				}
+				return *(*uint64)(p), true
+			},
+			EnqueueBatch: func(vs []uint64) {
+				vals := make([]uint64, len(vs))
+				copy(vals, vs)
+				buf := scr.grow(len(vs))
+				for i := range vals {
+					buf[i] = unsafe.Pointer(&vals[i])
+				}
+				a.q.EnqueueBatch(h, buf)
+			},
+			DequeueBatch: deqBatch,
+		}, nil
+	}
+	ar := &arena{}
+	return qiface.Ops{
+		Enqueue: func(v uint64) { a.q.Enqueue(h, ptr(ar.put(v))) },
+		Dequeue: func() (uint64, bool) {
+			p, ok := a.q.Dequeue(h)
+			if !ok {
+				return 0, false
+			}
+			return *(*uint64)(p), true
+		},
+		EnqueueBatch: func(vs []uint64) {
+			buf := scr.grow(len(vs))
+			for i, v := range vs {
+				buf[i] = ptr(ar.put(v))
+			}
+			a.q.EnqueueBatch(h, buf)
+		},
+		DequeueBatch: deqBatch,
+	}, nil
+}
+
+// Stats implements qiface.StatsProvider: the lane-summed core counters under
+// the usual keys plus the sharded layer's own (lanes, steals, sweeps, ...).
+func (a *shardedAdapter) Stats() map[string]uint64 {
+	st := a.q.Stats()
+	s := st.Core
+	return map[string]uint64{
+		"enq_fast":        s.EnqFast,
+		"enq_slow":        s.EnqSlow,
+		"deq_fast":        s.DeqFast,
+		"deq_slow":        s.DeqSlow,
+		"deq_empty":       s.DeqEmpty,
+		"spin_fallbacks":  s.SpinFallbacks,
+		"help_enq":        s.HelpEnq,
+		"help_deq":        s.HelpDeq,
+		"cleanups":        s.Cleanups,
+		"segments":        s.Segments,
+		"seg_cache_hits":  s.SegCacheHits,
+		"seg_pool_hits":   s.SegPoolHits,
+		"seg_allocs":      s.SegAllocs,
+		"enq_batch_calls": s.EnqBatchCalls,
+		"enq_batch_faas":  s.EnqBatchFAAs,
+		"deq_batch_calls": s.DeqBatchCalls,
+		"deq_batch_faas":  s.DeqBatchFAAs,
+		"lanes":           uint64(st.Lanes),
+		"steals":          st.Sharded.Steals,
+		"sweeps":          st.Sharded.Sweeps,
+		"empty_dequeues":  st.Sharded.EmptyDequeues,
+		"rr_dispatches":   st.Sharded.RRDispatches,
 	}
 }
 
@@ -538,6 +680,14 @@ func NewChecked(name string, n int) (qiface.Queue, error) {
 	case "wf-10-tiny":
 		return newWF(name, n, 10, true, true,
 			core.WithSegmentShift(2), core.WithMaxGarbage(1))
+	case "wf-sharded":
+		return newSharded(name, n, true)
+	case "wf-sharded-1":
+		return newSharded(name, n, true, sharded.WithLanes(1))
+	case "wf-sharded-8":
+		return newSharded(name, n, true, sharded.WithLanes(8))
+	case "wf-sharded-rr":
+		return newSharded(name, n, true, sharded.WithDispatch(sharded.DispatchRoundRobin))
 	case "of":
 		return newOF(name, n, true)
 	case "msqueue":

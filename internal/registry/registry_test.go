@@ -1,13 +1,18 @@
 package registry
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"wfqueue/internal/qiface"
 	"wfqueue/internal/qtest"
 )
 
-// realQueues are all registered implementations with actual FIFO semantics.
+// realQueues are all registered implementations with actual queue semantics
+// (every value enqueued comes back exactly once); the ordering each one
+// guarantees is declared in its Factory.Ordering.
 func realQueues(t *testing.T) []string {
 	var names []string
 	for _, n := range qiface.Names() {
@@ -17,6 +22,34 @@ func realQueues(t *testing.T) []string {
 	}
 	if len(names) < 9 {
 		t.Fatalf("expected at least 9 real queues registered, have %v", names)
+	}
+	return names
+}
+
+// orderedQueues are the real queues guaranteeing at least per-producer FIFO
+// order — the precondition for the battery's order validation. OrderNone
+// queues (round-robin sharded dispatch) get no-loss coverage separately.
+func orderedQueues(t *testing.T) []string {
+	var names []string
+	for _, n := range realQueues(t) {
+		if MustLookup(n).Ordering != qiface.OrderNone {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// fifoQueues are the real queues claiming full linearizable FIFO order —
+// the only ones the lincheck harness may be applied to.
+func fifoQueues(t *testing.T) []string {
+	var names []string
+	for _, n := range realQueues(t) {
+		if MustLookup(n).Ordering == qiface.OrderFIFO {
+			names = append(names, n)
+		}
+	}
+	if len(names) < 9 {
+		t.Fatalf("expected at least 9 FIFO queues registered, have %v", names)
 	}
 	return names
 }
@@ -64,13 +97,93 @@ func makerFor(name string) qtest.Maker {
 	}
 }
 
-// TestConformanceAllQueues runs the full battery over every real queue via
-// its registry adapter — the cross-implementation integration test.
+// TestConformanceAllQueues runs the full battery over every ordered queue
+// via its registry adapter — the cross-implementation integration test. The
+// battery validates per-producer FIFO, which OrderNone queues deliberately
+// do not promise; they are covered by TestUnorderedQueuesNoLoss.
 func TestConformanceAllQueues(t *testing.T) {
-	for _, name := range realQueues(t) {
+	for _, name := range orderedQueues(t) {
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			qtest.Battery(t, makerFor(name))
+		})
+	}
+}
+
+// TestUnorderedQueuesNoLoss is the conformance test for OrderNone queues:
+// concurrent producers and consumers, and the only invariants an unordered
+// queue owes are no loss, no duplication, and honest emptiness.
+func TestUnorderedQueuesNoLoss(t *testing.T) {
+	var unordered []string
+	for _, name := range realQueues(t) {
+		if MustLookup(name).Ordering == qiface.OrderNone {
+			unordered = append(unordered, name)
+		}
+	}
+	if len(unordered) == 0 {
+		t.Fatal("expected at least one OrderNone queue (wf-sharded-rr)")
+	}
+	for _, name := range unordered {
+		t.Run(name, func(t *testing.T) {
+			const workers, per = 4, 5000
+			q, err := NewChecked(name, 2*workers+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for p := 0; p < workers; p++ {
+				ops, err := q.Register()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(p int, ops qiface.Ops) {
+					defer wg.Done()
+					for s := 0; s < per; s++ {
+						ops.Enqueue(uint64(p)<<32 | uint64(s+1))
+					}
+				}(p, ops)
+			}
+			var mu sync.Mutex
+			seen := make(map[uint64]bool, workers*per)
+			var count int64
+			for c := 0; c < workers; c++ {
+				ops, err := q.Register()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(ops qiface.Ops) {
+					defer wg.Done()
+					for atomic.LoadInt64(&count) < workers*per {
+						v, ok := ops.Dequeue()
+						if !ok {
+							runtime.Gosched()
+							continue
+						}
+						mu.Lock()
+						if seen[v] {
+							mu.Unlock()
+							t.Errorf("value %x dequeued twice", v)
+							return
+						}
+						seen[v] = true
+						mu.Unlock()
+						atomic.AddInt64(&count, 1)
+					}
+				}(ops)
+			}
+			wg.Wait()
+			if len(seen) != workers*per {
+				t.Fatalf("dequeued %d distinct values, want %d", len(seen), workers*per)
+			}
+			ops, err := q.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v, ok := ops.Dequeue(); ok {
+				t.Fatalf("drained queue returned %x", v)
+			}
 		})
 	}
 }
@@ -94,12 +207,35 @@ func TestFAAAdapterCounts(t *testing.T) {
 func TestWaitFreeFlags(t *testing.T) {
 	waitFree := map[string]bool{
 		"wf-10": true, "wf-0": true, "wf-10-recycle": true, "kpqueue": true, "simqueue": true,
+		"wf-sharded": true, "wf-sharded-1": true, "wf-sharded-8": true, "wf-sharded-rr": true,
 		"lcrq": false, "msqueue": false, "ccqueue": false, "of": false, "faa": false, "chan": false,
 	}
 	for name, want := range waitFree {
 		f := MustLookup(name)
 		if f.WaitFree != want {
 			t.Errorf("%s: WaitFree = %v, want %v", name, f.WaitFree, want)
+		}
+	}
+}
+
+// TestOrderingDeclarations pins each implementation's ordering contract:
+// everything is full FIFO except the multi-lane sharded variants, whose
+// relaxation is the point.
+func TestOrderingDeclarations(t *testing.T) {
+	want := map[string]qiface.Ordering{
+		"wf-10":         qiface.OrderFIFO,
+		"wf-10-recycle": qiface.OrderFIFO,
+		"lcrq":          qiface.OrderFIFO,
+		"msqueue":       qiface.OrderFIFO,
+		"chan":          qiface.OrderFIFO,
+		"wf-sharded":    qiface.OrderPerProducer,
+		"wf-sharded-1":  qiface.OrderFIFO,
+		"wf-sharded-8":  qiface.OrderPerProducer,
+		"wf-sharded-rr": qiface.OrderNone,
+	}
+	for name, o := range want {
+		if got := MustLookup(name).Ordering; got != o {
+			t.Errorf("%s: Ordering = %v, want %v", name, got, o)
 		}
 	}
 }

@@ -1,0 +1,134 @@
+package sharded
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// Enqueue appends v to the queue using handle h. Under DispatchAffinity the
+// value lands in h's home lane (preserving per-producer FIFO order); under
+// DispatchRoundRobin a shared FAA cursor picks the lane. v must not be nil
+// (the core's reserved ⊥). The operation is wait-free: one core enqueue
+// plus at most one FAA.
+func (q *Queue) Enqueue(h *Handle, v unsafe.Pointer) {
+	li := h.home
+	if q.dispatch == DispatchRoundRobin {
+		li = int(uint64(atomic.AddInt64(&q.rr, 1)-1) % uint64(len(q.lanes)))
+		ctrInc(&h.stats.RRDispatches)
+	}
+	q.lanes[li].q.Enqueue(h.hs[li], v)
+	ctrInc(&h.stats.Enqueues)
+}
+
+// Dequeue removes and returns a value, or ok=false if every lane was
+// observed empty during the call. The home lane is drained first; when it
+// reports EMPTY the consumer turns work-stealer and sweeps the other lanes
+// in cyclic order — first the lanes whose size hint is nonzero (a real
+// dequeue on an empty lane poisons a cell, so the cheap racy hint filters
+// most misses), then, if the hint pass came back dry, a definitive pass
+// that performs a real dequeue on every remaining lane. Each of those
+// EMPTY returns is a per-lane linearization point inside this call's
+// interval, which is exactly the emptiness guarantee the relaxed contract
+// makes (package comment; DESIGN.md §4).
+//
+// The operation stays wait-free: at most 2·lanes core dequeues, each
+// individually wait-free. A steal can never lose or duplicate a value: the
+// value moves through the stolen lane's ordinary per-cell claim CAS, which
+// at most one dequeuer queue-wide can win.
+func (q *Queue) Dequeue(h *Handle) (unsafe.Pointer, bool) {
+	if v, ok := q.lanes[h.home].q.Dequeue(h.hs[h.home]); ok {
+		ctrInc(&h.stats.Dequeues)
+		return v, true
+	}
+	n := len(q.lanes)
+	if n == 1 {
+		ctrInc(&h.stats.EmptyDequeues)
+		return nil, false
+	}
+	ctrInc(&h.stats.Sweeps)
+	// Hint pass: steal from lanes that look non-empty.
+	for off := 1; off < n; off++ {
+		li := h.home + off
+		if li >= n {
+			li -= n
+		}
+		ln := &q.lanes[li]
+		if ln.q.Size() == 0 {
+			continue
+		}
+		if v, ok := ln.q.Dequeue(h.hs[li]); ok {
+			atomic.AddUint64(&ln.stolenFrom, 1)
+			ctrInc(&h.stats.Steals)
+			ctrInc(&h.stats.Dequeues)
+			return v, true
+		}
+	}
+	// Definitive pass: a real dequeue per lane, so a false return is backed
+	// by a per-lane EMPTY witness for every lane (the home lane's was the
+	// failed dequeue that started the sweep).
+	for off := 1; off < n; off++ {
+		li := h.home + off
+		if li >= n {
+			li -= n
+		}
+		ln := &q.lanes[li]
+		if v, ok := ln.q.Dequeue(h.hs[li]); ok {
+			atomic.AddUint64(&ln.stolenFrom, 1)
+			ctrInc(&h.stats.Steals)
+			ctrInc(&h.stats.Dequeues)
+			return v, true
+		}
+	}
+	ctrInc(&h.stats.EmptyDequeues)
+	return nil, false
+}
+
+// EnqueueBatch appends the values of vs in order using handle h. The whole
+// batch lands in ONE lane — h's home lane, or one round-robin pick for the
+// batch — so the core's single-FAA k-cell reservation applies unchanged and
+// intra-batch order is a single lane's FIFO order.
+func (q *Queue) EnqueueBatch(h *Handle, vs []unsafe.Pointer) {
+	if len(vs) == 0 {
+		return
+	}
+	li := h.home
+	if q.dispatch == DispatchRoundRobin {
+		li = int(uint64(atomic.AddInt64(&q.rr, 1)-1) % uint64(len(q.lanes)))
+		ctrInc(&h.stats.RRDispatches)
+	}
+	q.lanes[li].q.EnqueueBatch(h.hs[li], vs)
+	ctrAdd(&h.stats.Enqueues, uint64(len(vs)))
+}
+
+// DequeueBatch fills dst from the home lane first, then tops up any
+// shortfall by sweeping the other lanes with batched steals. It returns
+// the number of values stored; a short return means every lane was
+// observed EMPTY (per lane, within the call) — the batched analogue of
+// Dequeue's ok=false.
+func (q *Queue) DequeueBatch(h *Handle, dst []unsafe.Pointer) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	got := q.lanes[h.home].q.DequeueBatch(h.hs[h.home], dst)
+	n := len(q.lanes)
+	if got == len(dst) || n == 1 {
+		ctrAdd(&h.stats.Dequeues, uint64(got))
+		return got
+	}
+	ctrInc(&h.stats.Sweeps)
+	for off := 1; off < n && got < len(dst); off++ {
+		li := h.home + off
+		if li >= n {
+			li -= n
+		}
+		ln := &q.lanes[li]
+		m := ln.q.DequeueBatch(h.hs[li], dst[got:])
+		if m > 0 {
+			atomic.AddUint64(&ln.stolenFrom, uint64(m))
+			ctrAdd(&h.stats.Steals, uint64(m))
+		}
+		got += m
+	}
+	ctrAdd(&h.stats.Dequeues, uint64(got))
+	return got
+}

@@ -1,0 +1,382 @@
+// Package sharded layers a multi-lane queue over N independent instances of
+// the paper's wait-free queue (internal/core), decentralizing the two
+// global fetch-and-add counters that Figure 2 shows becoming the bottleneck
+// at high core counts: the algorithm is "as fast as fetch-and-add", and
+// once every thread hammers one T and one H cache line, fetch-and-add on
+// that line is the wall. Sharding trades the single global FIFO order for
+// per-lane FIFO plus per-producer ordering — the direction recent
+// coordination-free designs take — while every lane keeps the core's
+// wait-freedom, helping ring and hazard-pointer reclamation unchanged.
+//
+// # Structure
+//
+//	Queue
+//	  ├── lane 0: core.Queue (own T/H, segments, helper ring)
+//	  ├── lane 1: core.Queue
+//	  └── ...      (N fixed at construction; default: power of two near
+//	               GOMAXPROCS, the per-CPU-lane configuration)
+//
+// Every Handle registers with all lanes but has one home lane. Dispatch:
+//
+//   - DispatchAffinity (default): enqueues go to the handle's home lane, so
+//     one producer's values land in one lane in order (per-producer FIFO).
+//     Dequeues drain the home lane and steal from the others when it is
+//     empty.
+//   - DispatchRoundRobin: enqueues pick a lane by FAA on a shared cursor.
+//     This balances load under skewed producers but gives up per-producer
+//     ordering (consecutive values from one producer land in different
+//     lanes); only no-loss/no-duplication survives.
+//
+// # Ordering contract
+//
+// Precisely (see DESIGN.md §4 for the full statement and the steal
+// protocol):
+//
+//   - Each lane is a linearizable FIFO queue.
+//   - No value is lost or duplicated: steals move a value from exactly one
+//     lane's cell to exactly one dequeuer (the per-cell claim CAS of the
+//     core makes a double-steal impossible by construction).
+//   - Under DispatchAffinity, values enqueued through one handle are
+//     dequeued in enqueue order by any single consumer that receives them.
+//   - Dequeue returns ok=false only after witnessing, for every lane, a
+//     per-lane EMPTY linearization point within the call's interval. There
+//     is no single instant at which all lanes are simultaneously empty —
+//     that is the relaxation sharding buys throughput with.
+//   - Lanes(1) degenerates to the strict single-queue semantics: every
+//     operation is a direct pass-through to one core.Queue, so the sharded
+//     queue is then linearizable to a FIFO queue (verified by lincheck).
+package sharded
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"wfqueue/internal/affinity"
+	"wfqueue/internal/core"
+	"wfqueue/internal/pad"
+)
+
+// MaxLanes bounds the lane count; beyond this the steal sweep's O(lanes)
+// worst case stops paying for the FAA decentralization.
+const MaxLanes = 64
+
+// Dispatch selects how enqueues pick a lane.
+type Dispatch int
+
+const (
+	// DispatchAffinity routes every operation to the handle's home lane
+	// first (per-producer FIFO preserved).
+	DispatchAffinity Dispatch = iota
+	// DispatchRoundRobin spreads enqueues over lanes by FAA on a shared
+	// cursor (no per-producer ordering).
+	DispatchRoundRobin
+)
+
+func (d Dispatch) String() string {
+	if d == DispatchRoundRobin {
+		return "round-robin"
+	}
+	return "affinity"
+}
+
+// DefaultLanes returns the default lane count: the largest power of two
+// ≤ GOMAXPROCS, the per-CPU-lane configuration (at least 1).
+func DefaultLanes() int {
+	n := 1
+	for n*2 <= runtime.GOMAXPROCS(0) && n*2 <= MaxLanes {
+		n *= 2
+	}
+	return n
+}
+
+// Option configures a Queue at construction.
+type Option func(*config)
+
+type config struct {
+	lanes    int
+	dispatch Dispatch
+	cpuHome  bool
+	coreOpts []core.Option
+}
+
+// WithLanes fixes the lane count (clamped to [1, MaxLanes]); 0 selects
+// DefaultLanes(). Lanes(1) is the strict single-queue configuration.
+func WithLanes(n int) Option {
+	return func(c *config) {
+		if n > MaxLanes {
+			n = MaxLanes
+		}
+		if n < 0 {
+			n = 0
+		}
+		c.lanes = n
+	}
+}
+
+// WithDispatch selects the enqueue dispatch policy.
+func WithDispatch(d Dispatch) Option {
+	return func(c *config) { c.dispatch = d }
+}
+
+// WithCPUHoming makes Register derive the home lane from the CPU the
+// calling thread is on (affinity.CurrentCPU), the per-CPU-lane placement:
+// workers pinned to distinct CPUs get distinct home lanes and SMT siblings
+// share one. Off by default — for unpinned goroutines the CPU at
+// registration time is arbitrary and round-robin homing balances better.
+func WithCPUHoming(on bool) Option {
+	return func(c *config) { c.cpuHome = on }
+}
+
+// WithCoreOptions passes options through to every lane's core.Queue
+// (patience, segment size, recycling, spin bound, ...).
+func WithCoreOptions(opts ...core.Option) Option {
+	return func(c *config) { c.coreOpts = append(c.coreOpts, opts...) }
+}
+
+// lane wraps one core queue. The descriptor line (q) is read by every
+// operation; stolenFrom is written (rarely) by stealing consumers. The
+// padding keeps each lane's mutable word off its neighbors' descriptor
+// lines, so a steal burst against lane i never invalidates the line some
+// other handle needs to reach lane j — asserted by the padding audit.
+type lane struct {
+	_ pad.CacheLinePad
+	q *core.Queue
+	// id is the lane's index (fixed after New).
+	id int
+	// stolenFrom counts values removed from this lane by handles homed
+	// elsewhere (atomic).
+	stolenFrom uint64
+	_          pad.CacheLinePad
+}
+
+// Counters are per-handle sharded-layer instrumentation (the per-lane core
+// counters live in core.Counters). Single writer per handle; aggregated by
+// Stats.
+type Counters struct {
+	Enqueues      uint64 // values enqueued through this handle
+	Dequeues      uint64 // values dequeued through this handle
+	EmptyDequeues uint64 // dequeues that returned EMPTY after a full sweep
+	Steals        uint64 // values obtained from a non-home lane
+	Sweeps        uint64 // dequeue calls that had to look beyond the home lane
+	RRDispatches  uint64 // enqueues routed by the round-robin cursor
+}
+
+// QueueStats is the aggregate view returned by Stats.
+type QueueStats struct {
+	Lanes    int
+	Dispatch Dispatch
+	// Core sums every lane's core.Counters.
+	Core core.Counters
+	// Sharded sums every handle's sharded-layer Counters (including
+	// released handles).
+	Sharded Counters
+	// StolenFrom is the per-lane count of values stolen by non-home
+	// consumers.
+	StolenFrom []uint64
+}
+
+// Queue is the sharded multi-lane queue. Create instances with New; all
+// operations go through Handles obtained from Register.
+type Queue struct {
+	lanes      []lane
+	dispatch   Dispatch
+	cpuHome    bool
+	maxHandles int
+
+	_ pad.CacheLinePad
+	// rr is the round-robin dispatch cursor, FAAed on every enqueue in
+	// DispatchRoundRobin mode — the one shared hot word of this layer, on
+	// its own line.
+	rr int64
+	_  pad.CacheLinePad
+
+	// regSeq assigns default home lanes round-robin (Register-time only).
+	regSeq int64
+
+	// mu guards registration bookkeeping and the retired-stats accumulator.
+	mu      sync.Mutex
+	live    map[*Handle]struct{}
+	retired Counters
+}
+
+// Handle is a thread's registration with the sharded queue: one core handle
+// per lane plus a home lane. A Handle may be used by only one goroutine at
+// a time. The pads isolate the owner's hot stats writes from neighboring
+// heap objects (handles are often allocated back to back).
+type Handle struct {
+	_     pad.CacheLinePad
+	q     *Queue
+	home  int
+	hs    []*core.Handle // per-lane core handles, indexed by lane id
+	stats Counters
+	_     pad.CacheLinePad
+}
+
+// New creates a sharded queue supporting up to maxHandles concurrently
+// registered handles. Every lane is sized for all maxHandles (any handle
+// may steal from any lane).
+func New(maxHandles int, opts ...Option) *Queue {
+	if maxHandles < 1 {
+		maxHandles = 1
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n := cfg.lanes
+	if n == 0 {
+		n = DefaultLanes()
+	}
+	q := &Queue{
+		lanes:      make([]lane, n),
+		dispatch:   cfg.dispatch,
+		cpuHome:    cfg.cpuHome,
+		maxHandles: maxHandles,
+		live:       map[*Handle]struct{}{},
+	}
+	for i := range q.lanes {
+		q.lanes[i].id = i
+		q.lanes[i].q = core.New(maxHandles, cfg.coreOpts...)
+	}
+	return q
+}
+
+// Lanes returns the lane count.
+func (q *Queue) Lanes() int { return len(q.lanes) }
+
+// DispatchPolicy returns the configured enqueue dispatch policy.
+func (q *Queue) DispatchPolicy() Dispatch { return q.dispatch }
+
+// Register checks out a handle. The home lane is derived from the calling
+// thread's CPU when WithCPUHoming is on (and the platform supports it),
+// otherwise assigned round-robin over lanes so concurrent workers spread
+// evenly. Each concurrent worker needs its own handle; return it with
+// Handle.Release.
+func (q *Queue) Register() (*Handle, error) {
+	if q.cpuHome {
+		if cpu, ok := affinity.CurrentCPU(); ok {
+			return q.RegisterOnLane(cpu % len(q.lanes))
+		}
+	}
+	seq := atomic.AddInt64(&q.regSeq, 1) - 1
+	return q.RegisterOnLane(int(seq % int64(len(q.lanes))))
+}
+
+// RegisterOnCurrentCPU checks out a handle homed on the lane matching the
+// calling thread's current CPU (cpu mod lanes) — the per-CPU-lane placement
+// for workers that pin themselves with internal/affinity. It falls back to
+// Register's round-robin homing when the platform cannot report the CPU.
+func (q *Queue) RegisterOnCurrentCPU() (*Handle, error) {
+	if cpu, ok := affinity.CurrentCPU(); ok {
+		return q.RegisterOnLane(cpu % len(q.lanes))
+	}
+	return q.Register()
+}
+
+// RegisterOnLane checks out a handle homed on the given lane.
+func (q *Queue) RegisterOnLane(home int) (*Handle, error) {
+	if home < 0 || home >= len(q.lanes) {
+		return nil, fmt.Errorf("sharded: home lane %d out of range [0,%d)", home, len(q.lanes))
+	}
+	h := &Handle{q: q, home: home, hs: make([]*core.Handle, len(q.lanes))}
+	for i := range q.lanes {
+		ch, err := q.lanes[i].q.Register()
+		if err != nil {
+			for j := 0; j < i; j++ {
+				h.hs[j].Release()
+			}
+			return nil, fmt.Errorf("sharded: lane %d: %w", i, err)
+		}
+		h.hs[i] = ch
+	}
+	q.mu.Lock()
+	q.live[h] = struct{}{}
+	q.mu.Unlock()
+	return h, nil
+}
+
+// Home returns the handle's home lane.
+func (h *Handle) Home() int { return h.home }
+
+// Release returns the handle's per-lane registrations. The handle must have
+// no operation in flight and must not be used afterwards. Its counters are
+// folded into the queue's retired accumulator so Stats stays monotonic
+// across release/re-register cycles.
+func (h *Handle) Release() {
+	q := h.q
+	q.mu.Lock()
+	if _, ok := q.live[h]; !ok {
+		q.mu.Unlock()
+		panic("sharded: Release of unregistered handle")
+	}
+	delete(q.live, h)
+	q.retired.add(&h.stats)
+	q.mu.Unlock()
+	for _, ch := range h.hs {
+		ch.Release()
+	}
+}
+
+func (c *Counters) add(o *Counters) {
+	c.Enqueues += ctrLoad(&o.Enqueues)
+	c.Dequeues += ctrLoad(&o.Dequeues)
+	c.EmptyDequeues += ctrLoad(&o.EmptyDequeues)
+	c.Steals += ctrLoad(&o.Steals)
+	c.Sweeps += ctrLoad(&o.Sweeps)
+	c.RRDispatches += ctrLoad(&o.RRDispatches)
+}
+
+// Size returns an instantaneous approximation of the total queue length
+// (the sum of per-lane sizes; exact only in quiescent states).
+func (q *Queue) Size() int64 {
+	var total int64
+	for i := range q.lanes {
+		total += q.lanes[i].q.Size()
+	}
+	return total
+}
+
+// Stats aggregates the per-lane core counters and the sharded-layer
+// counters of all handles, live and released.
+func (q *Queue) Stats() QueueStats {
+	st := QueueStats{
+		Lanes:      len(q.lanes),
+		Dispatch:   q.dispatch,
+		StolenFrom: make([]uint64, len(q.lanes)),
+	}
+	for i := range q.lanes {
+		cs := q.lanes[i].q.Stats()
+		st.Core.EnqFast += cs.EnqFast
+		st.Core.EnqSlow += cs.EnqSlow
+		st.Core.DeqFast += cs.DeqFast
+		st.Core.DeqSlow += cs.DeqSlow
+		st.Core.DeqEmpty += cs.DeqEmpty
+		st.Core.SpinFallbacks += cs.SpinFallbacks
+		st.Core.HelpEnq += cs.HelpEnq
+		st.Core.HelpDeq += cs.HelpDeq
+		st.Core.Cleanups += cs.Cleanups
+		st.Core.Segments += cs.Segments
+		st.Core.SegCacheHits += cs.SegCacheHits
+		st.Core.SegPoolHits += cs.SegPoolHits
+		st.Core.SegAllocs += cs.SegAllocs
+		st.Core.EnqBatchCalls += cs.EnqBatchCalls
+		st.Core.EnqBatchFAAs += cs.EnqBatchFAAs
+		st.Core.DeqBatchCalls += cs.DeqBatchCalls
+		st.Core.DeqBatchFAAs += cs.DeqBatchFAAs
+		st.StolenFrom[i] = atomic.LoadUint64(&q.lanes[i].stolenFrom)
+	}
+	q.mu.Lock()
+	st.Sharded = q.retired
+	for h := range q.live {
+		st.Sharded.add(&h.stats)
+	}
+	q.mu.Unlock()
+	return st
+}
+
+func (q *Queue) String() string {
+	return fmt.Sprintf("sharded.Queue{lanes=%d, dispatch=%s, handles=%d, size≈%d}",
+		len(q.lanes), q.dispatch, q.maxHandles, q.Size())
+}

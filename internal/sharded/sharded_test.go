@@ -1,0 +1,287 @@
+package sharded
+
+import (
+	"runtime"
+	"testing"
+	"unsafe"
+
+	"wfqueue/internal/affinity"
+	"wfqueue/internal/core"
+	"wfqueue/internal/qtest"
+)
+
+// boxed int64 currency for the tests: every value gets its own allocation,
+// so read-back is always exact.
+func box(v int64) unsafe.Pointer {
+	p := new(int64)
+	*p = v
+	return unsafe.Pointer(p)
+}
+
+func unbox(p unsafe.Pointer) int64 { return *(*int64)(p) }
+
+// maker adapts a sharded configuration to the qtest battery.
+func maker(opts ...Option) qtest.Maker {
+	return func(t testing.TB, nworkers int) func() qtest.Ops {
+		q := New(nworkers, opts...)
+		return func() qtest.Ops {
+			h, err := q.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return qtest.Ops{
+				Enq: func(v int64) { q.Enqueue(h, box(v)) },
+				Deq: func() (int64, bool) {
+					p, ok := q.Dequeue(h)
+					if !ok {
+						return 0, false
+					}
+					return unbox(p), true
+				},
+				EnqBatch: func(vs []int64) {
+					ps := make([]unsafe.Pointer, len(vs))
+					for i, v := range vs {
+						ps[i] = box(v)
+					}
+					q.EnqueueBatch(h, ps)
+				},
+				DeqBatch: func(dst []int64) int {
+					ps := make([]unsafe.Pointer, len(dst))
+					n := q.DequeueBatch(h, ps)
+					for i := 0; i < n; i++ {
+						dst[i] = unbox(ps[i])
+					}
+					return n
+				},
+			}
+		}
+	}
+}
+
+// TestBattery runs the full conformance battery over the affinity-dispatch
+// configurations: strict single lane, multi-lane, and multi-lane over
+// adversarial core lanes (tiny recycled segments) so steal sweeps cross
+// segment boundaries and hit recycled memory. Single-worker battery parts
+// check exact FIFO (which affinity dispatch preserves for one handle); the
+// MPMC parts check no-loss/no-duplication and per-producer order, the
+// sharded ordering contract.
+func TestBattery(t *testing.T) {
+	configs := map[string][]Option{
+		"Lanes1":     {WithLanes(1)},
+		"Lanes2":     {WithLanes(2)},
+		"Lanes4":     {WithLanes(4)},
+		"Lanes3Tiny": {WithLanes(3), WithCoreOptions(core.WithRecycling(true), core.WithSegmentShift(2), core.WithMaxGarbage(1))},
+	}
+	for name, opts := range configs {
+		opts := opts
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			qtest.Battery(t, maker(opts...))
+		})
+	}
+}
+
+// TestRoundRobinDispatch checks the DispatchRoundRobin contract: values
+// spread over all lanes (balanced by the FAA cursor), nothing is lost or
+// duplicated, and the queue drains to EMPTY — FIFO order deliberately not
+// asserted (OrderNone).
+func TestRoundRobinDispatch(t *testing.T) {
+	const lanes, n = 4, 1000
+	q := New(1, WithLanes(lanes), WithDispatch(DispatchRoundRobin))
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= n; i++ {
+		q.Enqueue(h, box(i))
+	}
+	// The cursor spreads a single producer's values exactly evenly.
+	for i := range q.lanes {
+		if sz := q.lanes[i].q.Size(); sz != n/lanes {
+			t.Errorf("lane %d holds %d values, want %d", i, sz, n/lanes)
+		}
+	}
+	seen := make(map[int64]bool, n)
+	for i := 0; i < n; i++ {
+		p, ok := q.Dequeue(h)
+		if !ok {
+			t.Fatalf("dequeue %d: unexpected EMPTY", i)
+		}
+		v := unbox(p)
+		if seen[v] {
+			t.Fatalf("value %d dequeued twice", v)
+		}
+		seen[v] = true
+	}
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("drained queue returned a value")
+	}
+	st := q.Stats()
+	if st.Sharded.RRDispatches != n {
+		t.Errorf("RRDispatches = %d, want %d", st.Sharded.RRDispatches, n)
+	}
+	if st.Sharded.Enqueues != n || st.Sharded.Dequeues != n {
+		t.Errorf("Enqueues/Dequeues = %d/%d, want %d/%d", st.Sharded.Enqueues, st.Sharded.Dequeues, n, n)
+	}
+}
+
+func TestLanesDefaultsAndClamping(t *testing.T) {
+	if got := New(1).Lanes(); got != DefaultLanes() {
+		t.Errorf("default Lanes = %d, want DefaultLanes() = %d", got, DefaultLanes())
+	}
+	d := DefaultLanes()
+	if d < 1 || d > MaxLanes || d&(d-1) != 0 {
+		t.Errorf("DefaultLanes() = %d, want a power of two in [1,%d]", d, MaxLanes)
+	}
+	if d > runtime.GOMAXPROCS(0) {
+		t.Errorf("DefaultLanes() = %d > GOMAXPROCS = %d", d, runtime.GOMAXPROCS(0))
+	}
+	if got := New(1, WithLanes(MaxLanes+100)).Lanes(); got != MaxLanes {
+		t.Errorf("oversized WithLanes = %d lanes, want clamp to %d", got, MaxLanes)
+	}
+	if got := New(1, WithLanes(-3)).Lanes(); got != DefaultLanes() {
+		t.Errorf("negative WithLanes = %d lanes, want DefaultLanes()", got)
+	}
+}
+
+// TestRegisterHoming pins the default homing policy: sequential Registers
+// land on lanes 0,1,2,... round-robin, and RegisterOnLane rejects
+// out-of-range lanes.
+func TestRegisterHoming(t *testing.T) {
+	q := New(8, WithLanes(4))
+	for i := 0; i < 8; i++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Home() != i%4 {
+			t.Errorf("register %d: home = %d, want %d", i, h.Home(), i%4)
+		}
+	}
+	if _, err := q.RegisterOnLane(4); err == nil {
+		t.Error("RegisterOnLane(4) with 4 lanes should fail")
+	}
+	if _, err := q.RegisterOnLane(-1); err == nil {
+		t.Error("RegisterOnLane(-1) should fail")
+	}
+}
+
+// TestRegisterOnCurrentCPU checks the per-CPU-lane placement path: on
+// platforms with getcpu the home is cpu mod lanes; everywhere the returned
+// handle must be fully operational.
+func TestRegisterOnCurrentCPU(t *testing.T) {
+	q := New(2, WithLanes(2))
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	h, err := q.RegisterOnCurrentCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu, ok := affinity.CurrentCPU(); ok {
+		if want := cpu % q.Lanes(); h.Home() != want {
+			// The thread may have migrated between the two getcpu calls;
+			// only report, don't fail, unless pinning is impossible anyway.
+			t.Logf("home = %d, cpu%%lanes = %d (thread migration?)", h.Home(), want)
+		}
+	}
+	q.Enqueue(h, box(9))
+	if p, ok := q.Dequeue(h); !ok || unbox(p) != 9 {
+		t.Fatalf("CPU-homed handle roundtrip failed")
+	}
+
+	// WithCPUHoming routes plain Register through the same placement.
+	qc := New(1, WithLanes(2), WithCPUHoming(true))
+	hc, err := qc.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc.Enqueue(hc, box(11))
+	if p, ok := qc.Dequeue(hc); !ok || unbox(p) != 11 {
+		t.Fatalf("WithCPUHoming handle roundtrip failed")
+	}
+}
+
+// TestRegisterLimitAndRollback: handle capacity is per queue (every lane is
+// sized for maxHandles), the capacity error propagates, and a failed
+// registration releases the lane handles it already took (so capacity is
+// not leaked).
+func TestRegisterLimitAndRollback(t *testing.T) {
+	q := New(2, WithLanes(3))
+	h1, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Register(); err == nil {
+		t.Fatal("third Register with maxHandles=2 should fail")
+	}
+	// The failed attempt must not have consumed capacity: releasing one
+	// handle makes room for exactly one more.
+	h1.Release()
+	h3, err := q.Register()
+	if err != nil {
+		t.Fatalf("Register after Release failed: %v", err)
+	}
+	h3.Release()
+	if !panics(func() { h3.Release() }) {
+		t.Error("double Release should panic")
+	}
+}
+
+func panics(f func()) (p bool) {
+	defer func() { p = recover() != nil }()
+	f()
+	return
+}
+
+// TestStatsAggregation checks that Stats folds lane core counters and
+// handle counters (including released handles) together.
+func TestStatsAggregation(t *testing.T) {
+	q := New(2, WithLanes(2))
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		q.Enqueue(h, box(i+1))
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := q.Dequeue(h); !ok {
+			t.Fatal("unexpected EMPTY")
+		}
+	}
+	h.Release()
+	st := q.Stats()
+	if st.Lanes != 2 || st.Dispatch != DispatchAffinity {
+		t.Errorf("Lanes/Dispatch = %d/%s", st.Lanes, st.Dispatch)
+	}
+	if st.Sharded.Enqueues != 10 || st.Sharded.Dequeues != 10 {
+		t.Errorf("released handle's counters lost: %+v", st.Sharded)
+	}
+	if got := st.Core.EnqFast + st.Core.EnqSlow; got != 10 {
+		t.Errorf("core enqueues = %d, want 10", got)
+	}
+	if len(st.StolenFrom) != 2 {
+		t.Errorf("StolenFrom has %d entries, want 2", len(st.StolenFrom))
+	}
+}
+
+func TestSizeAndString(t *testing.T) {
+	q := New(2, WithLanes(2))
+	h1, _ := q.RegisterOnLane(0)
+	h2, _ := q.RegisterOnLane(1)
+	q.Enqueue(h1, box(1))
+	q.Enqueue(h2, box(2))
+	q.Enqueue(h2, box(3))
+	if got := q.Size(); got != 3 {
+		t.Errorf("Size = %d, want 3", got)
+	}
+	if s := q.String(); s == "" {
+		t.Error("empty String()")
+	}
+	if q.DispatchPolicy() != DispatchAffinity {
+		t.Errorf("DispatchPolicy = %v", q.DispatchPolicy())
+	}
+}
