@@ -6,12 +6,12 @@ GO ?= go
 # lands here; the directory is untracked (see .gitignore).
 ARTIFACTS ?= artifacts
 
-.PHONY: all build vet test race short bench bench-json bench-json-sharded bench-compare fuzz stress soak ci experiments examples clean
+.PHONY: all build vet lint test race short bench bench-json bench-json-sharded bench-compare fuzz stress soak ci experiments examples clean
 
-all: build vet test
+all: build vet lint test
 
 # What .github/workflows/ci.yml runs; keep the two in sync.
-ci: build vet
+ci: build vet lint
 	$(GO) test -short -count=1 ./...
 	$(GO) test -race -short -count=1 ./...
 	$(GO) test ./internal/core -fuzz FuzzAgainstModel -fuzztime 10s -run '^$$'
@@ -22,6 +22,13 @@ build:
 vet:
 	$(GO) vet ./...
 
+# wfqlint: the static-analysis suite proving the lock-free invariants
+# (DESIGN.md §5) — atomic hygiene, no blocking on hot paths, bounded-loop
+# obligations, 32-bit alignment, cache-line layout, and the escape gate
+# over the compiler's -m output. Exits nonzero on any finding.
+lint:
+	$(GO) run ./cmd/wfqlint all
+
 test:
 	$(GO) test ./... -count=1
 
@@ -31,7 +38,7 @@ short:
 race:
 	$(GO) test -race ./... -count=1
 
-# One testing.B family per paper table/figure plus ablations (DESIGN.md §5).
+# One testing.B family per paper table/figure plus ablations (DESIGN.md §6).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 

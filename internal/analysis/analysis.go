@@ -1,0 +1,132 @@
+// Package analysis is wfqlint: a stdlib-only static-analysis suite that
+// checks the lock-free invariants the paper's correctness arguments assume
+// but Go will not enforce. Every proof in the paper (Listings 2-5) — and in
+// the related wCQ and memory-bounded-queue work this repository tracks —
+// rests on discipline the type system cannot see:
+//
+//   - shared words are accessed only through sync/atomic (§3.4's Dijkstra
+//     protocols are meaningless if one access is a plain load);
+//   - hot paths never block (a mutex or channel op anywhere reachable from
+//     Enqueue/Dequeue voids wait-freedom);
+//   - every retry loop is bounded, syntactically or by an argument from the
+//     paper (wait-freedom is exactly the conjunction of those bounds);
+//   - 64-bit atomics are 8-aligned on 32-bit targets and cache-line padding
+//     actually separates the hot fields it claims to;
+//   - the hot path performs no heap allocation (the PR 2 zero-alloc
+//     property), checked against the compiler's own escape analysis.
+//
+// Before this package those invariants were enforced only dynamically — the
+// race detector on exercised schedules, runtime padding audits, AllocsPerRun
+// assertions. The static passes close the schedule-coverage gap: they hold
+// on every execution, not just the ones a test happened to schedule.
+//
+// The suite uses only the standard library (go/parser, go/ast, go/types,
+// go/build/constraint). Packages are graded into tiers (TierWaitFree,
+// TierLockFree) by RepoConfig; which passes apply depends on the tier. The
+// annotation grammar for discharging or suppressing findings is:
+//
+//	//wfqlint:bounded(<reason>)   discharge a loop-bound obligation; the
+//	                              reason must cite the paper listing/lemma
+//	                              or DESIGN.md section that bounds the loop
+//	//wfqlint:init                mark a function as initialization: plain
+//	                              access to atomic fields is allowed (the
+//	                              object is not yet shared)
+//	//wfqlint:allow(<pass>,<reason>)  suppress <pass> diagnostics on the
+//	                              annotated line or function
+//
+// An annotation applies to the source line it is written on, and, when it
+// closes a comment group, to the line immediately below the group — so both
+// trailing comments and leading comments attach naturally.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Tier grades a package by the progress guarantee its algorithms claim.
+type Tier int
+
+const (
+	// TierNone marks packages wfqlint does not analyze.
+	TierNone Tier = iota
+	// TierLockFree packages (LCRQ, the obstruction-free base queue, the
+	// baselines) get atomic hygiene and layout/alignment checks; their
+	// retry loops are lock-free by design, so the loop audit and no-block
+	// pass do not apply.
+	TierLockFree
+	// TierWaitFree packages (the core queue and the sharded layer) get
+	// every pass: atomic hygiene, no-block, bounded loops, layout, escapes.
+	TierWaitFree
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierWaitFree:
+		return "wait-free"
+	case TierLockFree:
+		return "lock-free"
+	}
+	return "none"
+}
+
+// Diagnostic is one finding. Pass names are stable strings ("atomic",
+// "block", "loops", "padding", "escapes") used by //wfqlint:allow.
+type Diagnostic struct {
+	Pass string
+	Pos  token.Position
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Pass, d.Msg)
+}
+
+// Obligation is one discharged wait-freedom proof obligation: a loop with
+// no syntactic bound whose termination argument is carried by a
+// //wfqlint:bounded annotation. The obligation list is the machine-checkable
+// residue of the wait-freedom claim: every entry names the argument a human
+// must be able to defend.
+type Obligation struct {
+	Pos    token.Position
+	Func   string // enclosing function, "(*Queue).Enqueue" style
+	Reason string
+}
+
+func (o Obligation) String() string {
+	return fmt.Sprintf("%s:%d: %s: bounded(%s)", o.Pos.Filename, o.Pos.Line, o.Func, o.Reason)
+}
+
+// Result is the output of Run.
+type Result struct {
+	Diags       []Diagnostic
+	Obligations []Obligation
+}
+
+// sortDiags orders diagnostics by position then pass for stable output.
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Pass < b.Pass
+	})
+}
+
+func sortObligations(os []Obligation) {
+	sort.Slice(os, func(i, j int) bool {
+		a, b := os[i], os[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// annKind is the kind of one //wfqlint: annotation.
+type annKind int
+
+const (
+	annBounded annKind = iota // //wfqlint:bounded(<reason>)
+	annInit                   // //wfqlint:init
+	annAllow                  // //wfqlint:allow(<pass>,<reason>)
+)
+
+type annotation struct {
+	Kind   annKind
+	Pass   string // allow only
+	Reason string // bounded and allow
+	Line   int    // line the annotation applies to
+	Pos    token.Position
+}
+
+// fileAnns indexes the wfqlint annotations of one file by effective line.
+type fileAnns struct {
+	byLine map[int][]annotation
+}
+
+// parseFileAnns extracts //wfqlint: annotations from f. An annotation
+// applies to the line it is written on; when its comment group ends on the
+// line directly above a statement (a leading comment), it also applies to
+// that next line. Malformed annotations are recorded as parse diagnostics
+// by the loops pass via the Bad field — here they are simply skipped, and
+// checkAnnSyntax reports them.
+func parseFileAnns(fset *token.FileSet, f *ast.File) *fileAnns {
+	fa := &fileAnns{byLine: map[int][]annotation{}}
+	for _, cg := range f.Comments {
+		endLine := fset.Position(cg.End()).Line
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if !strings.HasPrefix(text, "wfqlint:") {
+				continue
+			}
+			ann, ok := parseAnnText(strings.TrimPrefix(text, "wfqlint:"))
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			ann.Pos = pos
+			ann.Line = pos.Line
+			fa.byLine[pos.Line] = append(fa.byLine[pos.Line], ann)
+			// Leading comment group: the annotation closing the group also
+			// attaches to the line directly below it.
+			if pos.Line == endLine {
+				next := ann
+				next.Line = endLine + 1
+				fa.byLine[endLine+1] = append(fa.byLine[endLine+1], next)
+			}
+		}
+	}
+	return fa
+}
+
+// parseAnnText parses the text after "//wfqlint:".
+func parseAnnText(text string) (annotation, bool) {
+	text = strings.TrimSpace(text)
+	switch {
+	case text == "init":
+		return annotation{Kind: annInit}, true
+	case strings.HasPrefix(text, "bounded(") && strings.HasSuffix(text, ")"):
+		reason := strings.TrimSuffix(strings.TrimPrefix(text, "bounded("), ")")
+		if strings.TrimSpace(reason) == "" {
+			return annotation{}, false
+		}
+		return annotation{Kind: annBounded, Reason: reason}, true
+	case strings.HasPrefix(text, "allow(") && strings.HasSuffix(text, ")"):
+		body := strings.TrimSuffix(strings.TrimPrefix(text, "allow("), ")")
+		pass, reason, ok := strings.Cut(body, ",")
+		pass = strings.TrimSpace(pass)
+		reason = strings.TrimSpace(reason)
+		if !ok || pass == "" || reason == "" {
+			return annotation{}, false
+		}
+		return annotation{Kind: annAllow, Pass: pass, Reason: reason}, true
+	}
+	return annotation{}, false
+}
+
+// checkAnnSyntax reports malformed //wfqlint: comments in f as diagnostics
+// so a typo'd suppression fails loudly instead of silently not applying.
+func checkAnnSyntax(fset *token.FileSet, f *ast.File) []Diagnostic {
+	var out []Diagnostic
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if !strings.HasPrefix(text, "wfqlint:") {
+				continue
+			}
+			if _, ok := parseAnnText(strings.TrimPrefix(text, "wfqlint:")); !ok {
+				out = append(out, Diagnostic{
+					Pass: "annotations",
+					Pos:  fset.Position(c.Pos()),
+					Msg:  "malformed wfqlint annotation: " + c.Text,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// boundedAt returns the bounded() annotation attached to line, if any.
+func (fa *fileAnns) boundedAt(line int) (annotation, bool) {
+	for _, a := range fa.byLine[line] {
+		if a.Kind == annBounded {
+			return a, true
+		}
+	}
+	return annotation{}, false
+}
+
+// allowedAt reports whether pass diagnostics are suppressed on line.
+func (fa *fileAnns) allowedAt(line int, pass string) bool {
+	for _, a := range fa.byLine[line] {
+		if a.Kind == annAllow && a.Pass == pass {
+			return true
+		}
+	}
+	return false
+}
+
+// initAt reports whether line carries a //wfqlint:init marker.
+func (fa *fileAnns) initAt(line int) bool {
+	for _, a := range fa.byLine[line] {
+		if a.Kind == annInit {
+			return true
+		}
+	}
+	return false
+}

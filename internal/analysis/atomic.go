@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The atomic hygiene pass. §3.4's Dijkstra-style protocols (enqueue
+// committing a cell, dequeue claiming a request) are correct only if every
+// access to a shared word is atomic: one plain load can observe a torn or
+// stale value and break the protocol on a schedule the race detector never
+// ran. The pass finds every field whose address is passed to a sync/atomic
+// function anywhere in the analyzed packages, then reports any other plain
+// load, store, or address-taking of that field. Constructors (New*/new*/
+// init, or //wfqlint:init-annotated functions) are exempt: before an object
+// is shared, plain stores are the idiom.
+
+// inspectWithStack walks root calling f with each node and its ancestor
+// stack (outermost first). Returning false skips the node's children.
+func inspectWithStack(root ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !f(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// isSyncAtomicCall reports whether call invokes a function from sync/atomic
+// (atomic.LoadUint64, atomic.CompareAndSwapPointer, ...).
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// addrOfField returns the struct field whose address the expression takes
+// (&x.f, possibly parenthesized), or nil.
+func addrOfField(info *types.Info, e ast.Expr) *types.Var {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// collectAtomicFields returns every struct field whose address is passed to
+// a sync/atomic function in any of pkgs, mapped to one such call site.
+// These are the protocol words: once one site treats a field atomically,
+// every site must.
+func collectAtomicFields(pkgs []*Package) map[*types.Var]token.Position {
+	out := map[*types.Var]token.Position{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isSyncAtomicCall(p.Info, call) || len(call.Args) == 0 {
+					return true
+				}
+				if fv := addrOfField(p.Info, call.Args[0]); fv != nil {
+					if _, seen := out[fv]; !seen {
+						out[fv] = p.Fset.Position(call.Args[0].Pos())
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isInitFunc reports whether fd is an initialization function: plain access
+// to atomic fields inside it is sanctioned because the object under
+// construction is not yet visible to other goroutines.
+func isInitFunc(fd *ast.FuncDecl, fset *token.FileSet, anns *fileAnns) bool {
+	name := fd.Name.Name
+	if name == "init" || strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") {
+		return true
+	}
+	return anns != nil && anns.initAt(fset.Position(fd.Pos()).Line)
+}
+
+// enclosingFunc returns the innermost FuncDecl on the ancestor stack.
+func enclosingFunc(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// parentSkippingParens returns the nearest non-paren ancestor of the node
+// at the top of the walk (stack holds its ancestors, outermost first).
+func parentSkippingParens(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// atomicHygiene reports every non-atomic access to a field in fields.
+// params sanctions passing a field's address to helpers that use it
+// exclusively as an atomic word reference (see atomic_params.go).
+func atomicHygiene(pkgs []*Package, fields map[*types.Var]token.Position, params atomicParamSet) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			fname := p.Fset.Position(f.Pos()).Filename
+			anns := p.Anns[fname]
+			inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s := p.Info.Selections[sel]
+				if s == nil || s.Kind() != types.FieldVal {
+					return true
+				}
+				fv, ok := s.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				firstAtomic, isAtomic := fields[fv]
+				if !isAtomic {
+					return true
+				}
+				pos := p.Fset.Position(sel.Pos())
+				if anns != nil && (anns.initAt(pos.Line) || anns.allowedAt(pos.Line, "atomic")) {
+					return true
+				}
+				if fd := enclosingFunc(stack); fd != nil && isInitFunc(fd, p.Fset, anns) {
+					return true
+				}
+				kind := classifyAccess(p.Info, sel, stack, params)
+				if kind == "" {
+					return true // sanctioned atomic access
+				}
+				diags = append(diags, Diagnostic{
+					Pass: "atomic",
+					Pos:  pos,
+					Msg: fmt.Sprintf("%s: field %s of %s is accessed atomically at %s:%d",
+						kind, fv.Name(), recvName(s.Recv()), firstAtomic.Filename, firstAtomic.Line),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// classifyAccess returns "" when the selector is a sanctioned atomic access
+// (&f passed to a sync/atomic call or to an atomic-word-reference
+// parameter), or a description of the violation otherwise.
+func classifyAccess(info *types.Info, sel *ast.SelectorExpr, stack []ast.Node, params atomicParamSet) string {
+	parent := parentSkippingParens(stack)
+	switch pn := parent.(type) {
+	case *ast.UnaryExpr:
+		if pn.Op != token.AND {
+			return "plain load"
+		}
+		// &f: sanctioned as a direct argument of a sync/atomic call or of a
+		// function whose parameter is a proven atomic word reference.
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch a := stack[i].(type) {
+			case *ast.ParenExpr, *ast.UnaryExpr:
+				continue
+			case *ast.CallExpr:
+				if isSyncAtomicCall(info, a) {
+					return ""
+				}
+				if cal := callee(info, a); cal != nil {
+					if j := callArgIndex(a, stack, sel); j >= 0 && params[paramKey{cal, j}] {
+						return ""
+					}
+				}
+				return "address passed to non-atomic call"
+			default:
+				_ = a
+			}
+			break
+		}
+		return "address taken outside sync/atomic call"
+	case *ast.AssignStmt:
+		for _, lhs := range pn.Lhs {
+			if ast.Unparen(lhs) == sel {
+				return "plain store"
+			}
+		}
+		return "plain load"
+	case *ast.IncDecStmt:
+		return "plain increment"
+	case *ast.SelectorExpr:
+		if ast.Unparen(pn.X) == sel {
+			return "" // traversal through a struct-typed field
+		}
+		return "plain load"
+	default:
+		return "plain load"
+	}
+}
+
+// recvName names the struct type a selection reached the field through.
+func recvName(t types.Type) string {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u.Obj().Name()
+		default:
+			return t.String()
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Interprocedural half of the atomic hygiene pass. The paper's helpers
+// (findCell, update, tryToClaimReq, the hazard-pointer Protect) receive the
+// address of a protocol word and operate on it atomically — the idiom
+// everywhere a cell search or helping routine needs the caller's cursor.
+// Passing &h.tail to such a function is hygienic; passing it to a function
+// that dereferences it plainly is exactly the bug the pass exists to catch.
+// So the pass classifies every pointer parameter in the analyzed packages:
+// a parameter is an "atomic word reference" when every use of it, in this
+// function and transitively through every callee it is forwarded to, is as
+// the address operand of a sync/atomic call. One plain dereference — or one
+// hop into a function the analyzer cannot see — taints it.
+
+// paramKey identifies one parameter of one declared function.
+type paramKey struct {
+	fn  *types.Func
+	idx int
+}
+
+// atomicParamSet answers "is passing an atomic field's address to parameter
+// idx of fn sanctioned?".
+type atomicParamSet map[paramKey]bool
+
+// atomicParams runs the fixpoint classification over all of pkgs.
+func atomicParams(pkgs []*Package) atomicParamSet {
+	idx := buildFuncIndex(pkgs)
+
+	atomicEv := map[paramKey]bool{}
+	plainEv := map[paramKey]bool{}
+	edges := map[paramKey][]paramKey{}
+
+	for fn, node := range idx {
+		sig := fn.Type().(*types.Signature)
+		paramIdx := map[types.Object]int{}
+		for i := 0; i < sig.Params().Len(); i++ {
+			pv := sig.Params().At(i)
+			if _, ok := pv.Type().Underlying().(*types.Pointer); ok {
+				paramIdx[pv] = i
+			}
+		}
+		if len(paramIdx) == 0 {
+			continue
+		}
+		info := node.pkg.Info
+		inspectWithStack(node.decl.Body, func(n ast.Node, stack []ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			i, isParam := paramIdx[obj]
+			if !isParam {
+				return true
+			}
+			key := paramKey{fn, i}
+			parent := parentSkippingParens(stack)
+			switch pn := parent.(type) {
+			case *ast.StarExpr:
+				plainEv[key] = true
+			case *ast.CallExpr:
+				argIdx := callArgIndex(pn, stack, n)
+				if argIdx < 0 {
+					// The parameter is the call's function expression or
+					// receiver — neutral.
+					return true
+				}
+				if isSyncAtomicCall(info, pn) {
+					if argIdx == 0 {
+						atomicEv[key] = true
+					}
+					return true
+				}
+				cal := callee(info, pn)
+				if cal == nil {
+					// Conversion or unseen function: the pointer leaves the
+					// analyzed world — taint.
+					plainEv[key] = true
+					return true
+				}
+				if _, known := idx[cal]; known {
+					edges[key] = append(edges[key], paramKey{cal, argIdx})
+				} else {
+					plainEv[key] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Propagate evidence along forwarding edges to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for from, tos := range edges {
+			for _, to := range tos {
+				if plainEv[to] && !plainEv[from] {
+					plainEv[from] = true
+					changed = true
+				}
+				if atomicEv[to] && !atomicEv[from] {
+					atomicEv[from] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	out := atomicParamSet{}
+	for key := range atomicEv {
+		if !plainEv[key] {
+			out[key] = true
+		}
+	}
+	return out
+}
+
+// callArgIndex returns which argument of call the walked node n sits inside
+// (stack holds n's ancestors; call is one of them), or -1 if n is part of
+// the function expression instead.
+func callArgIndex(call *ast.CallExpr, stack []ast.Node, n ast.Node) int {
+	// Find the child of call on the path down to n.
+	var child ast.Node = n
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == call {
+			break
+		}
+		child = stack[i]
+	}
+	for j, a := range call.Args {
+		if a == child {
+			return j
+		}
+	}
+	return -1
+}

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The no-block pass. Wait-freedom is a per-thread progress guarantee: if
+// anything reachable from Enqueue/Dequeue can park the goroutine — a mutex,
+// a channel operation, a select, a sleep — the bound on steps until
+// completion is void no matter how careful the FAA/CAS protocol is. The
+// pass builds the static call graph from each wait-free package's hot-path
+// entry points (Config.HotPaths) across all analyzed packages and flags
+// every blocking construct reachable from them. runtime.Gosched is allowed:
+// it yields the processor but never parks the goroutine, and the paper's
+// helping scheme (§3.5) assumes exactly that kind of cooperative yield.
+
+// funcNode is one declared function/method in an analyzed package.
+type funcNode struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// buildFuncIndex maps every function object declared in pkgs to its body.
+func buildFuncIndex(pkgs []*Package) map[*types.Func]*funcNode {
+	idx := map[*types.Func]*funcNode{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					idx[fn] = &funcNode{obj: fn, decl: fd, pkg: p}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// callee resolves the static callee of a call, or nil (builtins, function
+// values, interface calls — the analyzed packages keep their hot paths
+// monomorphic, so unresolved calls are conversions or stdlib).
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// blockingCall describes why a resolved call is a blocking construct, or
+// returns "" for benign calls.
+func blockingCall(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch pkg.Path() {
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "time.Sleep"
+		}
+	case "sync":
+		sig := fn.Type().(*types.Signature)
+		if sig.Recv() == nil {
+			break
+		}
+		recv := recvName(sig.Recv().Type())
+		switch recv {
+		case "Mutex", "RWMutex":
+			// Unlock is not itself blocking, but its presence means a lock
+			// protocol runs on the hot path — flag the whole family.
+			return "sync." + recv + "." + fn.Name()
+		case "WaitGroup":
+			if fn.Name() == "Wait" {
+				return "sync.WaitGroup.Wait"
+			}
+		case "Cond":
+			if fn.Name() == "Wait" {
+				return "sync.Cond.Wait"
+			}
+		case "Once":
+			if fn.Name() == "Do" {
+				return "sync.Once.Do"
+			}
+		}
+	}
+	return ""
+}
+
+// noBlock runs the reachability scan for every wait-free package's hot
+// paths and reports blocking constructs with the call chain that reaches
+// them.
+func noBlock(cfg Config, pkgs []*Package) []Diagnostic {
+	idx := buildFuncIndex(pkgs)
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+
+	type item struct {
+		fn    *types.Func
+		chain string
+	}
+	var queue []item
+	visited := map[*types.Func]bool{}
+	for _, path := range cfg.tierPackages() {
+		hot := cfg.HotPaths[path]
+		p := byPath[path]
+		if len(hot) == 0 || p == nil {
+			continue
+		}
+		hotSet := map[string]bool{}
+		for _, h := range hot {
+			hotSet[h] = true
+		}
+		for fn, node := range idx {
+			if node.pkg == p && hotSet[fn.Name()] {
+				visited[fn] = true
+				queue = append(queue, item{fn, p.Types.Name() + "." + funcDisplayName(node.decl)})
+			}
+		}
+	}
+
+	var diags []Diagnostic
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		node := idx[it.fn]
+		p := node.pkg
+		fname := p.Fset.Position(node.decl.Pos()).Filename
+		anns := p.Anns[fname]
+
+		report := func(pos ast.Node, what string) {
+			position := p.Fset.Position(pos.Pos())
+			if anns != nil && anns.allowedAt(position.Line, "block") {
+				return
+			}
+			diags = append(diags, Diagnostic{
+				Pass: "block",
+				Pos:  position,
+				Msg:  fmt.Sprintf("%s reachable from hot path via %s", what, it.chain),
+			})
+		}
+
+		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SendStmt:
+				report(x, "channel send")
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					report(x, "channel receive")
+				}
+			case *ast.SelectStmt:
+				report(x, "select statement")
+			case *ast.RangeStmt:
+				if t := p.Info.TypeOf(x.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						report(x, "range over channel")
+					}
+				}
+			case *ast.CallExpr:
+				fn := callee(p.Info, x)
+				if fn == nil {
+					return true
+				}
+				if what := blockingCall(fn); what != "" {
+					report(x, what)
+					return true
+				}
+				if next, ok := idx[fn]; ok && !visited[fn] {
+					visited[fn] = true
+					queue = append(queue, item{fn, it.chain + " → " + next.pkg.Types.Name() + "." + funcDisplayName(next.decl)})
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// funcDisplayName renders a FuncDecl as "Enqueue" or "(*Queue).Enqueue".
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	switch t := fd.Recv.List[0].Type.(type) {
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + fd.Name.Name
+		}
+	case *ast.Ident:
+		return t.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import "sort"
+
+// Config declares what wfqlint analyzes: the module, the tier of each
+// package, the hot-path entry points the no-block pass explores, the
+// functions the escape gate protects, and the cache-line layout rules the
+// padding pass enforces. RepoConfig returns the canonical instance for this
+// repository; tests build small configs over fixture modules.
+type Config struct {
+	// Root is the module root directory; Module its import path.
+	Root   string
+	Module string
+
+	// Tiers maps import paths to their analysis tier. Only listed packages
+	// are analyzed.
+	Tiers map[string]Tier
+
+	// Extra lists support packages loaded for context — their function
+	// bodies feed the call-graph and atomic-parameter analyses (so a hot
+	// path calling into them is still screened for blocking constructs and
+	// plain dereferences) — but no per-package pass reports on them.
+	Extra []string
+
+	// HotPaths maps a wait-free package to the names of its hot-path entry
+	// functions/methods. The no-block pass explores everything reachable
+	// from these through static calls within analyzed packages.
+	HotPaths map[string][]string
+
+	// EscapeHot maps a package to the functions whose bodies must not
+	// contain heap escapes ("moved to heap" / "escapes to heap" in the
+	// compiler's -m output). Constructors and cold administrative paths are
+	// deliberately absent: newSegment IS the sanctioned allocation point;
+	// the gate protects the operations around it.
+	EscapeHot map[string][]string
+
+	// LayoutRules are the cache-line separation claims the padding pass
+	// proves against go/types field offsets.
+	LayoutRules []LayoutRule
+}
+
+// Import paths of the analyzed packages.
+const (
+	PkgCore    = "wfqueue/internal/core"
+	PkgSharded = "wfqueue/internal/sharded"
+	PkgLCRQ    = "wfqueue/internal/lcrq"
+	PkgOFQueue = "wfqueue/internal/ofqueue"
+	PkgMSQueue = "wfqueue/internal/msqueue"
+	PkgCCQueue = "wfqueue/internal/ccqueue"
+)
+
+// RepoConfig returns the canonical configuration for this repository,
+// rooted at root (the directory containing go.mod).
+func RepoConfig(root string) Config {
+	hot := []string{"Enqueue", "Dequeue", "EnqueueBatch", "DequeueBatch"}
+	return Config{
+		Root:   root,
+		Module: "wfqueue",
+		Tiers: map[string]Tier{
+			PkgCore:    TierWaitFree,
+			PkgSharded: TierWaitFree,
+			PkgLCRQ:    TierLockFree,
+			PkgOFQueue: TierLockFree,
+			PkgMSQueue: TierLockFree,
+			PkgCCQueue: TierLockFree,
+		},
+		// hazard: Protect/Retire receive atomic word addresses from the
+		// lock-free queues; affinity: CurrentCPU sits on the sharded
+		// dispatch path.
+		Extra: []string{"wfqueue/internal/hazard", "wfqueue/internal/affinity"},
+		HotPaths: map[string][]string{
+			PkgCore:    hot,
+			PkgSharded: hot,
+		},
+		EscapeHot: map[string][]string{
+			// The paper's operations (Listings 2-4), the helping paths, the
+			// cell search, and the reclamation/recycling machinery: after
+			// PR 2 none of these may allocate. newSegment is the one
+			// sanctioned allocator (pool-miss fallback) and is excluded.
+			PkgCore: {
+				"Enqueue", "Dequeue", "EnqueueBatch", "DequeueBatch",
+				"enqFast", "enqSlow", "deqFast", "deqSlow",
+				"helpEnq", "helpDeq", "findCell", "enqCommit",
+				"tryToClaimReq", "advanceEndForLinearizability",
+				"cleanup", "update", "verify", "freeSegments",
+				"recycleSegment", "push", "pop", "popNode", "pushNode",
+				"sid",
+			},
+			// The sharded layer's operations are thin dispatch over core
+			// calls and must stay allocation-free themselves.
+			PkgSharded: {"Enqueue", "Dequeue", "EnqueueBatch", "DequeueBatch"},
+		},
+		LayoutRules: RepoLayoutRules(),
+	}
+}
+
+// tierPackages returns the analyzed import paths, wait-free first, in a
+// deterministic order.
+func (c Config) tierPackages() []string {
+	var wf, lf []string
+	for p, t := range c.Tiers {
+		switch t {
+		case TierWaitFree:
+			wf = append(wf, p)
+		case TierLockFree:
+			lf = append(lf, p)
+		}
+	}
+	sort.Strings(wf)
+	sort.Strings(lf)
+	return append(wf, lf...)
+}

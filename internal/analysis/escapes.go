@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The escape gate. PR 2 made the steady-state hot path allocation-free
+// (pooled segments, per-handle value boxes); AllocsPerRun asserts it
+// dynamically, but a new local that the compiler moves to the heap only
+// shows up in benchmarks that happen to exercise that branch. The gate
+// reads the compiler's own escape analysis (`go build -gcflags=-m`) and
+// fails if any function on the configured hot list (Config.EscapeHot)
+// contains a "moved to heap" or "escapes to heap" diagnostic. newSegment is
+// deliberately absent from the list: it is the one sanctioned allocation
+// point (pool-miss fallback).
+//
+// The gate consumes the build output rather than re-deriving escape
+// analysis: the compiler is the authority, and its -m diagnostics are
+// replayed from the build cache, so repeat runs are cheap.
+
+var escapeLineRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+)$`)
+
+// escapeMsg extracts the escaping expression from a -m line body, or ""
+// when the line is not a heap-escape diagnostic (inlining notes, "does not
+// escape", "leaking param" parameter-flow notes).
+func escapeMsg(msg string) string {
+	if what, ok := strings.CutPrefix(msg, "moved to heap: "); ok {
+		return what
+	}
+	if what, ok := strings.CutSuffix(msg, " escapes to heap"); ok {
+		if strings.Contains(msg, "does not escape") || strings.HasPrefix(msg, "leaking param") {
+			return ""
+		}
+		// Static string literals (panic messages, error text) are compiled
+		// into rodata; the compiler still prints them as escaping but they
+		// never hit the allocator on the hot path.
+		if strings.HasPrefix(what, `"`) || strings.HasPrefix(what, "`") {
+			return ""
+		}
+		return what
+	}
+	return ""
+}
+
+// funcRange is one function's line extent in a file, for attributing
+// compiler diagnostics to functions.
+type funcRange struct {
+	start, end int
+	name       string
+}
+
+// EscapeGate parses `go build -gcflags=-m` output (as produced from the
+// module root) and reports heap escapes inside protected functions of the
+// loaded packages. Paths in the output are matched against package files by
+// suffix, so both "./internal/core/x.go" and absolute forms resolve.
+func EscapeGate(cfg Config, pkgs []*Package, output []byte) []Diagnostic {
+	// filename → sorted function ranges, and filename → package.
+	ranges := map[string][]funcRange{}
+	pkgOf := map[string]*Package{}
+	for _, p := range pkgs {
+		if len(cfg.EscapeHot[p.Path]) == 0 {
+			continue
+		}
+		for _, f := range p.Files {
+			fname := p.Fset.Position(f.Pos()).Filename
+			pkgOf[fname] = p
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ranges[fname] = append(ranges[fname], funcRange{
+					start: p.Fset.Position(fd.Pos()).Line,
+					end:   p.Fset.Position(fd.End()).Line,
+					name:  fd.Name.Name,
+				})
+			}
+		}
+	}
+	for _, rs := range ranges {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].start < rs[j].start })
+	}
+	hot := map[string]map[string]bool{}
+	for path, names := range cfg.EscapeHot {
+		hot[path] = map[string]bool{}
+		for _, n := range names {
+			hot[path][n] = true
+		}
+	}
+
+	var diags []Diagnostic
+	for _, line := range strings.Split(string(output), "\n") {
+		m := escapeLineRE.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		what := escapeMsg(m[4])
+		if what == "" {
+			continue
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		outPath := strings.TrimPrefix(m[1], "./")
+		fname, p := resolveFile(outPath, pkgOf)
+		if p == nil {
+			continue
+		}
+		fn := ""
+		for _, r := range ranges[fname] {
+			if lineNo >= r.start && lineNo <= r.end {
+				fn = r.name
+			}
+		}
+		if fn == "" || !hot[p.Path][fn] {
+			continue
+		}
+		if anns := p.Anns[fname]; anns != nil && anns.allowedAt(lineNo, "escapes") {
+			continue
+		}
+		col, _ := strconv.Atoi(m[3])
+		diags = append(diags, Diagnostic{
+			Pass: "escapes",
+			Pos:  token.Position{Filename: fname, Line: lineNo, Column: col},
+			Msg:  fmt.Sprintf("%s escapes to heap inside hot-path function %s", what, fn),
+		})
+	}
+	return diags
+}
+
+// EscapeGateOutput is the one-call form of EscapeGate: it loads cfg's
+// packages (amd64 — escape analysis is read from the host build) and gates
+// the given compiler output. This is what `wfqlint escapes` calls.
+func EscapeGateOutput(cfg Config, output string) ([]Diagnostic, error) {
+	pkgs, err := loadAll(cfg, "amd64", nil)
+	if err != nil {
+		return nil, err
+	}
+	diags := EscapeGate(cfg, pkgs, []byte(output))
+	sortDiags(diags)
+	return diags, nil
+}
+
+// resolveFile matches a (possibly relative) compiler-output path to a
+// loaded file by path suffix.
+func resolveFile(outPath string, pkgOf map[string]*Package) (string, *Package) {
+	for fname, p := range pkgOf {
+		if fname == outPath || strings.HasSuffix(fname, "/"+outPath) {
+			return fname, p
+		}
+	}
+	return "", nil
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEscapeMsg(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"moved to heap: tmpTail", "tmpTail"},
+		{"ha escapes to heap", "ha"},
+		{"&Queue{...} escapes to heap", "&Queue{...}"},
+		{"tmpTail does not escape", ""},
+		{"leaking param: sp to result ~r0 level=0", ""},
+		{`"core: Enqueue of nil" escapes to heap`, ""},
+		{"inlining call to sid", ""},
+	}
+	for _, c := range cases {
+		if got := escapeMsg(c.in); got != c.want {
+			t.Errorf("escapeMsg(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestEscapeGateFixture feeds canned compiler output over the fixture
+// module: an escape in a protected function fires, one with an
+// allow(escapes) annotation is suppressed, and escapes in unprotected
+// functions are ignored.
+func TestEscapeGateFixture(t *testing.T) {
+	cfg := fixtureConfig()
+	pkgs, err := LoadPackages(cfg, "amd64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(cfg.Root, "hot", "hot.go")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineOf := func(sub string) int {
+		for i, l := range strings.Split(string(src), "\n") {
+			if strings.Contains(l, sub) {
+				return i + 1
+			}
+		}
+		t.Fatalf("fixture line %q not found", sub)
+		return 0
+	}
+	out := fmt.Sprintf(
+		"%s:%d:2: moved to heap: x\n"+
+			"%s:%d:2: moved to heap: y\n"+ // suppressed by //wfqlint:allow(escapes,...)
+			"%s:%d:2: moved to heap: z\n"+ // Cold is not on the hot list
+			"%s:%d:9: x does not escape\n", // not an escape at all
+		path, lineOf("x := 42"),
+		path, lineOf("y := 7"),
+		path, lineOf("z := 1"),
+		path, lineOf("x := 42"))
+	diags := EscapeGate(cfg, pkgs, []byte(out))
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 escape diagnostic, got %d: %v", len(diags), diags)
+	}
+	if d := diags[0]; d.Pass != "escapes" || !strings.Contains(d.Msg, "hot-path function Op") {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureConfig mirrors RepoConfig over the testdata fixture module. Every
+// pass has at least one true positive and one suppressed case there, so
+// these tests prove both directions: the pass fires on the defect and the
+// sanctioned suppression actually applies.
+func fixtureConfig() Config {
+	return Config{
+		Root:   filepath.Join("testdata", "src", "fixture"),
+		Module: "fixture",
+		Tiers: map[string]Tier{
+			"fixture/atomics": TierLockFree,
+			"fixture/align":   TierLockFree,
+			"fixture/layout":  TierLockFree,
+			"fixture/annbad":  TierLockFree,
+			"fixture/loops":   TierWaitFree,
+			"fixture/block":   TierWaitFree,
+			"fixture/hot":     TierWaitFree,
+		},
+		HotPaths: map[string][]string{
+			"fixture/block": {"Enqueue", "Dequeue", "Send", "Drain"},
+		},
+		EscapeHot: map[string][]string{
+			"fixture/hot": {"Op", "Quiet"},
+		},
+		LayoutRules: []LayoutRule{
+			{Pkg: "fixture/layout", Struct: "Bad", Gaps: []Gap{{From: "enqReq", To: "deqReq"}}},
+			{Pkg: "fixture/layout", Struct: "Good", Gaps: []Gap{{From: "enqReq", To: "deqReq"}}},
+		},
+	}
+}
+
+var (
+	fixtureOnce sync.Once
+	fixtureRes  *Result
+	fixtureErr  error
+)
+
+// fixtureResult runs the full suite over the fixture module once and shares
+// the result across the per-pass tests.
+func fixtureResult(t *testing.T) *Result {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureRes, fixtureErr = Run(fixtureConfig())
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixtureRes
+}
+
+// diagsIn filters a result by pass and (optionally) file basename suffix.
+func diagsIn(res *Result, pass, file string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range res.Diags {
+		if d.Pass == pass && (file == "" || strings.HasSuffix(d.Pos.Filename, file)) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestFixtureAtomicPass(t *testing.T) {
+	res := fixtureResult(t)
+	ds := diagsIn(res, "atomic", "atomics.go")
+	if len(ds) != 1 {
+		t.Fatalf("want exactly 1 atomic diagnostic (Bad's plain increment; NewS and Allowed suppressed), got %d: %v", len(ds), ds)
+	}
+	if !strings.Contains(ds[0].Msg, "plain increment") || !strings.Contains(ds[0].Msg, "n") {
+		t.Errorf("unexpected atomic diagnostic: %s", ds[0])
+	}
+}
+
+func TestFixtureLoopsPass(t *testing.T) {
+	res := fixtureResult(t)
+	ds := diagsIn(res, "loops", "loops.go")
+	if len(ds) != 1 {
+		t.Fatalf("want exactly 1 loops diagnostic (Spin; Count/Walk bounded, Retry annotated), got %d: %v", len(ds), ds)
+	}
+	var obls []Obligation
+	for _, o := range res.Obligations {
+		if strings.HasSuffix(o.Pos.Filename, "loops.go") {
+			obls = append(obls, o)
+		}
+	}
+	if len(obls) != 1 || obls[0].Func != "Retry" || !strings.Contains(obls[0].Reason, "done flips") {
+		t.Errorf("want Retry's bounded annotation as the one obligation, got %v", obls)
+	}
+}
+
+func TestFixtureBlockPass(t *testing.T) {
+	res := fixtureResult(t)
+	ds := diagsIn(res, "block", "block.go")
+	if len(ds) != 3 {
+		t.Fatalf("want 3 block diagnostics (Enqueue lock, Send send, Drain→slow lock; Dequeue suppressed), got %d: %v", len(ds), ds)
+	}
+	joined := ""
+	for _, d := range ds {
+		joined += d.Msg + "\n"
+	}
+	for _, want := range []string{
+		"sync.Mutex.Lock reachable from hot path via block.(*Q).Enqueue",
+		"channel send reachable from hot path via block.(*Q).Send",
+		"block.(*Q).Drain → block.(*Q).slow",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing block diagnostic %q in:\n%s", want, joined)
+		}
+	}
+}
+
+func TestFixtureAlignmentPass(t *testing.T) {
+	res := fixtureResult(t)
+	ds := diagsIn(res, "padding", "align.go")
+	// Bad.n is misaligned under both 32-bit loads (386 and arm); Good is
+	// padded and Packed carries an allow(padding) suppression.
+	if len(ds) != 2 {
+		t.Fatalf("want 2 alignment diagnostics (Bad.n under 386 and arm), got %d: %v", len(ds), ds)
+	}
+	for _, d := range ds {
+		if !strings.Contains(d.Msg, "Bad.n") || !strings.Contains(d.Msg, "not 8-aligned") {
+			t.Errorf("unexpected alignment diagnostic: %s", d)
+		}
+		if strings.Contains(d.Msg, "Good") || strings.Contains(d.Msg, "Packed") {
+			t.Errorf("suppressed/fixed struct flagged: %s", d)
+		}
+	}
+}
+
+func TestFixtureLayoutPass(t *testing.T) {
+	res := fixtureResult(t)
+	ds := diagsIn(res, "padding", "layout.go")
+	// The PR 3 regression shape: enqReq and deqReq on one cache line.
+	if len(ds) != 1 {
+		t.Fatalf("want exactly 1 layout diagnostic (Bad's packed request blocks), got %d: %v", len(ds), ds)
+	}
+	d := ds[0]
+	if !strings.Contains(d.Msg, "Bad") || !strings.Contains(d.Msg, "false sharing") {
+		t.Errorf("unexpected layout diagnostic: %s", d)
+	}
+	if strings.Contains(d.Msg, "Good") {
+		t.Errorf("well-padded struct flagged: %s", d)
+	}
+}
+
+func TestFixtureAnnotationsPass(t *testing.T) {
+	res := fixtureResult(t)
+	ds := diagsIn(res, "annotations", "annbad.go")
+	if len(ds) != 2 {
+		t.Fatalf("want 2 malformed-annotation diagnostics, got %d: %v", len(ds), ds)
+	}
+	for _, d := range ds {
+		if !strings.Contains(d.Msg, "malformed wfqlint annotation") {
+			t.Errorf("unexpected annotations diagnostic: %s", d)
+		}
+	}
+}
+
+// TestFixtureTotals pins the complete diagnostic census of the fixture
+// module, so a pass that silently stops firing (or starts over-reporting)
+// fails here even if its dedicated test above still passes.
+func TestFixtureTotals(t *testing.T) {
+	res := fixtureResult(t)
+	want := map[string]int{
+		"atomic":      1,
+		"loops":       1,
+		"block":       3,
+		"padding":     3, // 2 alignment (386+arm) + 1 layout
+		"annotations": 2,
+	}
+	got := map[string]int{}
+	for _, d := range res.Diags {
+		got[d.Pass]++
+	}
+	for pass, n := range want {
+		if got[pass] != n {
+			t.Errorf("pass %s: want %d diagnostics, got %d", pass, n, got[pass])
+		}
+	}
+	for pass, n := range got {
+		if want[pass] == 0 {
+			t.Errorf("unexpected %s diagnostics (%d)", pass, n)
+		}
+	}
+}

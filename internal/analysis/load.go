@@ -1,0 +1,278 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package under a specific GOARCH.
+type Package struct {
+	Path   string
+	Dir    string
+	GOARCH string
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+	Sizes  types.Sizes
+	// Anns holds the wfqlint annotations of each file, keyed by filename.
+	Anns map[string]*fileAnns
+}
+
+// Loader parses and type-checks module packages from source. Standard
+// library imports are resolved by the stdlib source importer (no compiled
+// export data is required, so the loader works in a bare container);
+// module-internal imports are resolved recursively by the loader itself.
+//
+// A Loader is bound to one GOARCH: type-checking evaluates unsafe.Sizeof
+// et al. with that architecture's sizes, which is what lets the padding
+// pass compute honest 386/arm field offsets. Loaders cache loaded packages;
+// they are not safe for concurrent use.
+type Loader struct {
+	Root   string // module root directory
+	Module string // module import path
+	GOARCH string
+	Fset   *token.FileSet
+
+	// Overlay maps absolute file paths to replacement source, letting
+	// tests re-check a package with (say) one annotation stripped.
+	Overlay map[string][]byte
+
+	std   types.Importer
+	sizes types.Sizes
+	pkgs  map[string]*Package
+}
+
+// NewLoader returns a loader for the module rooted at root with the given
+// import path, type-checking for goarch (always GOOS=linux: the analyzed
+// build is the one CI runs).
+func NewLoader(root, module, goarch string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:   root,
+		Module: module,
+		GOARCH: goarch,
+		Fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		sizes:  types.SizesFor("gc", goarch),
+		pkgs:   map[string]*Package{},
+	}
+}
+
+// Load parses and type-checks the package with the given module-relative
+// import path (e.g. "wfqueue/internal/core").
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		return p, nil
+	}
+	if !l.inModule(path) {
+		return nil, fmt.Errorf("analysis: %s is outside module %s", path, l.Module)
+	}
+	l.pkgs[path] = nil // cycle guard
+	dir := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(path, l.Module)))
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		delete(l.pkgs, path)
+		return nil, err
+	}
+	if len(files) == 0 {
+		delete(l.pkgs, path)
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: importerFunc(func(imp string) (*types.Package, error) {
+			if l.inModule(imp) {
+				p, err := l.Load(imp)
+				if err != nil {
+					return nil, err
+				}
+				return p.Types, nil
+			}
+			return l.std.Import(imp)
+		}),
+		Sizes: l.sizes,
+		Error: func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(errs) > 0 {
+		delete(l.pkgs, path)
+		return nil, fmt.Errorf("analysis: type-checking %s (GOARCH=%s): %v", path, l.GOARCH, errs[0])
+	}
+
+	p := &Package{
+		Path:   path,
+		Dir:    dir,
+		GOARCH: l.GOARCH,
+		Fset:   l.Fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		Sizes:  l.sizes,
+		Anns:   map[string]*fileAnns{},
+	}
+	for _, f := range files {
+		name := l.Fset.Position(f.Pos()).Filename
+		p.Anns[name] = parseFileAnns(l.Fset, f)
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+func (l *Loader) inModule(path string) bool {
+	return path == l.Module || strings.HasPrefix(path, l.Module+"/")
+}
+
+// parseDir parses the buildable non-test Go files of dir for this loader's
+// build (GOOS=linux, GOARCH=l.GOARCH, no race, no cgo).
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") ||
+			strings.HasPrefix(n, "_") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		if !l.filenameMatches(n) {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	for _, n := range names {
+		full := filepath.Join(dir, n)
+		var src any
+		if l.Overlay != nil {
+			if s, ok := l.Overlay[full]; ok {
+				src = s
+			}
+		}
+		f, err := parser.ParseFile(l.Fset, full, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if !l.constraintsMatch(f) {
+			continue
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Known GOOS/GOARCH values for filename-suffix constraints. The lists only
+// need the values that could plausibly appear in this module's filenames.
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true, "linux": true,
+	"netbsd": true, "openbsd": true, "plan9": true, "solaris": true,
+	"wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true, "loong64": true,
+	"mips": true, "mipsle": true, "mips64": true, "mips64le": true,
+	"ppc64": true, "ppc64le": true, "riscv64": true, "s390x": true,
+	"wasm": true,
+}
+
+// filenameMatches implements go/build's _GOOS/_GOARCH filename rules for
+// GOOS=linux and the loader's GOARCH.
+func (l *Loader) filenameMatches(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	if len(parts) < 2 {
+		return true
+	}
+	last := parts[len(parts)-1]
+	if knownArch[last] {
+		if last != l.GOARCH {
+			return false
+		}
+		if len(parts) >= 3 {
+			if osPart := parts[len(parts)-2]; knownOS[osPart] && osPart != "linux" {
+				return false
+			}
+		}
+		return true
+	}
+	if knownOS[last] {
+		return last == "linux"
+	}
+	return true
+}
+
+// constraintsMatch evaluates the file's //go:build line (if any) for the
+// loader's build: GOOS=linux, GOARCH as configured, gc, no race, no cgo,
+// any go1.x version.
+func (l *Loader) constraintsMatch(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return false
+			}
+			return expr.Eval(func(tag string) bool {
+				switch tag {
+				case "linux", "unix", "gc", l.GOARCH:
+					return true
+				}
+				return strings.HasPrefix(tag, "go1.")
+			})
+		}
+	}
+	return true
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

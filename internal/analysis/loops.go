@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The bounded-loop audit. Wait-freedom is exactly the claim that every loop
+// a thread can enter terminates in a bounded number of steps regardless of
+// scheduling. Some bounds are syntactic — a three-clause for over a counter,
+// a range over a slice. The rest (the fast-path patience loop, the helping
+// loops, the reclamation walks) are bounded only by an argument from the
+// paper: Listing 4's helper makes progress after at most two cell visits,
+// cleanup walks a ring of at most maxHandles handles, and so on. The pass
+// forces each such loop to carry its argument as a //wfqlint:bounded(reason)
+// annotation and emits the collected reasons as the obligation list — the
+// machine-checkable residue of the wait-freedom proof. Deleting one
+// annotation, or writing a new bare for{}, fails the lint run.
+
+// syntacticallyBounded reports whether a loop's bound is visible in its
+// syntax alone: a three-clause for statement (condition tested against a
+// post-updated variable) or a range over anything but a channel.
+func syntacticallyBounded(info *types.Info, n ast.Node) bool {
+	switch x := n.(type) {
+	case *ast.ForStmt:
+		return x.Cond != nil && x.Post != nil
+	case *ast.RangeStmt:
+		if info == nil {
+			return true
+		}
+		t := info.TypeOf(x.X)
+		if t == nil {
+			return true
+		}
+		_, isChan := t.Underlying().(*types.Chan)
+		return !isChan
+	}
+	return false
+}
+
+// loopAudit checks every for/range loop in a wait-free package: each loop
+// is either syntactically bounded or carries a bounded(reason) annotation,
+// which becomes an Obligation. Unannotated unbounded loops are diagnostics.
+func loopAudit(p *Package) ([]Diagnostic, []Obligation) {
+	var diags []Diagnostic
+	var obls []Obligation
+	for _, f := range p.Files {
+		fname := p.Fset.Position(f.Pos()).Filename
+		anns := p.Anns[fname]
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := funcDisplayName(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+				default:
+					return true
+				}
+				if syntacticallyBounded(p.Info, n) {
+					return true
+				}
+				pos := p.Fset.Position(n.Pos())
+				if anns != nil {
+					if a, ok := anns.boundedAt(pos.Line); ok {
+						obls = append(obls, Obligation{Pos: pos, Func: name, Reason: a.Reason})
+						return true
+					}
+				}
+				diags = append(diags, Diagnostic{
+					Pass: "loops",
+					Pos:  pos,
+					Msg:  "unbounded loop in wait-free code without //wfqlint:bounded(reason) annotation",
+				})
+				return true
+			})
+		}
+	}
+	return diags, obls
+}

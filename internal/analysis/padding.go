@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+)
+
+// The padding/alignment pass. Two separate hardware contracts are checked
+// from go/types layout data instead of runtime Offsetof assertions:
+//
+//   - Cache-line separation (any GOARCH, checked under amd64): the
+//     LayoutRules claims — hot fields that different threads write must sit
+//     at least CacheLineSize apart so the FAA counters, helper-CASed
+//     request words, and owner-local state never share a line. This is what
+//     keeps the queue "as fast as fetch-and-add" in practice.
+//
+//   - 64-bit alignment (checked under 386 and arm): sync/atomic's
+//     documented requirement that 64-bit operands be 8-aligned on 32-bit
+//     targets. Go guarantees the first word of an allocated struct is
+//     8-aligned, so the check is that every atomically-accessed 64-bit
+//     field sits at an absolute offset ≡ 0 (mod 8) from the struct base,
+//     recursing through nested structs and arrays. Fields of the named
+//     sync/atomic types (atomic.Uint64 etc.) are skipped: the runtime
+//     guarantees their alignment via the align64 special case, which
+//     go/types does not model.
+
+// structOf looks up a (possibly unexported) struct type by name.
+func structOf(p *Package, name string) (*types.Struct, token.Position, bool) {
+	obj := p.Types.Scope().Lookup(name)
+	if obj == nil {
+		return nil, token.Position{}, false
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, token.Position{}, false
+	}
+	return st, p.Fset.Position(obj.Pos()), true
+}
+
+// structLayout resolves each field's offset and size under p.Sizes.
+type structLayout struct {
+	offsets map[string]int64
+	sizes   map[string]int64
+	total   int64
+}
+
+func layoutOf(p *Package, st *types.Struct) structLayout {
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	offs := p.Sizes.Offsetsof(fields)
+	l := structLayout{offsets: map[string]int64{}, sizes: map[string]int64{}, total: p.Sizes.Sizeof(st)}
+	for i, f := range fields {
+		l.offsets[f.Name()] = offs[i]
+		l.sizes[f.Name()] = p.Sizes.Sizeof(f.Type())
+	}
+	return l
+}
+
+// layoutAudit proves a package's LayoutRules against go/types offsets.
+func layoutAudit(p *Package, rules []LayoutRule) []Diagnostic {
+	var diags []Diagnostic
+	diag := func(pos token.Position, format string, args ...any) {
+		if paddingAllowed(p, pos) {
+			return
+		}
+		diags = append(diags, Diagnostic{Pass: "padding", Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+	diags = append(diags, checkPadConstant(p)...)
+	for _, r := range rules {
+		if r.Pkg != p.Path {
+			continue
+		}
+		st, pos, ok := structOf(p, r.Struct)
+		if !ok {
+			diag(token.Position{Filename: p.Dir}, "layout rule references unknown struct %s.%s", r.Pkg, r.Struct)
+			continue
+		}
+		l := layoutOf(p, st)
+		field := func(name string) (int64, bool) {
+			off, ok := l.offsets[name]
+			if !ok {
+				diag(pos, "layout rule for %s references unknown field %s", r.Struct, name)
+			}
+			return off, ok
+		}
+		for _, g := range r.Gaps {
+			from, ok1 := field(g.From)
+			to, ok2 := field(g.To)
+			if !ok1 || !ok2 {
+				continue
+			}
+			if g.FromEnd {
+				from += l.sizes[g.From]
+			}
+			if to-from < CacheLineSize {
+				diag(pos, "%s: %s (offset %d) and %s (offset %d) are %d bytes apart, want >= %d (false sharing)",
+					r.Struct, g.From, l.offsets[g.From], g.To, to, to-from, CacheLineSize)
+			}
+		}
+		for _, name := range r.LeadingPad {
+			if off, ok := field(name); ok && off < CacheLineSize {
+				diag(pos, "%s.%s at offset %d shares a cache line with the struct header, want offset >= %d",
+					r.Struct, name, off, CacheLineSize)
+			}
+		}
+		if r.TrailingPadAfter != "" {
+			if off, ok := field(r.TrailingPadAfter); ok {
+				end := off + l.sizes[r.TrailingPadAfter]
+				if l.total-end < CacheLineSize {
+					diag(pos, "%s: only %d bytes after %s (struct size %d), want >= %d trailing pad",
+						r.Struct, l.total-end, r.TrailingPadAfter, l.total, CacheLineSize)
+				}
+			}
+		}
+		if r.MinSize > 0 && l.total < r.MinSize {
+			diag(pos, "%s is %d bytes, want >= %d (adjacent elements must not share lines)",
+				r.Struct, l.total, r.MinSize)
+		}
+	}
+	return diags
+}
+
+// checkPadConstant asserts this package's CacheLineSize agrees with the
+// analyzed module's pad.CacheLineSize, so the duplicated constant cannot
+// drift silently.
+func checkPadConstant(p *Package) []Diagnostic {
+	for _, imp := range p.Types.Imports() {
+		if imp.Name() != "pad" {
+			continue
+		}
+		c, ok := imp.Scope().Lookup("CacheLineSize").(*types.Const)
+		if !ok {
+			continue
+		}
+		if v := c.Val().String(); v != fmt.Sprint(CacheLineSize) {
+			return []Diagnostic{{
+				Pass: "padding",
+				Pos:  p.Fset.Position(token.NoPos),
+				Msg:  fmt.Sprintf("pad.CacheLineSize is %s but the analyzer assumes %d", v, CacheLineSize),
+			}}
+		}
+	}
+	return nil
+}
+
+// alignmentAudit checks, under a 32-bit loader's sizes, that every
+// atomically-accessed 64-bit field has absolute offset ≡ 0 (mod 8) in every
+// named struct reaching it. fields64 is the atomic-field set collected from
+// the same loader's packages.
+func alignmentAudit(pkgs []*Package, fields map[*types.Var]token.Position) []Diagnostic {
+	atomic64 := map[*types.Var]bool{}
+	for fv := range fields {
+		if is64Bit(fv.Type()) {
+			atomic64[fv] = true
+		}
+	}
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			diags = append(diags, checkAlign(p, name, st, 0, atomic64)...)
+		}
+	}
+	return diags
+}
+
+func is64Bit(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int64, types.Uint64, types.Float64:
+		return true
+	}
+	return false
+}
+
+// isSyncAtomicType reports whether t is one of the named sync/atomic types
+// whose alignment the runtime guarantees (align64).
+func isSyncAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// checkAlign walks struct st, whose base sits at absolute offset base
+// (mod 8) within an 8-aligned allocation, flagging misaligned atomic
+// 64-bit fields. Arrays of structs are checked at element 0, plus a stride
+// check: if the element holds atomic 64-bit fields its size must be a
+// multiple of 8 or later elements drift out of alignment.
+func checkAlign(p *Package, path string, st *types.Struct, base int64, atomic64 map[*types.Var]bool) []Diagnostic {
+	var diags []Diagnostic
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	offs := p.Sizes.Offsetsof(fields)
+	for i, f := range fields {
+		abs := base + offs[i]
+		fpath := path + "." + f.Name()
+		if atomic64[f] && abs%8 != 0 {
+			if pos := p.Fset.Position(f.Pos()); !paddingAllowed(p, pos) {
+				diags = append(diags, Diagnostic{
+					Pass: "padding",
+					Pos:  pos,
+					Msg: fmt.Sprintf("%s at offset %d is not 8-aligned under GOARCH=%s; 64-bit atomic access will fault",
+						fpath, abs, p.GOARCH),
+				})
+			}
+			continue
+		}
+		t := f.Type()
+		if isSyncAtomicType(t) {
+			continue
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			diags = append(diags, checkAlign(p, fpath, u, abs, atomic64)...)
+		case *types.Array:
+			if es, ok := u.Elem().Underlying().(*types.Struct); ok {
+				diags = append(diags, checkAlign(p, fpath+"[0]", es, abs, atomic64)...)
+				if holdsAtomic64(es, atomic64) && p.Sizes.Sizeof(u.Elem())%8 != 0 {
+					diags = append(diags, Diagnostic{
+						Pass: "padding",
+						Pos:  p.Fset.Position(f.Pos()),
+						Msg: fmt.Sprintf("%s element size %d is not a multiple of 8 under GOARCH=%s; later elements misalign their atomic 64-bit fields",
+							fpath, p.Sizes.Sizeof(u.Elem()), p.GOARCH),
+					})
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// paddingAllowed reports whether an //wfqlint:allow(padding,...) annotation
+// suppresses diagnostics at pos.
+func paddingAllowed(p *Package, pos token.Position) bool {
+	anns := p.Anns[pos.Filename]
+	return anns != nil && anns.allowedAt(pos.Line, "padding")
+}
+
+func holdsAtomic64(st *types.Struct, atomic64 map[*types.Var]bool) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if atomic64[f] {
+			return true
+		}
+		if s, ok := f.Type().Underlying().(*types.Struct); ok && holdsAtomic64(s, atomic64) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	repoOnce sync.Once
+	repoCfg  Config
+	repoRes  *Result
+	repoErr  error
+)
+
+// repoResult runs the full suite over this repository once.
+func repoResult(t *testing.T) (Config, *Result) {
+	t.Helper()
+	repoOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			repoErr = err
+			return
+		}
+		repoCfg = RepoConfig(root)
+		repoRes, repoErr = Run(repoCfg)
+	})
+	if repoErr != nil {
+		t.Fatal(repoErr)
+	}
+	return repoCfg, repoRes
+}
+
+// TestRepoClean is the dogfood gate: the shipped tree produces zero
+// diagnostics under every pass and every GOARCH the suite checks.
+func TestRepoClean(t *testing.T) {
+	_, res := repoResult(t)
+	for _, d := range res.Diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestRepoObligations pins the wait-freedom obligation list: the helping
+// loops, the reclamation walks, and the pool's lock-free retries must each
+// carry a bounded(reason) annotation, and nothing else in the wait-free
+// packages may need one.
+func TestRepoObligations(t *testing.T) {
+	_, res := repoResult(t)
+	want := map[string]int{
+		"(*Queue).DequeueBatch":        1,
+		"(*Queue).helpDeq":             2,
+		"(*Queue).enqSlow":             1,
+		"(*Queue).helpEnq":             1,
+		"(*Queue).cleanup":             2,
+		"verify":                       1,
+		"(*Queue).freeSegments":        1,
+		"advanceEndForLinearizability": 1,
+		"(*segPool).popNode":           1,
+		"(*segPool).pushNode":          1,
+		"DefaultLanes":                 1,
+	}
+	got := map[string]int{}
+	for _, o := range res.Obligations {
+		got[o.Func]++
+		if strings.TrimSpace(o.Reason) == "" {
+			t.Errorf("empty obligation reason at %s", o.Pos)
+		}
+	}
+	for fn, n := range want {
+		if got[fn] != n {
+			t.Errorf("obligations for %s: want %d, got %d", fn, n, got[fn])
+		}
+	}
+	for fn, n := range got {
+		if want[fn] == 0 {
+			t.Errorf("unexpected obligation in %s (%d) — update this census deliberately", fn, n)
+		}
+	}
+}
+
+// TestRepoBoundedAnnotationsLoadBearing strips every //wfqlint:bounded
+// annotation from the wait-free packages in one overlay and asserts the
+// suite then fails at exactly the positions the clean run discharged: each
+// annotation is individually load-bearing (deleting any single one turns
+// its obligation into a diagnostic at the same position).
+func TestRepoBoundedAnnotationsLoadBearing(t *testing.T) {
+	cfg, res := repoResult(t)
+	overlay := map[string][]byte{}
+	for _, rel := range []string{"internal/core", "internal/sharded"} {
+		dir := filepath.Join(cfg.Root, rel)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			full := filepath.Join(dir, e.Name())
+			src, err := os.ReadFile(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(string(src), "//wfqlint:bounded(") {
+				continue
+			}
+			// Same byte positions per line, so diagnostics land where the
+			// obligations were.
+			overlay[full] = []byte(strings.ReplaceAll(string(src), "//wfqlint:bounded(", "// was-bounded(("))
+		}
+	}
+	if len(overlay) == 0 {
+		t.Fatal("no files with bounded annotations found")
+	}
+
+	stripped, err := RunOverlay(cfg, overlay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAt := map[string]bool{}
+	for _, o := range res.Obligations {
+		wantAt[fmt.Sprintf("%s:%d", o.Pos.Filename, o.Pos.Line)] = true
+	}
+	gotAt := map[string]bool{}
+	for _, d := range stripped.Diags {
+		if d.Pass != "loops" {
+			t.Errorf("unexpected non-loops diagnostic after stripping: %s", d)
+			continue
+		}
+		gotAt[fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)] = true
+	}
+	for at := range wantAt {
+		if !gotAt[at] {
+			t.Errorf("obligation at %s did not become a diagnostic when its annotation was stripped", at)
+		}
+	}
+	for at := range gotAt {
+		if !wantAt[at] {
+			t.Errorf("stripping produced a diagnostic at %s with no matching obligation", at)
+		}
+	}
+	if len(stripped.Obligations) != 0 {
+		t.Errorf("stripped run still discharged %d obligations", len(stripped.Obligations))
+	}
+}
+
+// TestRepoPaddingRegression re-introduces the false-sharing shape the
+// padding pass exists to catch: deleting core.Handle's leading pad (the
+// first pad in core.go) puts the owner's segment hints back on the struct
+// header's cache line, and the suite must fail.
+func TestRepoPaddingRegression(t *testing.T) {
+	cfg, _ := repoResult(t)
+	full := filepath.Join(cfg.Root, "internal", "core", "core.go")
+	src, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := strings.Replace(string(src), "pad.CacheLinePad", "[0]byte", 1)
+	if patched == string(src) {
+		t.Fatal("no pad.CacheLinePad occurrence found in core.go")
+	}
+	res, err := RunOverlay(cfg, map[string][]byte{full: []byte(patched)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range res.Diags {
+		if d.Pass == "padding" && strings.Contains(d.Msg, "Handle") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("removing Handle's leading pad produced no padding diagnostic; got %v", res.Diags)
+	}
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// Run orchestration: one amd64 load drives the semantic passes (annotation
+// syntax, atomic hygiene, no-block, loop audit, layout rules); two more
+// loads under 386 and arm sizes drive the 64-bit alignment audit, because
+// field offsets — and therefore alignment — are architecture facts that
+// only exist once a Sizes is chosen. The escape gate is separate
+// (EscapeGate) because it consumes compiler output instead of source.
+
+// Run executes the static suite over cfg's packages.
+func Run(cfg Config) (*Result, error) {
+	return RunOverlay(cfg, nil)
+}
+
+// RunOverlay is Run with source substituted for some files — the hook the
+// fixture tests use to prove the suite fails when an annotation is deleted
+// or a pad is shrunk, without mutating the tree on disk.
+func RunOverlay(cfg Config, overlay map[string][]byte) (*Result, error) {
+	res := &Result{}
+
+	all, err := loadAll(cfg, "amd64", overlay)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := tiered(cfg, all)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			res.Diags = append(res.Diags, checkAnnSyntax(p.Fset, f)...)
+		}
+	}
+	fields := collectAtomicFields(pkgs)
+	res.Diags = append(res.Diags, atomicHygiene(pkgs, fields, atomicParams(all))...)
+	res.Diags = append(res.Diags, noBlock(cfg, all)...)
+	for _, p := range pkgs {
+		if cfg.Tiers[p.Path] == TierWaitFree {
+			d, o := loopAudit(p)
+			res.Diags = append(res.Diags, d...)
+			res.Obligations = append(res.Obligations, o...)
+		}
+		res.Diags = append(res.Diags, layoutAudit(p, cfg.LayoutRules)...)
+	}
+
+	for _, arch := range []string{"386", "arm"} {
+		aall, err := loadAll(cfg, arch, overlay)
+		if err != nil {
+			return nil, err
+		}
+		apkgs := tiered(cfg, aall)
+		res.Diags = append(res.Diags, alignmentAudit(apkgs, collectAtomicFields(apkgs))...)
+	}
+
+	sortDiags(res.Diags)
+	sortObligations(res.Obligations)
+	return res, nil
+}
+
+// loadAll loads the tiered packages plus the Extra context packages.
+func loadAll(cfg Config, goarch string, overlay map[string][]byte) ([]*Package, error) {
+	ld := NewLoader(cfg.Root, cfg.Module, goarch)
+	ld.Overlay = overlay
+	var pkgs []*Package
+	for _, path := range append(cfg.tierPackages(), cfg.Extra...) {
+		p, err := ld.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// tiered filters a loadAll result down to the packages with a tier.
+func tiered(cfg Config, pkgs []*Package) []*Package {
+	var out []*Package
+	for _, p := range pkgs {
+		if cfg.Tiers[p.Path] != TierNone {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// LoadPackages loads cfg's packages under one GOARCH without running any
+// pass — the entry point for external consumers (the per-package padding
+// test wrappers, the wfqlint escapes subcommand).
+func LoadPackages(cfg Config, goarch string) ([]*Package, error) {
+	return loadAll(cfg, goarch, nil)
+}
+
+// AuditLayout runs only the layout rules and (on 32-bit goarch values) the
+// alignment audit for the named package under goarch. The per-package
+// padding tests are thin wrappers over this.
+func AuditLayout(cfg Config, pkgPath, goarch string) ([]Diagnostic, error) {
+	pkgs, err := loadAll(cfg, goarch, nil)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		if p.Path != pkgPath {
+			continue
+		}
+		diags = append(diags, layoutAudit(p, cfg.LayoutRules)...)
+	}
+	if goarch == "386" || goarch == "arm" {
+		fields := collectAtomicFields(pkgs)
+		for _, d := range alignmentAudit(pkgs, fields) {
+			if strings.HasPrefix(d.Pos.Filename, filepath.Join(cfg.Root, filepath.FromSlash(strings.TrimPrefix(pkgPath, cfg.Module)))) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sortDiags(diags)
+	return diags, nil
+}

@@ -1,0 +1,34 @@
+// Package align is a wfqlint fixture for the 32-bit alignment audit:
+// an atomically-accessed uint64 at offset 4 (faults on GOARCH=386/arm —
+// the true positive), the padded fix, and the same defect suppressed by
+// annotation.
+package align
+
+import "sync/atomic"
+
+// Bad puts the counter at offset 4 on 32-bit targets.
+type Bad struct {
+	flag uint32
+	n    uint64
+}
+
+// Good pads the counter back to an 8-aligned offset.
+type Good struct {
+	flag uint32
+	_    uint32
+	n    uint64
+}
+
+// Packed has the same defect with a sanctioned suppression.
+type Packed struct {
+	flag uint32
+	n    uint64 //wfqlint:allow(padding,fixture: accessor is build-tagged 64-bit only)
+}
+
+// Touch performs the atomic accesses that put the counters in the atomic
+// 64-bit field set.
+func Touch(b *Bad, g *Good, p *Packed) {
+	atomic.AddUint64(&b.n, 1)
+	atomic.AddUint64(&g.n, 1)
+	atomic.AddUint64(&p.n, 1)
+}

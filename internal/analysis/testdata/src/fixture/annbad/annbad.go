@@ -1,0 +1,18 @@
+// Package annbad is a wfqlint fixture for annotation syntax checking: a
+// typo'd suppression must fail loudly, not silently fail to apply.
+package annbad
+
+// Bounded carries a bounded annotation with no reason — malformed.
+func Bounded(done func() bool) {
+	//wfqlint:bounded
+	for {
+		if done() {
+			return
+		}
+	}
+}
+
+// Unknown uses a verb the grammar does not define — malformed.
+func Unknown() int {
+	return 0 //wfqlint:frobnicate(x)
+}

@@ -1,0 +1,38 @@
+// Package atomics is a wfqlint fixture for the atomic-hygiene pass: one
+// plain access to an atomically-published field (the true positive), one
+// constructor whose plain stores are initialization, and one access
+// suppressed by annotation.
+package atomics
+
+import "sync/atomic"
+
+// S publishes n and m with sync/atomic.
+type S struct {
+	n uint64
+	m uint64
+}
+
+// NewS is recognized as a constructor: the object is private until
+// returned, so plain initialization is allowed.
+func NewS() *S {
+	s := &S{}
+	s.n = 1
+	s.m = 1
+	return s
+}
+
+// Inc is the atomic publication that puts n and m in the atomic set.
+func (s *S) Inc() {
+	atomic.AddUint64(&s.n, 1)
+	atomic.AddUint64(&s.m, 1)
+}
+
+// Bad mixes in a plain increment — the true positive.
+func (s *S) Bad() {
+	s.n++
+}
+
+// Allowed is the same class of violation with a sanctioned suppression.
+func (s *S) Allowed() uint64 {
+	return s.m //wfqlint:allow(atomic,fixture: accessor documented as single-threaded)
+}

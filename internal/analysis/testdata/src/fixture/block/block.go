@@ -1,0 +1,40 @@
+// Package block is a wfqlint fixture for the no-block pass: hot paths
+// that lock a mutex (directly and through a helper), block on a channel,
+// and one blocking call suppressed by annotation. The fixture is analyzed,
+// never executed, so the leaked locks are fine.
+package block
+
+import "sync"
+
+// Q is a fake queue whose operations are the configured hot paths.
+type Q struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Enqueue locks on the hot path — the true positive.
+func (q *Q) Enqueue(v int) {
+	q.mu.Lock()
+	q.n = v
+}
+
+// Dequeue has the same violation with a sanctioned suppression.
+func (q *Q) Dequeue() int {
+	q.mu.Lock() //wfqlint:allow(block,fixture: lock kept for the suppression test)
+	return q.n
+}
+
+// Send blocks on a channel send — a second true positive.
+func (q *Q) Send(ch chan int) {
+	ch <- 1
+}
+
+// Drain reaches a blocking call only through a helper, exercising the
+// reachability scan.
+func (q *Q) Drain() {
+	q.slow()
+}
+
+func (q *Q) slow() {
+	q.mu.Lock()
+}

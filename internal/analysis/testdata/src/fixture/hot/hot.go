@@ -1,0 +1,23 @@
+// Package hot is a wfqlint fixture for the escape gate. The compiler
+// output is canned in the test (the gate only parses -m text), so what
+// matters here is which function body each referenced line falls in.
+package hot
+
+// Op is protected by the escape gate; the canned output reports its local
+// moving to the heap.
+func Op() *int {
+	x := 42
+	return &x
+}
+
+// Quiet is protected too, but carries a suppression for its known escape.
+func Quiet() *int {
+	y := 7 //wfqlint:allow(escapes,fixture: sanctioned allocation)
+	return &y
+}
+
+// Cold is not on the hot list; its escapes are ignored.
+func Cold() *int {
+	z := 1
+	return &z
+}

@@ -1,0 +1,31 @@
+// Package layout is a wfqlint fixture for the cache-line layout rules.
+// Bad reproduces the false-sharing defect the padding pass exists to
+// catch — the same shape as the sharded layer's PR 3 bug, where a
+// handle's enqueue and dequeue request blocks (each CASed by helping
+// peers) were packed onto one cache line, so helpers of one request
+// invalidated the other's line on every state transition.
+package layout
+
+type linePad [64]byte
+
+type req struct {
+	val   uint64
+	state uint64
+}
+
+// Bad packs the two helper-written request blocks adjacently.
+type Bad struct {
+	_      linePad
+	enqReq req
+	deqReq req
+	_      linePad
+}
+
+// Good keeps a full cache line between them.
+type Good struct {
+	_      linePad
+	enqReq req
+	_      linePad
+	deqReq req
+	_      linePad
+}

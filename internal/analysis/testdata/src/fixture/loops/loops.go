@@ -1,0 +1,42 @@
+// Package loops is a wfqlint fixture for the bounded-loop audit: one
+// syntactically bounded loop, one unbounded loop without an annotation
+// (the true positive), and one discharged by //wfqlint:bounded.
+package loops
+
+// Count is syntactically bounded: three-clause for.
+func Count() int {
+	n := 0
+	for i := 0; i < 8; i++ {
+		n += i
+	}
+	return n
+}
+
+// Walk is syntactically bounded: range over a slice.
+func Walk(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// Spin is the true positive: no syntactic bound, no annotation.
+func Spin(done func() bool) {
+	for {
+		if done() {
+			return
+		}
+	}
+}
+
+// Retry carries its bound as an annotation, which the audit turns into a
+// proof obligation instead of a diagnostic.
+func Retry(done func() bool) {
+	//wfqlint:bounded(fixture: done flips after a bounded number of calls)
+	for {
+		if done() {
+			return
+		}
+	}
+}

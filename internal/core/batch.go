@@ -178,6 +178,7 @@ func (q *Queue) DequeueBatch(h *Handle, dst []unsafe.Pointer) int {
 	// Top up interference shortfalls with per-item dequeues (their own
 	// FAA, patience and slow path) until dst is full or EMPTY is observed,
 	// so a short return always witnesses emptiness.
+	//wfqlint:bounded(at most k-n rounds: every iteration stores an item and increments n or observes EMPTY and breaks; each per-item Dequeue is itself wait-free)
 	for int64(n) < k && !sawEmpty {
 		v, ok := q.Dequeue(h)
 		if !ok {

@@ -87,7 +87,11 @@ func stateID(s state) int64     { return int64(s &^ pendingBit) }
 // protocol in §3.4 ("Write the proper value in a cell") makes the pairing
 // safe: writers store val before state, helpers read state before val.
 type enqReq struct {
-	val   unsafe.Pointer
+	val unsafe.Pointer
+	// Explicit pad so state stays 8-aligned on 32-bit targets (sync/atomic
+	// requires 64-bit operands at 8-aligned addresses under GOARCH=386/arm).
+	// Zero-sized on 64-bit, where val already fills 8 bytes.
+	_     [8 - unsafe.Sizeof(uintptr(0))]byte
 	state state
 }
 
@@ -170,6 +174,18 @@ type Handle struct {
 	// allocation (the C original uses a VLA).
 	spare []*Handle
 
+	// scratch holds the slow paths' private segment-list cursors:
+	// enqSlow's tail copy ([0]) and helpDeq's announced/candidate cursors
+	// ([0]/[1]). They are handle fields rather than stack locals because
+	// sync/atomic pointer operations make their address operand escape, so
+	// stack cursors would cost one heap allocation per slow-path call —
+	// voiding the zero-allocation property the wfqlint escape gate
+	// enforces. Only the owner touches them (enqSlow and helpDeq never
+	// nest), and each user nils its cursors on return so an idle handle
+	// cannot pin retired segments (segments link forward: retaining one
+	// retains every later one).
+	scratch [2]unsafe.Pointer
+
 	// segCache holds one retired segment for reuse by this handle, the
 	// paper's §3.6 per-thread reuse of the last reclaimed segment. Only
 	// the handle's owner reads/writes it (newSegment, recycleSegment and
@@ -201,9 +217,9 @@ type Counters struct {
 	// before poisoning the cell.
 	SpinFallbacks uint64
 	HelpEnq       uint64 // slow-path enqueue requests committed by a helper for a peer
-	HelpDeq  uint64 // help_deq invocations on behalf of a peer
-	Cleanups uint64 // reclamation passes that freed at least one segment
-	Segments uint64 // segments linked into the list by this handle
+	HelpDeq       uint64 // help_deq invocations on behalf of a peer
+	Cleanups      uint64 // reclamation passes that freed at least one segment
+	Segments      uint64 // segments linked into the list by this handle
 
 	// Memory-path instrumentation (WithRecycling): where newSegment got
 	// its segment from. SegAllocs counts fresh heap allocations; the two
@@ -234,10 +250,12 @@ type Queue struct {
 	// H is the head index: the next cell a dequeue will visit.
 	H int64
 	_ pad.CacheLinePad
+	// I is the id of the oldest segment, or -1 while a cleaner runs. It
+	// precedes q so the int64 stays 8-aligned on 32-bit targets, where q is
+	// only a 4-byte word.
+	I int64
 	// q points at the oldest segment in the list (the paper's Q).
 	q unsafe.Pointer // *segment
-	// I is the id of the oldest segment, or -1 while a cleaner runs.
-	I int64
 	_ pad.CacheLinePad
 
 	segShift   uint

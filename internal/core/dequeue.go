@@ -106,24 +106,29 @@ func (q *Queue) helpDeq(h *Handle, helpee *Handle) {
 		ctrInc(&h.stats.HelpDeq)
 	}
 
-	// ha: a local segment pointer for announced cells. The hazard pointer
-	// is published between reading helpee.head and re-reading the request
-	// state (§3.6): if the segment was reclaimed before hzdp was set, the
-	// request must have completed, which the state re-read below detects
-	// via s.idx != prior.
-	ha := atomic.LoadPointer(&helpee.head)
-	atomic.StoreInt64(&h.hzdp, sid((*segment)(ha)))
+	// h.scratch[0] is the paper's ha, the cursor for announced cells; it
+	// lives in the handle rather than on the stack (see Handle.scratch).
+	// The hazard pointer is published between reading helpee.head and
+	// re-reading the request state (§3.6): if the segment was reclaimed
+	// before hzdp was set, the request must have completed, which the
+	// state re-read below detects via s.idx != prior.
+	h.scratch[0] = atomic.LoadPointer(&helpee.head)
+	atomic.StoreInt64(&h.hzdp, sid((*segment)(h.scratch[0])))
 	s = atomic.LoadUint64(&r.state)
 
 	prior, i, cand := id, id, int64(0)
+	//wfqlint:bounded(paper Listing 5 lines 128-157: each round either CASes the request onto a candidate cell or observes s.idx changed, i.e. another helper claimed it; §3.5's helping bound limits the rounds before some claim lands)
 	for {
 		// Find a candidate cell, if I don't have one. The loop breaks
 		// when this helper finds a candidate or another helper announces
-		// one (changing s.idx). hc: a local segment pointer for candidate
-		// cells.
-		for hc := ha; cand == 0 && stateID(s) == prior; {
+		// one (changing s.idx). h.scratch[1] is the paper's hc, the
+		// candidate-search cursor, restarted from the announced-cell
+		// cursor each round.
+		h.scratch[1] = h.scratch[0]
+		//wfqlint:bounded(paper lines 133-142: i advances every iteration and the search stops at the first EMPTY or unclaimed-value cell; helpEnq returns EMPTY once i passes T, which trails i by at most the in-flight enqueue count)
+		for cand == 0 && stateID(s) == prior {
 			i++
-			c := q.findCell(h, &hc, i)
+			c := q.findCell(h, &h.scratch[1], i)
 			v := q.helpEnq(h, c, i)
 			// The cell is a candidate if helpEnq returned EMPTY or a
 			// value not yet claimed by any dequeue.
@@ -143,11 +148,12 @@ func (q *Queue) helpDeq(h *Handle, helpee *Handle) {
 		// Invariant: some candidate is announced in s.idx. Quit if the
 		// request is complete (Invariant 12 cases 1 and 2).
 		if !statePending(s) || atomic.LoadInt64(&r.id) != id {
+			h.scratch[0], h.scratch[1] = nil, nil
 			return
 		}
 
 		// Find the announced candidate.
-		c := q.findCell(h, &ha, stateID(s))
+		c := q.findCell(h, &h.scratch[0], stateID(s))
 		// The request is complete if the candidate permits returning
 		// EMPTY (c.val = ⊤, Invariant 9), or this helper claimed the
 		// value for r, or another helper did.
@@ -156,6 +162,7 @@ func (q *Queue) helpDeq(h *Handle, helpee *Handle) {
 			atomic.LoadPointer(&c.deq) == unsafe.Pointer(r) {
 			// Clear the pending bit (Invariant 11).
 			atomic.CompareAndSwapUint64(&r.state, s, packState(false, stateID(s)))
+			h.scratch[0], h.scratch[1] = nil, nil
 			return
 		}
 

@@ -74,13 +74,15 @@ func (q *Queue) enqSlow(h *Handle, v unsafe.Pointer, cellID int64) {
 	atomic.StorePointer(&r.val, v)
 	atomic.StoreUint64(&r.state, packState(true, cellID))
 
-	// Traverse with a private copy of the tail pointer: the commit below
-	// may need to find a cell earlier than the last one visited here.
-	tmpTail := atomic.LoadPointer(&h.tail)
+	// Traverse with a private copy of the tail pointer (h.scratch[0]; see
+	// Handle.scratch): the commit below may need to find a cell earlier
+	// than the last one visited here.
+	h.scratch[0] = atomic.LoadPointer(&h.tail)
+	//wfqlint:bounded(paper Listing 3 lines 75-83: the loop ends once the request is claimed, by this thread's tryToClaimReq or any helper's; §3.5 bounds the rounds before some claim succeeds because every dequeuer visiting a reserved cell helps this request)
 	for {
 		// Obtain a new cell index and locate the candidate cell.
 		i := atomic.AddInt64(&q.T, 1) - 1
-		c := q.findCell(h, &tmpTail, i)
+		c := q.findCell(h, &h.scratch[0], i)
 		// Dijkstra's protocol: reserve the cell for the request, then
 		// check that no dequeuer marked the cell unusable in between.
 		if atomic.CompareAndSwapPointer(&c.enq, nil, unsafe.Pointer(r)) &&
@@ -94,6 +96,8 @@ func (q *Queue) enqSlow(h *Handle, v unsafe.Pointer, cellID int64) {
 			break
 		}
 	}
+
+	h.scratch[0] = nil
 
 	// The request is claimed for some cell; find it and commit.
 	id := stateID(atomic.LoadUint64(&r.state))
@@ -149,7 +153,8 @@ func (q *Queue) helpEnq(h *Handle, c *cell, i int64) unsafe.Pointer {
 			r *enqReq
 			s state
 		)
-		for { // two iterations at most (line 94)
+		//wfqlint:bounded(two iterations at most, paper line 94: the first iteration either breaks or zeroes enqID, and with enqID == 0 the second iteration always breaks)
+		for {
 			p = q.handles[h.enqPeerIdx]
 			r = &p.enqReq
 			s = atomic.LoadUint64(&r.state)

@@ -2,83 +2,31 @@ package core
 
 import (
 	"testing"
-	"unsafe"
 
-	"wfqueue/internal/pad"
+	"wfqueue/internal/analysis"
 )
 
-// assertGap checks that two field offsets within one struct are at least a
-// cache line apart, so the fields can never share a line regardless of the
-// allocation's base address.
-func assertGap(t *testing.T, structName, loName, hiName string, lo, hi uintptr) {
-	t.Helper()
-	if hi < lo {
-		lo, hi = hi, lo
-		loName, hiName = hiName, loName
+// The cache-line layout this package's performance rests on — T and H on
+// private lines, the helper-CASed request words away from the owner-local
+// fields, the recycling pool's two stack tops apart — is declared once, in
+// analysis.RepoLayoutRules, and proved by wfqlint's padding pass from
+// go/types field offsets. This test is the package-local wrapper: it
+// re-proves the rules for internal/core under every GOARCH the suite
+// models, including the 32-bit alignment audit for the atomic 64-bit
+// fields (the former hand-written unsafe.Offsetof assertions lived here).
+func TestPadding(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if hi-lo < pad.CacheLineSize {
-		t.Errorf("%s: %s (offset %d) and %s (offset %d) are %d bytes apart, want >= %d (false sharing)",
-			structName, loName, lo, hiName, hi, hi-lo, pad.CacheLineSize)
-	}
-}
-
-// TestQueuePadding audits the global hot words of the queue: the two FAA
-// counters T and H each sit on a cache line of their own, away from each
-// other, from the segment-list head (q, I), and from the cold configuration
-// fields. This is the layout the paper's "as fast as fetch-and-add" claim
-// rests on — a T/H shared line would make every enqueue/dequeue pair a
-// false-sharing conflict.
-func TestQueuePadding(t *testing.T) {
-	var q Queue
-	tOff := unsafe.Offsetof(q.T)
-	hOff := unsafe.Offsetof(q.H)
-	qOff := unsafe.Offsetof(q.q)
-	cfgOff := unsafe.Offsetof(q.segShift)
-	assertGap(t, "core.Queue", "T", "H", tOff, hOff)
-	assertGap(t, "core.Queue", "H", "q", hOff, qOff)
-	assertGap(t, "core.Queue", "q", "segShift", qOff, cfgOff)
-}
-
-// TestSegPoolPadding audits the recycling pool: the two Treiber stack tops
-// (head, free) are CASed by different operations (pop by newSegment, push
-// by cleanup) and must not share a line with each other or with the node
-// array header.
-func TestSegPoolPadding(t *testing.T) {
-	var p segPool
-	headOff := unsafe.Offsetof(p.head)
-	freeOff := unsafe.Offsetof(p.free)
-	nodesOff := unsafe.Offsetof(p.nodes)
-	if headOff < pad.CacheLineSize {
-		t.Errorf("segPool.head at offset %d shares a line with the struct header", headOff)
-	}
-	assertGap(t, "core.segPool", "head", "free", headOff, freeOff)
-	assertGap(t, "core.segPool", "free", "nodes", freeOff, nodesOff)
-}
-
-// TestHandlePadding audits the per-thread handle: three separately-owned
-// regions — the owner's segment hints (tail/head/hzdp, written every
-// operation), the slow-path request words (CASed by helpers on other
-// threads), and the owner-local helping/stats fields — must each live on
-// their own cache lines. Before this audit the request words shared a line
-// with the owner's per-operation peer-index and stats writes, so every
-// helper CAS conflicted with the owner's hot stores.
-func TestHandlePadding(t *testing.T) {
-	var h Handle
-	tailOff := unsafe.Offsetof(h.tail)
-	hzdpOff := unsafe.Offsetof(h.hzdp)
-	enqReqOff := unsafe.Offsetof(h.enqReq)
-	deqReqOff := unsafe.Offsetof(h.deqReq)
-	ownerOff := unsafe.Offsetof(h.next)
-	if tailOff < pad.CacheLineSize {
-		t.Errorf("Handle.tail at offset %d shares a line with the struct header", tailOff)
-	}
-	assertGap(t, "core.Handle", "hzdp", "enqReq", hzdpOff, enqReqOff)
-	assertGap(t, "core.Handle", "deqReq", "next", deqReqOff, ownerOff)
-	// The trailing pad keeps the last owner-local fields off the next
-	// heap object's line (handles are allocated back to back in New).
-	statsEnd := unsafe.Offsetof(h.stats) + unsafe.Sizeof(h.stats)
-	if unsafe.Sizeof(h)-statsEnd < pad.CacheLineSize {
-		t.Errorf("Handle: stats end (%d) to struct end (%d) is %d bytes, want >= %d",
-			statsEnd, unsafe.Sizeof(h), unsafe.Sizeof(h)-statsEnd, pad.CacheLineSize)
+	cfg := analysis.RepoConfig(root)
+	for _, arch := range []string{"amd64", "386", "arm"} {
+		diags, err := analysis.AuditLayout(cfg, analysis.PkgCore, arch)
+		if err != nil {
+			t.Fatalf("GOARCH=%s: %v", arch, err)
+		}
+		for _, d := range diags {
+			t.Errorf("GOARCH=%s: %s", arch, d)
+		}
 	}
 }

@@ -91,6 +91,7 @@ func (q *Queue) findCell(h *Handle, sp *unsafe.Pointer, cellID int64) *cell {
 // deposited in (taken from) a cell whose index is below T (H) by the time
 // the operation completes.
 func advanceEndForLinearizability(e *int64, cid int64) {
+	//wfqlint:bounded(paper lines 53-55: returns once the observed index reaches cid; a failed CAS means another thread advanced e, which is monotonic, so at most cid - v rounds)
 	for {
 		v := atomic.LoadInt64(e)
 		if v >= cid || atomic.CompareAndSwapInt64(e, v, cid) {

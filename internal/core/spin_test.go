@@ -70,7 +70,7 @@ func TestMaxSpinFallbackYields(t *testing.T) {
 // empty queue (no enqueuer in flight) must not spin or yield — EMPTY
 // detection stays on the immediate-poison path.
 func TestMaxSpinSkippedWhenEmpty(t *testing.T) {
-	q := New(1, WithMaxSpin(1 << 20))
+	q := New(1, WithMaxSpin(1<<20))
 	h, err := q.Register()
 	if err != nil {
 		t.Fatal(err)
@@ -111,7 +111,7 @@ func TestMaxSpinZeroPoisonsImmediately(t *testing.T) {
 // a value that lands while the dequeuer is spinning is returned, not
 // poisoned over.
 func TestMaxSpinFindsLateValue(t *testing.T) {
-	q := New(2, WithMaxSpin(1 << 24))
+	q := New(2, WithMaxSpin(1<<24))
 	h, err := q.Register()
 	if err != nil {
 		t.Fatal(err)

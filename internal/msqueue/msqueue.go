@@ -92,6 +92,11 @@ func (q *Queue) Register() (*Handle, error) {
 	return h, nil
 }
 
+// allocNode returns a pooled or fresh node carrying v. A pooled node is
+// private to this handle until the enqueue CAS publishes it, so the plain
+// stores below are initialization, not shared-memory accesses.
+//
+//wfqlint:init
 func (h *Handle) allocNode(v unsafe.Pointer) *node {
 	if n := len(h.pool); n > 0 {
 		nd := h.pool[n-1]
@@ -178,9 +183,12 @@ func (q *Queue) Dequeue(h *Handle) (v unsafe.Pointer, ok bool) {
 				h.rec.Clear(hpHead)
 				h.rec.Clear(hpNext)
 				h.rec.Retire(hd, func(p unsafe.Pointer) {
+					// The hazard domain fires this only once no reader can
+					// reach the node, so scrubbing it for the pool is
+					// de-initialization: plain stores are safe.
 					nd := (*node)(p)
-					nd.val = nil
-					nd.next = nil
+					nd.val = nil  //wfqlint:init
+					nd.next = nil //wfqlint:init
 					h.pool = append(h.pool, nd)
 				})
 			}

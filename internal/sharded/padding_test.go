@@ -2,58 +2,29 @@ package sharded
 
 import (
 	"testing"
-	"unsafe"
 
-	"wfqueue/internal/pad"
+	"wfqueue/internal/analysis"
 )
 
-// The sharded layer adds three structs with hot words of their own: the
-// lane descriptors (read by every operation, written by stealers), the
-// queue's round-robin cursor (FAAed by every RR enqueue), and the handle's
-// owner-local stats. This audit pins each onto its own cache line so a
-// steal burst or RR storm cannot put false sharing back.
-
-func assertGap(t *testing.T, what string, lo, hi uintptr) {
-	t.Helper()
-	if hi-lo < uintptr(pad.CacheLineSize) {
-		t.Errorf("%s: gap %d bytes, want ≥ %d (false sharing)", what, hi-lo, pad.CacheLineSize)
+// The sharded layer's hot-word layout — lane descriptors on private lines,
+// the round-robin FAA cursor alone on its own, the handle's stats padded
+// from neighboring allocations — is declared in analysis.RepoLayoutRules
+// and proved by wfqlint's padding pass. This wrapper re-proves the rules
+// for internal/sharded under every modeled GOARCH (the former hand-written
+// unsafe.Offsetof assertions lived here).
+func TestPadding(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
 	}
-}
-
-func TestLanePadding(t *testing.T) {
-	var l lane
-	if off := unsafe.Offsetof(l.q); off < uintptr(pad.CacheLineSize) {
-		t.Errorf("lane.q at offset %d, want ≥ %d (leading pad)", off, pad.CacheLineSize)
-	}
-	assertGap(t, "lane.stolenFrom..end of lane",
-		unsafe.Offsetof(l.stolenFrom)+unsafe.Sizeof(l.stolenFrom), unsafe.Sizeof(l))
-	// Adjacent lanes in the slice must not share the line holding the
-	// descriptor words: the whole struct spans at least two lines plus
-	// the payload.
-	if unsafe.Sizeof(l) < 2*uintptr(pad.CacheLineSize) {
-		t.Errorf("lane is %d bytes, want ≥ %d", unsafe.Sizeof(l), 2*pad.CacheLineSize)
-	}
-}
-
-func TestQueuePadding(t *testing.T) {
-	var q Queue
-	// rr is the one shared FAA word of the layer; it must sit alone —
-	// a full line away from the read-mostly descriptor fields before it
-	// and the registration fields after it.
-	assertGap(t, "Queue.maxHandles..rr",
-		unsafe.Offsetof(q.maxHandles)+unsafe.Sizeof(q.maxHandles), unsafe.Offsetof(q.rr))
-	assertGap(t, "Queue.rr..regSeq",
-		unsafe.Offsetof(q.rr)+unsafe.Sizeof(q.rr), unsafe.Offsetof(q.regSeq))
-}
-
-func TestHandlePadding(t *testing.T) {
-	var h Handle
-	if off := unsafe.Offsetof(h.q); off < uintptr(pad.CacheLineSize) {
-		t.Errorf("Handle.q at offset %d, want ≥ %d (leading pad)", off, pad.CacheLineSize)
-	}
-	statsEnd := unsafe.Offsetof(h.stats) + unsafe.Sizeof(h.stats)
-	if unsafe.Sizeof(h)-statsEnd < uintptr(pad.CacheLineSize) {
-		t.Errorf("Handle trailing pad is %d bytes, want ≥ %d",
-			unsafe.Sizeof(h)-statsEnd, pad.CacheLineSize)
+	cfg := analysis.RepoConfig(root)
+	for _, arch := range []string{"amd64", "386", "arm"} {
+		diags, err := analysis.AuditLayout(cfg, analysis.PkgSharded, arch)
+		if err != nil {
+			t.Fatalf("GOARCH=%s: %v", arch, err)
+		}
+		for _, d := range diags {
+			t.Errorf("GOARCH=%s: %s", arch, d)
+		}
 	}
 }

@@ -85,6 +85,7 @@ func (d Dispatch) String() string {
 // ≤ GOMAXPROCS, the per-CPU-lane configuration (at least 1).
 func DefaultLanes() int {
 	n := 1
+	//wfqlint:bounded(n doubles every iteration up to MaxLanes = 64: at most 6 iterations)
 	for n*2 <= runtime.GOMAXPROCS(0) && n*2 <= MaxLanes {
 		n *= 2
 	}

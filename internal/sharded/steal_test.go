@@ -241,7 +241,7 @@ func TestStealBatch(t *testing.T) {
 		}
 		q.EnqueueBatch(h, ps)
 	}
-	enqBatch(prod1, 1, 6) // lane 1
+	enqBatch(prod1, 1, 6)  // lane 1
 	enqBatch(prod2, 7, 10) // lane 2
 
 	dst := make([]unsafe.Pointer, 16)
