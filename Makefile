@@ -6,7 +6,7 @@ GO ?= go
 # lands here; the directory is untracked (see .gitignore).
 ARTIFACTS ?= artifacts
 
-.PHONY: all build vet lint test race short bench bench-json bench-json-sharded bench-compare fuzz stress soak ci experiments examples clean
+.PHONY: all build vet lint test race short bench bench-json bench-json-sharded bench-adaptive bench-compare fuzz stress soak ci experiments examples clean
 
 all: build vet lint test
 
@@ -59,11 +59,26 @@ bench-json-sharded:
 		-queues wf-sharded,wf-sharded-8,wf-sharded-1,wf-sharded-rr \
 		-threads 8 -ops 50000 -trials 3 -iters 3 -nowork -nopin
 
-# Bench trajectory gate: re-run the committed baseline's measurement and
-# fail on any steady-state allocation regression, or on a >20% wall
-# throughput drop when run on the baseline's platform. CI runs this.
+# Contention-adaptivity baseline: fixed-vs-adaptive pairwise cells (wf-10
+# vs wf-adaptive, wf-sharded vs wf-sharded-adaptive) under the steady-state
+# pairs and bursty workloads at oversubscribed thread counts, with the
+# controller's final snapshot per cell. Keeps the inter-operation work on:
+# bursty quiet spells stretch it 4x, which is what gives the storm/quiet
+# alternation its shape. Writes BENCH_adaptive.json at the repo root — the
+# committed baseline.
+bench-adaptive:
+	GOMAXPROCS=8 $(GO) run ./cmd/wfqbench json -adaptive -out BENCH_adaptive.json \
+		-queues wf-10,wf-adaptive,wf-sharded,wf-sharded-adaptive \
+		-threads 8 -ops 50000 -trials 5 -iters 3 -nopin
+
+# Bench trajectory gate: re-run the committed baselines' measurements and
+# fail on any steady-state allocation regression, or (on the baseline's
+# platform) on a >20% wall throughput drop, a bursty cell where the
+# adaptive variant falls behind its fixed twin, or a steady-state cell
+# where adaptivity taxes throughput beyond tolerance. CI runs this.
 bench-compare:
 	$(GO) run ./cmd/wfqbench compare -baseline BENCH_core.json -nowork -nopin
+	GOMAXPROCS=8 $(GO) run ./cmd/wfqbench compare -baseline BENCH_adaptive.json -nopin
 
 fuzz:
 	$(GO) test ./internal/core -fuzz FuzzAgainstModel -fuzztime 30s
@@ -80,6 +95,8 @@ soak: | $(ARTIFACTS)
 		$(GO) run ./cmd/wfqstress -queue $$q -threads 8 -duration 10s || exit 1; \
 	done 2>&1 | tee $(ARTIFACTS)/soak_output.txt
 	$(GO) run ./cmd/wfqstress -queue wf-10 -threads 8 -duration 10s -batch 8 2>&1 | tee -a $(ARTIFACTS)/soak_output.txt
+	$(GO) run ./cmd/wfqstress -queue wf-10 -threads 8 -duration 10s -adaptive -bursty 2>&1 | tee -a $(ARTIFACTS)/soak_output.txt
+	$(GO) run ./cmd/wfqstress -queue wf-sharded -threads 8 -duration 10s -adaptive -bursty 2>&1 | tee -a $(ARTIFACTS)/soak_output.txt
 
 # Regenerate the paper's tables and figures (quick parameters; add
 # WFQ_FLAGS=-paper for the full methodology).

@@ -17,10 +17,21 @@ package main
 //
 // The comparison keys on wall-clock throughput (work included), the stabler
 // of the two recorded series.
+//
+// When the baseline carries an adaptive section (written by `wfqbench json
+// -adaptive`), compare re-measures each fixed-vs-adaptive pair fresh and
+// gates the pairwise ratios — same-run, same-host ratios, so they are gated
+// whenever throughput is gated at all:
+//
+//   - bursty rows: adaptive wall throughput must not fall below fixed
+//     (minus a small noise grace) — the regime adaptivity exists for;
+//   - steady-state pairs rows: adaptive must not run more than -tolerance
+//     behind fixed — adaptivity must not tax the uncontended path.
 
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 
@@ -60,6 +71,12 @@ func runCompare(o options, baselinePath string, tolerance float64, strict bool) 
 	o.ops = base.Params.Ops
 	o.trials = base.Params.Trials
 	o.iters = base.Params.Iters
+	baseKind, ok := workload.ParseKind(base.Params.Workload)
+	if !ok {
+		fmt.Printf("compare: unknown baseline workload %q, assuming %s\n",
+			base.Params.Workload, workload.Pairs)
+		baseKind = workload.Pairs
+	}
 
 	var failures []string
 
@@ -77,7 +94,7 @@ func runCompare(o options, baselinePath string, tolerance float64, strict bool) 
 	fmt.Println("queue | base wall Mops | fresh wall Mops | ratio | base allocs/op | fresh allocs/op")
 	fmt.Println("--- | --- | --- | --- | --- | ---")
 	for _, b := range base.Queues {
-		res, err := bench.Run(o.config(b.Name, workload.Pairs, base.Params.Threads))
+		res, err := bench.Run(o.config(b.Name, baseKind, base.Params.Threads))
 		if err != nil {
 			fatalf("compare %s: %v", b.Name, err)
 		}
@@ -104,6 +121,10 @@ func runCompare(o options, baselinePath string, tolerance float64, strict bool) 
 	}
 	fmt.Println()
 
+	if len(base.Adaptive) > 0 {
+		failures = append(failures, compareAdaptive(o, base, tolerance, gateThroughput)...)
+	}
+
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "wfqbench compare: REGRESSION: %s\n", f)
@@ -112,4 +133,70 @@ func runCompare(o options, baselinePath string, tolerance float64, strict bool) 
 	}
 	fmt.Printf("compare: OK — no alloc regressions, throughput within %.0f%% of baseline%s\n",
 		100*tolerance, map[bool]string{true: "", false: " (throughput informational)"}[gateThroughput])
+}
+
+// adaptiveBurstyGrace absorbs run-to-run noise in the bursty adaptive gate:
+// the requirement is adaptive ≥ fixed, enforced as ratio ≥ 1-grace so a
+// genuinely-even pair doesn't flap the gate.
+const adaptiveBurstyGrace = 0.05
+
+// compareAdaptive re-measures the baseline's fixed-vs-adaptive pairs and
+// returns gate failures. The ratios are pairwise within THIS run — both
+// sides measured back to back on this host — so unlike cross-run Mops they
+// hold on any platform; they are still gated only when throughput gating is
+// on, because an overloaded runner can starve either side of a pair.
+func compareAdaptive(o options, base jsonDoc, tolerance float64, gate bool) []string {
+	var failures []string
+	fmt.Println("adaptive pair | workload | base ratio | fresh fixed | fresh adaptive | fresh ratio")
+	fmt.Println("--- | --- | --- | --- | --- | ---")
+	for _, row := range base.Adaptive {
+		k, ok := workload.ParseKind(row.Workload)
+		if !ok {
+			failures = append(failures, fmt.Sprintf(
+				"adaptive row %s/%s: unknown workload %q", row.Fixed, row.Adaptive, row.Workload))
+			continue
+		}
+		// Same interleaved best-of-rounds methodology as the baseline
+		// emitter (runAdaptiveSection): interference only ever slows a
+		// round, so the per-side max cancels machine-load drift that a
+		// single back-to-back round would fold into the ratio.
+		var fw, aw float64
+		for r := 0; r < adaptiveRounds; r++ {
+			fixed, err := bench.Run(o.config(row.Fixed, k, row.Threads))
+			if err != nil {
+				fatalf("compare adaptive %s: %v", row.Fixed, err)
+			}
+			adap, err := bench.Run(o.config(row.Adaptive, k, row.Threads))
+			if err != nil {
+				fatalf("compare adaptive %s: %v", row.Adaptive, err)
+			}
+			fw = math.Max(fw, fixed.WallInterval.Mean)
+			aw = math.Max(aw, adap.WallInterval.Mean)
+		}
+		ratio := 0.0
+		if fw > 0 {
+			ratio = aw / fw
+		}
+		fmt.Printf("%s vs %s | %s | %.2fx | %.2f | %.2f | %.2fx\n",
+			row.Fixed, row.Adaptive, row.Workload, row.AdaptiveOverFixed, fw, aw, ratio)
+		if !gate {
+			continue
+		}
+		switch k {
+		case workload.Bursty:
+			if ratio < 1-adaptiveBurstyGrace {
+				failures = append(failures, fmt.Sprintf(
+					"%s vs %s (bursty): adaptive wall %.2f < fixed %.2f Mops/s (%.2fx, want >= %.2fx)",
+					row.Fixed, row.Adaptive, aw, fw, ratio, 1-adaptiveBurstyGrace))
+			}
+		default:
+			if ratio < 1-tolerance {
+				failures = append(failures, fmt.Sprintf(
+					"%s vs %s (%s): adaptivity taxes the steady state %.2f -> %.2f Mops/s (%.2fx < %.2fx floor)",
+					row.Fixed, row.Adaptive, row.Workload, fw, aw, ratio, 1-tolerance))
+			}
+		}
+	}
+	fmt.Println()
+	return failures
 }

@@ -39,7 +39,10 @@
 //	-paper   use the paper's full parameters (slow!)
 //	-nowork  drop the 50-100ns random inter-operation work
 //	-nopin   do not pin workers to hardware threads
-//	-csv     append rows as CSV to the given file
+//	-csv      append rows as CSV to the given file
+//	-adaptive json: also measure the fixed-vs-adaptive pairs (wf-10 vs
+//	          wf-adaptive, wf-sharded vs wf-sharded-adaptive) under the
+//	          pairs and bursty workloads at oversubscribed thread counts
 //	-list    list registered queue implementations and exit
 package main
 
@@ -73,6 +76,7 @@ type options struct {
 	nopin      bool
 	csvPath    string
 	outPath    string
+	adaptive   bool
 	benchKs    []workload.Kind
 }
 
@@ -94,6 +98,7 @@ func main() {
 	nopin := fs.Bool("nopin", false, "do not pin threads")
 	csvPath := fs.String("csv", "", "append results as CSV to this file")
 	outPath := fs.String("out", "BENCH_core.json", "json: output path for the benchmark baseline")
+	adaptive := fs.Bool("adaptive", false, "json: also measure fixed-vs-adaptive pairs (pairs + bursty workloads, oversubscribed threads)")
 	baselinePath := fs.String("baseline", "BENCH_core.json", "compare: committed baseline to diff against")
 	tolerance := fs.Float64("tolerance", 0.20, "compare: allowed fractional wall-throughput drop before failing")
 	strict := fs.Bool("strict", false, "compare: gate throughput even when the platform differs from the baseline's")
@@ -108,16 +113,17 @@ func main() {
 	}
 
 	o := options{
-		plot:    *doPlot,
-		ops:     *ops,
-		batch:   *batch,
-		trials:  *trials,
-		iters:   *iters,
-		paper:   *paper,
-		nowork:  *nowork,
-		nopin:   *nopin,
-		csvPath: *csvPath,
-		outPath: *outPath,
+		plot:     *doPlot,
+		ops:      *ops,
+		batch:    *batch,
+		trials:   *trials,
+		iters:    *iters,
+		paper:    *paper,
+		nowork:   *nowork,
+		nopin:    *nopin,
+		csvPath:  *csvPath,
+		outPath:  *outPath,
+		adaptive: *adaptive,
 	}
 	if *paper {
 		o.ops = workload.DefaultOps

@@ -207,6 +207,87 @@ func TestCLIJSON(t *testing.T) {
 	}
 }
 
+// json -adaptive must emit the fixed-vs-adaptive section (both pairs, both
+// workloads, controller snapshots) and compare must then gate that document
+// without tripping on a healthy fresh run.
+func TestCLIJSONAdaptiveAndCompare(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_adaptive.json")
+	args := append([]string{"json", "-adaptive", "-queues", "wf-10,wf-10-recycle",
+		"-threads", "4", "-out", out}, quick...)
+	stdout, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stdout)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+	var doc struct {
+		Adaptive []struct {
+			Fixed    string  `json:"fixed"`
+			Adaptive string  `json:"adaptive"`
+			Workload string  `json:"workload"`
+			Threads  int     `json:"threads"`
+			Ratio    float64 `json:"adaptive_over_fixed_wall"`
+			Snapshot *struct {
+				Enabled bool `json:"enabled"`
+			} `json:"snapshot"`
+		} `json:"adaptive"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v\n%s", err, b)
+	}
+	if len(doc.Adaptive) != 4 {
+		t.Fatalf("adaptive section has %d rows, want 4 (2 pairs x 2 workloads):\n%s", len(doc.Adaptive), b)
+	}
+	cells := map[string]bool{}
+	for _, row := range doc.Adaptive {
+		cells[row.Fixed+"/"+row.Workload] = true
+		if row.Ratio <= 0 {
+			t.Errorf("%s vs %s (%s): ratio %v", row.Fixed, row.Adaptive, row.Workload, row.Ratio)
+		}
+		if row.Threads < 4 {
+			t.Errorf("%s (%s): threads %d, want >= 4 (oversubscription)", row.Fixed, row.Workload, row.Threads)
+		}
+		if row.Snapshot == nil || !row.Snapshot.Enabled {
+			t.Errorf("%s vs %s (%s): missing controller snapshot", row.Fixed, row.Adaptive, row.Workload)
+		}
+	}
+	for _, want := range []string{"wf-10/enqueue-dequeue-pairs", "wf-10/bursty-pairs",
+		"wf-sharded/enqueue-dequeue-pairs", "wf-sharded/bursty-pairs"} {
+		if !cells[want] {
+			t.Errorf("adaptive section missing cell %s (have %v)", want, cells)
+		}
+	}
+
+	// The compare side. Tiny single-trial runs on a shared test host make
+	// armed throughput gates a coin flip, so de-match the platform: compare
+	// still re-measures and prints every adaptive pair, but gates only the
+	// deterministic allocation checks — the exit code is then meaningful.
+	var full map[string]any
+	if err := json.Unmarshal(b, &full); err != nil {
+		t.Fatal(err)
+	}
+	full["platform"].(map[string]any)["gomaxprocs"] = 9999.0
+	mod, err := json.Marshal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modPath := filepath.Join(t.TempDir(), "BENCH_othermachine.json")
+	if err := os.WriteFile(modPath, mod, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmpOut, err := runCLI(t, append([]string{"compare", "-baseline", modPath}, quick...)...)
+	if err != nil {
+		t.Fatalf("compare failed: %v\n%s", err, cmpOut)
+	}
+	for _, want := range []string{"informational", "adaptive pair", "wf-adaptive", "bursty-pairs", "compare: OK"} {
+		if !strings.Contains(cmpOut, want) {
+			t.Errorf("compare output missing %q:\n%s", want, cmpOut)
+		}
+	}
+}
+
 func TestCLIRejectsBadBatch(t *testing.T) {
 	if out, err := runCLI(t, append([]string{"figure2", "-batch", "0"}, quick...)...); err == nil {
 		t.Errorf("batch 0 should fail:\n%s", out)

@@ -11,11 +11,24 @@
 //
 // Usage:
 //
-//	wfqstress [-queue wf-10] [-threads 8] [-duration 10s] [-mode stress|lincheck] [-batch 1] [-seed 1]
+//	wfqstress [-queue wf-10] [-threads 8] [-duration 10s] [-mode stress|lincheck] [-batch 1] [-seed 1] [-adaptive] [-bursty]
 //
 // With -batch k > 1 both modes drive the queue through the batched
 // operations (EnqueueBatch/DequeueBatch): the wait-free queue's native
 // single-FAA k-cell reservation, or the single-op fallback for baselines.
+//
+// -adaptive swaps the selected queue for its contention-adaptive variant
+// (wf-10 → wf-adaptive, wf-sharded → wf-sharded-adaptive) and prints the
+// controller's final snapshot after a stress run. -bursty makes stress
+// workers alternate contention storms (back-to-back operations) with quiet
+// spells (stretched inter-operation work) every workload.BurstPhase local
+// operations — the phase pattern the adaptive controller must track without
+// ever leaving its bounds.
+//
+// Queues that declare no cross-handle ordering (wf-sharded-adaptive's
+// hotness dispatch trades per-producer FIFO for throughput) are still
+// stress-checkable: order validation is skipped and the run verifies loss
+// and duplication only.
 package main
 
 import (
@@ -40,28 +53,36 @@ func main() {
 	mode := flag.String("mode", "stress", "stress or lincheck")
 	batch := flag.Int("batch", 1, "values per batched operation (1 = single-op mode)")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
+	adaptive := flag.Bool("adaptive", false, "use the queue's contention-adaptive variant and report its controller snapshot")
+	bursty := flag.Bool("bursty", false, "stress: alternate contention storms with quiet spells")
 	flag.Parse()
 
-	if !registry.IsRealQueue(*queue) {
-		fatalf("%s is a microbenchmark, not a queue", *queue)
+	name := *queue
+	if *adaptive {
+		name = adaptiveVariant(name)
+	}
+	if !registry.IsRealQueue(name) {
+		fatalf("%s is a microbenchmark, not a queue", name)
 	}
 	if *batch < 1 {
 		fatalf("bad -batch %d (must be >= 1)", *batch)
 	}
-	// Each mode checks an ordering property, so it only applies to queues
-	// that actually promise that property (Factory.Ordering).
-	ordering := registry.MustLookup(*queue).Ordering
+	// Each mode checks an ordering property it can only demand from queues
+	// that actually promise it (Factory.Ordering). Stress degrades
+	// gracefully: on OrderNone queues it checks loss/duplication only.
+	ordering := registry.MustLookup(name).Ordering
 	switch *mode {
 	case "stress":
-		if ordering == qiface.OrderNone {
-			fatalf("%s declares no ordering (%s); stress mode validates per-producer FIFO", *queue, ordering)
+		checkOrder := ordering != qiface.OrderNone
+		if !checkOrder {
+			fmt.Printf("stress: %s declares %s ordering; skipping FIFO checks (loss/duplication only)\n", name, ordering)
 		}
-		runStress(*queue, *threads, *duration, *batch, *seed)
+		runStress(name, *threads, *duration, *batch, *seed, checkOrder, *bursty)
 	case "lincheck":
 		if ordering != qiface.OrderFIFO {
-			fatalf("%s declares %s order; lincheck requires full FIFO linearizability (try wf-sharded-1)", *queue, ordering)
+			fatalf("%s declares %s order; lincheck requires full FIFO linearizability (try wf-sharded-1)", name, ordering)
 		}
-		runLincheck(*queue, *duration, *batch, *seed)
+		runLincheck(name, *duration, *batch, *seed)
 	default:
 		fatalf("unknown mode %q", *mode)
 	}
@@ -72,7 +93,21 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
-func runStress(name string, threads int, d time.Duration, batch int, seed uint64) {
+// adaptiveVariant maps a fixed queue name to its contention-adaptive
+// registry twin. Already-adaptive names map to themselves; names with no
+// adaptive twin are an error rather than a silent fallthrough.
+func adaptiveVariant(name string) string {
+	switch name {
+	case "wf-10", "wf-adaptive":
+		return "wf-adaptive"
+	case "wf-sharded", "wf-sharded-adaptive":
+		return "wf-sharded-adaptive"
+	}
+	fatalf("%s has no contention-adaptive variant (have: wf-10, wf-sharded)", name)
+	return ""
+}
+
+func runStress(name string, threads int, d time.Duration, batch int, seed uint64, checkOrder, bursty bool) {
 	if threads < 2 {
 		threads = 2
 	}
@@ -85,8 +120,12 @@ func runStress(name string, threads int, d time.Duration, batch int, seed uint64
 		fatalf("%v", err)
 	}
 
-	fmt.Printf("stress: %s, %d producers, %d consumers, batch=%d, %v\n",
-		name, producers, consumers, batch, d)
+	burstNote := ""
+	if bursty {
+		burstNote = ", bursty"
+	}
+	fmt.Printf("stress: %s, %d producers, %d consumers, batch=%d%s, %v\n",
+		name, producers, consumers, batch, burstNote, d)
 
 	var stopProducing atomic.Bool
 	var producedTotal, consumedTotal atomic.Int64
@@ -107,6 +146,7 @@ func runStress(name string, threads int, d time.Duration, batch int, seed uint64
 		go func(p int, ops qiface.Ops) {
 			defer wg.Done()
 			ops = qiface.WithBatchFallback(ops)
+			rng := workload.NewRNG(seed + uint64(p)*0x9E3779B97F4A7C15 + 1)
 			var seq int64
 			vs := make([]uint64, batch)
 			for !stopProducing.Load() {
@@ -115,6 +155,11 @@ func runStress(name string, threads int, d time.Duration, batch int, seed uint64
 						break
 					}
 					runtime.Gosched()
+				}
+				if bursty && (seq/workload.BurstPhase)%2 == 1 {
+					// Quiet spell: stretched inter-op work; storms run
+					// back to back.
+					workload.Work(&rng, 200, 400)
 				}
 				if batch == 1 {
 					seq++
@@ -149,11 +194,15 @@ func runStress(name string, threads int, d time.Duration, batch int, seed uint64
 		st := &consumerState{last: make([]int64, producers)}
 		states[c] = st
 		cwg.Add(1)
-		go func(st *consumerState, ops qiface.Ops) {
+		go func(c int, st *consumerState, ops qiface.Ops) {
 			defer cwg.Done()
 			ops = qiface.WithBatchFallback(ops)
+			rng := workload.NewRNG(seed + uint64(producers+c)*0x9E3779B97F4A7C15 + 1)
 			dst := make([]uint64, batch)
 			for {
+				if bursty && (st.count/workload.BurstPhase)%2 == 1 {
+					workload.Work(&rng, 200, 400)
+				}
 				var n int
 				if batch == 1 {
 					if v, ok := ops.Dequeue(); ok {
@@ -173,7 +222,7 @@ func runStress(name string, threads int, d time.Duration, batch int, seed uint64
 				for _, v := range dst[:n] {
 					p := int(v >> 32)
 					seq := int64(v & 0xffffffff)
-					if p < producers && st.last[p] >= seq {
+					if checkOrder && p < producers && st.last[p] >= seq {
 						violations.Add(1)
 					}
 					if p < producers {
@@ -183,7 +232,7 @@ func runStress(name string, threads int, d time.Duration, batch int, seed uint64
 					consumedTotal.Add(1)
 				}
 			}
-		}(st, ops)
+		}(c, st, ops)
 	}
 
 	time.Sleep(d)
@@ -209,15 +258,25 @@ func runStress(name string, threads int, d time.Duration, batch int, seed uint64
 	for _, st := range states {
 		totalConsumed += st.count
 	}
-	fmt.Printf("produced %d, consumed %d (%.1f Mops/s), order violations: %d\n",
+	orderNote := fmt.Sprintf("order violations: %d", violations.Load())
+	if !checkOrder {
+		orderNote = "order unchecked (queue declares none)"
+	}
+	fmt.Printf("produced %d, consumed %d (%.1f Mops/s), %s\n",
 		totalProduced, totalConsumed,
-		float64(totalProduced+totalConsumed)/d.Seconds()/1e6, violations.Load())
-	if violations.Load() > 0 {
+		float64(totalProduced+totalConsumed)/d.Seconds()/1e6, orderNote)
+	if checkOrder && violations.Load() > 0 {
 		fatalf("FIFO order violations detected")
 	}
 	// The drain helper may have discarded values, so consumed <= produced.
 	if totalConsumed > totalProduced {
 		fatalf("consumed more values than produced: duplication")
+	}
+	if ap, ok := q.(qiface.AdaptiveProvider); ok {
+		if s := ap.Adaptive(); s.Enabled {
+			fmt.Printf("adaptive: steps=%d raises=%d lowers=%d cas-fails=%d backoff-iters=%d spin-fallbacks=%d hot-diverts=%d\n",
+				s.Steps, s.Raises, s.Lowers, s.FastCASFails, s.BackoffIters, s.SpinFallbacks, s.HotDiverts)
+		}
 	}
 	fmt.Println("OK")
 }

@@ -88,6 +88,41 @@ func TestLincheckModeBatched(t *testing.T) {
 	}
 }
 
+// -adaptive swaps in the contention-adaptive variant, the bursty phases
+// drive the controller, and the run must stay loss/dup-free with the
+// controller snapshot reported.
+func TestStressAdaptiveBursty(t *testing.T) {
+	out, err := runCLI(t, "-queue", "wf-10", "-threads", "4", "-duration", "300ms", "-adaptive", "-bursty")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"wf-adaptive", "bursty", "adaptive: steps=", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("adaptive stress output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// wf-sharded-adaptive declares no cross-handle ordering: stress must accept
+// it, skip FIFO checks, and still verify loss/duplication.
+func TestStressOrderNoneAllowed(t *testing.T) {
+	out, err := runCLI(t, "-queue", "wf-sharded", "-threads", "4", "-duration", "300ms", "-adaptive")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"wf-sharded-adaptive", "skipping FIFO checks", "order unchecked", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("OrderNone stress output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRejectsAdaptiveWithoutVariant(t *testing.T) {
+	if out, err := runCLI(t, "-queue", "msqueue", "-adaptive", "-duration", "100ms"); err == nil {
+		t.Fatalf("msqueue has no adaptive variant, should fail:\n%s", out)
+	}
+}
+
 func TestRejectsBadBatch(t *testing.T) {
 	if out, err := runCLI(t, "-batch", "0", "-duration", "100ms"); err == nil {
 		t.Fatalf("batch 0 should fail:\n%s", out)

@@ -85,10 +85,18 @@ func RepoConfig(root string) Config {
 				"cleanup", "update", "verify", "freeSegments",
 				"recycleSegment", "push", "pop", "popNode", "pushNode",
 				"sid",
+				// Adaptive hot path: the backoff/controller machinery runs
+				// inside the operations above and must not allocate either.
+				"pause", "backoff", "adaptOpStart", "adaptTick", "adaptStep",
+				"effPatience", "effSpin", "ContentionEvents",
 			},
 			// The sharded layer's operations are thin dispatch over core
-			// calls and must stay allocation-free themselves.
-			PkgSharded: {"Enqueue", "Dequeue", "EnqueueBatch", "DequeueBatch"},
+			// calls and must stay allocation-free themselves, including the
+			// adaptive dispatch helpers (coolOrder sorts in handle scratch).
+			PkgSharded: {
+				"Enqueue", "Dequeue", "EnqueueBatch", "DequeueBatch",
+				"pickLane", "noteLane", "stealFrom", "sweepLane", "coolOrder",
+			},
 		},
 		LayoutRules: RepoLayoutRules(),
 	}

@@ -82,7 +82,7 @@ func TestFixtureLoopsPass(t *testing.T) {
 	res := fixtureResult(t)
 	ds := diagsIn(res, "loops", "loops.go")
 	if len(ds) != 1 {
-		t.Fatalf("want exactly 1 loops diagnostic (Spin; Count/Walk bounded, Retry annotated), got %d: %v", len(ds), ds)
+		t.Fatalf("want exactly 1 loops diagnostic (Spin; Count/Walk bounded, Retry/Backoff annotated), got %d: %v", len(ds), ds)
 	}
 	var obls []Obligation
 	for _, o := range res.Obligations {
@@ -90,8 +90,18 @@ func TestFixtureLoopsPass(t *testing.T) {
 			obls = append(obls, o)
 		}
 	}
-	if len(obls) != 1 || obls[0].Func != "Retry" || !strings.Contains(obls[0].Reason, "done flips") {
-		t.Errorf("want Retry's bounded annotation as the one obligation, got %v", obls)
+	if len(obls) != 2 {
+		t.Fatalf("want 2 loops obligations (Retry's unconditional loop, Backoff's cond-only pause loop), got %v", obls)
+	}
+	byFunc := map[string]Obligation{}
+	for _, o := range obls {
+		byFunc[o.Func] = o
+	}
+	if o, ok := byFunc["Retry"]; !ok || !strings.Contains(o.Reason, "done flips") {
+		t.Errorf("want Retry's bounded annotation as an obligation, got %v", obls)
+	}
+	if o, ok := byFunc["Backoff"]; !ok || !strings.Contains(o.Reason, "constant-capped") {
+		t.Errorf("want Backoff's cond-only loop annotation as an obligation, got %v", obls)
 	}
 }
 

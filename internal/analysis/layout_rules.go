@@ -92,7 +92,7 @@ func RepoLayoutRules() []LayoutRule {
 			// operation, written by stealers).
 			Pkg: PkgSharded, Struct: "lane",
 			LeadingPad:       []string{"q"},
-			TrailingPadAfter: "stolenFrom",
+			TrailingPadAfter: "hot",
 			MinSize:          2 * CacheLineSize,
 		},
 		{

@@ -53,7 +53,8 @@ func TestRepoObligations(t *testing.T) {
 		"(*Queue).DequeueBatch":        1,
 		"(*Queue).helpDeq":             2,
 		"(*Queue).enqSlow":             1,
-		"(*Queue).helpEnq":             1,
+		"(*Queue).helpEnq":             2,
+		"pause":                        1,
 		"(*Queue).cleanup":             2,
 		"verify":                       1,
 		"(*Queue).freeSegments":        1,

@@ -40,3 +40,17 @@ func Retry(done func() bool) {
 		}
 	}
 }
+
+// Backoff is the backoff-pause shape: a cond-only loop (no Post clause, so
+// not syntactically bounded) whose bound lives in the annotation — the
+// counter advances in the body and n is capped by every caller.
+func Backoff(n int) int {
+	sink := 0
+	i := 0
+	//wfqlint:bounded(fixture: i increments every iteration and n is constant-capped at the call sites)
+	for i < n {
+		sink += i
+		i++
+	}
+	return sink
+}

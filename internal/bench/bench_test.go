@@ -195,6 +195,45 @@ func TestRunPairsBatched(t *testing.T) {
 	}
 }
 
+// TestRunBursty drives the bursty workload over fixed and adaptive queues:
+// the storm/quiet accounting must balance like Pairs, and an adaptive queue's
+// Result must carry a coherent controller snapshot while a fixed one carries
+// none.
+func TestRunBursty(t *testing.T) {
+	for _, q := range []string{"wf-10", "wf-adaptive", "wf-sharded-adaptive"} {
+		res, err := Run(smallConfig(q, workload.Bursty, 2))
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if res.Mops() <= 0 {
+			t.Errorf("%s: nonpositive throughput", q)
+		}
+		if res.Enqueues == 0 || res.Enqueues != res.Dequeues {
+			t.Errorf("%s: accounting enq=%d deq=%d", q, res.Enqueues, res.Dequeues)
+		}
+		adaptive := q != "wf-10"
+		if (res.Adaptive != nil) != adaptive {
+			t.Fatalf("%s: Adaptive snapshot present=%v, want %v", q, res.Adaptive != nil, adaptive)
+		}
+		if adaptive {
+			s := res.Adaptive
+			if !s.Enabled {
+				t.Errorf("%s: snapshot disabled", q)
+			}
+			var mass uint64
+			for _, c := range s.PatienceHist {
+				mass += c
+			}
+			if mass == 0 {
+				t.Errorf("%s: empty patience histogram", q)
+			}
+			if s.FastCASFails == 0 && s.Steps == 0 {
+				t.Logf("%s: note: no contention signals in this tiny run", q)
+			}
+		}
+	}
+}
+
 // The batched workload with the native path must show batch FAA counters in
 // the exposed queue stats.
 func TestRunPairsBatchedStats(t *testing.T) {

@@ -1,0 +1,406 @@
+package core
+
+import "math/bits"
+
+// Contention adaptivity (DESIGN.md "Contention adaptivity"). The paper's
+// evaluation fixes PATIENCE (WF-10 vs WF-0) and MAX_SPIN by hand and notes
+// LCRQ's sensitivity to CAS backoff; this file makes the three knobs
+// self-tuning. Every handle keeps cheap EWMAs of its own contention signals
+// — fast-path CAS failures, slow-path entries, EMPTY observations, spin
+// fallbacks, all already counted by the Counters plumbing — and a small
+// controller moves the *effective* patience, spin budget and backoff cap
+// within compile-time [min,max] windows. The windows are constants, so
+// every bound the wait-freedom proof uses (Lemma 4.3/4.4) still holds with
+// the window maximum substituted for the tuned constant, and wfqlint's
+// bounded-loop pass can certify the new busy-wait loops.
+//
+// All adaptive state is per-handle (owner-written; see adaptState), so the
+// controller adds no shared mutable words and no allocation to the hot
+// path. WithFixed (the default) bypasses every adaptive read: the fixed
+// configuration is bit-for-bit the pre-adaptivity behavior.
+
+// Compile-time adaptation windows. The controller can never move an
+// effective knob outside its window, which is what keeps the step bounds of
+// the wait-freedom argument constant.
+const (
+	// AdaptPatienceMin..Max bound the effective fast-path attempt budget
+	// (the paper's PATIENCE; WF-0 and WF-10 both lie inside the window).
+	AdaptPatienceMin = 0
+	AdaptPatienceMax = 16
+
+	// AdaptSpinMin..Max bound the effective MAX_SPIN budget helpEnq grants
+	// an in-flight enqueuer before poisoning the cell. The ladder moves by
+	// powers of two.
+	AdaptSpinMin = 16
+	AdaptSpinMax = 512
+
+	// AdaptBackoffMin..Max bound one backoff pause after a failed fast-path
+	// CAS, in pause-loop iterations. The per-operation pause doubles from
+	// Min up to the current cap, itself confined to this window, so the
+	// total backoff spent by one operation is at most
+	// PATIENCE·AdaptBackoffMax iterations — a constant.
+	AdaptBackoffMin = 8
+	AdaptBackoffMax = 512
+
+	// adaptWindow is the number of completed operations between controller
+	// steps: long enough to amortize the step to noise, short enough to
+	// track bursts (a storm phase of a few thousand ops spans dozens of
+	// windows).
+	adaptWindow = 64
+
+	// spinPollStride is how many pause iterations helpEnq waits between
+	// polls of the contended cell word, so a spinning dequeuer stops
+	// hammering the cache line the enqueuer needs for its deposit.
+	spinPollStride = 16
+)
+
+// Controller thresholds in Q8 fixed point (256 = one event per operation)
+// and the EWMA smoothing shift (alpha = 1/4).
+const (
+	adaptFailHigh  = 192 // ≥ 0.75 failed CASes/op: contended, shed patience
+	adaptFailLow   = 32  // ≤ 0.125 failed CASes/op: calm, restore patience
+	adaptSlowHigh  = 64  // ≥ 0.25 slow-path entries/op: helping-dominated
+	adaptEmptyHigh = 192 // ≥ 0.75 EMPTY/op: drain phase, patience signal is noise
+	adaptSpinHigh  = 192 // ≥ 3/4 of spin waits fall back: spinning is futile
+	adaptSpinLow   = 32  // ≤ 1/8 fall back: spins mostly save the cell
+	adaptEWMAShift = 2
+)
+
+// spinBuckets is the number of ladder steps in [AdaptSpinMin, AdaptSpinMax]
+// (powers of two: 16, 32, 64, 128, 256, 512).
+const spinBuckets = 6
+
+// adaptState is one handle's adaptive-controller state. The effective knobs
+// and movement totals are written only by the handle's owner (through
+// ctrStore, so race-detector builds see synchronized single-writer words)
+// and read by AdaptiveStats from any goroutine through ctrLoad. The window
+// scratch below them is owner-only and never read externally.
+type adaptState struct {
+	// Effective knobs, confined to their Adapt* windows.
+	patience uint64 // fast-path attempt budget
+	spin     uint64 // helpEnq spin budget
+	boCap    uint64 // current backoff cap (pause iterations)
+
+	// Movement totals for the bench snapshot.
+	steps  uint64 // controller steps taken
+	raises uint64 // knob movements toward a window max
+	lowers uint64 // knob movements toward a window min
+
+	// Owner-only controller scratch: the next backoff pause length, the
+	// ops-into-window count, the Q8 EWMAs of the four signals, the spin-loop
+	// entry count for the current window, and counter snapshots from the
+	// last step (the signals are deltas of the ordinary Counters).
+	boCur       uint64
+	ops         uint64
+	ewmaFail    uint64
+	ewmaSlow    uint64
+	ewmaEmpty   uint64
+	ewmaSpin    uint64
+	spinEntries uint64
+	lastFails   uint64
+	lastSlow    uint64
+	lastEmpty   uint64
+	lastSpinFB  uint64
+}
+
+// WithAdaptive enables the contention-adaptive controller: the effective
+// patience, MAX_SPIN and CAS-backoff cap start from the configured values
+// (clamped into their windows) and self-tune from per-handle contention
+// signals. Wait-freedom is unaffected: every knob stays inside a
+// compile-time [min,max] window, so the paper's step bounds hold with the
+// window maxima.
+func WithAdaptive() Option {
+	return func(c *config) { c.adaptive = true }
+}
+
+// WithFixed pins patience and MAX_SPIN to their configured values and
+// disables CAS backoff — the paper's hand-tuned configuration and the
+// default. It exists as the explicit inverse of WithAdaptive.
+func WithFixed() Option {
+	return func(c *config) { c.adaptive = false }
+}
+
+// Adaptive reports whether the contention-adaptive controller is enabled.
+func (q *Queue) Adaptive() bool { return q.adaptive }
+
+// adaptInit seeds a handle's effective knobs from the configuration,
+// clamped into the adaptation windows. Runs during New, before the queue is
+// published, so plain stores suffice.
+func (h *Handle) adaptInit(cfg *config) {
+	h.adapt.patience = clampU64(uint64(cfg.patience), AdaptPatienceMin, AdaptPatienceMax)
+	h.adapt.spin = clampU64(uint64(cfg.maxSpin), AdaptSpinMin, AdaptSpinMax)
+	h.adapt.boCap = AdaptBackoffMin
+	h.adapt.boCur = AdaptBackoffMin
+}
+
+func clampU64(v, lo, hi uint64) uint64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// effPatience returns the fast-path attempt budget for one operation by h.
+func (q *Queue) effPatience(h *Handle) int {
+	if q.adaptive {
+		return int(ctrLoad(&h.adapt.patience))
+	}
+	return q.patience
+}
+
+// effSpin returns the helpEnq spin budget for h.
+func (q *Queue) effSpin(h *Handle) int {
+	if q.adaptive {
+		return int(ctrLoad(&h.adapt.spin))
+	}
+	return q.maxSpin
+}
+
+// pauseSink keeps the pause loop's arithmetic observable so no future
+// compiler pass can argue the loop is dead.
+var pauseSink uint64
+
+// pause busy-waits for about n iterations of trivial arithmetic without
+// touching shared memory — the backoff primitive. It never blocks, never
+// yields, and never loads the contended word, so a pausing thread takes its
+// cache line traffic off the interconnect entirely (contrast with the old
+// helpEnq loop, which re-loaded the cell word every iteration).
+func pause(n int) {
+	s := uint64(0)
+	i := 0
+	//wfqlint:bounded(the pause budget is constant-capped at every call site — at most AdaptBackoffMax iterations for CAS backoff and spinPollStride for a helpEnq poll interval — and i advances every iteration)
+	for i < n {
+		s += uint64(i)
+		i++
+	}
+	if s == ^uint64(0) {
+		pauseSink = s
+	}
+}
+
+// backoff pauses h after a failed fast-path CAS: bounded exponential, the
+// LCRQ remedy for CAS storms but with a constant cap (AdaptBackoffMax) so
+// the operation's step bound stays constant. The pause doubles per
+// consecutive failure within one operation and resets at the next
+// operation's start (see adaptOpStart). No Gosched: the fast path never
+// gives up its timeslice, it only takes its failed CAS off the line for a
+// few dozen cycles.
+func (q *Queue) backoff(h *Handle) {
+	a := &h.adapt
+	n := a.boCur
+	if limit := ctrLoad(&a.boCap); n > limit {
+		n = limit
+	}
+	pause(int(n))
+	ctrAdd(&h.stats.BackoffIters, n)
+	a.boCur = n * 2
+}
+
+// adaptOpStart resets the per-operation backoff ramp. Called only on the
+// adaptive path.
+func (q *Queue) adaptOpStart(h *Handle) {
+	h.adapt.boCur = AdaptBackoffMin
+}
+
+// adaptTick accounts one completed operation and runs a controller step
+// once per window. Called at the end of Enqueue/Dequeue (and once per
+// batched call) on the adaptive path only; the fixed path never reaches it.
+func (q *Queue) adaptTick(h *Handle) {
+	a := &h.adapt
+	a.ops++
+	if a.ops >= adaptWindow {
+		q.adaptStep(h)
+	}
+}
+
+// adaptStep is one controller step: refresh the signal EWMAs from this
+// window's counter deltas, then move each knob at most one ladder position,
+// clamped to its window.
+//
+//   - PATIENCE falls when fast-path CASes mostly fail or operations are
+//     driven to the slow path anyway (retrying a losing CAS only feeds the
+//     storm; the slow path's helping ring resolves contention in bounded
+//     steps), and recovers toward the window max when the fast path is calm.
+//     A drain phase (mostly EMPTY results) is treated as no signal.
+//   - MAX_SPIN halves when spin waits mostly expire into fallbacks (the
+//     awaited enqueuer is descheduled — more spinning cannot help, only the
+//     yield does) and doubles while fallbacks still occur but spins mostly
+//     save the cell (a longer grace period converts fallbacks into saves).
+//   - The backoff cap follows the failure EWMA: wider pauses under CAS
+//     storms, narrower when calm.
+func (q *Queue) adaptStep(h *Handle) {
+	a := &h.adapt
+	ops := a.ops
+	a.ops = 0
+
+	fails := ctrLoad(&h.stats.FastCASFails)
+	slow := ctrLoad(&h.stats.EnqSlow) + ctrLoad(&h.stats.DeqSlow)
+	empty := ctrLoad(&h.stats.DeqEmpty)
+	fb := ctrLoad(&h.stats.SpinFallbacks)
+	entries := a.spinEntries
+	a.spinEntries = 0
+
+	a.ewmaFail = ewmaQ8(a.ewmaFail, q8Rate(fails-a.lastFails, ops))
+	a.ewmaSlow = ewmaQ8(a.ewmaSlow, q8Rate(slow-a.lastSlow, ops))
+	// The drain veto below also looks at this window's raw EMPTY rate:
+	// drain phases begin abruptly, and the smoothed signal lags by a few
+	// windows during which a raise would fire on noise.
+	emptyNow := q8Rate(empty-a.lastEmpty, ops)
+	a.ewmaEmpty = ewmaQ8(a.ewmaEmpty, emptyNow)
+	if entries > 0 {
+		a.ewmaSpin = ewmaQ8(a.ewmaSpin, q8Rate(fb-a.lastSpinFB, entries))
+	}
+	a.lastFails, a.lastSlow, a.lastEmpty, a.lastSpinFB = fails, slow, empty, fb
+
+	var up, down uint64
+
+	p := ctrLoad(&a.patience)
+	switch {
+	case (a.ewmaFail > adaptFailHigh || a.ewmaSlow > adaptSlowHigh) && p > AdaptPatienceMin:
+		ctrStore(&a.patience, p-1)
+		down++
+	case a.ewmaFail < adaptFailLow && a.ewmaEmpty < adaptEmptyHigh &&
+		emptyNow < adaptEmptyHigh && p < AdaptPatienceMax:
+		ctrStore(&a.patience, p+1)
+		up++
+	}
+
+	s := ctrLoad(&a.spin)
+	switch {
+	case a.ewmaSpin > adaptSpinHigh && s > AdaptSpinMin:
+		ctrStore(&a.spin, clampU64(s/2, AdaptSpinMin, AdaptSpinMax))
+		down++
+	case entries > 0 && a.ewmaSpin > adaptSpinLow && a.ewmaSpin <= adaptSpinHigh && s < AdaptSpinMax:
+		ctrStore(&a.spin, clampU64(s*2, AdaptSpinMin, AdaptSpinMax))
+		up++
+	}
+
+	b := ctrLoad(&a.boCap)
+	switch {
+	case a.ewmaFail > adaptFailHigh && b < AdaptBackoffMax:
+		ctrStore(&a.boCap, clampU64(b*2, AdaptBackoffMin, AdaptBackoffMax))
+		up++
+	case a.ewmaFail < adaptFailLow && b > AdaptBackoffMin:
+		ctrStore(&a.boCap, clampU64(b/2, AdaptBackoffMin, AdaptBackoffMax))
+		down++
+	}
+
+	ctrStore(&a.steps, ctrLoad(&a.steps)+1)
+	if up > 0 {
+		ctrStore(&a.raises, ctrLoad(&a.raises)+up)
+	}
+	if down > 0 {
+		ctrStore(&a.lowers, ctrLoad(&a.lowers)+down)
+	}
+}
+
+// q8Rate returns n/d in Q8 fixed point, saturated well below overflow.
+func q8Rate(n, d uint64) uint64 {
+	if d == 0 {
+		return 0
+	}
+	r := n * 256 / d
+	if r > 1<<16 {
+		r = 1 << 16
+	}
+	return r
+}
+
+// ewmaQ8 folds one Q8 sample into a Q8 EWMA with alpha = 1/4.
+func ewmaQ8(old, sample uint64) uint64 {
+	return uint64(int64(old) + (int64(sample)-int64(old))>>adaptEWMAShift)
+}
+
+// AdaptiveStats is a queue-wide snapshot of the adaptive controller:
+// where every handle's effective knobs currently sit (histograms over the
+// compile-time windows) and how much the controller has moved them. It is
+// meaningful with the controller disabled too (Enabled false): the
+// histograms then show the clamped configured values.
+type AdaptiveStats struct {
+	Enabled bool
+
+	// Window bounds, echoed so consumers need not import the constants.
+	PatienceMin, PatienceMax int
+	SpinMin, SpinMax         int
+	BackoffMin, BackoffMax   int
+
+	// PatienceHist[p] counts handles whose effective patience is p.
+	PatienceHist [AdaptPatienceMax + 1]uint64
+	// SpinHist[b] counts handles whose effective spin budget falls in
+	// ladder bucket b (budget SpinBucketValue(b)).
+	SpinHist [spinBuckets]uint64
+
+	// Controller totals across all handles.
+	Steps  uint64
+	Raises uint64
+	Lowers uint64
+
+	// Signal totals (aggregated from Counters for convenience).
+	FastCASFails  uint64
+	BackoffIters  uint64
+	SpinFallbacks uint64
+}
+
+// SpinBucketValue returns the spin budget that bucket b of
+// AdaptiveStats.SpinHist represents.
+func SpinBucketValue(b int) int { return AdaptSpinMin << b }
+
+func spinBucket(s uint64) int {
+	if s < AdaptSpinMin {
+		s = AdaptSpinMin
+	}
+	b := bits.Len64(s/AdaptSpinMin) - 1
+	if b >= spinBuckets {
+		b = spinBuckets - 1
+	}
+	return b
+}
+
+// AdaptiveStats snapshots the adaptive controller across all handles.
+// Effective values of handles with operations in flight may be one step
+// stale, like Stats.
+func (q *Queue) AdaptiveStats() AdaptiveStats {
+	st := AdaptiveStats{
+		Enabled:     q.adaptive,
+		PatienceMin: AdaptPatienceMin, PatienceMax: AdaptPatienceMax,
+		SpinMin: AdaptSpinMin, SpinMax: AdaptSpinMax,
+		BackoffMin: AdaptBackoffMin, BackoffMax: AdaptBackoffMax,
+	}
+	for _, h := range q.handles {
+		p := ctrLoad(&h.adapt.patience)
+		if p > AdaptPatienceMax {
+			p = AdaptPatienceMax
+		}
+		st.PatienceHist[p]++
+		st.SpinHist[spinBucket(ctrLoad(&h.adapt.spin))]++
+		st.Steps += ctrLoad(&h.adapt.steps)
+		st.Raises += ctrLoad(&h.adapt.raises)
+		st.Lowers += ctrLoad(&h.adapt.lowers)
+		st.FastCASFails += ctrLoad(&h.stats.FastCASFails)
+		st.BackoffIters += ctrLoad(&h.stats.BackoffIters)
+		st.SpinFallbacks += ctrLoad(&h.stats.SpinFallbacks)
+	}
+	return st
+}
+
+// Merge folds o into st, summing histograms and totals (used by the sharded
+// layer to aggregate its lanes). Window bounds are compile-time constants
+// and identical on both sides.
+func (st *AdaptiveStats) Merge(o AdaptiveStats) {
+	st.Enabled = st.Enabled || o.Enabled
+	for i := range st.PatienceHist {
+		st.PatienceHist[i] += o.PatienceHist[i]
+	}
+	for i := range st.SpinHist {
+		st.SpinHist[i] += o.SpinHist[i]
+	}
+	st.Steps += o.Steps
+	st.Raises += o.Raises
+	st.Lowers += o.Lowers
+	st.FastCASFails += o.FastCASFails
+	st.BackoffIters += o.BackoffIters
+	st.SpinFallbacks += o.SpinFallbacks
+}

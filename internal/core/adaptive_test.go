@@ -1,0 +1,372 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// windowsOK asserts every adaptive knob of h sits inside its compile-time
+// window — the invariant the wait-freedom argument leans on.
+func windowsOK(t *testing.T, h *Handle) {
+	t.Helper()
+	if p := ctrLoad(&h.adapt.patience); p < AdaptPatienceMin || p > AdaptPatienceMax {
+		t.Errorf("effective patience %d outside [%d,%d]", p, AdaptPatienceMin, AdaptPatienceMax)
+	}
+	if s := ctrLoad(&h.adapt.spin); s < AdaptSpinMin || s > AdaptSpinMax {
+		t.Errorf("effective spin %d outside [%d,%d]", s, AdaptSpinMin, AdaptSpinMax)
+	}
+	if b := ctrLoad(&h.adapt.boCap); b < AdaptBackoffMin || b > AdaptBackoffMax {
+		t.Errorf("backoff cap %d outside [%d,%d]", b, AdaptBackoffMin, AdaptBackoffMax)
+	}
+}
+
+func TestAdaptiveOptionPlumbing(t *testing.T) {
+	if New(1).Adaptive() {
+		t.Error("default queue reports adaptive")
+	}
+	if !New(1, WithAdaptive()).Adaptive() {
+		t.Error("WithAdaptive queue reports fixed")
+	}
+	if New(1, WithAdaptive(), WithFixed()).Adaptive() {
+		t.Error("WithFixed did not undo WithAdaptive")
+	}
+}
+
+// TestAdaptiveInitClamped pins the seeding: effective knobs start from the
+// configured constants clamped into the windows.
+func TestAdaptiveInitClamped(t *testing.T) {
+	q := New(2, WithAdaptive(), WithPatience(100), WithMaxSpin(1<<20))
+	for _, h := range q.handles {
+		if got := ctrLoad(&h.adapt.patience); got != AdaptPatienceMax {
+			t.Errorf("patience seeded to %d, want clamp to %d", got, AdaptPatienceMax)
+		}
+		if got := ctrLoad(&h.adapt.spin); got != AdaptSpinMax {
+			t.Errorf("spin seeded to %d, want clamp to %d", got, AdaptSpinMax)
+		}
+		windowsOK(t, h)
+	}
+	q = New(1, WithAdaptive()) // defaults: patience 10, spin 100
+	h := q.handles[0]
+	if got := ctrLoad(&h.adapt.patience); got != DefaultPatience {
+		t.Errorf("patience seeded to %d, want %d", got, DefaultPatience)
+	}
+	if got := ctrLoad(&h.adapt.spin); got != DefaultMaxSpin {
+		t.Errorf("spin seeded to %d, want %d", got, DefaultMaxSpin)
+	}
+}
+
+// TestAdaptiveFixedIsDegenerate pins the WithFixed degenerate case: without
+// WithAdaptive no backoff ever runs, no controller step is taken, and the
+// effective budgets are the configured constants.
+func TestAdaptiveFixedIsDegenerate(t *testing.T) {
+	q := New(1, WithPatience(3), WithMaxSpin(7))
+	h := mustRegister(t, q)
+	p := box(1)
+	for i := 0; i < 10*adaptWindow; i++ {
+		q.Enqueue(h, p)
+		q.Dequeue(h)
+		q.Dequeue(h) // EMPTY
+	}
+	if got := q.Stats().BackoffIters; got != 0 {
+		t.Errorf("fixed queue spent %d backoff iterations, want 0", got)
+	}
+	if got := ctrLoad(&h.adapt.steps); got != 0 {
+		t.Errorf("fixed queue took %d controller steps, want 0", got)
+	}
+	if got := q.effPatience(h); got != 3 {
+		t.Errorf("effPatience = %d, want configured 3", got)
+	}
+	if got := q.effSpin(h); got != 7 {
+		t.Errorf("effSpin = %d, want configured 7", got)
+	}
+}
+
+// driveStep fakes one controller window: bump the handle's counters by the
+// given deltas, mark the window complete, and run a step.
+func driveStep(q *Queue, h *Handle, fails, slow, empty, spinEntries, spinFB uint64) {
+	h.stats.FastCASFails += fails
+	h.stats.EnqSlow += slow
+	h.stats.DeqEmpty += empty
+	h.stats.SpinFallbacks += spinFB
+	h.adapt.spinEntries += spinEntries
+	h.adapt.ops = adaptWindow
+	q.adaptStep(h)
+}
+
+// TestAdaptiveControllerTransitions drives the controller through synthetic
+// contention regimes and pins the direction of every knob movement.
+func TestAdaptiveControllerTransitions(t *testing.T) {
+	q := New(1, WithAdaptive())
+	h := mustRegister(t, q)
+
+	// Sustained CAS storm: patience must fall to its minimum, the backoff
+	// cap must rise to its maximum, and neither may leave its window.
+	for i := 0; i < 200; i++ {
+		driveStep(q, h, 4*adaptWindow, 0, 0, 0, 0)
+		windowsOK(t, h)
+	}
+	if got := ctrLoad(&h.adapt.patience); got != AdaptPatienceMin {
+		t.Errorf("after CAS storm: patience %d, want rail at %d", got, AdaptPatienceMin)
+	}
+	if got := ctrLoad(&h.adapt.boCap); got != AdaptBackoffMax {
+		t.Errorf("after CAS storm: backoff cap %d, want rail at %d", got, AdaptBackoffMax)
+	}
+
+	// Calm traffic: patience recovers to the window max, backoff cap falls
+	// back to its minimum.
+	for i := 0; i < 200; i++ {
+		driveStep(q, h, 0, 0, 0, 0, 0)
+		windowsOK(t, h)
+	}
+	if got := ctrLoad(&h.adapt.patience); got != AdaptPatienceMax {
+		t.Errorf("after calm phase: patience %d, want rail at %d", got, AdaptPatienceMax)
+	}
+	if got := ctrLoad(&h.adapt.boCap); got != AdaptBackoffMin {
+		t.Errorf("after calm phase: backoff cap %d, want rail at %d", got, AdaptBackoffMin)
+	}
+
+	// Futile spinning (every spin wait expires into a fallback): the spin
+	// budget must shrink to its minimum.
+	for i := 0; i < 200; i++ {
+		driveStep(q, h, 0, 0, 0, adaptWindow, adaptWindow)
+		windowsOK(t, h)
+	}
+	if got := ctrLoad(&h.adapt.spin); got != AdaptSpinMin {
+		t.Errorf("after futile spinning: spin %d, want rail at %d", got, AdaptSpinMin)
+	}
+
+	// Productive-but-tight spinning (a third of waits still fall back):
+	// the budget must grow again.
+	for i := 0; i < 200; i++ {
+		driveStep(q, h, 0, 0, 0, 3*adaptWindow, adaptWindow)
+		windowsOK(t, h)
+	}
+	if got := ctrLoad(&h.adapt.spin); got != AdaptSpinMax {
+		t.Errorf("after tight spinning: spin %d, want rail at %d", got, AdaptSpinMax)
+	}
+
+	// A drain phase (all EMPTY) is no signal: patience must not move.
+	ctrStore(&h.adapt.patience, 5)
+	before := ctrLoad(&h.adapt.patience)
+	for i := 0; i < 50; i++ {
+		driveStep(q, h, 0, 0, adaptWindow, 0, 0)
+	}
+	if got := ctrLoad(&h.adapt.patience); got != before {
+		t.Errorf("drain phase moved patience %d → %d, want unchanged", before, got)
+	}
+
+	if ctrLoad(&h.adapt.steps) == 0 || ctrLoad(&h.adapt.raises) == 0 || ctrLoad(&h.adapt.lowers) == 0 {
+		t.Error("controller movement totals were not recorded")
+	}
+}
+
+// TestAdaptiveWindowClampAdversarial hammers an adaptive queue from
+// contending goroutines (tiny segments, maximum interference) and then
+// drives the controller with pathological synthetic extremes; no knob may
+// ever leave its window.
+func TestAdaptiveWindowClampAdversarial(t *testing.T) {
+	const workers = 4
+	q := New(workers, WithAdaptive(), WithSegmentShift(2), WithMaxGarbage(1))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		h := mustRegister(t, q)
+		wg.Add(1)
+		go func(w int, h *Handle) {
+			defer wg.Done()
+			p := box(int64(w + 1))
+			for i := 0; i < 20000; i++ {
+				if i&1 == 0 {
+					q.Enqueue(h, p)
+				} else {
+					q.Dequeue(h)
+				}
+			}
+		}(w, h)
+	}
+	wg.Wait()
+	for _, h := range q.handles {
+		windowsOK(t, h)
+	}
+
+	// Synthetic extremes: deltas far beyond anything real traffic produces.
+	h := q.handles[0]
+	for i := 0; i < 500; i++ {
+		driveStep(q, h, 1<<20, 1<<20, 0, 1, 1<<20)
+		windowsOK(t, h)
+	}
+	for i := 0; i < 500; i++ {
+		driveStep(q, h, 0, 0, 1<<20, 1<<10, 0)
+		windowsOK(t, h)
+	}
+}
+
+// TestBackoffBounded pins the backoff primitive: one pause never exceeds
+// the current cap, the ramp doubles, and the iteration total is accounted.
+func TestBackoffBounded(t *testing.T) {
+	q := New(1, WithAdaptive())
+	h := mustRegister(t, q)
+	ctrStore(&h.adapt.boCap, AdaptBackoffMax)
+	q.adaptOpStart(h)
+	want := uint64(0)
+	expect := uint64(AdaptBackoffMin)
+	for i := 0; i < 20; i++ {
+		before := ctrLoad(&h.stats.BackoffIters)
+		q.backoff(h)
+		spent := ctrLoad(&h.stats.BackoffIters) - before
+		if spent != expect {
+			t.Fatalf("backoff %d paused %d iterations, want %d", i, spent, expect)
+		}
+		if spent > AdaptBackoffMax {
+			t.Fatalf("backoff %d paused %d iterations, above cap %d", i, spent, AdaptBackoffMax)
+		}
+		want += spent
+		if expect*2 <= AdaptBackoffMax {
+			expect *= 2
+		} else {
+			expect = AdaptBackoffMax
+		}
+	}
+	if got := q.Stats().BackoffIters; got != want {
+		t.Errorf("BackoffIters = %d, want %d", got, want)
+	}
+	// A new operation resets the ramp.
+	q.adaptOpStart(h)
+	if h.adapt.boCur != AdaptBackoffMin {
+		t.Errorf("op start left boCur at %d, want %d", h.adapt.boCur, AdaptBackoffMin)
+	}
+}
+
+// TestAdaptiveStatsSnapshot checks the snapshot invariants: histograms
+// total to the handle count, bounds echo the constants, and live adaptive
+// traffic records controller steps.
+func TestAdaptiveStatsSnapshot(t *testing.T) {
+	const threads = 3
+	q := New(threads, WithAdaptive())
+	h := mustRegister(t, q)
+	p := box(9)
+	for i := 0; i < 8*adaptWindow; i++ {
+		q.Enqueue(h, p)
+		q.Dequeue(h)
+	}
+	st := q.AdaptiveStats()
+	if !st.Enabled {
+		t.Error("Enabled = false on an adaptive queue")
+	}
+	if st.PatienceMin != AdaptPatienceMin || st.PatienceMax != AdaptPatienceMax ||
+		st.SpinMin != AdaptSpinMin || st.SpinMax != AdaptSpinMax ||
+		st.BackoffMin != AdaptBackoffMin || st.BackoffMax != AdaptBackoffMax {
+		t.Error("snapshot bounds do not echo the compile-time windows")
+	}
+	var pn, sn uint64
+	for _, n := range st.PatienceHist {
+		pn += n
+	}
+	for _, n := range st.SpinHist {
+		sn += n
+	}
+	if pn != threads || sn != threads {
+		t.Errorf("histogram totals = %d/%d, want %d handles in both", pn, sn, threads)
+	}
+	if st.Steps == 0 {
+		t.Errorf("no controller steps after %d ops", 16*adaptWindow)
+	}
+
+	var m AdaptiveStats
+	m.Merge(st)
+	m.Merge(st)
+	if m.Steps != 2*st.Steps || !m.Enabled {
+		t.Error("Merge did not sum totals or propagate Enabled")
+	}
+
+	if got := SpinBucketValue(spinBucket(AdaptSpinMin)); got != AdaptSpinMin {
+		t.Errorf("bucket round-trip at min: %d", got)
+	}
+	if got := SpinBucketValue(spinBucket(AdaptSpinMax)); got != AdaptSpinMax {
+		t.Errorf("bucket round-trip at max: %d", got)
+	}
+}
+
+// TestAdaptiveQueueWorks runs plain FIFO traffic through an adaptive queue
+// (values must come back in order, nothing lost) — the smoke proof that
+// adaptivity changes tuning, not semantics.
+func TestAdaptiveQueueWorks(t *testing.T) {
+	q := New(1, WithAdaptive(), WithSegmentShift(3))
+	h := mustRegister(t, q)
+	const n = 10000
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(i + 1)
+		q.Enqueue(h, unsafe.Pointer(&vals[i]))
+	}
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue(h)
+		if !ok || *(*uint64)(v) != uint64(i+1) {
+			t.Fatalf("dequeue %d = (%v,%v), want %d", i, v, ok, i+1)
+		}
+	}
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("drained queue returned a value")
+	}
+}
+
+// TestCountersCensus asserts — by reflection — that every Counters field is
+// aggregated by Queue.Stats and summed by Counters.Add, so a future counter
+// cannot silently skip aggregation.
+func TestCountersCensus(t *testing.T) {
+	q := New(2)
+	h := q.handles[0]
+	rv := reflect.ValueOf(&h.stats).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		rv.Field(i).SetUint(uint64(100 + i))
+	}
+	st := q.Stats()
+	sv := reflect.ValueOf(st)
+	for i := 0; i < sv.NumField(); i++ {
+		if got, want := sv.Field(i).Uint(), uint64(100+i); got != want {
+			t.Errorf("Stats dropped Counters.%s: got %d, want %d",
+				sv.Type().Field(i).Name, got, want)
+		}
+	}
+
+	var a, b Counters
+	av := reflect.ValueOf(&a).Elem()
+	bv := reflect.ValueOf(&b).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		av.Field(i).SetUint(uint64(i + 1))
+		bv.Field(i).SetUint(uint64(2 * (i + 1)))
+	}
+	a.Add(b)
+	for i := 0; i < av.NumField(); i++ {
+		if got, want := av.Field(i).Uint(), uint64(3*(i+1)); got != want {
+			t.Errorf("Add dropped Counters.%s: got %d, want %d",
+				av.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+// TestAdaptiveSteadyStateZeroAllocs is the alloc gate with the controller
+// enabled: adaptivity must not cost a single allocation per op.
+func TestAdaptiveSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation exactness is meaningless under -race")
+	}
+	q := New(1, WithAdaptive(), WithSegmentShift(3), WithMaxGarbage(1), WithRecycling(true))
+	h := mustRegister(t, q)
+	p := box(42)
+	for i := 0; i < 1024; i++ {
+		q.Enqueue(h, p)
+		q.Dequeue(h)
+	}
+	allocs := testing.AllocsPerRun(10000, func() {
+		q.Enqueue(h, p)
+		q.Dequeue(h)
+	})
+	if allocs != 0 {
+		t.Errorf("adaptive steady-state enqueue+dequeue allocated %v objects/op, want 0", allocs)
+	}
+	if ctrLoad(&h.adapt.steps) == 0 {
+		t.Error("measured window took no controller steps; the zero-alloc claim did not cover the controller")
+	}
+}

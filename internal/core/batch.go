@@ -59,14 +59,17 @@ func (q *Queue) EnqueueBatch(h *Handle, vs []unsafe.Pointer) {
 	// helper committed a slow-path enqueue there); the item slides to the
 	// next reserved cell.
 	m := 0
-	budget := q.patience
+	budget := q.effPatience(h)
 	for j := int64(0); j < k && m < len(vs); j++ {
 		c := q.findCell(h, &h.tail, i0+j)
 		if atomic.CompareAndSwapPointer(&c.val, nil, vs[m]) {
 			m++
 			ctrInc(&h.stats.EnqFast)
-		} else if budget > 0 {
-			budget--
+		} else {
+			ctrInc(&h.stats.FastCASFails)
+			if budget > 0 {
+				budget--
+			}
 		}
 	}
 
@@ -88,6 +91,7 @@ func (q *Queue) EnqueueBatch(h *Handle, vs []unsafe.Pointer) {
 				done = true
 				break
 			}
+			ctrInc(&h.stats.FastCASFails)
 		}
 		if done {
 			ctrInc(&h.stats.EnqFast)
@@ -98,6 +102,11 @@ func (q *Queue) EnqueueBatch(h *Handle, vs []unsafe.Pointer) {
 	}
 
 	atomic.StoreInt64(&h.hzdp, -1)
+	// One controller tick per batch: the window is denominated in calls,
+	// and a batch is one burst of coordination regardless of its size.
+	if q.adaptive {
+		q.adaptTick(h)
+	}
 }
 
 // DequeueBatch removes up to len(dst) values from the front of the queue,
@@ -155,9 +164,13 @@ func (q *Queue) DequeueBatch(h *Handle, dst []unsafe.Pointer) int {
 			dst[n] = v
 			n++
 			ctrInc(&h.stats.DeqFast)
+		} else {
+			// The cell is unusable (⊤) or its value was claimed by a
+			// slow-path dequeue request, which will return it — never lost.
+			// Either way this reserved cell yielded nothing: a fast-path
+			// failure for the contention signal.
+			ctrInc(&h.stats.FastCASFails)
 		}
-		// Otherwise the cell is unusable (⊤) or its value was claimed by a
-		// slow-path dequeue request, which will return it — never lost.
 	}
 
 	if n > 0 {
@@ -174,6 +187,9 @@ func (q *Queue) DequeueBatch(h *Handle, dst []unsafe.Pointer) int {
 
 	atomic.StoreInt64(&h.hzdp, -1)
 	q.cleanup(h)
+	if q.adaptive {
+		q.adaptTick(h) // one tick per batch, as in EnqueueBatch
+	}
 
 	// Top up interference shortfalls with per-item dequeues (their own
 	// FAA, patience and slow path) until dst is full or EMPTY is observed,

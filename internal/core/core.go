@@ -154,6 +154,12 @@ type Handle struct {
 
 	_ pad.CacheLinePad
 
+	// adapt is the contention-adaptive controller state (adaptive.go):
+	// effective patience/spin/backoff knobs plus the signal EWMAs. Owner-
+	// written like stats; it opens the owner-local section so its words sit
+	// a full line away from the helper-CASed request words above.
+	adapt adaptState
+
 	// next links handles in the static helping ring; idx is this handle's
 	// position in Queue.handles (both fixed after New).
 	next *Handle
@@ -212,6 +218,15 @@ type Counters struct {
 	DeqFast  uint64 // dequeues completed on the fast path
 	DeqSlow  uint64 // dequeues completed on the slow path
 	DeqEmpty uint64 // dequeues that returned EMPTY
+	// FastCASFails counts fast-path attempts that failed to claim their
+	// cell: an enqueue's value CAS lost, or a dequeue's visit yielded a
+	// poisoned cell or a lost claim CAS. This is the contention signal the
+	// adaptive controller's failure EWMA is built on; it is counted in
+	// fixed mode too, so fixed-vs-adaptive runs are comparable.
+	FastCASFails uint64
+	// BackoffIters totals the pause iterations spent in bounded CAS backoff
+	// (adaptive mode only; the fixed configuration never backs off).
+	BackoffIters uint64
 	// SpinFallbacks counts helpEnq invocations that exhausted the MAX_SPIN
 	// budget waiting for an in-flight enqueuer and yielded the processor
 	// before poisoning the cell.
@@ -240,6 +255,32 @@ type Counters struct {
 	DeqBatchFAAs  uint64 // fast-path FAAs on H issued by batched dequeues
 }
 
+// Add folds the already-aggregated counters o into c, field by field (used
+// by the sharded layer to sum its lanes' Stats snapshots). The whitebox
+// counter census asserts — by reflection — that no Counters field is
+// missing here or in Queue.Stats.
+func (c *Counters) Add(o Counters) {
+	c.EnqFast += o.EnqFast
+	c.EnqSlow += o.EnqSlow
+	c.DeqFast += o.DeqFast
+	c.DeqSlow += o.DeqSlow
+	c.DeqEmpty += o.DeqEmpty
+	c.FastCASFails += o.FastCASFails
+	c.BackoffIters += o.BackoffIters
+	c.SpinFallbacks += o.SpinFallbacks
+	c.HelpEnq += o.HelpEnq
+	c.HelpDeq += o.HelpDeq
+	c.Cleanups += o.Cleanups
+	c.Segments += o.Segments
+	c.SegCacheHits += o.SegCacheHits
+	c.SegPoolHits += o.SegPoolHits
+	c.SegAllocs += o.SegAllocs
+	c.EnqBatchCalls += o.EnqBatchCalls
+	c.EnqBatchFAAs += o.EnqBatchFAAs
+	c.DeqBatchCalls += o.DeqBatchCalls
+	c.DeqBatchFAAs += o.DeqBatchFAAs
+}
+
 // Queue is the wait-free FIFO queue. Create instances with New; all
 // operations go through Handles obtained from Register.
 type Queue struct {
@@ -264,6 +305,7 @@ type Queue struct {
 	maxSpin    int
 	maxGarbage int64
 	recycle    bool
+	adaptive   bool
 
 	handles []*Handle
 
@@ -287,6 +329,7 @@ type config struct {
 	maxSpin    int
 	maxGarbage int64
 	recycle    bool
+	adaptive   bool
 }
 
 // WithPatience sets the number of extra fast-path attempts before an
@@ -381,6 +424,7 @@ func New(maxThreads int, opts ...Option) *Queue {
 		maxSpin:    cfg.maxSpin,
 		maxGarbage: cfg.maxGarbage,
 		recycle:    cfg.recycle,
+		adaptive:   cfg.adaptive,
 	}
 	if cfg.recycle {
 		// A cleanup retires at most the garbage backlog in one pass and
@@ -404,6 +448,7 @@ func New(maxThreads int, opts ...Option) *Queue {
 		atomic.StorePointer(&h.head, unsafe.Pointer(s0))
 		h.hzdp = -1
 		h.spare = make([]*Handle, 0, maxThreads)
+		h.adaptInit(&cfg)
 	}
 	q.freeList = append(q.freeList, q.handles...)
 	return q
@@ -469,6 +514,8 @@ func (q *Queue) Stats() Counters {
 		total.DeqFast += ctrLoad(&h.stats.DeqFast)
 		total.DeqSlow += ctrLoad(&h.stats.DeqSlow)
 		total.DeqEmpty += ctrLoad(&h.stats.DeqEmpty)
+		total.FastCASFails += ctrLoad(&h.stats.FastCASFails)
+		total.BackoffIters += ctrLoad(&h.stats.BackoffIters)
 		total.SpinFallbacks += ctrLoad(&h.stats.SpinFallbacks)
 		total.HelpEnq += ctrLoad(&h.stats.HelpEnq)
 		total.HelpDeq += ctrLoad(&h.stats.HelpDeq)
@@ -483,6 +530,15 @@ func (q *Queue) Stats() Counters {
 		total.DeqBatchFAAs += ctrLoad(&h.stats.DeqBatchFAAs)
 	}
 	return total
+}
+
+// ContentionEvents returns the handle's cumulative count of contention
+// signals: fast-path CAS failures, slow-path entries and spin fallbacks.
+// The sharded layer reads this after each operation to maintain per-lane
+// hotness; the owner-read delta costs four counter loads.
+func (h *Handle) ContentionEvents() uint64 {
+	return ctrLoad(&h.stats.FastCASFails) + ctrLoad(&h.stats.EnqSlow) +
+		ctrLoad(&h.stats.DeqSlow) + ctrLoad(&h.stats.SpinFallbacks)
 }
 
 // ReclaimedSegments returns the total number of segments retired by the

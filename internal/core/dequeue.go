@@ -13,12 +13,21 @@ func (q *Queue) Dequeue(h *Handle) (v unsafe.Pointer, ok bool) {
 	// §3.6: publish the hazard pointer before the operation.
 	atomic.StoreInt64(&h.hzdp, sid((*segment)(atomic.LoadPointer(&h.head))))
 
+	if q.adaptive {
+		q.adaptOpStart(h)
+	}
 	var cellID int64
 	v = topVal
-	for p := q.patience; p >= 0; p-- {
+	for p := q.effPatience(h); p >= 0; p-- {
 		v = q.deqFast(h, &cellID)
 		if v != topVal {
 			break
+		}
+		ctrInc(&h.stats.FastCASFails)
+		// Adaptive mode: bounded exponential backoff before the retry, as
+		// on the enqueue side (enqueue.go).
+		if q.adaptive && p > 0 {
+			q.backoff(h)
 		}
 	}
 	if v == topVal {
@@ -43,6 +52,9 @@ func (q *Queue) Dequeue(h *Handle) (v unsafe.Pointer, ok bool) {
 
 	atomic.StoreInt64(&h.hzdp, -1)
 	q.cleanup(h)
+	if q.adaptive {
+		q.adaptTick(h)
+	}
 
 	if v == emptyVal {
 		return nil, false

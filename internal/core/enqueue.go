@@ -17,12 +17,23 @@ func (q *Queue) Enqueue(h *Handle, v unsafe.Pointer) {
 	// fast path performs immediately after orders the publication.
 	atomic.StoreInt64(&h.hzdp, sid((*segment)(atomic.LoadPointer(&h.tail))))
 
+	if q.adaptive {
+		q.adaptOpStart(h)
+	}
 	var cellID int64
 	ok := false
-	for p := q.patience; p >= 0; p-- {
+	for p := q.effPatience(h); p >= 0; p-- {
 		if q.enqFast(h, v, &cellID) {
 			ok = true
 			break
+		}
+		ctrInc(&h.stats.FastCASFails)
+		// Adaptive mode: take the lost CAS off the contended line for a
+		// bounded, exponentially growing pause before retrying (LCRQ's
+		// backoff remedy, constant-capped). Never before the slow path —
+		// helping needs no backoff.
+		if q.adaptive && p > 0 {
+			q.backoff(h)
 		}
 	}
 	if ok {
@@ -33,6 +44,9 @@ func (q *Queue) Enqueue(h *Handle, v unsafe.Pointer) {
 	}
 
 	atomic.StoreInt64(&h.hzdp, -1)
+	if q.adaptive {
+		q.adaptTick(h)
+	}
 }
 
 // tryToClaimReq attempts to transition request state s from pending with
@@ -123,18 +137,39 @@ func (q *Queue) helpEnq(h *Handle, c *cell, i int64) unsafe.Pointer {
 	// path, drags in the helping machinery. The T > i gate keeps polls of a
 	// genuinely empty queue (T <= i: no enqueuer can be in flight for this
 	// cell) on the immediate-poison path, so EMPTY detection stays cheap.
-	if v == nil && q.maxSpin > 0 && atomic.LoadInt64(&q.T) > i {
-		for spins := q.maxSpin; spins > 0 && v == nil; spins-- {
-			v = atomic.LoadPointer(&c.val)
-		}
-		if v == nil {
-			// Budget exhausted: the enqueuer is likely descheduled. Yield
-			// once — on oversubscribed hosts it may need this timeslice to
-			// finish the deposit — then proceed to poison. Both bounds keep
-			// the operation wait-free.
-			ctrInc(&h.stats.SpinFallbacks)
-			yield()
-			v = atomic.LoadPointer(&c.val)
+	//
+	// The wait itself polls the cell only once per spinPollStride pause
+	// iterations: the enqueuer's deposit needs this very cache line, so a
+	// dequeuer re-loading it back-to-back keeps yanking the line into the
+	// shared state and delays the value it is waiting for. Under
+	// WithAdaptive the budget is the handle's effective spin, moved within
+	// [AdaptSpinMin, AdaptSpinMax] by the controller.
+	if v == nil {
+		budget := q.effSpin(h)
+		if budget > 0 && atomic.LoadInt64(&q.T) > i {
+			if q.adaptive {
+				h.adapt.spinEntries++
+			}
+			spins := budget
+			//wfqlint:bounded(spins starts from the constant-capped budget — MAX_SPIN, or at most AdaptSpinMax in adaptive mode — and decreases by min(spinPollStride, spins) ≥ 1 every iteration: at most ceil(budget/spinPollStride) polls)
+			for spins > 0 && v == nil {
+				k := spinPollStride
+				if k > spins {
+					k = spins
+				}
+				pause(k)
+				spins -= k
+				v = atomic.LoadPointer(&c.val)
+			}
+			if v == nil {
+				// Budget exhausted: the enqueuer is likely descheduled.
+				// Yield once — on oversubscribed hosts it may need this
+				// timeslice to finish the deposit — then proceed to poison.
+				// Both bounds keep the operation wait-free.
+				ctrInc(&h.stats.SpinFallbacks)
+				yield()
+				v = atomic.LoadPointer(&c.val)
+			}
 		}
 	}
 	// Try to mark the cell unusable; if it already holds a real value,

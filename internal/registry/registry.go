@@ -28,6 +28,14 @@
 //	wf-sharded-rr  sharded queue with round-robin dispatch: balanced lanes,
 //	               no per-producer ordering (qiface.OrderNone; only
 //	               no-loss/no-duplication harnesses apply)
+//	wf-adaptive    wf-10 with the contention-adaptive controller: effective
+//	               patience/spin self-tune inside compile-time windows and
+//	               failed fast-path CASes take a bounded backoff
+//	               (qiface.OrderFIFO — adaptivity never reorders one queue)
+//	wf-sharded-adaptive  sharded queue with adaptivity at both layers:
+//	               adaptive lanes plus hotness-aware dispatch and
+//	               coolness-ordered stealing. Diverting off a hot home lane
+//	               gives up per-producer ordering (qiface.OrderNone)
 //
 // Pointer-based queues are adapted to the uint64 currency of qiface through
 // per-thread value arenas: an enqueue writes the value into the next arena
@@ -179,6 +187,38 @@ func init() {
 			return newSharded("wf-sharded-rr", n, false, sharded.WithDispatch(sharded.DispatchRoundRobin))
 		},
 	})
+	qiface.Register(qiface.Factory{
+		Name: "wf-adaptive", Doc: "wf-10 with self-tuning patience/spin and bounded CAS backoff",
+		WaitFree: true, Ordering: qiface.OrderFIFO,
+		New: func(n int) (qiface.Queue, error) {
+			return newWF("wf-adaptive", n, 10, false, false, core.WithAdaptive())
+		},
+	})
+	qiface.Register(qiface.Factory{
+		Name: "wf-sharded-adaptive", Doc: "sharded queue, adaptive lanes + hotness-aware dispatch (unordered)",
+		WaitFree: true, Ordering: qiface.OrderNone,
+		New: func(n int) (qiface.Queue, error) {
+			return newSharded("wf-sharded-adaptive", n, false, sharded.WithAdaptive())
+		},
+	})
+}
+
+// adaptiveSnapshot converts a core adaptive snapshot to the qiface view.
+func adaptiveSnapshot(s core.AdaptiveStats) qiface.AdaptiveSnapshot {
+	out := qiface.AdaptiveSnapshot{
+		Enabled:     s.Enabled,
+		PatienceMin: uint64(s.PatienceMin), PatienceMax: uint64(s.PatienceMax),
+		SpinMin: uint64(s.SpinMin), SpinMax: uint64(s.SpinMax),
+		BackoffMin: uint64(s.BackoffMin), BackoffMax: uint64(s.BackoffMax),
+		PatienceHist: make([]uint64, len(s.PatienceHist)),
+		SpinHist:     make([]uint64, len(s.SpinHist)),
+		Steps:        s.Steps, Raises: s.Raises, Lowers: s.Lowers,
+		FastCASFails: s.FastCASFails, BackoffIters: s.BackoffIters,
+		SpinFallbacks: s.SpinFallbacks,
+	}
+	copy(out.PatienceHist, s.PatienceHist[:])
+	copy(out.SpinHist, s.SpinHist[:])
+	return out
 }
 
 // --- adapters -----------------------------------------------------------
@@ -280,7 +320,14 @@ func (a *wfAdapter) Stats() map[string]uint64 {
 		"enq_batch_faas":  s.EnqBatchFAAs,
 		"deq_batch_calls": s.DeqBatchCalls,
 		"deq_batch_faas":  s.DeqBatchFAAs,
+		"fast_cas_fails":  s.FastCASFails,
+		"backoff_iters":   s.BackoffIters,
 	}
+}
+
+// Adaptive implements qiface.AdaptiveProvider.
+func (a *wfAdapter) Adaptive() qiface.AdaptiveSnapshot {
+	return adaptiveSnapshot(a.q.AdaptiveStats())
 }
 
 // shardedAdapter drives the multi-lane sharded queue through the same
@@ -380,12 +427,23 @@ func (a *shardedAdapter) Stats() map[string]uint64 {
 		"enq_batch_faas":  s.EnqBatchFAAs,
 		"deq_batch_calls": s.DeqBatchCalls,
 		"deq_batch_faas":  s.DeqBatchFAAs,
+		"fast_cas_fails":  s.FastCASFails,
+		"backoff_iters":   s.BackoffIters,
 		"lanes":           uint64(st.Lanes),
 		"steals":          st.Sharded.Steals,
 		"sweeps":          st.Sharded.Sweeps,
 		"empty_dequeues":  st.Sharded.EmptyDequeues,
 		"rr_dispatches":   st.Sharded.RRDispatches,
+		"hot_diverts":     st.Sharded.HotDiverts,
 	}
+}
+
+// Adaptive implements qiface.AdaptiveProvider, merging all lanes and adding
+// the sharded layer's own divert signal.
+func (a *shardedAdapter) Adaptive() qiface.AdaptiveSnapshot {
+	snap := adaptiveSnapshot(a.q.AdaptiveStats())
+	snap.HotDiverts = a.q.Stats().Sharded.HotDiverts
+	return snap
 }
 
 type ofAdapter struct {
@@ -688,6 +746,10 @@ func NewChecked(name string, n int) (qiface.Queue, error) {
 		return newSharded(name, n, true, sharded.WithLanes(8))
 	case "wf-sharded-rr":
 		return newSharded(name, n, true, sharded.WithDispatch(sharded.DispatchRoundRobin))
+	case "wf-adaptive":
+		return newWF(name, n, 10, false, true, core.WithAdaptive())
+	case "wf-sharded-adaptive":
+		return newSharded(name, n, true, sharded.WithAdaptive())
 	case "of":
 		return newOF(name, n, true)
 	case "msqueue":

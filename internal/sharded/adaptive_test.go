@@ -1,0 +1,399 @@
+package sharded
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"unsafe"
+
+	"wfqueue/internal/core"
+)
+
+// --- plumbing -------------------------------------------------------------
+
+func TestAdaptivePlumbing(t *testing.T) {
+	q := New(2, WithLanes(4), WithAdaptive())
+	if !q.Adaptive() {
+		t.Error("WithAdaptive: Adaptive() = false")
+	}
+	for i := range q.lanes {
+		if !q.lanes[i].q.Adaptive() {
+			t.Errorf("lane %d core queue not adaptive", i)
+		}
+	}
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.seen) != 4 || len(h.order) != 3 || len(h.hotSnap) != 3 {
+		t.Errorf("adaptive scratch sized %d/%d/%d, want 4/3/3",
+			len(h.seen), len(h.order), len(h.hotSnap))
+	}
+	if st := q.AdaptiveStats(); !st.Enabled {
+		t.Error("AdaptiveStats().Enabled = false on adaptive queue")
+	}
+
+	fixed := New(1, WithLanes(2))
+	if fixed.Adaptive() {
+		t.Error("fixed queue reports Adaptive() = true")
+	}
+	fh, err := fixed.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fh.seen != nil || fh.order != nil || fh.hotSnap != nil {
+		t.Error("fixed-mode handle allocated adaptive scratch")
+	}
+	if st := fixed.AdaptiveStats(); st.Enabled {
+		t.Error("AdaptiveStats().Enabled = true on fixed queue")
+	}
+}
+
+// --- dispatch -------------------------------------------------------------
+
+// TestPickLaneDispatch pins the power-of-two-choices policy: a cool home
+// always wins, a hot home diverts only to an alternative at most half as
+// hot, and every divert is counted.
+func TestPickLaneDispatch(t *testing.T) {
+	q := New(1, WithLanes(4), WithAdaptive())
+	h, err := q.RegisterOnLane(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// All lanes cool: home wins, no divert.
+	for i := 0; i < 8; i++ {
+		if li := q.pickLane(h); li != 0 {
+			t.Fatalf("cool home: pickLane = %d, want 0", li)
+		}
+	}
+	// Heat at exactly the threshold still counts as cool (divert needs >).
+	atomic.StoreUint64(&q.lanes[0].hot, hotDivertThreshold)
+	if li := q.pickLane(h); li != 0 {
+		t.Errorf("home at threshold: pickLane = %d, want 0", li)
+	}
+	if got := ctrLoad(&h.stats.HotDiverts); got != 0 {
+		t.Errorf("HotDiverts = %d before any hot dispatch, want 0", got)
+	}
+
+	// Hot home, cold alternatives: every pick diverts somewhere cooler.
+	atomic.StoreUint64(&q.lanes[0].hot, 100)
+	for i := 0; i < 8; i++ {
+		li := q.pickLane(h)
+		if li == 0 {
+			t.Fatalf("hot home over cold alts: pickLane stayed home (probe %d)", i)
+		}
+	}
+	if got := ctrLoad(&h.stats.HotDiverts); got != 8 {
+		t.Errorf("HotDiverts = %d after 8 hot dispatches, want 8", got)
+	}
+
+	// Hot home but every alternative above half its heat: no divert (the
+	// hysteresis that keeps marginal differences from flapping).
+	for i := 1; i < 4; i++ {
+		atomic.StoreUint64(&q.lanes[i].hot, 60)
+	}
+	for i := 0; i < 8; i++ {
+		if li := q.pickLane(h); li != 0 {
+			t.Fatalf("all alts above hot/2: pickLane = %d, want home", li)
+		}
+	}
+	if got := ctrLoad(&h.stats.HotDiverts); got != 8 {
+		t.Errorf("HotDiverts = %d, want still 8 (no divert to warm alts)", got)
+	}
+
+	// Lanes(1): nowhere to divert to, ever.
+	q1 := New(1, WithLanes(1), WithAdaptive())
+	h1, err := q1.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	atomic.StoreUint64(&q1.lanes[0].hot, 1<<20)
+	if li := q1.pickLane(h1); li != 0 {
+		t.Errorf("Lanes(1): pickLane = %d, want 0", li)
+	}
+}
+
+// TestNoteLaneChargesAndDecays drives noteLane's two jobs directly: folding
+// the handle's contention-event delta into the lane score, and the periodic
+// single-CAS halving.
+func TestNoteLaneChargesAndDecays(t *testing.T) {
+	q := New(1, WithLanes(2), WithAdaptive())
+	h, err := q.RegisterOnLane(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No events since the last fold: nothing charged. (Folds are sampled —
+	// position the tick so this call is a fold boundary.)
+	h.decayTick = noteSampleStride - 1
+	q.noteLane(h, 0)
+	if got := atomic.LoadUint64(&q.lanes[0].hot); got != 0 {
+		t.Fatalf("idle noteLane charged %d", got)
+	}
+
+	// Simulate 5 contention events since the last snapshot by rolling the
+	// owner-only snapshot back (the delta is all the fold looks at). An
+	// off-boundary call must NOT fold — that is the sampling.
+	h.seen[0] = h.hs[0].ContentionEvents() - 5
+	q.noteLane(h, 0)
+	if got := atomic.LoadUint64(&q.lanes[0].hot); got != 0 {
+		t.Errorf("off-boundary noteLane folded early: hot = %d, want 0", got)
+	}
+	// At the next boundary the accumulated delta lands in one batch.
+	h.decayTick = 2*noteSampleStride - 1
+	q.noteLane(h, 0)
+	if got := atomic.LoadUint64(&q.lanes[0].hot); got != 5 {
+		t.Errorf("lane hot = %d after a 5-event delta, want 5", got)
+	}
+	if h.seen[0] != h.hs[0].ContentionEvents() {
+		t.Error("noteLane did not advance the seen snapshot")
+	}
+	// Charging is idempotent per event: a second boundary fold adds nothing.
+	h.decayTick = 3*noteSampleStride - 1
+	q.noteLane(h, 0)
+	if got := atomic.LoadUint64(&q.lanes[0].hot); got != 5 {
+		t.Errorf("repeat noteLane moved hot to %d, want 5", got)
+	}
+
+	// Decay: on the hotDecayPeriod-th op the used lane's score halves once.
+	atomic.StoreUint64(&q.lanes[0].hot, 64)
+	h.decayTick = hotDecayPeriod - 1
+	q.noteLane(h, 0)
+	if got := atomic.LoadUint64(&q.lanes[0].hot); got != 32 {
+		t.Errorf("hot = %d after decay tick, want 32", got)
+	}
+	// Off-period notes do not decay.
+	q.noteLane(h, 0)
+	if got := atomic.LoadUint64(&q.lanes[0].hot); got != 32 {
+		t.Errorf("hot = %d after off-period note, want 32", got)
+	}
+}
+
+// TestCoolOrderAndSweepLane pins the steal-sweep ordering: coolOrder sorts
+// the non-home lanes by ascending hotness, and sweepLane falls back to the
+// cyclic neighbor order when no adaptive order is in hand.
+func TestCoolOrderAndSweepLane(t *testing.T) {
+	q := New(1, WithLanes(4), WithAdaptive())
+	h, err := q.RegisterOnLane(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atomic.StoreUint64(&q.lanes[0].hot, 30)
+	atomic.StoreUint64(&q.lanes[2].hot, 10)
+	atomic.StoreUint64(&q.lanes[3].hot, 20)
+
+	order := h.coolOrder()
+	if order[0] != 2 || order[1] != 3 || order[2] != 0 {
+		t.Errorf("coolOrder = %v, want [2 3 0]", order)
+	}
+	for off := 1; off < 4; off++ {
+		if got, want := h.sweepLane(off, order), order[off-1]; got != want {
+			t.Errorf("sweepLane(%d, order) = %d, want %d", off, got, want)
+		}
+	}
+
+	// Re-sort after the heat moves: stability under change.
+	atomic.StoreUint64(&q.lanes[0].hot, 5)
+	order = h.coolOrder()
+	if order[0] != 0 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("coolOrder after reheat = %v, want [0 2 3]", order)
+	}
+
+	// Cyclic fallback: home+off mod lanes.
+	want := []int{2, 3, 0}
+	for off := 1; off < 4; off++ {
+		if got := h.sweepLane(off, nil); got != want[off-1] {
+			t.Errorf("sweepLane(%d, nil) = %d, want %d", off, got, want[off-1])
+		}
+	}
+}
+
+// TestAdaptiveStealPrefersCoolLane checks the integrated behavior: a
+// sweeping consumer whose home lane is empty drains the calm lane before
+// the stormy one.
+func TestAdaptiveStealPrefersCoolLane(t *testing.T) {
+	q := New(3, WithLanes(3), WithAdaptive())
+	p1, err := q.RegisterOnLane(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := q.RegisterOnLane(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Enqueue(p1, box(111)) // lane 1
+	q.Enqueue(p2, box(222)) // lane 2
+
+	// Lane 1 is a storm, lane 2 is calm.
+	atomic.StoreUint64(&q.lanes[1].hot, 1000)
+
+	c, err := q.RegisterOnLane(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := q.Dequeue(c)
+	if !ok {
+		t.Fatal("dequeue with two lanes holding values returned EMPTY")
+	}
+	if got := unbox(v); got != 222 {
+		t.Errorf("first steal took %d, want 222 (the cool lane's value)", got)
+	}
+	if got := ctrLoad(&c.stats.Steals); got != 1 {
+		t.Errorf("Steals = %d, want 1", got)
+	}
+}
+
+// --- whole-queue behavior -------------------------------------------------
+
+// TestAdaptiveMPMCNoLossNoDup hammers an adaptive multi-lane queue with
+// concurrent producers and consumers over adversarial core lanes (tiny
+// recycled segments) and checks the adaptive ordering contract: every value
+// arrives exactly once. It then checks the merged adaptive snapshot is
+// coherent: one histogram entry per (lane, registered core handle) and every
+// knob inside its compile-time window by construction.
+func TestAdaptiveMPMCNoLossNoDup(t *testing.T) {
+	const (
+		producers = 2
+		consumers = 2
+		perProd   = 20000
+	)
+	q := New(producers+consumers, WithLanes(2), WithAdaptive(),
+		WithCoreOptions(core.WithRecycling(true), core.WithSegmentShift(2), core.WithMaxGarbage(1)))
+
+	var wg sync.WaitGroup
+	var consumed sync.Map
+	var total int64
+	for i := 0; i < producers; i++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, h *Handle) {
+			defer wg.Done()
+			for k := 0; k < perProd; k++ {
+				q.Enqueue(h, box(int64(i)<<32|int64(k)+1))
+			}
+		}(i, h)
+	}
+	for i := 0; i < consumers; i++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(h *Handle) {
+			defer wg.Done()
+			for atomic.LoadInt64(&total) < producers*perProd {
+				v, ok := q.Dequeue(h)
+				if !ok {
+					continue
+				}
+				if _, dup := consumed.LoadOrStore(unbox(v), true); dup {
+					t.Errorf("value %d dequeued twice", unbox(v))
+					atomic.StoreInt64(&total, producers*perProd)
+					return
+				}
+				atomic.AddInt64(&total, 1)
+			}
+		}(h)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	n := 0
+	consumed.Range(func(_, _ any) bool { n++; return true })
+	if n != producers*perProd {
+		t.Fatalf("consumed %d distinct values, want %d", n, producers*perProd)
+	}
+
+	st := q.AdaptiveStats()
+	if !st.Enabled {
+		t.Fatal("AdaptiveStats not enabled after adaptive run")
+	}
+	var pat, spin uint64
+	for _, c := range st.PatienceHist {
+		pat += c
+	}
+	for _, c := range st.SpinHist {
+		spin += c
+	}
+	// Every registered handle on every lane contributes one sample to each
+	// histogram — and the histograms only have in-window buckets, so this
+	// also witnesses the [min,max] clamp queue-wide.
+	want := uint64(q.Lanes() * (producers + consumers))
+	if pat != want || spin != want {
+		t.Errorf("histogram mass = %d/%d (patience/spin), want %d each", pat, spin, want)
+	}
+}
+
+// TestAdaptiveShardedSteadyStateZeroAllocs extends the zero-allocation gate
+// over the adaptive dispatch path: hotness notes, coolness sorts, controller
+// ticks and backoff all run inside the measured window and may not allocate.
+func TestAdaptiveShardedSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation exactness is meaningless under -race")
+	}
+	q := New(1, WithLanes(2), WithAdaptive(),
+		WithCoreOptions(core.WithRecycling(true), core.WithSegmentShift(3), core.WithMaxGarbage(1)))
+	h, err := q.RegisterOnLane(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := box(42)
+	// Heat the home lane so pickLane exercises the divert comparison, and
+	// alternate empty dequeues so the sweep (coolOrder included) runs too.
+	atomic.StoreUint64(&q.lanes[0].hot, 100)
+	for i := 0; i < 1024; i++ {
+		q.Enqueue(h, p)
+		q.Dequeue(h)
+		q.Dequeue(h) // EMPTY: full sweep in coolness order
+	}
+	allocs := testing.AllocsPerRun(10000, func() {
+		q.Enqueue(h, p)
+		q.Dequeue(h)
+		q.Dequeue(h)
+	})
+	if allocs != 0 {
+		t.Errorf("adaptive steady-state op allocated %v objects/op, want 0", allocs)
+	}
+}
+
+// TestAdaptiveBatchOps sanity-checks the batched surface under adaptivity:
+// batches land whole in one lane and drain completely.
+func TestAdaptiveBatchOps(t *testing.T) {
+	q := New(1, WithLanes(2), WithAdaptive())
+	h, err := q.RegisterOnLane(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batches, bsz = 64, 5
+	for b := 0; b < batches; b++ {
+		vs := make([]unsafe.Pointer, bsz)
+		for j := range vs {
+			vs[j] = box(int64(b*bsz + j + 1))
+		}
+		q.EnqueueBatch(h, vs)
+	}
+	seen := map[int64]bool{}
+	dst := make([]unsafe.Pointer, bsz)
+	//wfqlint:bounded(test driver: at most batches*bsz values were enqueued and each round removes ≥1 or breaks)
+	for {
+		n := q.DequeueBatch(h, dst)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			v := unbox(dst[i])
+			if seen[v] {
+				t.Fatalf("value %d dequeued twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != batches*bsz {
+		t.Fatalf("drained %d values, want %d", len(seen), batches*bsz)
+	}
+}

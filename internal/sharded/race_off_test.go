@@ -1,0 +1,6 @@
+//go:build !race
+
+package sharded
+
+// raceEnabled gates allocation-exactness assertions; see race_on_test.go.
+const raceEnabled = false

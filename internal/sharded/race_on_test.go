@@ -1,0 +1,7 @@
+//go:build race
+
+package sharded
+
+// raceEnabled gates allocation-exactness assertions: race-detector
+// instrumentation allocates, so exact-zero checks are meaningless there.
+const raceEnabled = true

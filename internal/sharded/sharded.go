@@ -99,6 +99,7 @@ type config struct {
 	lanes    int
 	dispatch Dispatch
 	cpuHome  bool
+	adaptive bool
 	coreOpts []core.Option
 }
 
@@ -136,6 +137,28 @@ func WithCoreOptions(opts ...core.Option) Option {
 	return func(c *config) { c.coreOpts = append(c.coreOpts, opts...) }
 }
 
+// WithAdaptive turns on contention adaptivity at both layers: every lane's
+// core queue runs the adaptive controller (core.WithAdaptive), and the
+// sharded layer maintains a per-lane hotness score from the same signals.
+// Hotness drives dispatch away from contended lanes — a producer's home
+// lane still wins while it is cool, but a hot home makes the enqueue
+// consider one alternative lane (power-of-two-choices) — and makes the
+// steal sweep visit lanes in coolness order, so stealers drain the calm
+// lanes before wading into a storm.
+//
+// Diverting an enqueue off its home lane gives up the per-producer FIFO
+// guarantee of DispatchAffinity (consecutive values from one producer may
+// land in different lanes), so an adaptive queue promises only
+// no-loss/no-duplication, like DispatchRoundRobin — that is the ordering
+// price of contention-aware balancing. Lanes(1) is unaffected (there is
+// nowhere to divert to) and keeps strict FIFO semantics.
+func WithAdaptive() Option {
+	return func(c *config) {
+		c.adaptive = true
+		c.coreOpts = append(c.coreOpts, core.WithAdaptive())
+	}
+}
+
 // lane wraps one core queue. The descriptor line (q) is read by every
 // operation; stolenFrom is written (rarely) by stealing consumers. The
 // padding keeps each lane's mutable word off its neighbors' descriptor
@@ -149,7 +172,12 @@ type lane struct {
 	// stolenFrom counts values removed from this lane by handles homed
 	// elsewhere (atomic).
 	stolenFrom uint64
-	_          pad.CacheLinePad
+	// hot is the lane's contention score (atomic; adaptive mode only):
+	// handles fold in the contention-event deltas their core operations
+	// generate and periodically halve it (ops.go noteLane). It is a
+	// heuristic dispatch hint — correctness never depends on its value.
+	hot uint64
+	_   pad.CacheLinePad
 }
 
 // Counters are per-handle sharded-layer instrumentation (the per-lane core
@@ -162,6 +190,7 @@ type Counters struct {
 	Steals        uint64 // values obtained from a non-home lane
 	Sweeps        uint64 // dequeue calls that had to look beyond the home lane
 	RRDispatches  uint64 // enqueues routed by the round-robin cursor
+	HotDiverts    uint64 // enqueues diverted off a hot home lane (adaptive)
 }
 
 // QueueStats is the aggregate view returned by Stats.
@@ -184,6 +213,7 @@ type Queue struct {
 	lanes      []lane
 	dispatch   Dispatch
 	cpuHome    bool
+	adaptive   bool
 	maxHandles int
 
 	_ pad.CacheLinePad
@@ -207,10 +237,23 @@ type Queue struct {
 // a time. The pads isolate the owner's hot stats writes from neighboring
 // heap objects (handles are often allocated back to back).
 type Handle struct {
-	_     pad.CacheLinePad
-	q     *Queue
-	home  int
-	hs    []*core.Handle // per-lane core handles, indexed by lane id
+	_    pad.CacheLinePad
+	q    *Queue
+	home int
+	hs   []*core.Handle // per-lane core handles, indexed by lane id
+
+	// Adaptive-dispatch scratch (allocated at Register in adaptive mode,
+	// nil otherwise; all owner-only). seen holds the last contention-event
+	// snapshot per lane (noteLane attributes deltas to lanes); order and
+	// hotSnap are the coolness-sort scratch of the steal sweep; probe is
+	// the rotating power-of-two-choices cursor; decayTick schedules the
+	// periodic hotness halving.
+	seen      []uint64
+	order     []int
+	hotSnap   []uint64
+	probe     int
+	decayTick uint64
+
 	stats Counters
 	_     pad.CacheLinePad
 }
@@ -234,6 +277,7 @@ func New(maxHandles int, opts ...Option) *Queue {
 		lanes:      make([]lane, n),
 		dispatch:   cfg.dispatch,
 		cpuHome:    cfg.cpuHome,
+		adaptive:   cfg.adaptive,
 		maxHandles: maxHandles,
 		live:       map[*Handle]struct{}{},
 	}
@@ -282,6 +326,11 @@ func (q *Queue) RegisterOnLane(home int) (*Handle, error) {
 		return nil, fmt.Errorf("sharded: home lane %d out of range [0,%d)", home, len(q.lanes))
 	}
 	h := &Handle{q: q, home: home, hs: make([]*core.Handle, len(q.lanes))}
+	if q.adaptive {
+		h.seen = make([]uint64, len(q.lanes))
+		h.order = make([]int, len(q.lanes)-1)
+		h.hotSnap = make([]uint64, len(q.lanes)-1)
+	}
 	for i := range q.lanes {
 		ch, err := q.lanes[i].q.Register()
 		if err != nil {
@@ -327,6 +376,7 @@ func (c *Counters) add(o *Counters) {
 	c.Steals += ctrLoad(&o.Steals)
 	c.Sweeps += ctrLoad(&o.Sweeps)
 	c.RRDispatches += ctrLoad(&o.RRDispatches)
+	c.HotDiverts += ctrLoad(&o.HotDiverts)
 }
 
 // Size returns an instantaneous approximation of the total queue length
@@ -349,23 +399,7 @@ func (q *Queue) Stats() QueueStats {
 	}
 	for i := range q.lanes {
 		cs := q.lanes[i].q.Stats()
-		st.Core.EnqFast += cs.EnqFast
-		st.Core.EnqSlow += cs.EnqSlow
-		st.Core.DeqFast += cs.DeqFast
-		st.Core.DeqSlow += cs.DeqSlow
-		st.Core.DeqEmpty += cs.DeqEmpty
-		st.Core.SpinFallbacks += cs.SpinFallbacks
-		st.Core.HelpEnq += cs.HelpEnq
-		st.Core.HelpDeq += cs.HelpDeq
-		st.Core.Cleanups += cs.Cleanups
-		st.Core.Segments += cs.Segments
-		st.Core.SegCacheHits += cs.SegCacheHits
-		st.Core.SegPoolHits += cs.SegPoolHits
-		st.Core.SegAllocs += cs.SegAllocs
-		st.Core.EnqBatchCalls += cs.EnqBatchCalls
-		st.Core.EnqBatchFAAs += cs.EnqBatchFAAs
-		st.Core.DeqBatchCalls += cs.DeqBatchCalls
-		st.Core.DeqBatchFAAs += cs.DeqBatchFAAs
+		st.Core.Add(cs)
 		st.StolenFrom[i] = atomic.LoadUint64(&q.lanes[i].stolenFrom)
 	}
 	q.mu.Lock()
@@ -374,6 +408,20 @@ func (q *Queue) Stats() QueueStats {
 		st.Sharded.add(&h.stats)
 	}
 	q.mu.Unlock()
+	return st
+}
+
+// Adaptive reports whether the queue was built with WithAdaptive.
+func (q *Queue) Adaptive() bool { return q.adaptive }
+
+// AdaptiveStats merges every lane's core adaptive-controller snapshot into
+// one view (see core.AdaptiveStats). Zero-valued with Enabled=false when the
+// queue is not adaptive.
+func (q *Queue) AdaptiveStats() core.AdaptiveStats {
+	st := q.lanes[0].q.AdaptiveStats()
+	for i := 1; i < len(q.lanes); i++ {
+		st.Merge(q.lanes[i].q.AdaptiveStats())
+	}
 	return st
 }
 

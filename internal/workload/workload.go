@@ -30,7 +30,22 @@ const (
 	// a DequeueBatch of B, so one iteration counts as 2B operations. With
 	// B=1 it degenerates to Pairs.
 	PairsBatched
+	// Bursty is the pairs benchmark with alternating contention phases:
+	// BurstPhase consecutive pairs run back to back with NO inter-operation
+	// work (a contention storm), then BurstPhase pairs run with the work
+	// stretched 4× (a quiet spell), and so on. Threads share phase
+	// boundaries (the phase is a function of the pair index), so storms
+	// collide queue-wide — the regime a contention-adaptive hot path is
+	// built for, and the pathological one for any fixed patience/spin
+	// setting.
+	Bursty
 )
+
+// BurstPhase is the Bursty phase length in pairs: storms and quiet spells
+// each last this many consecutive enqueue–dequeue pairs per thread — a few
+// adaptive controller windows, so the controller can both react within a
+// phase and re-adapt at every boundary.
+const BurstPhase = 512
 
 // String returns the workload's conventional name.
 func (k Kind) String() string {
@@ -41,9 +56,23 @@ func (k Kind) String() string {
 		return "50%-enqueues"
 	case PairsBatched:
 		return "enqueue-dequeue-pairs-batched"
+	case Bursty:
+		return "bursty-pairs"
 	default:
 		return "unknown"
 	}
+}
+
+// ParseKind maps a conventional workload name (the String() form) back to
+// its Kind, for harnesses that round-trip workloads through recorded
+// baseline documents.
+func ParseKind(s string) (Kind, bool) {
+	for _, k := range []Kind{Pairs, HalfHalf, PairsBatched, Bursty} {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
 }
 
 // DefaultOps is the paper's operation count: 10⁷ operations (for Pairs,

@@ -75,6 +75,20 @@ func WithMaxGarbage(g int64) Option { return core.WithMaxGarbage(g) }
 // of releasing them to the garbage collector.
 func WithRecycling(on bool) Option { return core.WithRecycling(on) }
 
+// WithAdaptive makes PATIENCE and the helping spin budget self-tuning: each
+// handle tracks its own contention signals (fast-path CAS failure rate,
+// slow-path entry rate, empty-dequeue rate) and moves the effective knobs
+// within fixed compile-time windows, and failed fast-path CASes back off
+// with a bounded pause ladder. Wait-freedom is unchanged — every window is
+// bounded, so every operation still completes in a bounded number of steps.
+// See DESIGN.md §3.3.
+func WithAdaptive() Option { return core.WithAdaptive() }
+
+// WithFixed pins PATIENCE and the spin budget to their configured values
+// (the paper's behavior, and the default); it undoes an earlier
+// WithAdaptive in the option list.
+func WithFixed() Option { return core.WithFixed() }
+
 // New creates a queue that supports up to maxHandles concurrently
 // registered handles. maxHandles fixes the size of the helping ring, as in
 // the paper; handles can be released and re-registered freely.
@@ -119,6 +133,12 @@ func (q *Queue[T]) Stats() core.Counters { return q.q.Stats() }
 // ReclaimedSegments reports how many retired segments the reclamation
 // scheme has freed since construction.
 func (q *Queue[T]) ReclaimedSegments() uint64 { return q.q.ReclaimedSegments() }
+
+// AdaptiveStats returns a snapshot of the adaptivity controller: step and
+// raise/lower counts per knob plus histograms of where the effective
+// patience and spin budget currently sit across handles. Enabled is false
+// (and the rest zero) unless the queue was built WithAdaptive.
+func (q *Queue[T]) AdaptiveStats() core.AdaptiveStats { return q.q.AdaptiveStats() }
 
 // Handle is a registration of one concurrent participant. A Handle must be
 // used by at most one goroutine at a time.
