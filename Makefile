@@ -6,7 +6,7 @@ GO ?= go
 # lands here; the directory is untracked (see .gitignore).
 ARTIFACTS ?= artifacts
 
-.PHONY: all build vet lint test race short bench bench-json bench-json-sharded bench-adaptive bench-compare fuzz stress soak ci experiments examples clean
+.PHONY: all build vet lint test race short bench bench-json bench-json-sharded bench-adaptive bench-handles bench-compare fuzz stress soak ci experiments examples clean
 
 all: build vet lint test
 
@@ -38,7 +38,7 @@ short:
 race:
 	$(GO) test -race ./... -count=1
 
-# One testing.B family per paper table/figure plus ablations (DESIGN.md §6).
+# One testing.B family per paper table/figure plus ablations (DESIGN.md §7).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -70,6 +70,16 @@ bench-adaptive:
 	GOMAXPROCS=8 $(GO) run ./cmd/wfqbench json -adaptive -out BENCH_adaptive.json \
 		-queues wf-10,wf-adaptive,wf-sharded,wf-sharded-adaptive \
 		-threads 8 -ops 50000 -trials 5 -iters 3 -nopin
+
+# Handle-lifecycle baseline: the exact zero-allocation gates on
+# AcquireHandle/Release (core) and Register/Release (sharded), handle-churn
+# throughput (workload.Churn) for the churn-safe queues, and the pairwise
+# wf-10 vs wf-10-mutexreg ratio proving the lock-free lifecycle churns no
+# slower than the mutex-guarded bookkeeping it replaced (DESIGN.md §6).
+# Writes BENCH_handles.json at the repo root — the committed baseline.
+bench-handles:
+	$(GO) run ./cmd/wfqbench handles -out BENCH_handles.json \
+		-ops 50000 -trials 3 -iters 3 -nowork -nopin
 
 # Bench trajectory gate: re-run the committed baselines' measurements and
 # fail on any steady-state allocation regression, or (on the baseline's

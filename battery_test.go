@@ -5,6 +5,7 @@ package wfqueue_test
 // adapters); this exercises the boxing/unboxing layer under concurrency.
 
 import (
+	"errors"
 	"testing"
 
 	"wfqueue"
@@ -17,11 +18,17 @@ func facadeMaker(opts ...wfqueue.Option) qtest.Maker {
 		return func() qtest.Ops {
 			h, err := q.Register()
 			if err != nil {
+				// The Maker contract: capacity denial maps to zero Ops (the
+				// churn storm over-registers on purpose); anything else fails.
+				if errors.Is(err, wfqueue.ErrTooManyHandles) {
+					return qtest.Ops{}
+				}
 				t.Fatal(err)
 			}
 			return qtest.Ops{
-				Enq: func(v int64) { h.Enqueue(v) },
-				Deq: func() (int64, bool) { return h.Dequeue() },
+				Enq:     func(v int64) { h.Enqueue(v) },
+				Deq:     func() (int64, bool) { return h.Dequeue() },
+				Release: h.Release,
 			}
 		}
 	}

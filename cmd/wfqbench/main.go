@@ -11,6 +11,7 @@
 //	wfqbench table2  [flags]
 //	wfqbench single  [flags]
 //	wfqbench json    [-out BENCH_core.json] [flags]
+//	wfqbench handles [-out BENCH_handles.json] [flags]
 //	wfqbench compare [-baseline BENCH_core.json] [-tolerance 0.20] [-strict] [flags]
 //	wfqbench all     [flags]
 //
@@ -25,6 +26,14 @@
 // re-runs the baseline's measurement with the baseline's own parameters and
 // exits 1 on any steady-state allocation regression, or on a >-tolerance
 // wall-throughput regression when the platforms match (or -strict).
+//
+// The handles subcommand is the handle-lifecycle baseline emitter
+// (BENCH_handles.json): it verifies Register/Release are allocation-free for
+// the core and sharded pools (exact, deterministic — exits 1 if not), runs
+// the handle-churn workload over the churn-safe queues, and measures the
+// wf-10 vs wf-10-mutexreg pairwise ratio with the two sides interleaved —
+// the lock-free lifecycle must not lose churn throughput to the mutex
+// baseline it replaced (exits 1 past -tolerance).
 //
 // Common flags:
 //
@@ -97,7 +106,11 @@ func main() {
 	nowork := fs.Bool("nowork", false, "no random work between operations")
 	nopin := fs.Bool("nopin", false, "do not pin threads")
 	csvPath := fs.String("csv", "", "append results as CSV to this file")
-	outPath := fs.String("out", "BENCH_core.json", "json: output path for the benchmark baseline")
+	outDefault := "BENCH_core.json"
+	if cmd == "handles" {
+		outDefault = "BENCH_handles.json"
+	}
+	outPath := fs.String("out", outDefault, "json/handles: output path for the benchmark baseline")
 	adaptive := fs.Bool("adaptive", false, "json: also measure fixed-vs-adaptive pairs (pairs + bursty workloads, oversubscribed threads)")
 	baselinePath := fs.String("baseline", "BENCH_core.json", "compare: committed baseline to diff against")
 	tolerance := fs.Float64("tolerance", 0.20, "compare: allowed fractional wall-throughput drop before failing")
@@ -179,6 +192,8 @@ func main() {
 		runLatency(o)
 	case "json":
 		runJSON(o)
+	case "handles":
+		runHandles(o, *tolerance)
 	case "compare":
 		runCompare(o, *baselinePath, *tolerance, *strict)
 	case "all":
@@ -194,7 +209,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wfqbench {table1|figure2|table2|single|latency|json|compare|all} [flags]  (see -h per subcommand)")
+	fmt.Fprintln(os.Stderr, "usage: wfqbench {table1|figure2|table2|single|latency|json|handles|compare|all} [flags]  (see -h per subcommand)")
 }
 
 func fatalf(format string, args ...any) {

@@ -207,6 +207,78 @@ func TestCLIJSON(t *testing.T) {
 	}
 }
 
+// handles must write a schema-valid lifecycle baseline: zero-allocation
+// lifecycle gates for both pool layers, churn throughput rows for the
+// churn-safe queues (dropping churn-incapable selections instead of
+// erroring), and the lock-free vs mutex pairwise ratio.
+func TestCLIHandles(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_handles.json")
+	// lcrq is deliberately in the selection: it predates Release and must be
+	// filtered out, not fail the run.
+	args := append([]string{"handles", "-queues", "wf-10,lcrq",
+		"-threads", "2", "-tolerance", "0.99", "-out", out}, quick...)
+	stdout, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stdout)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+	var doc struct {
+		Schema    string `json:"schema"`
+		Lifecycle map[string]struct {
+			Cycles         int     `json:"cycles"`
+			AllocsPerCycle float64 `json:"allocs_per_cycle"`
+		} `json:"lifecycle_steady_state"`
+		Queues []struct {
+			Name     string  `json:"name"`
+			WallMops float64 `json:"wall_mops"`
+		} `json:"queues"`
+		Pairwise struct {
+			Ratio    float64 `json:"wf10_over_mutexreg_churn_wall"`
+			Lockfree float64 `json:"wf10_churn_wall_mops"`
+			Mutex    float64 `json:"mutexreg_churn_wall_mops"`
+		} `json:"pairwise"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v\n%s", err, b)
+	}
+	if doc.Schema != "wfqueue/bench-handles/v1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	for _, layer := range []string{"core", "sharded"} {
+		l, ok := doc.Lifecycle[layer]
+		if !ok {
+			t.Fatalf("lifecycle gate missing layer %q:\n%s", layer, b)
+		}
+		if l.AllocsPerCycle != 0 {
+			t.Errorf("%s lifecycle allocated: %v allocs/cycle", layer, l.AllocsPerCycle)
+		}
+		if l.Cycles == 0 {
+			t.Errorf("%s lifecycle measured zero cycles", layer)
+		}
+	}
+	names := map[string]bool{}
+	for _, q := range doc.Queues {
+		names[q.Name] = true
+		if q.WallMops <= 0 {
+			t.Errorf("%s: wall_mops = %v", q.Name, q.WallMops)
+		}
+	}
+	for _, want := range []string{"wf-10", "wf-sharded", "wf-10-mutexreg"} {
+		if !names[want] {
+			t.Errorf("queue rows missing %s: %v", want, names)
+		}
+	}
+	if names["lcrq"] {
+		t.Errorf("lcrq has no Release and must be filtered from the churn rows: %v", names)
+	}
+	if doc.Pairwise.Ratio <= 0 || doc.Pairwise.Lockfree <= 0 || doc.Pairwise.Mutex <= 0 {
+		t.Errorf("pairwise section malformed: %+v", doc.Pairwise)
+	}
+}
+
 // json -adaptive must emit the fixed-vs-adaptive section (both pairs, both
 // workloads, controller snapshots) and compare must then gate that document
 // without tripping on a healthy fresh run.

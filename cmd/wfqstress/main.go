@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	wfqstress [-queue wf-10] [-threads 8] [-duration 10s] [-mode stress|lincheck] [-batch 1] [-seed 1] [-adaptive] [-bursty]
+//	wfqstress [-queue wf-10] [-threads 8] [-duration 10s] [-mode stress|lincheck] [-batch 1] [-seed 1] [-adaptive] [-bursty] [-churn]
 //
 // With -batch k > 1 both modes drive the queue through the batched
 // operations (EnqueueBatch/DequeueBatch): the wait-free queue's native
@@ -24,6 +24,15 @@
 // spells (stretched inter-operation work) every workload.BurstPhase local
 // operations — the phase pattern the adaptive controller must track without
 // ever leaving its bounds.
+//
+// -churn makes every stress worker periodically Release its handle and
+// Register a fresh one mid-run (every churnEvery values), soaking the
+// lock-free handle lifecycle under full queue load. It requires a queue
+// declaring qiface.Factory.ChurnSafe. Re-registration may re-home a handle,
+// so per-producer order does not span the boundary on OrderPerProducer
+// queues: under -churn those are demoted to loss/duplication accounting
+// (full-FIFO queues keep their order checks — a single linearizable queue
+// orders values no matter which handle enqueued them).
 //
 // Queues that declare no cross-handle ordering (wf-sharded-adaptive's
 // hotness dispatch trades per-producer FIFO for throughput) are still
@@ -55,6 +64,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base RNG seed")
 	adaptive := flag.Bool("adaptive", false, "use the queue's contention-adaptive variant and report its controller snapshot")
 	bursty := flag.Bool("bursty", false, "stress: alternate contention storms with quiet spells")
+	churn := flag.Bool("churn", false, "stress: workers periodically Release and re-Register their handles (needs a ChurnSafe queue)")
 	flag.Parse()
 
 	name := *queue
@@ -77,7 +87,16 @@ func main() {
 		if !checkOrder {
 			fmt.Printf("stress: %s declares %s ordering; skipping FIFO checks (loss/duplication only)\n", name, ordering)
 		}
-		runStress(name, *threads, *duration, *batch, *seed, checkOrder, *bursty)
+		if *churn {
+			if !registry.MustLookup(name).ChurnSafe {
+				fatalf("%s does not declare ChurnSafe; -churn needs lock-free Register/Release (try wf-10 or wf-sharded)", name)
+			}
+			if checkOrder && ordering != qiface.OrderFIFO {
+				fmt.Printf("stress: -churn re-homes handles across re-registration; demoting %s's %s order to loss/duplication checks\n", name, ordering)
+				checkOrder = false
+			}
+		}
+		runStress(name, *threads, *duration, *batch, *seed, checkOrder, *bursty, *churn)
 	case "lincheck":
 		if ordering != qiface.OrderFIFO {
 			fatalf("%s declares %s order; lincheck requires full FIFO linearizability (try wf-sharded-1)", name, ordering)
@@ -107,7 +126,27 @@ func adaptiveVariant(name string) string {
 	return ""
 }
 
-func runStress(name string, threads int, d time.Duration, batch int, seed uint64, checkOrder, bursty bool) {
+// churnEvery is how many values a stress worker moves between -churn
+// lifecycle cycles: frequent enough that thousands of Release/Register
+// pairs race per second of stress, long enough that the queue stays loaded.
+const churnEvery = 1024
+
+// reRegister releases ops and checks out a fresh handle, for -churn workers.
+func reRegister(q qiface.Queue, ops qiface.Ops) qiface.Ops {
+	if ops.Release == nil {
+		fatalf("-churn queue returned Ops without Release")
+	}
+	ops.Release()
+	next, err := q.Register()
+	if err != nil {
+		// Every worker holds at most one handle and capacity covers them
+		// all, so a denial means a Release failed to return its slot.
+		fatalf("churn re-register: %v", err)
+	}
+	return qiface.WithBatchFallback(next)
+}
+
+func runStress(name string, threads int, d time.Duration, batch int, seed uint64, checkOrder, bursty, churn bool) {
 	if threads < 2 {
 		threads = 2
 	}
@@ -123,6 +162,9 @@ func runStress(name string, threads int, d time.Duration, batch int, seed uint64
 	burstNote := ""
 	if bursty {
 		burstNote = ", bursty"
+	}
+	if churn {
+		burstNote += ", churn"
 	}
 	fmt.Printf("stress: %s, %d producers, %d consumers, batch=%d%s, %v\n",
 		name, producers, consumers, batch, burstNote, d)
@@ -172,6 +214,9 @@ func runStress(name string, threads int, d time.Duration, batch int, seed uint64
 					}
 					ops.EnqueueBatch(vs)
 					producedTotal.Add(int64(batch))
+				}
+				if churn && seq%churnEvery < int64(batch) {
+					ops = reRegister(q, ops)
 				}
 			}
 			atomic.StoreInt64(&produced[p], seq)
@@ -230,6 +275,9 @@ func runStress(name string, threads int, d time.Duration, batch int, seed uint64
 					}
 					st.count++
 					consumedTotal.Add(1)
+				}
+				if churn && st.count%churnEvery < int64(n) {
+					ops = reRegister(q, ops)
 				}
 			}
 		}(c, st, ops)
@@ -349,6 +397,11 @@ func runLincheck(name string, d time.Duration, batch int, seed uint64) {
 							return dst[:n]
 						}, b)
 					}
+				}
+				// Exercise the lifecycle where the contract offers it; the
+				// per-trial queue is discarded either way.
+				if ops.Release != nil {
+					ops.Release()
 				}
 			}(i, ops)
 		}

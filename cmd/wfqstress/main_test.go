@@ -117,6 +117,36 @@ func TestStressOrderNoneAllowed(t *testing.T) {
 	}
 }
 
+// -churn soaks Release/re-Register under load: full-FIFO queues keep their
+// order checks across the lifecycle boundary, per-producer queues are
+// demoted to loss/duplication accounting, and churn-incapable queues are
+// rejected up front.
+func TestStressChurn(t *testing.T) {
+	out, err := runCLI(t, "-queue", "wf-10", "-threads", "4", "-duration", "300ms", "-churn")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"churn", "order violations: 0", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("churn stress output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = runCLI(t, "-queue", "wf-sharded", "-threads", "4", "-duration", "300ms", "-churn")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"demoting", "order unchecked", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sharded churn stress output missing %q:\n%s", want, out)
+		}
+	}
+
+	if out, err := runCLI(t, "-queue", "msqueue", "-duration", "100ms", "-churn"); err == nil {
+		t.Fatalf("msqueue is not ChurnSafe; -churn should fail:\n%s", out)
+	}
+}
+
 func TestRejectsAdaptiveWithoutVariant(t *testing.T) {
 	if out, err := runCLI(t, "-queue", "msqueue", "-adaptive", "-duration", "100ms"); err == nil {
 		t.Fatalf("msqueue has no adaptive variant, should fail:\n%s", out)

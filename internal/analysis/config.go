@@ -68,9 +68,13 @@ func RepoConfig(root string) Config {
 		// lock-free queues; affinity: CurrentCPU sits on the sharded
 		// dispatch path.
 		Extra: []string{"wfqueue/internal/hazard", "wfqueue/internal/affinity"},
+		// The handle lifecycle (AcquireHandle/Register/Release over the
+		// generation-tagged free lists, DESIGN.md §6) is screened alongside
+		// the queue operations: it is documented lock-free, so nothing
+		// reachable from it may park a goroutine either.
 		HotPaths: map[string][]string{
-			PkgCore:    hot,
-			PkgSharded: hot,
+			PkgCore:    append([]string{"AcquireHandle", "Register", "Release"}, hot...),
+			PkgSharded: append([]string{"Register", "RegisterOnCurrentCPU", "RegisterOnLane", "Release"}, hot...),
 		},
 		EscapeHot: map[string][]string{
 			// The paper's operations (Listings 2-4), the helping paths, the
@@ -89,6 +93,11 @@ func RepoConfig(root string) Config {
 				// inside the operations above and must not allocate either.
 				"pause", "backoff", "adaptOpStart", "adaptTick", "adaptStep",
 				"effPatience", "effSpin", "ContentionEvents",
+				// Handle lifecycle: acquisition and release work over the
+				// preallocated handle array through a tagged free list and
+				// must not allocate either. (core Register is an alias for
+				// AcquireHandle and has no body of its own to gate.)
+				"AcquireHandle", "Release", "pushHandle", "Registered",
 			},
 			// The sharded layer's operations are thin dispatch over core
 			// calls and must stay allocation-free themselves, including the
@@ -96,6 +105,11 @@ func RepoConfig(root string) Config {
 			PkgSharded: {
 				"Enqueue", "Dequeue", "EnqueueBatch", "DequeueBatch",
 				"pickLane", "noteLane", "stealFrom", "sweepLane", "coolOrder",
+				// Shell-pool lifecycle. RegisterOnLane is deliberately absent:
+				// its error paths wrap with fmt.Errorf (cold, sanctioned);
+				// the steady-state machinery it drives is what must stay
+				// allocation-free.
+				"Release", "popShell", "pushShell",
 			},
 		},
 		LayoutRules: RepoLayoutRules(),

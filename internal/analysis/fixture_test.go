@@ -21,6 +21,7 @@ func fixtureConfig() Config {
 			"fixture/layout":  TierLockFree,
 			"fixture/annbad":  TierLockFree,
 			"fixture/loops":   TierWaitFree,
+			"fixture/hpool":   TierWaitFree,
 			"fixture/block":   TierWaitFree,
 			"fixture/hot":     TierWaitFree,
 		},
@@ -105,6 +106,30 @@ func TestFixtureLoopsPass(t *testing.T) {
 	}
 }
 
+// TestFixtureHandlePoolLoops proves the audit handles the lifecycle's
+// generation-tagged free-list shape (DESIGN.md §6): the annotated tagged pop
+// discharges to an obligation, and the identical push loop without its
+// annotation is flagged.
+func TestFixtureHandlePoolLoops(t *testing.T) {
+	res := fixtureResult(t)
+	ds := diagsIn(res, "loops", "hpool.go")
+	if len(ds) != 1 {
+		t.Fatalf("want exactly 1 loops diagnostic (BadPush's unannotated CAS retry; Pop annotated), got %d: %v", len(ds), ds)
+	}
+	if !strings.Contains(ds[0].Msg, "BadPush") && !strings.Contains(ds[0].Pos.Filename, "hpool.go") {
+		t.Errorf("unexpected hpool diagnostic: %s", ds[0])
+	}
+	var obls []Obligation
+	for _, o := range res.Obligations {
+		if strings.HasSuffix(o.Pos.Filename, "hpool.go") {
+			obls = append(obls, o)
+		}
+	}
+	if len(obls) != 1 || obls[0].Func != "(*Pool).Pop" || !strings.Contains(obls[0].Reason, "CAS retry") {
+		t.Errorf("want Pop's tagged-pop annotation as the one hpool obligation, got %v", obls)
+	}
+}
+
 func TestFixtureBlockPass(t *testing.T) {
 	res := fixtureResult(t)
 	ds := diagsIn(res, "block", "block.go")
@@ -180,7 +205,7 @@ func TestFixtureTotals(t *testing.T) {
 	res := fixtureResult(t)
 	want := map[string]int{
 		"atomic":      1,
-		"loops":       1,
+		"loops":       2, // Spin + hpool's BadPush
 		"block":       3,
 		"padding":     3, // 2 alignment (386+arm) + 1 layout
 		"annotations": 2,

@@ -98,7 +98,9 @@ func RepoLayoutRules() []LayoutRule {
 		{
 			// rr is the layer's one shared FAA word; it sits a full line
 			// from the read-mostly descriptor fields before it and the
-			// mutex-guarded registration fields after it.
+			// registration words after it (the regSeq round-robin counter
+			// and the shell free-list head, both CASed/FAAed only on the
+			// cold Register/Release path).
 			Pkg: PkgSharded, Struct: "Queue",
 			Gaps: []Gap{
 				{From: "maxHandles", To: "rr", FromEnd: true},

@@ -62,6 +62,13 @@ func TestRepoObligations(t *testing.T) {
 		"(*segPool).popNode":           1,
 		"(*segPool).pushNode":          1,
 		"DefaultLanes":                 1,
+		// Handle lifecycle (DESIGN.md §6): the tagged free-list pops and
+		// pushes behind AcquireHandle/Release (core) and the shell pool
+		// (sharded) are the same lock-free retry shape as the segment pool.
+		"(*Queue).AcquireHandle": 1,
+		"(*Queue).pushHandle":    1,
+		"(*Queue).popShell":      1,
+		"(*Queue).pushShell":     1,
 	}
 	got := map[string]int{}
 	for _, o := range res.Obligations {

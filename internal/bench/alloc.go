@@ -8,6 +8,7 @@ import (
 	"unsafe"
 
 	"wfqueue/internal/core"
+	"wfqueue/internal/sharded"
 )
 
 // SteadyStateResult reports what one SteadyStateAllocs run observed.
@@ -66,4 +67,75 @@ func SteadyStateAllocs(ops int) SteadyStateResult {
 		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ops),
 		Recycled:    q.ReclaimedSegments() - before,
 	}
+}
+
+// ChurnAllocsResult reports the heap traffic of a handle-lifecycle churn
+// measurement (the analogous gate for Register/Release: expected exactly 0,
+// since both pools pre-allocate every handle at construction).
+type ChurnAllocsResult struct {
+	Cycles         int
+	AllocsPerCycle float64
+	BytesPerCycle  float64
+}
+
+// churnAllocs measures cycle() under MemStats accounting after one warm-up
+// call (the first acquisition may fault in lazily initialized runtime
+// state, which is not the lifecycle's doing). Like testing.AllocsPerRun it
+// pins GOMAXPROCS to 1 for the measurement, and it additionally takes the
+// minimum over a few rounds: runtime background work (timers, GC metadata)
+// occasionally lands a stray allocation inside a window, which would read
+// as ~1e-5 allocs/cycle and trip an exact-zero gate, while a genuine
+// lifecycle allocation shows up in every round at ≥ 1 alloc/cycle.
+func churnAllocs(cycles int, cycle func()) ChurnAllocsResult {
+	if cycles < 1 {
+		cycles = 1
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	cycle()
+	res := ChurnAllocsResult{Cycles: cycles}
+	var m0, m1 runtime.MemStats
+	const rounds = 3
+	for r := 0; r < rounds; r++ {
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		for i := 0; i < cycles; i++ {
+			cycle()
+		}
+		runtime.ReadMemStats(&m1)
+		allocs := float64(m1.Mallocs-m0.Mallocs) / float64(cycles)
+		bytes := float64(m1.TotalAlloc-m0.TotalAlloc) / float64(cycles)
+		if r == 0 || allocs < res.AllocsPerCycle {
+			res.AllocsPerCycle = allocs
+			res.BytesPerCycle = bytes
+		}
+	}
+	return res
+}
+
+// CoreChurnAllocs measures the core queue's AcquireHandle/Release pair: the
+// lock-free handle pool must hand slots out and take them back without
+// touching the heap (DESIGN.md §6).
+func CoreChurnAllocs(cycles int) ChurnAllocsResult {
+	q := core.New(2)
+	return churnAllocs(cycles, func() {
+		h, err := q.AcquireHandle()
+		if err != nil {
+			panic(err) // cannot happen: capacity 2, one handle in flight
+		}
+		h.Release()
+	})
+}
+
+// ShardedChurnAllocs measures the sharded queue's Register/Release pair,
+// which cycles a pre-allocated shell plus one core handle per lane — also
+// required to be allocation-free.
+func ShardedChurnAllocs(cycles int) ChurnAllocsResult {
+	q := sharded.New(2, sharded.WithLanes(2))
+	return churnAllocs(cycles, func() {
+		h, err := q.Register()
+		if err != nil {
+			panic(err)
+		}
+		h.Release()
+	})
 }

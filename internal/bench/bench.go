@@ -131,6 +131,9 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if cfg.Workload == workload.Churn && !factory.ChurnSafe {
+		return Result{}, fmt.Errorf("bench: workload %s needs Register/Release churn (qiface.Factory.ChurnSafe); %s does not declare it", cfg.Workload, cfg.Queue)
+	}
 	workload.Calibrate()
 
 	res := Result{Config: cfg}
@@ -228,21 +231,27 @@ func runTrial(cfg Config, factory qiface.Factory, order []int, seed uint64) (exc
 					return
 				}
 			}
-			ops, err := q.Register()
-			if err != nil {
-				regErr <- err
-				return
+			var ops qiface.Ops
+			if cfg.Workload != workload.Churn {
+				o, err := q.Register()
+				if err != nil {
+					regErr <- err
+					return
+				}
+				// Guarantee batch closures even for adapters that predate
+				// them, so PairsBatched runs on every registered
+				// implementation.
+				ops = qiface.WithBatchFallback(o)
 			}
-			// Guarantee batch closures even for adapters that predate them,
-			// so PairsBatched runs on every registered implementation.
-			ops = qiface.WithBatchFallback(ops)
+			// Churn workers register inside the iteration — holding a base
+			// registration would consume the very capacity the cycles churn.
 			regErr <- nil
 			ready <- struct{}{}
 			rng := workload.NewRNG(plans[w].Seed)
 			for it := 0; it < cfg.Iters; it++ {
 				<-iterStart[it]
 				if !stop.Load() {
-					runWorkerIteration(cfg, plans[w], &rng, ops, ctls[w])
+					runWorkerIteration(cfg, plans[w], &rng, q, ops, ctls[w])
 				}
 				iterDone[it].Done()
 			}
@@ -328,8 +337,10 @@ func runTrial(cfg Config, factory qiface.Factory, order []int, seed uint64) (exc
 	return mops, wallMops, totals, nil
 }
 
-// runWorkerIteration executes one worker's share of one iteration.
-func runWorkerIteration(cfg Config, plan workload.Plan, rng *workload.RNG, ops qiface.Ops, ctl *workerCtl) {
+// runWorkerIteration executes one worker's share of one iteration. q is only
+// used by the Churn workload, whose cycles register and release their own
+// handles; every other workload drives the pre-registered ops.
+func runWorkerIteration(cfg Config, plan workload.Plan, rng *workload.RNG, q qiface.Queue, ops qiface.Ops, ctl *workerCtl) {
 	var workNS int64
 	var enqs, deqs, empty uint64
 	switch cfg.Workload {
@@ -401,6 +412,38 @@ func runWorkerIteration(cfg Config, plan workload.Plan, rng *workload.RNG, ops q
 			empty += uint64(b - got)
 			deqs += uint64(b)
 			workNS += int64(workload.Work(rng, cfg.WorkMinNS, cfg.WorkMaxNS))
+		}
+	case workload.Churn:
+		// Register → ChurnPairs pairs → Release, repeated. The lifecycle cost
+		// sits inside the measured cycle, which is the point: this is the
+		// workload where a mutex-guarded Register serializes all threads and
+		// the lock-free pool does not.
+		cycles := plan.Ops / (2 * workload.ChurnPairs)
+		if cycles < 1 {
+			cycles = 1
+		}
+		for c := 0; c < cycles; c++ {
+			cops, err := q.Register()
+			if err != nil {
+				// Capacity equals the worker count and each worker holds at
+				// most one handle, so a denial here is a lifecycle bug (a
+				// Release that failed to return its slot), not contention.
+				panic(fmt.Sprintf("bench: churn Register cycle %d: %v", c, err))
+			}
+			if cops.Release == nil {
+				panic("bench: churn workload on a queue whose Ops lack Release")
+			}
+			for i := 0; i < workload.ChurnPairs; i++ {
+				cops.Enqueue(uint64(i) + 1)
+				enqs++
+				workNS += int64(workload.Work(rng, cfg.WorkMinNS, cfg.WorkMaxNS))
+				if _, ok := cops.Dequeue(); !ok {
+					empty++
+				}
+				deqs++
+				workNS += int64(workload.Work(rng, cfg.WorkMinNS, cfg.WorkMaxNS))
+			}
+			cops.Release()
 		}
 	}
 	atomic.AddInt64(&ctl.workNS, workNS)

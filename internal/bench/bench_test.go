@@ -281,6 +281,45 @@ func TestRunMemoryMetrics(t *testing.T) {
 	}
 }
 
+// TestRunChurn drives the handle-churn workload over the lock-free queues
+// and the mutex-registration baseline, and checks that a queue without the
+// churn contract is rejected up front.
+func TestRunChurn(t *testing.T) {
+	for _, q := range []string{"wf-10", "wf-sharded", "wf-10-mutexreg"} {
+		res, err := Run(smallConfig(q, workload.Churn, 2))
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if res.Mops() <= 0 {
+			t.Errorf("%s: nonpositive throughput", q)
+		}
+		if res.Enqueues == 0 || res.Enqueues != res.Dequeues {
+			t.Errorf("%s: accounting enq=%d deq=%d", q, res.Enqueues, res.Dequeues)
+		}
+	}
+	if _, err := Run(smallConfig("lcrq", workload.Churn, 2)); err == nil {
+		t.Error("churn workload on a non-ChurnSafe queue should error")
+	}
+}
+
+func TestChurnAllocsZero(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation exactness is meaningless under -race")
+	}
+	for name, f := range map[string]func(int) ChurnAllocsResult{
+		"core":    CoreChurnAllocs,
+		"sharded": ShardedChurnAllocs,
+	} {
+		r := f(100000)
+		if r.AllocsPerCycle != 0 {
+			t.Errorf("%s churn allocs/cycle = %v, want exactly 0", name, r.AllocsPerCycle)
+		}
+		if r.BytesPerCycle != 0 {
+			t.Errorf("%s churn bytes/cycle = %v, want exactly 0", name, r.BytesPerCycle)
+		}
+	}
+}
+
 func TestSteadyStateAllocsZero(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; allocation exactness is meaningless under -race")

@@ -30,7 +30,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 	"unsafe"
 
@@ -200,8 +199,13 @@ type Handle struct {
 
 	q *Queue
 
-	// registered tracks whether the handle is currently checked out.
-	registered bool
+	// Lifecycle state (handlepool.go). freeNext links free handles by
+	// index+1 (0 terminates); it is written only by the exclusive owner of
+	// the slot between a pop and a push, ordered by the publishing CAS. life
+	// is the checkout epoch: odd while checked out, even while free,
+	// monotonically increasing — the word that makes Release idempotent.
+	freeNext uint32
+	life     atomic.Uint64
 
 	stats Counters
 
@@ -313,11 +317,18 @@ type Queue struct {
 	// WithRecycling; nil otherwise). See segpool.go.
 	pool *segPool
 
-	// mu guards Register/Release bookkeeping only. No segment path —
-	// find_cell extension, cleanup, pool push/pop — ever takes a lock.
-	mu        sync.Mutex
-	freeList  []*Handle // registration free list
-	reclaimed uint64    // total segments reclaimed (atomic)
+	_ pad.CacheLinePad
+	// hfree is the tagged head of the lock-free handle free list
+	// (generation:40 | handle index+1:24, 0 index meaning empty; see
+	// handlepool.go). It is the one word registration churn hammers, so it
+	// gets its own cache line — an acquire/release storm must not invalidate
+	// the line the segment-path configuration words above live on. Its
+	// atomic.Uint64 type also anchors 8-alignment for the word below on
+	// 32-bit targets.
+	hfree atomic.Uint64
+
+	reclaimed uint64 // total segments reclaimed (atomic)
+	_         pad.CacheLinePad
 }
 
 // Option configures a Queue at construction.
@@ -408,6 +419,12 @@ func New(maxThreads int, opts ...Option) *Queue {
 	if maxThreads < 1 {
 		maxThreads = 1
 	}
+	if maxThreads > maxHandleCap {
+		// The lock-free handle pool addresses handles with 24-bit indices;
+		// ~16.7M concurrent handles is past any realistic helper-ring size
+		// (the ring walk is O(maxThreads)).
+		maxThreads = maxHandleCap
+	}
 	cfg := config{
 		segShift:   DefaultSegmentShift,
 		patience:   DefaultPatience,
@@ -450,38 +467,20 @@ func New(maxThreads int, opts ...Option) *Queue {
 		h.spare = make([]*Handle, 0, maxThreads)
 		h.adaptInit(&cfg)
 	}
-	q.freeList = append(q.freeList, q.handles...)
+	// Chain every handle onto the lock-free free list (handle i links to
+	// i+1, 1-based; the last links to 0) and publish index 1 as the top.
+	for i := 0; i < maxThreads-1; i++ {
+		q.handles[i].freeNext = uint32(i + 2)
+	}
+	q.hfree.Store(1)
 	return q
 }
 
 // Register checks out a handle. Each concurrent worker needs its own;
-// callers return it with Handle.Release when done.
-func (q *Queue) Register() (*Handle, error) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	n := len(q.freeList)
-	if n == 0 {
-		return nil, ErrTooManyHandles
-	}
-	h := q.freeList[n-1]
-	q.freeList = q.freeList[:n-1]
-	h.registered = true
-	return h, nil
-}
-
-// Release returns a handle to the queue's pool. The handle must have no
-// operation in flight. Its ring slot persists (helpers simply see no
-// pending request), so release/re-register cycles are cheap.
-func (h *Handle) Release() {
-	q := h.q
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if !h.registered {
-		panic("core: Release of unregistered handle")
-	}
-	h.registered = false
-	q.freeList = append(q.freeList, h)
-}
+// callers return it with Handle.Release when done. It is a veneer over
+// AcquireHandle (handlepool.go), kept for API continuity: both are
+// lock-free and allocation-free.
+func (q *Queue) Register() (*Handle, error) { return q.AcquireHandle() }
 
 // Capacity returns the maximum number of concurrently registered handles.
 func (q *Queue) Capacity() int { return len(q.handles) }

@@ -296,16 +296,29 @@ func TestRegisterExhaustionAndRelease(t *testing.T) {
 	h3.Release()
 }
 
-func TestReleaseUnregisteredPanics(t *testing.T) {
+// TestReleaseIdempotent: a second Release of the same handle epoch is a
+// no-op (the finalizer path of the public API can race an explicit
+// Release), and the slot is handed out exactly once afterwards.
+func TestReleaseIdempotent(t *testing.T) {
 	q := New(1)
 	h := mustRegister(t, q)
 	h.Release()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("double Release should panic")
-		}
-	}()
-	h.Release()
+	h.Release() // must not panic, must not double-free the slot
+	h2 := mustRegister(t, q)
+	if h2 != h {
+		t.Fatal("expected the single slot back")
+	}
+	// The double Release above must not have pushed the slot twice.
+	if _, err := q.Register(); err == nil {
+		t.Fatal("double Release duplicated the free slot")
+	}
+	if !h2.Registered() {
+		t.Fatal("acquired handle reports unregistered")
+	}
+	h2.Release()
+	if h2.Registered() {
+		t.Fatal("released handle reports registered")
+	}
 }
 
 func TestEnqueueNilPanics(t *testing.T) {

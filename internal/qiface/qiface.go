@@ -38,6 +38,19 @@ type Ops struct {
 	// during the call (the batched analogue of Dequeue's ok=false). May be
 	// nil; use WithBatchFallback to guarantee presence.
 	DequeueBatch func(dst []uint64) int
+
+	// Release returns the registration these closures belong to, making the
+	// handle's capacity slot available to a subsequent Register. After
+	// Release, none of the other closures may be called. Release must be
+	// idempotent (a second call is a no-op) and must not be called
+	// concurrently with any other closure of the same Ops.
+	//
+	// May be nil: implementations predating the handle-lifecycle contract —
+	// or wrappers that cannot reclaim capacity — leave it unset, and
+	// harnesses that churn registrations (the qtest storm, wfqbench's Churn
+	// workload, wfqstress -churn) skip such queues. A Factory that sets
+	// ChurnSafe guarantees a non-nil Release.
+	Release func()
 }
 
 // WithBatchFallback returns ops with any missing batch closure synthesized
@@ -180,6 +193,12 @@ type Factory struct {
 	MaxValue uint64
 	// WaitFree reports whether the implementation guarantees wait-freedom.
 	WaitFree bool
+	// ChurnSafe reports that the implementation supports goroutine churn:
+	// Register/Release are safe to call concurrently at high frequency
+	// (lock-free and allocation-free for the paper's queues), every Ops has
+	// a non-nil idempotent Release, and a released slot's capacity is
+	// reusable immediately. Harnesses gate churn workloads on this flag.
+	ChurnSafe bool
 	// Ordering is the implementation's FIFO guarantee (zero value:
 	// OrderFIFO, a single linearizable queue).
 	Ordering Ordering

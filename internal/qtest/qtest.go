@@ -27,6 +27,10 @@ type Ops struct {
 	// DeqBatch fills dst from the front and returns the count; a short
 	// return means the queue was observed empty during the call.
 	DeqBatch func(dst []int64) int
+	// Release returns the worker's registration, freeing its capacity slot
+	// for a later registration (mirroring qiface.Ops.Release). Optional:
+	// when nil, the churn parts of the battery are skipped.
+	Release func()
 }
 
 // withBatch returns ops with nil batch closures synthesized from the
@@ -57,7 +61,10 @@ func withBatch(ops Ops) Ops {
 }
 
 // Maker builds a fresh queue sized for n workers and returns a registration
-// function handing out per-worker Ops.
+// function handing out per-worker Ops. A register call that finds every
+// capacity slot taken returns the zero Ops (churn harnesses over-register
+// on purpose and treat the zero Ops as a clean denial); any other failure
+// fails the test.
 type Maker func(t testing.TB, nworkers int) func() Ops
 
 // Sequential drives n enqueues then n dequeues through one worker and
@@ -363,14 +370,98 @@ func MPMCBatch(t *testing.T, mk Maker, producers, consumers, perProducer, batch 
 	}
 }
 
+// ChurnStorm is the goroutine-churn adversary: churners goroutines — more
+// than the queue's nworkers capacity — loop register → enqueue/dequeue →
+// release for cycles iterations each, modeling a server that spawns a
+// short-lived goroutine per request. It validates that capacity denials are
+// clean errors (not corruption), that every released slot is reusable (the
+// storm must make progress on at most `capacity` concurrent slots), that
+// double-Release is a safe no-op, and that nothing is lost: after the storm
+// the queue drains to exactly the set of values the churners reported
+// enqueueing.
+//
+// The Maker's register function must hand out Ops with a non-nil Release
+// and must report capacity exhaustion by returning a zero Ops (the Maker
+// contract) rather than failing the test.
+func ChurnStorm(t *testing.T, mk Maker, capacity, churners, cycles int) {
+	t.Helper()
+	register := mk(t, capacity)
+	var wg sync.WaitGroup
+	var enqueued, dequeued, acquired, denied int64
+	var mu sync.Mutex
+	for w := 0; w < churners; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var localE, localD, localA, localN int64
+			for i := 0; i < cycles; i++ {
+				ops := register()
+				if ops.Enq == nil { // capacity denial: retry later
+					localN++
+					runtime.Gosched()
+					continue
+				}
+				localA++
+				v := int64(w)<<32 | int64(i+1)
+				ops.Enq(v)
+				localE++
+				if _, ok := ops.Deq(); ok {
+					localD++
+				}
+				ops.Release()
+				if i%16 == 0 {
+					ops.Release() // idempotent: must be a safe no-op
+				}
+			}
+			mu.Lock()
+			enqueued += localE
+			dequeued += localD
+			acquired += localA
+			denied += localN
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if acquired == 0 {
+		t.Fatal("churn storm never acquired a registration")
+	}
+	// All slots must be free again: capacity registrations succeed, and the
+	// queue drains to exactly the outstanding values.
+	opss := make([]Ops, 0, capacity)
+	for i := 0; i < capacity; i++ {
+		ops := register()
+		if ops.Enq == nil {
+			t.Fatalf("slot %d lost after storm (capacity leaked)", i)
+		}
+		opss = append(opss, ops)
+	}
+	rest := int64(0)
+	for {
+		if _, ok := opss[0].Deq(); !ok {
+			break
+		}
+		rest++
+	}
+	if dequeued+rest != enqueued {
+		t.Fatalf("storm lost values: enqueued %d, dequeued %d + drained %d", enqueued, dequeued, rest)
+	}
+	for _, ops := range opss {
+		ops.Release()
+	}
+}
+
 // Battery runs the full conformance suite with sizes scaled by -short.
+// Queues whose Ops carry a Release closure additionally get the
+// goroutine-churn storm (the handle-lifecycle part of the contract).
 func Battery(t *testing.T, mk Maker) {
 	t.Helper()
 	per := 10000
 	quickN := 200
+	churnCycles := 150
 	if testing.Short() {
 		per = 1000
 		quickN = 50
+		churnCycles = 30
 	}
 	t.Run("Sequential", func(t *testing.T) { Sequential(t, mk, 2000) })
 	t.Run("EmptyResilience", func(t *testing.T) { EmptyResilience(t, mk, 300) })
@@ -382,4 +473,10 @@ func Battery(t *testing.T, mk Maker) {
 	t.Run("MPMC-8x1", func(t *testing.T) { MPMC(t, mk, 8, 1, per/4) })
 	t.Run("MPMCBatch-4x4", func(t *testing.T) { MPMCBatch(t, mk, 4, 4, per, 8) })
 	t.Run("MPMCBatch-2x2", func(t *testing.T) { MPMCBatch(t, mk, 2, 2, per, 13) })
+	t.Run("ChurnStorm", func(t *testing.T) {
+		if mk(t, 1)().Release == nil {
+			t.Skip("queue does not implement Ops.Release")
+		}
+		ChurnStorm(t, mk, 4, 16, churnCycles)
+	})
 }

@@ -36,6 +36,11 @@
 //	               adaptive lanes plus hotness-aware dispatch and
 //	               coolness-ordered stealing. Diverting off a hot home lane
 //	               gives up per-producer ordering (qiface.OrderNone)
+//	wf-10-mutexreg wf-10 behind the pre-refactor mutex-guarded
+//	               registration (sync.Mutex + free slice). Queue operations
+//	               are identical to wf-10; only the handle lifecycle
+//	               differs. The churn baseline wfqbench's handles report
+//	               gates the lock-free lifecycle against.
 //
 // Pointer-based queues are adapted to the uint64 currency of qiface through
 // per-thread value arenas: an enqueue writes the value into the next arena
@@ -100,19 +105,19 @@ var FigureSeries = []string{"wf-10", "wf-0", "faa", "ccqueue", "msqueue", "lcrq"
 
 func init() {
 	qiface.Register(qiface.Factory{
-		Name: "wf-10", Doc: "paper's wait-free queue, PATIENCE=10", WaitFree: true,
+		Name: "wf-10", Doc: "paper's wait-free queue, PATIENCE=10", WaitFree: true, ChurnSafe: true,
 		New: func(n int) (qiface.Queue, error) { return newWF("wf-10", n, 10, false, false) },
 	})
 	qiface.Register(qiface.Factory{
-		Name: "wf-0", Doc: "paper's wait-free queue, PATIENCE=0 (slow-path emphasis)", WaitFree: true,
+		Name: "wf-0", Doc: "paper's wait-free queue, PATIENCE=0 (slow-path emphasis)", WaitFree: true, ChurnSafe: true,
 		New: func(n int) (qiface.Queue, error) { return newWF("wf-0", n, 0, false, false) },
 	})
 	qiface.Register(qiface.Factory{
-		Name: "wf-10-recycle", Doc: "wf-10 with segment recycling (ablation)", WaitFree: true,
+		Name: "wf-10-recycle", Doc: "wf-10 with segment recycling (ablation)", WaitFree: true, ChurnSafe: true,
 		New: func(n int) (qiface.Queue, error) { return newWF("wf-10-recycle", n, 10, true, false) },
 	})
 	qiface.Register(qiface.Factory{
-		Name: "wf-10-tiny", Doc: "wf-10, recycling, 4-cell segments, maxGarbage=1 (reclamation stress)", WaitFree: true,
+		Name: "wf-10-tiny", Doc: "wf-10, recycling, 4-cell segments, maxGarbage=1 (reclamation stress)", WaitFree: true, ChurnSafe: true,
 		New: func(n int) (qiface.Queue, error) {
 			return newWF("wf-10-tiny", n, 10, true, false,
 				core.WithSegmentShift(2), core.WithMaxGarbage(1))
@@ -163,43 +168,48 @@ func init() {
 	})
 	qiface.Register(qiface.Factory{
 		Name: "wf-sharded", Doc: "sharded multi-lane wf-10 (lane per CPU, affinity dispatch, stealing)",
-		WaitFree: true, Ordering: qiface.OrderPerProducer,
+		WaitFree: true, ChurnSafe: true, Ordering: qiface.OrderPerProducer,
 		New: func(n int) (qiface.Queue, error) { return newSharded("wf-sharded", n, false) },
 	})
 	qiface.Register(qiface.Factory{
 		Name: "wf-sharded-1", Doc: "sharded queue, single lane (strict FIFO degenerate configuration)",
-		WaitFree: true, Ordering: qiface.OrderFIFO,
+		WaitFree: true, ChurnSafe: true, Ordering: qiface.OrderFIFO,
 		New: func(n int) (qiface.Queue, error) {
 			return newSharded("wf-sharded-1", n, false, sharded.WithLanes(1))
 		},
 	})
 	qiface.Register(qiface.Factory{
 		Name: "wf-sharded-8", Doc: "sharded queue, 8 lanes (lane-scaling probe)",
-		WaitFree: true, Ordering: qiface.OrderPerProducer,
+		WaitFree: true, ChurnSafe: true, Ordering: qiface.OrderPerProducer,
 		New: func(n int) (qiface.Queue, error) {
 			return newSharded("wf-sharded-8", n, false, sharded.WithLanes(8))
 		},
 	})
 	qiface.Register(qiface.Factory{
 		Name: "wf-sharded-rr", Doc: "sharded queue, round-robin dispatch (balanced lanes, unordered)",
-		WaitFree: true, Ordering: qiface.OrderNone,
+		WaitFree: true, ChurnSafe: true, Ordering: qiface.OrderNone,
 		New: func(n int) (qiface.Queue, error) {
 			return newSharded("wf-sharded-rr", n, false, sharded.WithDispatch(sharded.DispatchRoundRobin))
 		},
 	})
 	qiface.Register(qiface.Factory{
 		Name: "wf-adaptive", Doc: "wf-10 with self-tuning patience/spin and bounded CAS backoff",
-		WaitFree: true, Ordering: qiface.OrderFIFO,
+		WaitFree: true, ChurnSafe: true, Ordering: qiface.OrderFIFO,
 		New: func(n int) (qiface.Queue, error) {
 			return newWF("wf-adaptive", n, 10, false, false, core.WithAdaptive())
 		},
 	})
 	qiface.Register(qiface.Factory{
 		Name: "wf-sharded-adaptive", Doc: "sharded queue, adaptive lanes + hotness-aware dispatch (unordered)",
-		WaitFree: true, Ordering: qiface.OrderNone,
+		WaitFree: true, ChurnSafe: true, Ordering: qiface.OrderNone,
 		New: func(n int) (qiface.Queue, error) {
 			return newSharded("wf-sharded-adaptive", n, false, sharded.WithAdaptive())
 		},
+	})
+	qiface.Register(qiface.Factory{
+		Name: "wf-10-mutexreg", Doc: "wf-10 behind mutex-guarded registration (handle-churn baseline)",
+		WaitFree: true, ChurnSafe: true, Ordering: qiface.OrderFIFO,
+		New: func(n int) (qiface.Queue, error) { return newMutexReg("wf-10-mutexreg", n, false) },
 	})
 }
 
@@ -243,21 +253,31 @@ func (a *wfAdapter) Register() (qiface.Ops, error) {
 	if err != nil {
 		return qiface.Ops{}, err
 	}
+	ops := buildWFOps(a.q, h, a.boxed)
+	ops.Release = h.Release
+	return ops, nil
+}
+
+// buildWFOps builds the qiface closures driving one core handle, without a
+// Release (the caller wires the lifecycle: the lock-free wfAdapter hands the
+// handle's own Release through, the wf-10-mutexreg baseline substitutes its
+// mutex-guarded recycler).
+func buildWFOps(q *core.Queue, h *core.Handle, boxed bool) qiface.Ops {
 	scr := &batchScratch{}
 	deqBatch := func(dst []uint64) int {
 		buf := scr.grow(len(dst))
-		n := a.q.DequeueBatch(h, buf)
+		n := q.DequeueBatch(h, buf)
 		for i := 0; i < n; i++ {
 			dst[i] = *(*uint64)(buf[i])
 			buf[i] = nil
 		}
 		return n
 	}
-	if a.boxed {
+	if boxed {
 		return qiface.Ops{
-			Enqueue: func(v uint64) { a.q.Enqueue(h, boxVal(v)) },
+			Enqueue: func(v uint64) { q.Enqueue(h, boxVal(v)) },
 			Dequeue: func() (uint64, bool) {
-				p, ok := a.q.Dequeue(h)
+				p, ok := q.Dequeue(h)
 				if !ok {
 					return 0, false
 				}
@@ -273,16 +293,16 @@ func (a *wfAdapter) Register() (qiface.Ops, error) {
 				for i := range vals {
 					buf[i] = unsafe.Pointer(&vals[i])
 				}
-				a.q.EnqueueBatch(h, buf)
+				q.EnqueueBatch(h, buf)
 			},
 			DequeueBatch: deqBatch,
-		}, nil
+		}
 	}
 	ar := &arena{}
 	return qiface.Ops{
-		Enqueue: func(v uint64) { a.q.Enqueue(h, ptr(ar.put(v))) },
+		Enqueue: func(v uint64) { q.Enqueue(h, ptr(ar.put(v))) },
 		Dequeue: func() (uint64, bool) {
-			p, ok := a.q.Dequeue(h)
+			p, ok := q.Dequeue(h)
 			if !ok {
 				return 0, false
 			}
@@ -293,15 +313,15 @@ func (a *wfAdapter) Register() (qiface.Ops, error) {
 			for i, v := range vs {
 				buf[i] = ptr(ar.put(v))
 			}
-			a.q.EnqueueBatch(h, buf)
+			q.EnqueueBatch(h, buf)
 		},
 		DequeueBatch: deqBatch,
-	}, nil
+	}
 }
 
-// Stats implements qiface.StatsProvider for the paper's Table 2.
-func (a *wfAdapter) Stats() map[string]uint64 {
-	s := a.q.Stats()
+// coreStatsMap flattens the core counters into the qiface.StatsProvider map
+// (the paper's Table 2 keys).
+func coreStatsMap(s core.Counters) map[string]uint64 {
 	return map[string]uint64{
 		"enq_fast":        s.EnqFast,
 		"enq_slow":        s.EnqSlow,
@@ -323,6 +343,11 @@ func (a *wfAdapter) Stats() map[string]uint64 {
 		"fast_cas_fails":  s.FastCASFails,
 		"backoff_iters":   s.BackoffIters,
 	}
+}
+
+// Stats implements qiface.StatsProvider for the paper's Table 2.
+func (a *wfAdapter) Stats() map[string]uint64 {
+	return coreStatsMap(a.q.Stats())
 }
 
 // Adaptive implements qiface.AdaptiveProvider.
@@ -381,6 +406,7 @@ func (a *shardedAdapter) Register() (qiface.Ops, error) {
 				a.q.EnqueueBatch(h, buf)
 			},
 			DequeueBatch: deqBatch,
+			Release:      h.Release,
 		}, nil
 	}
 	ar := &arena{}
@@ -401,6 +427,7 @@ func (a *shardedAdapter) Register() (qiface.Ops, error) {
 			a.q.EnqueueBatch(h, buf)
 		},
 		DequeueBatch: deqBatch,
+		Release:      h.Release,
 	}, nil
 }
 
@@ -408,34 +435,14 @@ func (a *shardedAdapter) Register() (qiface.Ops, error) {
 // the usual keys plus the sharded layer's own (lanes, steals, sweeps, ...).
 func (a *shardedAdapter) Stats() map[string]uint64 {
 	st := a.q.Stats()
-	s := st.Core
-	return map[string]uint64{
-		"enq_fast":        s.EnqFast,
-		"enq_slow":        s.EnqSlow,
-		"deq_fast":        s.DeqFast,
-		"deq_slow":        s.DeqSlow,
-		"deq_empty":       s.DeqEmpty,
-		"spin_fallbacks":  s.SpinFallbacks,
-		"help_enq":        s.HelpEnq,
-		"help_deq":        s.HelpDeq,
-		"cleanups":        s.Cleanups,
-		"segments":        s.Segments,
-		"seg_cache_hits":  s.SegCacheHits,
-		"seg_pool_hits":   s.SegPoolHits,
-		"seg_allocs":      s.SegAllocs,
-		"enq_batch_calls": s.EnqBatchCalls,
-		"enq_batch_faas":  s.EnqBatchFAAs,
-		"deq_batch_calls": s.DeqBatchCalls,
-		"deq_batch_faas":  s.DeqBatchFAAs,
-		"fast_cas_fails":  s.FastCASFails,
-		"backoff_iters":   s.BackoffIters,
-		"lanes":           uint64(st.Lanes),
-		"steals":          st.Sharded.Steals,
-		"sweeps":          st.Sharded.Sweeps,
-		"empty_dequeues":  st.Sharded.EmptyDequeues,
-		"rr_dispatches":   st.Sharded.RRDispatches,
-		"hot_diverts":     st.Sharded.HotDiverts,
-	}
+	m := coreStatsMap(st.Core)
+	m["lanes"] = uint64(st.Lanes)
+	m["steals"] = st.Sharded.Steals
+	m["sweeps"] = st.Sharded.Sweeps
+	m["empty_dequeues"] = st.Sharded.EmptyDequeues
+	m["rr_dispatches"] = st.Sharded.RRDispatches
+	m["hot_diverts"] = st.Sharded.HotDiverts
+	return m
 }
 
 // Adaptive implements qiface.AdaptiveProvider, merging all lanes and adding
@@ -750,6 +757,8 @@ func NewChecked(name string, n int) (qiface.Queue, error) {
 		return newWF(name, n, 10, false, true, core.WithAdaptive())
 	case "wf-sharded-adaptive":
 		return newSharded(name, n, true, sharded.WithAdaptive())
+	case "wf-10-mutexreg":
+		return newMutexReg(name, n, true)
 	case "of":
 		return newOF(name, n, true)
 	case "msqueue":

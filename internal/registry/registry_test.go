@@ -1,11 +1,13 @@
 package registry
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 
+	"wfqueue/internal/core"
 	"wfqueue/internal/qiface"
 	"wfqueue/internal/qtest"
 )
@@ -67,10 +69,17 @@ func makerFor(name string) qtest.Maker {
 		return func() qtest.Ops {
 			ops, err := q.Register()
 			if err != nil {
+				// Capacity denial is a legal outcome the churn harnesses
+				// provoke deliberately; per the Maker contract it maps to
+				// zero Ops. Anything else is a real failure.
+				if errors.Is(err, core.ErrTooManyHandles) {
+					return qtest.Ops{}
+				}
 				t.Fatal(err)
 			}
 			return qtest.Ops{
-				Enq: func(v int64) { ops.Enqueue(uint64(v)) },
+				Release: ops.Release,
+				Enq:     func(v int64) { ops.Enqueue(uint64(v)) },
 				Deq: func() (int64, bool) {
 					v, ok := ops.Dequeue()
 					return int64(v), ok
@@ -208,7 +217,7 @@ func TestWaitFreeFlags(t *testing.T) {
 	waitFree := map[string]bool{
 		"wf-10": true, "wf-0": true, "wf-10-recycle": true, "kpqueue": true, "simqueue": true,
 		"wf-sharded": true, "wf-sharded-1": true, "wf-sharded-8": true, "wf-sharded-rr": true,
-		"wf-adaptive": true, "wf-sharded-adaptive": true,
+		"wf-adaptive": true, "wf-sharded-adaptive": true, "wf-10-mutexreg": true,
 		"lcrq": false, "msqueue": false, "ccqueue": false, "of": false, "faa": false, "chan": false,
 	}
 	for name, want := range waitFree {
@@ -237,6 +246,9 @@ func TestOrderingDeclarations(t *testing.T) {
 		// dispatch gives up per-producer order.
 		"wf-adaptive":         qiface.OrderFIFO,
 		"wf-sharded-adaptive": qiface.OrderNone,
+		// The mutex-registration baseline only changes the handle lifecycle,
+		// never the queue order.
+		"wf-10-mutexreg": qiface.OrderFIFO,
 	}
 	for name, o := range want {
 		if got := MustLookup(name).Ordering; got != o {
@@ -315,6 +327,59 @@ func TestAdaptiveProvider(t *testing.T) {
 	}
 	if snap := q.(qiface.AdaptiveProvider).Adaptive(); snap.Enabled {
 		t.Error("wf-10 reports an enabled adaptive controller")
+	}
+}
+
+// TestChurnSafeContract pins which implementations declare the
+// handle-churn contract, and enforces what the flag promises: a non-nil
+// Release on every Ops, idempotence of a double Release, and immediate
+// reusability of the released slot's capacity.
+func TestChurnSafeContract(t *testing.T) {
+	churnSafe := map[string]bool{
+		"wf-10": true, "wf-0": true, "wf-10-recycle": true, "wf-10-tiny": true,
+		"wf-sharded": true, "wf-sharded-1": true, "wf-sharded-8": true, "wf-sharded-rr": true,
+		"wf-adaptive": true, "wf-sharded-adaptive": true, "wf-10-mutexreg": true,
+		"of": false, "lcrq": false, "lcrq-gc": false, "msqueue": false, "msqueue-gc": false,
+		"ccqueue": false, "kpqueue": false, "faa": false, "simqueue": false, "chan": false,
+	}
+	for _, name := range qiface.Names() {
+		want, pinned := churnSafe[name]
+		if !pinned {
+			t.Errorf("%s: not pinned in the churn-safety table; declare it", name)
+			continue
+		}
+		f := MustLookup(name)
+		if f.ChurnSafe != want {
+			t.Errorf("%s: ChurnSafe = %v, want %v", name, f.ChurnSafe, want)
+		}
+		if !f.ChurnSafe {
+			continue
+		}
+		q, err := f.New(1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ops, err := q.Register()
+		if err != nil {
+			t.Fatalf("%s: Register: %v", name, err)
+		}
+		if ops.Release == nil {
+			t.Errorf("%s: ChurnSafe factory returned nil Release", name)
+			continue
+		}
+		ops.Release()
+		ops.Release() // must be a no-op, not a double-free
+		ops2, err := q.Register()
+		if err != nil {
+			t.Errorf("%s: Register after Release denied: %v", name, err)
+			continue
+		}
+		// The double Release above must not have freed ops2's slot: at
+		// capacity 1, a third registration has to be denied while ops2 is out.
+		if _, err := q.Register(); err == nil {
+			t.Errorf("%s: double Release leaked an extra capacity slot", name)
+		}
+		ops2.Release()
 	}
 }
 

@@ -50,7 +50,6 @@ package sharded
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"wfqueue/internal/affinity"
@@ -226,10 +225,16 @@ type Queue struct {
 	// regSeq assigns default home lanes round-robin (Register-time only).
 	regSeq int64
 
-	// mu guards registration bookkeeping and the retired-stats accumulator.
-	mu      sync.Mutex
-	live    map[*Handle]struct{}
-	retired Counters
+	// The lock-free shell pool (see Register): every Handle shell — the hs
+	// slice, the adaptive scratch, the stats — is allocated once at New and
+	// recirculated through a generation-tagged free list, the same idiom as
+	// the core handle pool (core/handlepool.go), so Register/Release is
+	// lock-free and allocation-free at this layer too. hfree packs
+	// (generation:40 | shell index+1:24), 0 index meaning empty.
+	shells []*Handle
+	_      pad.CacheLinePad
+	hfree  atomic.Uint64
+	_      pad.CacheLinePad
 }
 
 // Handle is a thread's registration with the sharded queue: one core handle
@@ -254,6 +259,15 @@ type Handle struct {
 	probe     int
 	decayTick uint64
 
+	// Lifecycle state (see Register/Release): idx is the shell's fixed slot
+	// in Queue.shells; freeNext links free shells by index+1 (0 terminates),
+	// written only by the slot's exclusive owner between pop and push; life
+	// is the checkout epoch — odd while checked out, even while free,
+	// monotonically increasing — which makes Release idempotent.
+	idx      int
+	freeNext uint32
+	life     atomic.Uint64
+
 	stats Counters
 	_     pad.CacheLinePad
 }
@@ -274,18 +288,78 @@ func New(maxHandles int, opts ...Option) *Queue {
 		n = DefaultLanes()
 	}
 	q := &Queue{
-		lanes:      make([]lane, n),
-		dispatch:   cfg.dispatch,
-		cpuHome:    cfg.cpuHome,
-		adaptive:   cfg.adaptive,
-		maxHandles: maxHandles,
-		live:       map[*Handle]struct{}{},
+		lanes:    make([]lane, n),
+		dispatch: cfg.dispatch,
+		cpuHome:  cfg.cpuHome,
+		adaptive: cfg.adaptive,
 	}
 	for i := range q.lanes {
 		q.lanes[i].id = i
 		q.lanes[i].q = core.New(maxHandles, cfg.coreOpts...)
 	}
+	// The core clamps oversized maxThreads; size the shell pool to what the
+	// lanes actually support so a popped shell can always register on every
+	// lane (see the counting argument on Register).
+	q.maxHandles = q.lanes[0].q.Capacity()
+	// Pre-allocate every Handle shell — hs slice, adaptive scratch, stats —
+	// and chain them onto the lock-free free list (shell i links to i+1,
+	// 1-based; the last links to 0). Register/Release recirculate these
+	// shells without allocating.
+	q.shells = make([]*Handle, q.maxHandles)
+	for i := range q.shells {
+		h := &Handle{q: q, idx: i, hs: make([]*core.Handle, n)}
+		if cfg.adaptive {
+			h.seen = make([]uint64, n)
+			h.order = make([]int, n-1)
+			h.hotSnap = make([]uint64, n-1)
+		}
+		q.shells[i] = h
+	}
+	for i := 0; i < len(q.shells)-1; i++ {
+		q.shells[i].freeNext = uint32(i + 2)
+	}
+	q.hfree.Store(1)
 	return q
+}
+
+// shellIdx packing of the free-list head word, mirroring the core handle
+// pool: 24-bit 1-based indices under a 40-bit generation tag that every
+// successful pop advances (the ABA defense — see core/handlepool.go).
+const (
+	shellIdxBits = 24
+	shellIdxMask = 1<<shellIdxBits - 1
+)
+
+// popShell pops a free shell off the tagged free list, or returns nil when
+// every shell is checked out.
+func (q *Queue) popShell() *Handle {
+	//wfqlint:bounded(lock-free CAS retry: a failed CAS means another goroutine completed a shell pop or push, so the system makes progress; the lifecycle is documented as lock-free, not wait-free (DESIGN.md §6), and registration is off every queue operation's path)
+	for {
+		old := q.hfree.Load()
+		idx := uint32(old & shellIdxMask)
+		if idx == 0 {
+			return nil
+		}
+		h := q.shells[idx-1]
+		next := atomic.LoadUint32(&h.freeNext)
+		gen := old >> shellIdxBits
+		if q.hfree.CompareAndSwap(old, (gen+1)<<shellIdxBits|uint64(next)) {
+			return h
+		}
+	}
+}
+
+// pushShell pushes shell index idx (+1 encoding) back onto the free list.
+// Pushes preserve the generation; only pops advance it.
+func (q *Queue) pushShell(idx uint32) {
+	//wfqlint:bounded(lock-free CAS retry: a failed CAS means another goroutine completed a shell pop or push; the lifecycle is documented as lock-free, not wait-free (DESIGN.md §6), and release is off every queue operation's path)
+	for {
+		old := q.hfree.Load()
+		atomic.StoreUint32(&q.shells[idx-1].freeNext, uint32(old&shellIdxMask))
+		if q.hfree.CompareAndSwap(old, old>>shellIdxBits<<shellIdxBits|uint64(idx)) {
+			return
+		}
+	}
 }
 
 // Lanes returns the lane count.
@@ -321,52 +395,80 @@ func (q *Queue) RegisterOnCurrentCPU() (*Handle, error) {
 }
 
 // RegisterOnLane checks out a handle homed on the given lane.
+//
+// The lifecycle is lock-free and allocation-free: pop a pre-allocated shell
+// off the tagged free list, then acquire one core handle per lane. Shell
+// capacity equals every lane's core capacity and Release returns the lane
+// handles BEFORE the shell, so holding a popped shell guarantees each lane
+// has a free core handle (for every lane, free core handles ≥ free shells +
+// in-flight registrants holding a shell) — the per-lane loop cannot fail in
+// steady state. The rollback below nevertheless releases the handles
+// already acquired from lanes 0..i-1 and returns the shell, so a failure
+// can never leak capacity.
 func (q *Queue) RegisterOnLane(home int) (*Handle, error) {
 	if home < 0 || home >= len(q.lanes) {
 		return nil, fmt.Errorf("sharded: home lane %d out of range [0,%d)", home, len(q.lanes))
 	}
-	h := &Handle{q: q, home: home, hs: make([]*core.Handle, len(q.lanes))}
-	if q.adaptive {
-		h.seen = make([]uint64, len(q.lanes))
-		h.order = make([]int, len(q.lanes)-1)
-		h.hotSnap = make([]uint64, len(q.lanes)-1)
+	h := q.popShell()
+	if h == nil {
+		return nil, fmt.Errorf("sharded: %w", core.ErrTooManyHandles)
 	}
+	h.home = home
 	for i := range q.lanes {
 		ch, err := q.lanes[i].q.Register()
 		if err != nil {
 			for j := 0; j < i; j++ {
 				h.hs[j].Release()
+				h.hs[j] = nil
 			}
+			q.pushShell(uint32(h.idx + 1))
 			return nil, fmt.Errorf("sharded: lane %d: %w", i, err)
 		}
 		h.hs[i] = ch
 	}
-	q.mu.Lock()
-	q.live[h] = struct{}{}
-	q.mu.Unlock()
+	if q.adaptive {
+		// Re-snapshot the contention baseline: the core handles this shell
+		// received carry whatever event counts their previous owners ran up,
+		// and noteLane attributes deltas against these snapshots (a stale
+		// baseline would credit a reused handle's entire history to the
+		// first operation's lane). Reset the rotating probe cursor and decay
+		// clock with it.
+		for i := range h.seen {
+			h.seen[i] = h.hs[i].ContentionEvents()
+		}
+		h.probe = 0
+		h.decayTick = 0
+	}
+	h.life.Add(1) // odd: checked out
 	return h, nil
 }
 
 // Home returns the handle's home lane.
 func (h *Handle) Home() int { return h.home }
 
-// Release returns the handle's per-lane registrations. The handle must have
-// no operation in flight and must not be used afterwards. Its counters are
-// folded into the queue's retired accumulator so Stats stays monotonic
-// across release/re-register cycles.
+// Release returns the handle's per-lane registrations and its shell to the
+// queue's free list. The handle must have no operation in flight and must
+// not be used afterwards. Release is idempotent within the handle's
+// checkout epoch: a second call observes the even life word (or loses the
+// closing CAS) and returns without touching the pools. Counters stay in the
+// shell — they are never reset, so Stats remains monotonic across
+// release/re-register cycles.
+//
+// Ordering matters: the lane handles go back BEFORE the shell, so a
+// concurrent Register that wins the shell finds a free core handle in every
+// lane (see RegisterOnLane).
 func (h *Handle) Release() {
-	q := h.q
-	q.mu.Lock()
-	if _, ok := q.live[h]; !ok {
-		q.mu.Unlock()
-		panic("sharded: Release of unregistered handle")
+	cur := h.life.Load()
+	if cur&1 == 0 {
+		return // already released this epoch: idempotent no-op
 	}
-	delete(q.live, h)
-	q.retired.add(&h.stats)
-	q.mu.Unlock()
+	if !h.life.CompareAndSwap(cur, cur+1) {
+		return // lost the closing race: the other Release returns the slot
+	}
 	for _, ch := range h.hs {
 		ch.Release()
 	}
+	h.q.pushShell(uint32(h.idx + 1))
 }
 
 func (c *Counters) add(o *Counters) {
@@ -402,12 +504,11 @@ func (q *Queue) Stats() QueueStats {
 		st.Core.Add(cs)
 		st.StolenFrom[i] = atomic.LoadUint64(&q.lanes[i].stolenFrom)
 	}
-	q.mu.Lock()
-	st.Sharded = q.retired
-	for h := range q.live {
+	// Shells are never freed and their counters never reset, so summing
+	// every shell covers live and released handles alike, monotonically.
+	for _, h := range q.shells {
 		st.Sharded.add(&h.stats)
 	}
-	q.mu.Unlock()
 	return st
 }
 

@@ -39,6 +39,14 @@ const (
 	// built for, and the pathological one for any fixed patience/spin
 	// setting.
 	Bursty
+	// Churn is the handle-lifecycle workload: each thread repeatedly
+	// registers a fresh handle, runs ChurnPairs enqueue–dequeue pairs
+	// through it (with the usual inter-operation work), and releases it —
+	// the short-lived-goroutine pattern. Each cycle counts as
+	// 2×ChurnPairs operations, so throughput numbers embed the
+	// Register/Release cost; the workload only runs against queues whose
+	// Ops carry a Release (qiface.Factory.ChurnSafe).
+	Churn
 )
 
 // BurstPhase is the Bursty phase length in pairs: storms and quiet spells
@@ -46,6 +54,12 @@ const (
 // adaptive controller windows, so the controller can both react within a
 // phase and re-adapt at every boundary.
 const BurstPhase = 512
+
+// ChurnPairs is how many enqueue–dequeue pairs a Churn cycle performs
+// between Register and Release. Small enough that lifecycle cost is a
+// visible fraction of each cycle (the point of the workload), large enough
+// that the cycle still measures a queue, not only its bookkeeping.
+const ChurnPairs = 16
 
 // String returns the workload's conventional name.
 func (k Kind) String() string {
@@ -58,6 +72,8 @@ func (k Kind) String() string {
 		return "enqueue-dequeue-pairs-batched"
 	case Bursty:
 		return "bursty-pairs"
+	case Churn:
+		return "handle-churn-pairs"
 	default:
 		return "unknown"
 	}
@@ -67,7 +83,7 @@ func (k Kind) String() string {
 // its Kind, for harnesses that round-trip workloads through recorded
 // baseline documents.
 func ParseKind(s string) (Kind, bool) {
-	for _, k := range []Kind{Pairs, HalfHalf, PairsBatched, Bursty} {
+	for _, k := range []Kind{Pairs, HalfHalf, PairsBatched, Bursty, Churn} {
 		if k.String() == s {
 			return k, true
 		}

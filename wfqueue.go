@@ -26,6 +26,16 @@
 // segment hints are per-thread state (the paper's handle_t). A Handle may
 // be used by one goroutine at a time; Release returns it for reuse so a
 // pool of workers larger than the momentary concurrency can share a queue.
+// Register and Release are themselves lock-free and allocation-free (a
+// generation-tagged free list inside the core queue — DESIGN.md §6), so
+// short-lived goroutines can register per task:
+//
+//	go func() {
+//		h, err := q.Register()
+//		if err != nil { ... } // > maxHandles goroutines momentarily active
+//		defer h.Release()
+//		h.Enqueue(job)
+//	}()
 //
 // The package-level documentation of internal/core describes the algorithm
 // port in detail; DESIGN.md maps the paper's listings, tables and figures
