@@ -6,7 +6,7 @@ GO ?= go
 # lands here; the directory is untracked (see .gitignore).
 ARTIFACTS ?= artifacts
 
-.PHONY: all build vet lint test race short bench bench-json bench-json-sharded bench-adaptive bench-handles bench-compare fuzz stress soak ci experiments examples clean
+.PHONY: all build vet lint test race short bench bench-json bench-json-sharded bench-adaptive bench-handles bench-scq bench-compare fuzz stress soak ci experiments examples clean
 
 all: build vet lint test
 
@@ -79,6 +79,21 @@ bench-adaptive:
 # Writes BENCH_handles.json at the repo root — the committed baseline.
 bench-handles:
 	$(GO) run ./cmd/wfqbench handles -out BENCH_handles.json \
+		-ops 50000 -trials 3 -iters 3 -nowork -nopin
+
+# Bounded-ring baseline (DESIGN.md §7): the exact zero-allocation gate on a
+# warm SCQ ring (TryEnqueue/Dequeue across hundreds of ring wraps), pairs
+# throughput for the bounded variants, the pairwise wf-scq vs wf-10 wall
+# ratio, and the stalled-consumer adversary — bounded queues must keep
+# retention under a capacity-derived bound (the flat-RSS gate) while wf-10's
+# linear growth is recorded alongside. The pairwise tolerance is wider than
+# the default 0.20: the double-ring indirection plus the helping-layer check
+# honestly costs ~20-25% at T=1 (measured 0.75-0.81x across runs on the
+# 1-hw-thread baseline host), so the floor sits at 0.70 to gate real
+# regressions without flaking on that spread. Writes BENCH_scq.json at the
+# repo root — the committed baseline.
+bench-scq:
+	$(GO) run ./cmd/wfqbench scq -out BENCH_scq.json -tolerance 0.30 \
 		-ops 50000 -trials 3 -iters 3 -nowork -nopin
 
 # Bench trajectory gate: re-run the committed baselines' measurements and

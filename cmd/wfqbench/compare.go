@@ -18,6 +18,11 @@ package main
 // The comparison keys on wall-clock throughput (work included), the stabler
 // of the two recorded series.
 //
+// The table also carries the baseline's memory axis: stall-retained bytes
+// (live-heap growth across a short stalled-consumer phase) base vs fresh,
+// informational, with "-" for baselines written before the field existed.
+// The gated retention bounds live in `wfqbench scq`.
+//
 // When the baseline carries an adaptive section (written by `wfqbench json
 // -adaptive`), compare re-measures each fixed-vs-adaptive pair fresh and
 // gates the pairwise ratios — same-run, same-host ratios, so they are gated
@@ -91,8 +96,8 @@ func runCompare(o options, baselinePath string, tolerance float64, strict bool) 
 	}
 
 	fmt.Println()
-	fmt.Println("queue | base wall Mops | fresh wall Mops | ratio | base allocs/op | fresh allocs/op")
-	fmt.Println("--- | --- | --- | --- | --- | ---")
+	fmt.Println("queue | base wall Mops | fresh wall Mops | ratio | base allocs/op | fresh allocs/op | base retained | fresh retained")
+	fmt.Println("--- | --- | --- | --- | --- | --- | --- | ---")
 	for _, b := range base.Queues {
 		res, err := bench.Run(o.config(b.Name, baseKind, base.Params.Threads))
 		if err != nil {
@@ -103,8 +108,18 @@ func runCompare(o options, baselinePath string, tolerance float64, strict bool) 
 		if b.WallMops > 0 {
 			ratio = fresh / b.WallMops
 		}
-		fmt.Printf("%s | %.2f | %.2f | %.2fx | %.4f | %.4f\n",
-			b.Name, b.WallMops, fresh, ratio, b.AllocsPerOp, res.AllocsPerOp)
+		// The memory axis: re-measure stall retention only for rows whose
+		// baseline carries the field, so pre-field documents (and
+		// microbenchmark rows) show "-" instead of a bogus comparison.
+		var freshRetained *uint64
+		if b.StallRetainedBytes != nil {
+			if r, ok := stallRetained(b.Name); ok {
+				freshRetained = &r
+			}
+		}
+		fmt.Printf("%s | %.2f | %.2f | %.2fx | %.4f | %.4f | %s | %s\n",
+			b.Name, b.WallMops, fresh, ratio, b.AllocsPerOp, res.AllocsPerOp,
+			retainedStr(b.StallRetainedBytes), retainedStr(freshRetained))
 
 		// Allocation gate: always on. The floor absorbs MemStats jitter on
 		// queues that allocate legitimately (GC-reclaimed baselines).

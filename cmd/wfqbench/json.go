@@ -29,6 +29,7 @@ import (
 
 	"wfqueue/internal/bench"
 	"wfqueue/internal/qiface"
+	"wfqueue/internal/registry"
 	"wfqueue/internal/workload"
 )
 
@@ -81,6 +82,12 @@ type jsonQueue struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	GCPauseNS   uint64  `json:"gc_pause_total_ns"`
 	GCCycles    uint32  `json:"gc_cycles"`
+	// StallRetainedBytes is the GC-settled live-heap growth across a short
+	// stalled-consumer phase (bench.RunStall): the baseline's memory axis.
+	// Bounded queues stay near zero; unbounded queues buffer the phase. A
+	// pointer so documents from before the field read as absent rather
+	// than as a spurious measured zero.
+	StallRetainedBytes *uint64 `json:"stall_retained_bytes,omitempty"`
 }
 
 type jsonPairwise struct {
@@ -200,10 +207,13 @@ func runJSON(o options) {
 			GCPauseNS:   res.GCPauseNS,
 			GCCycles:    res.GCCycles,
 		}
+		if retained, ok := stallRetained(qn); ok {
+			row.StallRetainedBytes = &retained
+		}
 		doc.Queues = append(doc.Queues, row)
 		byName[qn] = row
-		fmt.Printf("json: %-14s %8.2f Mops/s (wall %.2f)  %.4f allocs/op  %.1f B/op\n",
-			qn, row.Mops, row.WallMops, row.AllocsPerOp, row.BytesPerOp)
+		fmt.Printf("json: %-14s %8.2f Mops/s (wall %.2f)  %.4f allocs/op  %.1f B/op  retained %s\n",
+			qn, row.Mops, row.WallMops, row.AllocsPerOp, row.BytesPerOp, retainedStr(row.StallRetainedBytes))
 	}
 	if base, ok := byName["wf-10"]; ok && base.WallMops > 0 {
 		doc.Pairwise.RecycleVsBase = byName["wf-10-recycle"].WallMops / base.WallMops
@@ -234,6 +244,32 @@ func runJSON(o options) {
 	if core.AllocsPerOp > 0 {
 		fatalf("core hot path allocated %.4f objects/op at steady state, want 0 (gate failed)", core.AllocsPerOp)
 	}
+}
+
+// stallRetained measures the queue's live-heap retention across a short
+// stalled-consumer phase, the memory axis recorded per baseline row and
+// surfaced by compare. Microbenchmarks (no real queue semantics to drain)
+// are skipped, reported as absent.
+func stallRetained(qn string) (uint64, bool) {
+	if !registry.IsRealQueue(qn) {
+		return 0, false
+	}
+	cfg := bench.DefaultStallConfig(qn)
+	cfg.StallOps = 20_000
+	cfg.WarmOps = 256
+	res, err := bench.RunStall(cfg)
+	if err != nil {
+		fatalf("json stall %s: %v", qn, err)
+	}
+	return res.RetainedBytes, true
+}
+
+// retainedStr formats an optional retained-bytes figure, "-" when absent.
+func retainedStr(b *uint64) string {
+	if b == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%d B", *b)
 }
 
 // adaptiveRounds is how many interleaved fixed/adaptive measurement rounds

@@ -12,6 +12,7 @@
 //	wfqbench single  [flags]
 //	wfqbench json    [-out BENCH_core.json] [flags]
 //	wfqbench handles [-out BENCH_handles.json] [flags]
+//	wfqbench scq     [-out BENCH_scq.json] [flags]
 //	wfqbench compare [-baseline BENCH_core.json] [-tolerance 0.20] [-strict] [flags]
 //	wfqbench all     [flags]
 //
@@ -34,6 +35,13 @@
 // wf-10 vs wf-10-mutexreg pairwise ratio with the two sides interleaved —
 // the lock-free lifecycle must not lose churn throughput to the mutex
 // baseline it replaced (exits 1 past -tolerance).
+//
+// The scq subcommand is the bounded-ring baseline emitter (BENCH_scq.json):
+// it verifies the warm SCQ ring's TryEnqueue/Dequeue hot path allocates
+// nothing, measures the bounded variants' pairs throughput and the pairwise
+// wf-scq vs wf-10 ratio, and runs the stalled-consumer adversary — bounded
+// queues must keep their live-heap retention under a capacity-derived bound
+// while wf-10's linear growth is recorded alongside (exits 1 on any gate).
 //
 // Common flags:
 //
@@ -107,8 +115,11 @@ func main() {
 	nopin := fs.Bool("nopin", false, "do not pin threads")
 	csvPath := fs.String("csv", "", "append results as CSV to this file")
 	outDefault := "BENCH_core.json"
-	if cmd == "handles" {
+	switch cmd {
+	case "handles":
 		outDefault = "BENCH_handles.json"
+	case "scq":
+		outDefault = "BENCH_scq.json"
 	}
 	outPath := fs.String("out", outDefault, "json/handles: output path for the benchmark baseline")
 	adaptive := fs.Bool("adaptive", false, "json: also measure fixed-vs-adaptive pairs (pairs + bursty workloads, oversubscribed threads)")
@@ -194,6 +205,8 @@ func main() {
 		runJSON(o)
 	case "handles":
 		runHandles(o, *tolerance)
+	case "scq":
+		runSCQ(o, *tolerance)
 	case "compare":
 		runCompare(o, *baselinePath, *tolerance, *strict)
 	case "all":
@@ -209,7 +222,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wfqbench {table1|figure2|table2|single|latency|json|handles|compare|all} [flags]  (see -h per subcommand)")
+	fmt.Fprintln(os.Stderr, "usage: wfqbench {table1|figure2|table2|single|latency|json|handles|scq|compare|all} [flags]  (see -h per subcommand)")
 }
 
 func fatalf(format string, args ...any) {

@@ -365,3 +365,90 @@ func TestCLIRejectsBadBatch(t *testing.T) {
 		t.Errorf("batch 0 should fail:\n%s", out)
 	}
 }
+
+// scq must write a schema-valid bounded-ring baseline: the warm-ring
+// zero-allocation gate, throughput rows for the bounded variants plus the
+// wf-10 reference, the pairwise ratio, and stall rows where every bounded
+// queue saw backpressure and stayed under its capacity-derived retention
+// bound while wf-10's growth was recorded.
+func TestCLISCQ(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_scq.json")
+	args := append([]string{"scq", "-queues", "wf-10",
+		"-threads", "2", "-tolerance", "0.99", "-out", out}, quick...)
+	stdout, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stdout)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+	var doc struct {
+		Schema string `json:"schema"`
+		Ring   struct {
+			AllocsPerOp float64 `json:"allocs_per_op"`
+			RingWraps   uint64  `json:"ring_wraps"`
+		} `json:"scq_steady_state"`
+		Queues []struct {
+			Name     string  `json:"name"`
+			WallMops float64 `json:"wall_mops"`
+		} `json:"queues"`
+		Pairwise struct {
+			Ratio float64 `json:"wf_scq_over_wf10_wall"`
+		} `json:"pairwise"`
+		Stall []struct {
+			Queue         string `json:"queue"`
+			Bounded       bool   `json:"bounded"`
+			Capacity      int    `json:"capacity"`
+			Rejected      uint64 `json:"rejected"`
+			RetainedBytes uint64 `json:"retained_bytes"`
+			RetainedBound uint64 `json:"retained_bound"`
+		} `json:"stall"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v\n%s", err, b)
+	}
+	if doc.Schema != "wfqueue/bench-scq/v1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	if doc.Ring.AllocsPerOp != 0 {
+		t.Errorf("warm ring allocated: %v allocs/op", doc.Ring.AllocsPerOp)
+	}
+	if doc.Ring.RingWraps == 0 {
+		t.Error("ring measurement crossed zero wraps; it proves nothing about slot recycling")
+	}
+	names := map[string]bool{}
+	for _, q := range doc.Queues {
+		names[q.Name] = true
+		if q.WallMops <= 0 {
+			t.Errorf("%s: wall_mops = %v", q.Name, q.WallMops)
+		}
+	}
+	for _, want := range []string{"wf-scq", "wf-sharded-scq", "wf-10"} {
+		if !names[want] {
+			t.Errorf("queue rows missing %s: %v", want, names)
+		}
+	}
+	if doc.Pairwise.Ratio <= 0 {
+		t.Errorf("pairwise ratio = %v", doc.Pairwise.Ratio)
+	}
+	stalls := map[string]bool{}
+	for _, s := range doc.Stall {
+		stalls[s.Queue] = true
+		if s.Bounded {
+			if s.Capacity == 0 || s.Rejected == 0 {
+				t.Errorf("bounded stall row %s saw no backpressure: %+v", s.Queue, s)
+			}
+			if s.RetainedBytes > s.RetainedBound {
+				t.Errorf("%s retained %d > bound %d", s.Queue, s.RetainedBytes, s.RetainedBound)
+			}
+		} else if s.Queue == "wf-10" && s.RetainedBytes == 0 {
+			t.Error("wf-10 stall row recorded no growth; the adversary is not buffering")
+		}
+	}
+	for _, want := range []string{"wf-scq", "wf-sharded-scq", "wf-10"} {
+		if !stalls[want] {
+			t.Errorf("stall rows missing %s: %v", want, stalls)
+		}
+	}
+}

@@ -8,10 +8,19 @@
 //	lincheck repeated small brutal scenarios whose complete operation
 //	         histories are checked for linearizability with the exact
 //	         checker in internal/lincheck.
+//	stall    the workload.StalledConsumer adversary: repeated cycles in
+//	         which producers push tagged sequence numbers while the single
+//	         consumer is parked, then the consumer resumes and drains.
+//	         Producers advance their sequence only on acceptance (bounded
+//	         queues reject with backpressure; unbounded queues buffer the
+//	         whole phase), so after every drain the tool can verify that
+//	         exactly the accepted values came back — no loss, no
+//	         duplication — and, on ordering queues, that each producer's
+//	         values stayed contiguous and in order across the stall.
 //
 // Usage:
 //
-//	wfqstress [-queue wf-10] [-threads 8] [-duration 10s] [-mode stress|lincheck] [-batch 1] [-seed 1] [-adaptive] [-bursty] [-churn]
+//	wfqstress [-queue wf-10] [-threads 8] [-duration 10s] [-mode stress|lincheck|stall] [-batch 1] [-seed 1] [-adaptive] [-bursty] [-churn]
 //
 // With -batch k > 1 both modes drive the queue through the batched
 // operations (EnqueueBatch/DequeueBatch): the wait-free queue's native
@@ -102,6 +111,8 @@ func main() {
 			fatalf("%s declares %s order; lincheck requires full FIFO linearizability (try wf-sharded-1)", name, ordering)
 		}
 		runLincheck(name, *duration, *batch, *seed)
+	case "stall":
+		runStall(name, *threads, *duration, ordering != qiface.OrderNone)
 	default:
 		fatalf("unknown mode %q", *mode)
 	}
@@ -326,6 +337,121 @@ func runStress(name string, threads int, d time.Duration, batch int, seed uint64
 				s.Steps, s.Raises, s.Lowers, s.FastCASFails, s.BackoffIters, s.SpinFallbacks, s.HotDiverts)
 		}
 	}
+	fmt.Println("OK")
+}
+
+// stallAttempts is how many TryEnqueue attempts each producer makes per
+// stall phase. Bounded queues reject most of them once full; unbounded
+// queues buffer them all, so the value also caps the adversary's footprint.
+const stallAttempts = 20000
+
+// runStall repeatedly parks the consumer while producers push, then drains
+// and audits: every cycle must recover exactly the values accepted during
+// the stall, in per-producer order when the queue promises one.
+func runStall(name string, threads int, d time.Duration, checkOrder bool) {
+	producers := threads - 1
+	if producers < 1 {
+		producers = 1
+	}
+	// Checked adapters box every value, so accounting is exact.
+	q, err := registry.NewChecked(name, producers+1)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	capNote := "unbounded"
+	if cp, ok := q.(qiface.CapacityProvider); ok {
+		capNote = fmt.Sprintf("capacity %d", cp.Capacity())
+	}
+	fmt.Printf("stall: %s (%s), %d producers, 1 parked consumer, %v\n", name, capNote, producers, d)
+
+	consumer, err := q.Register()
+	if err != nil {
+		fatalf("register: %v", err)
+	}
+	prodOps := make([]qiface.Ops, producers)
+	for p := range prodOps {
+		ops, err := q.Register()
+		if err != nil {
+			fatalf("register: %v", err)
+		}
+		prodOps[p] = qiface.WithTryFallback(ops)
+	}
+
+	seq := make([]int64, producers)      // last accepted sequence per producer
+	lastSeen := make([]int64, producers) // last drained sequence per producer
+	var acceptedTotal, rejectedTotal, drainedTotal int64
+	cycles := 0
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		cycles++
+		// Stall phase: the consumer is parked; producers advance their
+		// sequence only when the queue accepts, so the accepted set is a
+		// contiguous per-producer prefix by construction.
+		var accepted, rejected atomic.Int64
+		var wg sync.WaitGroup
+		for p := range prodOps {
+			wg.Add(1)
+			go func(p int, ops qiface.Ops) {
+				defer wg.Done()
+				var acc, rej int64
+				for i := 0; i < stallAttempts; i++ {
+					if ops.TryEnqueue(uint64(p)<<32 | uint64(seq[p]+acc+1)) {
+						acc++
+					} else {
+						rej++
+					}
+				}
+				atomic.AddInt64(&seq[p], acc)
+				accepted.Add(acc)
+				rejected.Add(rej)
+			}(p, prodOps[p])
+		}
+		wg.Wait()
+		acceptedTotal += accepted.Load()
+		rejectedTotal += rejected.Load()
+
+		// Drain phase: producers have joined, so the first EMPTY is
+		// definitive. Every accepted value must come back exactly once.
+		for {
+			v, ok := consumer.Dequeue()
+			if !ok {
+				break
+			}
+			p := int(v >> 32)
+			s := int64(v & 0xffffffff)
+			if p >= producers {
+				fatalf("cycle %d: drained alien value %#x", cycles, v)
+			}
+			if checkOrder && s != lastSeen[p]+1 {
+				fatalf("cycle %d: producer %d jumped %d -> %d (loss or reorder across the stall)",
+					cycles, p, lastSeen[p], s)
+			}
+			if !checkOrder && s <= lastSeen[p] {
+				fatalf("cycle %d: producer %d value %d seen again (duplication)", cycles, p, s)
+			}
+			lastSeen[p] = s
+			drainedTotal++
+		}
+		if drainedTotal != acceptedTotal {
+			fatalf("cycle %d: accepted %d values so far but drained %d (loss or duplication)",
+				cycles, acceptedTotal, drainedTotal)
+		}
+	}
+
+	for _, ops := range prodOps {
+		if ops.Release != nil {
+			ops.Release()
+		}
+	}
+	if consumer.Release != nil {
+		consumer.Release()
+	}
+	orderNote := "per-producer order held across every stall"
+	if !checkOrder {
+		orderNote = "order unchecked (queue declares none)"
+	}
+	fmt.Printf("%d cycles: accepted %d, rejected %d (backpressure), drained %d; %s\n",
+		cycles, acceptedTotal, rejectedTotal, drainedTotal, orderNote)
 	fmt.Println("OK")
 }
 

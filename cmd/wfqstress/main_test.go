@@ -161,3 +161,34 @@ func TestRejectsBadBatch(t *testing.T) {
 		t.Fatalf("lincheck batch 40 should fail:\n%s", out)
 	}
 }
+
+// Stall mode on a bounded queue: producers must hit backpressure, and every
+// cycle's drain must recover exactly the accepted values in order.
+func TestStallModeBounded(t *testing.T) {
+	out, err := runCLI(t, "-queue", "wf-scq", "-threads", "3", "-mode", "stall", "-duration", "300ms")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"capacity", "rejected", "order held across every stall", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bounded stall output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "rejected 0 (backpressure)") {
+		t.Errorf("bounded stall saw no backpressure:\n%s", out)
+	}
+}
+
+// Stall mode on an unbounded queue: the fallback TryEnqueue accepts every
+// value, so the stall buffers whole phases and the drain still balances.
+func TestStallModeUnbounded(t *testing.T) {
+	out, err := runCLI(t, "-queue", "wf-10", "-threads", "3", "-mode", "stall", "-duration", "300ms")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"unbounded", "rejected 0 (backpressure)", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("unbounded stall output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -43,6 +43,7 @@ type Config struct {
 const (
 	PkgCore    = "wfqueue/internal/core"
 	PkgSharded = "wfqueue/internal/sharded"
+	PkgSCQ     = "wfqueue/internal/scq"
 	PkgLCRQ    = "wfqueue/internal/lcrq"
 	PkgOFQueue = "wfqueue/internal/ofqueue"
 	PkgMSQueue = "wfqueue/internal/msqueue"
@@ -59,6 +60,12 @@ func RepoConfig(root string) Config {
 		Tiers: map[string]Tier{
 			PkgCore:    TierWaitFree,
 			PkgSharded: TierWaitFree,
+			// The bounded SCQ ring gets the full wait-free pass set: every
+			// loop on its paths must carry a bound (the registry flags the
+			// public variant WaitFree=false because the blocking Enqueue
+			// adapter spins on backpressure, but inside the package each
+			// retry discharges a documented obligation — DESIGN.md §7).
+			PkgSCQ:     TierWaitFree,
 			PkgLCRQ:    TierLockFree,
 			PkgOFQueue: TierLockFree,
 			PkgMSQueue: TierLockFree,
@@ -74,7 +81,12 @@ func RepoConfig(root string) Config {
 		// reachable from it may park a goroutine either.
 		HotPaths: map[string][]string{
 			PkgCore:    append([]string{"AcquireHandle", "Register", "Release"}, hot...),
-			PkgSharded: append([]string{"Register", "RegisterOnCurrentCPU", "RegisterOnLane", "Release"}, hot...),
+			PkgSharded: append([]string{"Register", "RegisterOnCurrentCPU", "RegisterOnLane", "Release", "TryEnqueue"}, hot...),
+			// The bounded ring's hot quartet plus its lock-free lifecycle:
+			// nothing reachable from any of them may park a goroutine
+			// (scqEnqueue's backpressure spin yields with Gosched, which the
+			// pass sanctions).
+			PkgSCQ: {"TryEnqueue", "Dequeue", "Register", "Release"},
 		},
 		EscapeHot: map[string][]string{
 			// The paper's operations (Listings 2-4), the helping paths, the
@@ -110,6 +122,20 @@ func RepoConfig(root string) Config {
 				// the steady-state machinery it drives is what must stay
 				// allocation-free.
 				"Release", "popShell", "pushShell",
+				// SCQ lane mode: the bounded dispatch paths, including the
+				// backpressure spin. registerSCQ is cold (rollback path).
+				"TryEnqueue", "scqEnqueue", "scqDequeue", "scqStealFrom",
+				"scqEnqueueBatch", "scqDequeueBatch",
+			},
+			// The SCQ ring: TryEnqueue/Dequeue and everything they drive —
+			// ring ticket claims, the helping layer, the value handoff, the
+			// handle free list — must not allocate after New (the zero-alloc
+			// half of the bounded-memory claim; New preallocates everything).
+			PkgSCQ: {
+				"TryEnqueue", "Dequeue", "takeVal", "helpPeers", "dequeueSlow",
+				"Register", "Release",
+				"enqueue", "dequeue", "catchup", "remap", "pack", "unpack",
+				"size", "Size", "Capacity", "ctrInc",
 			},
 		},
 		LayoutRules: RepoLayoutRules(),

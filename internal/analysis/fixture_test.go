@@ -22,6 +22,7 @@ func fixtureConfig() Config {
 			"fixture/annbad":  TierLockFree,
 			"fixture/loops":   TierWaitFree,
 			"fixture/hpool":   TierWaitFree,
+			"fixture/ring":    TierWaitFree,
 			"fixture/block":   TierWaitFree,
 			"fixture/hot":     TierWaitFree,
 		},
@@ -130,6 +131,27 @@ func TestFixtureHandlePoolLoops(t *testing.T) {
 	}
 }
 
+// TestFixtureRingLoops proves the audit handles the bounded SCQ ring shape
+// (internal/scq, DESIGN.md §7): the annotated FAA-ticket retry discharges to
+// an obligation, and the identical dequeue-side ticket loop without its
+// annotation is flagged.
+func TestFixtureRingLoops(t *testing.T) {
+	res := fixtureResult(t)
+	ds := diagsIn(res, "loops", "ring.go")
+	if len(ds) != 1 {
+		t.Fatalf("want exactly 1 loops diagnostic (BadTake's unannotated ticket loop; Put annotated), got %d: %v", len(ds), ds)
+	}
+	var obls []Obligation
+	for _, o := range res.Obligations {
+		if strings.HasSuffix(o.Pos.Filename, "ring.go") {
+			obls = append(obls, o)
+		}
+	}
+	if len(obls) != 1 || obls[0].Func != "(*R).Put" || !strings.Contains(obls[0].Reason, "ticket retry") {
+		t.Errorf("want Put's ticket-retry annotation as the one ring obligation, got %v", obls)
+	}
+}
+
 func TestFixtureBlockPass(t *testing.T) {
 	res := fixtureResult(t)
 	ds := diagsIn(res, "block", "block.go")
@@ -205,7 +227,7 @@ func TestFixtureTotals(t *testing.T) {
 	res := fixtureResult(t)
 	want := map[string]int{
 		"atomic":      1,
-		"loops":       2, // Spin + hpool's BadPush
+		"loops":       3, // Spin + hpool's BadPush + ring's BadTake
 		"block":       3,
 		"padding":     3, // 2 alignment (386+arm) + 1 layout
 		"annotations": 2,

@@ -112,5 +112,44 @@ func RepoLayoutRules() []LayoutRule {
 			LeadingPad:       []string{"q"},
 			TrailingPadAfter: "stats",
 		},
+		{
+			// The SCQ ring's three FAA/CAS words: head is hammered by
+			// dequeuers, tail by enqueuers, threshold by both sides of the
+			// livelock-avoidance protocol. Any two on one line would turn
+			// SCQ's "one FAA per op" into a false-sharing ping-pong.
+			Pkg: PkgSCQ, Struct: "ring",
+			Gaps: []Gap{
+				{From: "head", To: "tail"},
+				{From: "tail", To: "threshold"},
+			},
+			LeadingPad:       []string{"head"},
+			TrailingPadAfter: "threshold",
+		},
+		{
+			// The queue's shared words: the handle free-list head (CASed on
+			// the cold lifecycle path), the pending-request count (checked by
+			// every dequeue, FAAed on the slow path), and the epoch counter
+			// (FAAed per published request) each on their own line.
+			Pkg: PkgSCQ, Struct: "Queue",
+			Gaps: []Gap{
+				{From: "hfree", To: "pendingDeqs"},
+				{From: "pendingDeqs", To: "epoch"},
+			},
+			LeadingPad:       []string{"hfree"},
+			TrailingPadAfter: "epoch",
+		},
+		{
+			// Handles live in a preallocated slice; deqReq is the one word
+			// helpers CAS while the owner runs, so it sits a full line past
+			// the owner-local stats and a full line before the next array
+			// element (the wCQ request-word separation, DESIGN.md §7).
+			Pkg: PkgSCQ, Struct: "Handle",
+			Gaps: []Gap{
+				{From: "stats", To: "deqReq", FromEnd: true},
+			},
+			LeadingPad:       []string{"q"},
+			TrailingPadAfter: "deqReq",
+			MinSize:          3 * CacheLineSize,
+		},
 	}
 }

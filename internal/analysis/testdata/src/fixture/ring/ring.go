@@ -1,0 +1,47 @@
+// Package ring is a wfqlint fixture for the bounded SCQ ring shape
+// (internal/scq): FAA tickets over cycle-tagged slots, claimed by CAS. Put
+// carries the sanctioned ticket-retry annotation and becomes a proof
+// obligation; BadTake is the true positive — the matching dequeue-side
+// ticket loop with no annotation, which the bounded-loop audit must flag.
+package ring
+
+import "sync/atomic"
+
+const order = 3
+const mask = 1<<order - 1
+
+// R is a miniature of the scq ring: FAA head/tail words over a fixed slot
+// array of cycle-tagged entries.
+type R struct {
+	head  atomic.Uint64
+	tail  atomic.Uint64
+	slots [1 << order]uint64
+}
+
+// Put is the discharged case: the enqueue ticket loop whose bound lives in
+// the annotation, exactly like (*ring).enqueue.
+func (r *R) Put(idx uint64) {
+	//wfqlint:bounded(fixture: ticket retry — a ticket is abandoned only when a dequeuer made progress on its slot, and at most half the slots hold live entries)
+	for {
+		t := r.tail.Add(1) - 1
+		cycle := t >> order
+		e := atomic.LoadUint64(&r.slots[t&mask])
+		if e>>order < cycle &&
+			atomic.CompareAndSwapUint64(&r.slots[t&mask], e, cycle<<order|idx) {
+			return
+		}
+	}
+}
+
+// BadTake is the true positive: the dequeue-side ticket loop with its
+// annotation missing. The audit cannot see the threshold argument that
+// bounds it, so it must report an unbounded loop here.
+func (r *R) BadTake() uint64 {
+	for {
+		h := r.head.Add(1) - 1
+		e := atomic.LoadUint64(&r.slots[h&mask])
+		if e>>order == h>>order {
+			return e & mask
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"unsafe"
 
 	"wfqueue/internal/core"
+	"wfqueue/internal/scq"
 	"wfqueue/internal/sharded"
 )
 
@@ -66,6 +67,57 @@ func SteadyStateAllocs(ops int) SteadyStateResult {
 		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(ops),
 		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ops),
 		Recycled:    q.ReclaimedSegments() - before,
+	}
+}
+
+// SCQSteadyStateAllocs measures the heap allocations of the SCQ ring's
+// TryEnqueue/Dequeue hot path on a warm ring. The capacity is small enough
+// (MinCapacity rounded up to 64) that the measured window wraps the ring
+// hundreds of times, so the number proves the whole cycle — free-ring
+// dequeue, slot publish, allocated-ring ticket, slot recycle — allocates
+// nothing, not just that the first lap does. Expected: exactly 0 (the queue
+// allocates only in New).
+func SCQSteadyStateAllocs(ops int) SteadyStateResult {
+	if ops < 1 {
+		ops = 1
+	}
+	const capacity = 64
+	q, err := scq.New(1, capacity)
+	if err != nil {
+		panic(err) // cannot happen: fixed valid parameters
+	}
+	h, err := q.Register()
+	if err != nil {
+		panic(err) // cannot happen: fresh queue, first handle
+	}
+	v := new(uint64)
+	p := unsafe.Pointer(v)
+
+	// Warm past several full ring wraps so every slot's cycle bits have
+	// advanced off their initial values.
+	for i := 0; i < 4*capacity; i++ {
+		if err := h.TryEnqueue(p); err != nil {
+			panic(err) // cannot happen: lone producer never fills 64 slots
+		}
+		h.Dequeue()
+	}
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < ops; i++ {
+		if err := h.TryEnqueue(p); err != nil {
+			panic(err)
+		}
+		h.Dequeue()
+	}
+	runtime.ReadMemStats(&m1)
+
+	return SteadyStateResult{
+		Ops:         ops,
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(ops),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ops),
+		Recycled:    uint64(ops / capacity), // full ring wraps the window crossed
 	}
 }
 

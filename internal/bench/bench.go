@@ -134,6 +134,9 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Workload == workload.Churn && !factory.ChurnSafe {
 		return Result{}, fmt.Errorf("bench: workload %s needs Register/Release churn (qiface.Factory.ChurnSafe); %s does not declare it", cfg.Workload, cfg.Queue)
 	}
+	if cfg.Workload == workload.StalledConsumer {
+		return Result{}, fmt.Errorf("bench: workload %s is phase-asymmetric; drive it with bench.RunStall", cfg.Workload)
+	}
 	workload.Calibrate()
 
 	res := Result{Config: cfg}

@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"wfqueue/internal/qiface"
+)
+
+// StallConfig describes one run of the workload.StalledConsumer adversary:
+// producers keep offering values while the consumer is parked, and the
+// harness snapshots live-heap retention at the peak of the stall.
+type StallConfig struct {
+	Queue     string // registry name
+	Producers int
+	// StallOps is the number of TryEnqueue attempts each producer makes
+	// while the consumer is parked. Unbounded queues accept all of them
+	// (their fallback TryEnqueue cannot reject), so retention grows
+	// linearly in StallOps; bounded queues reject everything past their
+	// capacity, so retention is flat in StallOps.
+	StallOps int
+	// WarmOps is the number of enqueue–dequeue pairs per producer run
+	// before the baseline snapshot, so lazily-grown structures (segments,
+	// arenas, ring metadata) reach steady state and are charged to the
+	// baseline, not to the stall.
+	WarmOps int
+	Seed    uint64
+}
+
+// DefaultStallConfig returns the stall parameters used by the bench-scq
+// gate: enough attempts that an unbounded queue's linear growth dwarfs any
+// bounded queue's fixed retention by orders of magnitude.
+func DefaultStallConfig(queue string) StallConfig {
+	return StallConfig{Queue: queue, Producers: 2, StallOps: 200_000, WarmOps: 2_048, Seed: 0x5EED}
+}
+
+// StallResult is the outcome of one RunStall.
+type StallResult struct {
+	Config   StallConfig
+	Bounded  bool // the factory's declared Bounded flag
+	Capacity int  // CapacityProvider value, 0 when not implemented
+
+	Accepted uint64 // values accepted during the stall
+	Rejected uint64 // TryEnqueue rejections (bounded backpressure)
+	Drained  uint64 // values recovered after the consumer resumed
+
+	// Live-heap retention: runtime.MemStats.HeapAlloc after a forced GC,
+	// before and at the peak of the stall. RetainedBytes is the growth —
+	// the memory the queue holds on behalf of the parked consumer. This is
+	// the gated number: GC-settled live heap is deterministic where RSS
+	// depends on allocator behavior.
+	BaselineHeap  uint64
+	StalledHeap   uint64
+	RetainedBytes uint64
+
+	// Process RSS (/proc/self/status VmRSS) at the same two points,
+	// informational: 0 when the platform does not expose it, and never
+	// gated because the Go runtime does not promptly return freed pages.
+	BaselineRSS uint64
+	StalledRSS  uint64
+}
+
+// RetainedPerOp returns the retained bytes amortized over the accepted
+// stall traffic — the slope of the growth curve an unbounded queue shows.
+func (r StallResult) RetainedPerOp() float64 {
+	if r.Accepted == 0 {
+		return 0
+	}
+	return float64(r.RetainedBytes) / float64(r.Accepted)
+}
+
+func (r StallResult) String() string {
+	return fmt.Sprintf("%s stall P=%d ops=%d: accepted=%d rejected=%d retained=%dB",
+		r.Config.Queue, r.Config.Producers, r.Config.StallOps,
+		r.Accepted, r.Rejected, r.RetainedBytes)
+}
+
+// RunStall executes the stalled-consumer adversary against one queue:
+//
+//  1. warmup — producers and consumer move WarmOps pairs each so every
+//     lazily-allocated structure exists; forced GC; baseline snapshot;
+//  2. stall — the consumer parks while every producer makes StallOps
+//     TryEnqueue attempts (the fallback TryEnqueue of unbounded queues
+//     always accepts); forced GC; peak snapshot;
+//  3. drain — the consumer resumes and dequeues until EMPTY; the drained
+//     count must equal the accepted count, or the queue lost values across
+//     the stall and RunStall errors.
+func RunStall(cfg StallConfig) (StallResult, error) {
+	if cfg.Producers < 1 {
+		return StallResult{}, fmt.Errorf("bench: stall needs at least 1 producer, got %d", cfg.Producers)
+	}
+	if cfg.StallOps < 1 || cfg.WarmOps < 0 {
+		return StallResult{}, fmt.Errorf("bench: bad stall config: %+v", cfg)
+	}
+	factory, err := qiface.Lookup(cfg.Queue)
+	if err != nil {
+		return StallResult{}, err
+	}
+	res := StallResult{Config: cfg, Bounded: factory.Bounded}
+
+	q, err := factory.New(cfg.Producers + 1)
+	if err != nil {
+		return StallResult{}, err
+	}
+	if cp, ok := q.(qiface.CapacityProvider); ok {
+		res.Capacity = cp.Capacity()
+	}
+	consumer, err := q.Register()
+	if err != nil {
+		return StallResult{}, err
+	}
+	producers := make([]qiface.Ops, cfg.Producers)
+	for i := range producers {
+		ops, err := q.Register()
+		if err != nil {
+			return StallResult{}, err
+		}
+		producers[i] = qiface.WithTryFallback(ops)
+	}
+
+	// Warmup: move pairs through every producer's handle, never letting
+	// occupancy exceed one value per producer — far below any capacity.
+	for i := 0; i < cfg.WarmOps; i++ {
+		for p, ops := range producers {
+			ops.Enqueue(uint64(p)<<32 | uint64(i) + 1)
+		}
+		for range producers {
+			if _, ok := consumer.Dequeue(); !ok {
+				return StallResult{}, fmt.Errorf("bench: stall warmup lost a value (round %d)", i)
+			}
+		}
+	}
+
+	res.BaselineHeap = settledHeap()
+	res.BaselineRSS = readVmRSS()
+
+	// Stall: the consumer parks; producers hammer TryEnqueue.
+	var accepted, rejected atomic.Uint64
+	var wg sync.WaitGroup
+	for p, ops := range producers {
+		wg.Add(1)
+		go func(p int, ops qiface.Ops) {
+			defer wg.Done()
+			var acc, rej uint64
+			for i := 0; i < cfg.StallOps; i++ {
+				if ops.TryEnqueue(uint64(p)<<32 | uint64(i) + 1) {
+					acc++
+				} else {
+					rej++
+				}
+			}
+			accepted.Add(acc)
+			rejected.Add(rej)
+		}(p, ops)
+	}
+	wg.Wait()
+	res.Accepted = accepted.Load()
+	res.Rejected = rejected.Load()
+
+	res.StalledHeap = settledHeap()
+	res.StalledRSS = readVmRSS()
+	if res.StalledHeap > res.BaselineHeap {
+		res.RetainedBytes = res.StalledHeap - res.BaselineHeap
+	}
+
+	// Drain: the consumer resumes. Producers have joined, so the first
+	// EMPTY observation is definitive.
+	for {
+		if _, ok := consumer.Dequeue(); !ok {
+			break
+		}
+		res.Drained++
+	}
+	if res.Drained != res.Accepted {
+		return StallResult{}, fmt.Errorf("bench: stall accepted %d values but drained %d", res.Accepted, res.Drained)
+	}
+
+	for _, ops := range producers {
+		if ops.Release != nil {
+			ops.Release()
+		}
+	}
+	if consumer.Release != nil {
+		consumer.Release()
+	}
+	return res, nil
+}
+
+// settledHeap forces collection and returns the live heap. Two GC cycles
+// let finalizer-revived garbage settle before the read.
+func settledHeap() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// readVmRSS returns the process resident set size in bytes from
+// /proc/self/status, or 0 when unavailable (non-Linux platforms).
+func readVmRSS() uint64 {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	i := bytes.Index(b, []byte("VmRSS:"))
+	if i < 0 {
+		return 0
+	}
+	line := b[i+len("VmRSS:"):]
+	if j := bytes.IndexByte(line, '\n'); j >= 0 {
+		line = line[:j]
+	}
+	fields := bytes.Fields(line)
+	if len(fields) < 1 {
+		return 0
+	}
+	kb, err := strconv.ParseUint(string(fields[0]), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return kb << 10
+}

@@ -28,6 +28,11 @@ const (
 	// Deq is a dequeue; Op.OK reports whether it returned a value
 	// (Op.Value) or EMPTY.
 	Deq
+	// TryEnqFull is a rejected bounded enqueue: the implementation claimed
+	// the queue held its full capacity of values at a linearizable point.
+	// Legal only under CheckBounded, and only in states where the abstract
+	// queue is exactly full.
+	TryEnqFull
 )
 
 // Op is one completed operation with its real-time interval.
@@ -42,6 +47,8 @@ type Op struct {
 
 func (o Op) String() string {
 	switch {
+	case o.Kind == TryEnqFull:
+		return fmt.Sprintf("t%d: TryEnq(%d)=FULL [%d,%d]", o.Thread, o.Value, o.Start, o.End)
 	case o.Kind == Enq:
 		return fmt.Sprintf("t%d: Enq(%d) [%d,%d]", o.Thread, o.Value, o.Start, o.End)
 	case o.OK:
@@ -61,8 +68,28 @@ const MaxOps = 64
 // ErrTooLarge is returned for histories beyond MaxOps operations.
 var ErrTooLarge = errors.New("lincheck: history exceeds MaxOps operations")
 
-// Check reports whether the history is linearizable as a FIFO queue.
+// Check reports whether the history is linearizable as an unbounded FIFO
+// queue: every Enq is legal, and a TryEnqFull op (which claims the queue was
+// full) can never linearize.
 func Check(h History) (bool, error) {
+	return check(h, 0)
+}
+
+// CheckBounded reports whether the history is linearizable as a FIFO queue
+// of the given capacity: an Enq is legal only in states holding fewer than
+// capacity values, and a TryEnqFull op linearizes only in states holding
+// exactly capacity values — so both a false acceptance (value count over
+// capacity) and a false full verdict (rejection with room available at every
+// possible point) are caught.
+func CheckBounded(h History, capacity int) (bool, error) {
+	if capacity < 1 {
+		return false, fmt.Errorf("lincheck: CheckBounded capacity %d < 1", capacity)
+	}
+	return check(h, capacity)
+}
+
+// check is the shared search entry; capacity 0 means unbounded.
+func check(h History, capacity int) (bool, error) {
 	n := len(h)
 	if n > MaxOps {
 		return false, ErrTooLarge
@@ -76,13 +103,14 @@ func Check(h History) (bool, error) {
 	copy(ops, h)
 	sort.Slice(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
 
-	c := &checker{ops: ops, visited: make(map[string]struct{})}
+	c := &checker{ops: ops, capacity: capacity, visited: make(map[string]struct{})}
 	return c.dfs(0, nil), nil
 }
 
 type checker struct {
-	ops     []Op
-	visited map[string]struct{}
+	ops      []Op
+	capacity int // 0: unbounded
+	visited  map[string]struct{}
 }
 
 // key encodes (mask, queue content) compactly.
@@ -129,7 +157,7 @@ func (c *checker) dfs(mask uint64, queue []uint64) bool {
 			// ops are start-sorted: no later op can qualify either.
 			break
 		}
-		next, legal := apply(op, queue)
+		next, legal := c.apply(op, queue)
 		if !legal {
 			continue
 		}
@@ -141,10 +169,20 @@ func (c *checker) dfs(mask uint64, queue []uint64) bool {
 }
 
 // apply returns the queue state after op, and whether op is legal in the
-// given state.
-func apply(op Op, queue []uint64) ([]uint64, bool) {
+// given state under the checker's capacity (0: unbounded).
+func (c *checker) apply(op Op, queue []uint64) ([]uint64, bool) {
 	switch {
+	case op.Kind == TryEnqFull:
+		// A full verdict is legal only when the abstract queue holds exactly
+		// its capacity (impossible for an unbounded queue).
+		if c.capacity == 0 || len(queue) != c.capacity {
+			return nil, false
+		}
+		return queue, true
 	case op.Kind == Enq:
+		if c.capacity != 0 && len(queue) >= c.capacity {
+			return nil, false
+		}
 		next := make([]uint64, len(queue)+1)
 		copy(next, queue)
 		next[len(queue)] = op.Value
@@ -211,6 +249,21 @@ func (t *ThreadLog) Enq(v uint64, run func()) {
 	run()
 	end := t.c.Now()
 	t.ops = append(t.ops, Op{Kind: Enq, Value: v, OK: true, Start: start, End: end, Thread: t.thread})
+}
+
+// TryEnq runs the bounded-enqueue closure and records the outcome: an Enq
+// op when the value was accepted, a TryEnqFull op when it was rejected. It
+// returns the closure's verdict.
+func (t *ThreadLog) TryEnq(v uint64, run func() bool) bool {
+	start := t.c.Now()
+	ok := run()
+	end := t.c.Now()
+	kind := Enq
+	if !ok {
+		kind = TryEnqFull
+	}
+	t.ops = append(t.ops, Op{Kind: kind, Value: v, OK: ok, Start: start, End: end, Thread: t.thread})
+	return ok
 }
 
 // Deq runs the dequeue closure and records its result.

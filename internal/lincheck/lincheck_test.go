@@ -112,6 +112,96 @@ func TestDequeueOfNeverEnqueued(t *testing.T) {
 	}
 }
 
+func mustCheckBounded(t *testing.T, h History, capacity int) bool {
+	t.Helper()
+	ok, err := CheckBounded(h, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ok
+}
+
+// TestBoundedFullVerdict: a rejection is legal exactly when the queue can
+// hold capacity values at some linearization point inside the interval.
+func TestBoundedFullVerdict(t *testing.T) {
+	h := History{
+		{Kind: Enq, Value: 1, Start: 0, End: 1},
+		{Kind: Enq, Value: 2, Start: 2, End: 3},
+		{Kind: TryEnqFull, Value: 3, Start: 4, End: 5},
+		{Kind: Deq, Value: 1, OK: true, Start: 6, End: 7},
+		{Kind: Enq, Value: 3, Start: 8, End: 9},
+	}
+	if !mustCheckBounded(t, h, 2) {
+		t.Error("legal full/drain-one/retry history rejected at capacity 2")
+	}
+	// At capacity 3 the same rejection is a false full verdict.
+	if mustCheckBounded(t, h, 3) {
+		t.Error("false full verdict accepted at capacity 3")
+	}
+}
+
+// TestBoundedOverAcceptance: more values in flight than capacity can never
+// linearize.
+func TestBoundedOverAcceptance(t *testing.T) {
+	h := History{
+		{Kind: Enq, Value: 1, Start: 0, End: 1},
+		{Kind: Enq, Value: 2, Start: 2, End: 3},
+		{Kind: Enq, Value: 3, Start: 4, End: 5},
+	}
+	if mustCheckBounded(t, h, 2) {
+		t.Error("three completed enqueues accepted at capacity 2")
+	}
+	if !mustCheckBounded(t, h, 3) {
+		t.Error("three completed enqueues rejected at capacity 3")
+	}
+}
+
+// TestBoundedFullConcurrentDequeue: a rejection overlapping a dequeue may
+// linearize before it (while still full) — the bounded analogue of
+// TestEmptyOverlappingEnqueueOK.
+func TestBoundedFullConcurrentDequeue(t *testing.T) {
+	h := History{
+		{Kind: Enq, Value: 1, Start: 0, End: 1, Thread: 0},
+		{Kind: Deq, Value: 1, OK: true, Start: 2, End: 20, Thread: 1},
+		{Kind: TryEnqFull, Value: 2, Start: 4, End: 6, Thread: 0},
+	}
+	if !mustCheckBounded(t, h, 1) {
+		t.Error("full verdict concurrent with the draining dequeue rejected")
+	}
+}
+
+// TestTryEnqFullUnbounded: a full claim can never linearize under the
+// unbounded checker.
+func TestTryEnqFullUnbounded(t *testing.T) {
+	h := History{{Kind: TryEnqFull, Value: 1, Start: 0, End: 1}}
+	if mustCheck(t, h) {
+		t.Error("unbounded Check accepted a TryEnqFull op")
+	}
+}
+
+func TestCheckBoundedValidation(t *testing.T) {
+	if _, err := CheckBounded(nil, 0); err == nil {
+		t.Error("CheckBounded accepted capacity 0")
+	}
+}
+
+// TestTryEnqRecording: the ThreadLog helper records accepts as Enq and
+// rejections as TryEnqFull.
+func TestTryEnqRecording(t *testing.T) {
+	c := NewCollector(1)
+	log := c.Thread(0)
+	if !log.TryEnq(7, func() bool { return true }) {
+		t.Fatal("TryEnq did not relay acceptance")
+	}
+	if log.TryEnq(8, func() bool { return false }) {
+		t.Fatal("TryEnq did not relay rejection")
+	}
+	h := c.History()
+	if len(h) != 2 || h[0].Kind != Enq || h[1].Kind != TryEnqFull || h[1].Value != 8 {
+		t.Fatalf("recorded history %v", h)
+	}
+}
+
 func TestTooLarge(t *testing.T) {
 	h := make(History, MaxOps+1)
 	for i := range h {

@@ -22,6 +22,10 @@ import (
 type Ops struct {
 	Enq func(int64)
 	Deq func() (int64, bool)
+	// TryEnq enqueues if the queue has room and reports whether it did
+	// (mirroring qiface.Ops.TryEnqueue). Optional: nil on unbounded queues;
+	// the full-queue batteries require it.
+	TryEnq func(int64) bool
 	// EnqBatch enqueues all values in order.
 	EnqBatch func([]int64)
 	// DeqBatch fills dst from the front and returns the count; a short
@@ -448,6 +452,173 @@ func ChurnStorm(t *testing.T, mk Maker, capacity, churners, cycles int) {
 	for _, ops := range opss {
 		ops.Release()
 	}
+}
+
+// FullQueue is the sequential backpressure battery for bounded queues: fill
+// through TryEnq until the first rejection, verify the rejection is sticky,
+// drain one value, verify a retry succeeds, then drain and repeat the cycle
+// so the ring's cycle-tag wrap is crossed. capacity is the queue's declared
+// total capacity (qiface.CapacityProvider); exact asserts that a single
+// producer fills exactly that many slots before rejection — true for single
+// linearizable FIFO rings, false for sharded lanes whose backpressure is per
+// lane (a single producer bounces off its home lane's share first).
+//
+// Values go through one worker, so FIFO order of the accepted values is
+// checked unconditionally: even per-producer-ordered queues owe a single
+// producer/consumer pair strict order.
+func FullQueue(t *testing.T, mk Maker, capacity int, exact bool) {
+	t.Helper()
+	ops := mk(t, 1)()
+	if ops.TryEnq == nil {
+		t.Fatal("bounded queue's Ops is missing TryEnq")
+	}
+	fill := 0
+	for fill <= capacity {
+		if !ops.TryEnq(int64(fill + 1)) {
+			break
+		}
+		fill++
+	}
+	if fill > capacity {
+		t.Fatalf("accepted %d values, declared capacity %d", fill, capacity)
+	}
+	if fill == 0 {
+		t.Fatal("first TryEnq rejected on an empty queue")
+	}
+	if exact && fill != capacity {
+		t.Fatalf("filled %d slots before rejection, want exactly %d", fill, capacity)
+	}
+	// A full verdict must be sticky while nothing is drained.
+	if ops.TryEnq(int64(fill + 1)) {
+		t.Fatal("TryEnq succeeded immediately after reporting full")
+	}
+	// Drain one, and the freed slot must be enqueueable again.
+	v, ok := ops.Deq()
+	if !ok || v != 1 {
+		t.Fatalf("dequeue after full: got (%d,%v), want (1,true)", v, ok)
+	}
+	if !ops.TryEnq(int64(fill + 1)) {
+		t.Fatal("TryEnq rejected after a drain made room")
+	}
+	for i := 2; i <= fill+1; i++ {
+		v, ok := ops.Deq()
+		if !ok || v != int64(i) {
+			t.Fatalf("drain %d: got (%d,%v), want (%d,true)", i, v, ok, i)
+		}
+	}
+	if v, ok := ops.Deq(); ok {
+		t.Fatalf("drained queue returned %d", v)
+	}
+	// Repeat whole fill/drain cycles: slot reuse and cycle-tag wrap.
+	for r := 0; r < 3; r++ {
+		n := 0
+		for ops.TryEnq(int64(r)<<32 | int64(n+1)) {
+			n++
+		}
+		if exact && n != capacity {
+			t.Fatalf("cycle %d: filled %d, want %d", r, n, capacity)
+		}
+		for j := 1; j <= n; j++ {
+			v, ok := ops.Deq()
+			if !ok || v != int64(r)<<32|int64(j) {
+				t.Fatalf("cycle %d drain %d: got (%d,%v)", r, j, v, ok)
+			}
+		}
+	}
+}
+
+// FullQueueMPMC drives producers through the TryEnq backpressure surface
+// (retrying rejections) against concurrent consumers and validates no loss,
+// no duplication, and per-producer FIFO order — the full-queue analogue of
+// MPMC, proving a rejected enqueue never half-publishes a value.
+func FullQueueMPMC(t *testing.T, mk Maker, producers, consumers, perProducer int) {
+	t.Helper()
+	total := producers * perProducer
+	register := mk(t, producers+consumers)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		ops := register()
+		if ops.TryEnq == nil {
+			t.Fatal("bounded queue's Ops is missing TryEnq")
+		}
+		wg.Add(1)
+		go func(p int, ops Ops) {
+			defer wg.Done()
+			for s := 0; s < perProducer; s++ {
+				v := int64(p)<<32 | int64(s+1)
+				for !ops.TryEnq(v) {
+					runtime.Gosched()
+				}
+			}
+		}(p, ops)
+	}
+
+	results := make([][]int64, consumers)
+	var consumed sync.WaitGroup
+	var count int64
+	var mu sync.Mutex
+	for c := 0; c < consumers; c++ {
+		ops := register()
+		consumed.Add(1)
+		go func(c int, ops Ops) {
+			defer consumed.Done()
+			var local []int64
+			for {
+				mu.Lock()
+				done := count >= int64(total)
+				mu.Unlock()
+				if done {
+					break
+				}
+				v, ok := ops.Deq()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				local = append(local, v)
+				mu.Lock()
+				count++
+				mu.Unlock()
+			}
+			results[c] = local
+		}(c, ops)
+	}
+	wg.Wait()
+	consumed.Wait()
+
+	seen := make(map[int64]bool, total)
+	for c, local := range results {
+		last := map[int64]int64{}
+		for _, v := range local {
+			if seen[v] {
+				t.Fatalf("value %d dequeued twice", v)
+			}
+			seen[v] = true
+			p, s := v>>32, v&0xffffffff
+			if l, ok := last[p]; ok && s <= l {
+				t.Fatalf("consumer %d: order violation for producer %d: seq %d after %d", c, p, s, l)
+			}
+			last[p] = s
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("dequeued %d distinct values, want %d", len(seen), total)
+	}
+}
+
+// BoundedBattery runs the backpressure conformance suite on top of Battery's
+// concerns: the sequential full/drain-one/retry contract, cycle wrap, and
+// the concurrent TryEnq path. capacity and exact are as for FullQueue.
+func BoundedBattery(t *testing.T, mk Maker, capacity int, exact bool) {
+	t.Helper()
+	per := 5000
+	if testing.Short() {
+		per = 500
+	}
+	t.Run("FullQueue", func(t *testing.T) { FullQueue(t, mk, capacity, exact) })
+	t.Run("FullQueueMPMC-4x4", func(t *testing.T) { FullQueueMPMC(t, mk, 4, 4, per) })
+	t.Run("FullQueueMPMC-8x2", func(t *testing.T) { FullQueueMPMC(t, mk, 8, 2, per/4) })
 }
 
 // Battery runs the full conformance suite with sizes scaled by -short.

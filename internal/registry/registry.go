@@ -36,6 +36,14 @@
 //	               adaptive lanes plus hotness-aware dispatch and
 //	               coolness-ordered stealing. Diverting off a hot home lane
 //	               gives up per-producer ordering (qiface.OrderNone)
+//	wf-scq         bounded SCQ ring queue (internal/scq): indirect ring over
+//	               cycle-tagged entries, FAA ticket hot path, TryEnqueue /
+//	               ErrFull backpressure at a fixed capacity of 16384 values,
+//	               wCQ-style request-word helping on the dequeue side
+//	               (qiface.OrderFIFO, Bounded)
+//	wf-sharded-scq sharded queue whose lanes are bounded SCQ rings (4096
+//	               values per lane): per-lane backpressure, affinity
+//	               dispatch + stealing (qiface.OrderPerProducer, Bounded)
 //	wf-10-mutexreg wf-10 behind the pre-refactor mutex-guarded
 //	               registration (sync.Mutex + free slice). Queue operations
 //	               are identical to wf-10; only the handle lifecycle
@@ -53,6 +61,7 @@ package registry
 
 import (
 	"fmt"
+	"runtime"
 	"unsafe"
 
 	"wfqueue/internal/ccqueue"
@@ -64,6 +73,7 @@ import (
 	"wfqueue/internal/msqueue"
 	"wfqueue/internal/ofqueue"
 	"wfqueue/internal/qiface"
+	"wfqueue/internal/scq"
 	"wfqueue/internal/sharded"
 	"wfqueue/internal/simqueue"
 )
@@ -204,6 +214,22 @@ func init() {
 		WaitFree: true, ChurnSafe: true, Ordering: qiface.OrderNone,
 		New: func(n int) (qiface.Queue, error) {
 			return newSharded("wf-sharded-adaptive", n, false, sharded.WithAdaptive())
+		},
+	})
+	qiface.Register(qiface.Factory{
+		// WaitFree is deliberately false: the SCQ enqueue side is lock-free
+		// with threshold-based livelock freedom, and the dequeue side's
+		// helping bound holds under the operational model of DESIGN.md §7,
+		// not unconditionally (full wCQ needs double-width CAS).
+		Name: "wf-scq", Doc: "bounded SCQ ring, cap 16384 (FAA tickets, ErrFull backpressure, helped dequeues)",
+		ChurnSafe: true, Ordering: qiface.OrderFIFO, Bounded: true,
+		New: func(n int) (qiface.Queue, error) { return newSCQ("wf-scq", n, scqDefaultCapacity, false) },
+	})
+	qiface.Register(qiface.Factory{
+		Name: "wf-sharded-scq", Doc: "sharded bounded SCQ lanes, cap 4096/lane (per-lane backpressure, stealing)",
+		ChurnSafe: true, Ordering: qiface.OrderPerProducer, Bounded: true,
+		New: func(n int) (qiface.Queue, error) {
+			return newSCQSharded("wf-sharded-scq", n, false)
 		},
 	})
 	qiface.Register(qiface.Factory{
@@ -451,6 +477,134 @@ func (a *shardedAdapter) Adaptive() qiface.AdaptiveSnapshot {
 	snap := adaptiveSnapshot(a.q.AdaptiveStats())
 	snap.HotDiverts = a.q.Stats().Sharded.HotDiverts
 	return snap
+}
+
+// scqDefaultCapacity is the value-slot count of the registered wf-scq
+// variant. Large enough that the conformance batteries' single-threaded
+// fills (thousands of values with no consumer running) never wedge on a full
+// ring, small enough that the ring plus value array stays a few hundred KiB
+// — the bounded-memory point of the implementation. Full-queue semantics are
+// exercised at small capacities by the dedicated battery, which constructs
+// its own instances through scq.New.
+const scqDefaultCapacity = 1 << 14
+
+// scqShardedLaneCapacity is the per-lane ring capacity of wf-sharded-scq.
+// Backpressure is per lane (a producer's TryEnqueue bounces off its own
+// lane), so this must also clear the single-handle fill depth of the
+// conformance batteries; total retention is lanes × this.
+const scqShardedLaneCapacity = 1 << 12
+
+// scqAdapter drives the bounded SCQ queue through the qiface surface,
+// including the capacity contract: TryEnqueue maps scq.ErrFull to false and
+// the blocking Enqueue provides backpressure by yielding until a consumer
+// frees a slot (the spin lives here, not in internal/scq, so the analyzed
+// queue package stays free of scheduling calls).
+type scqAdapter struct {
+	name  string
+	boxed bool
+	q     *scq.Queue
+}
+
+func newSCQ(name string, n, capacity int, boxed bool) (qiface.Queue, error) {
+	q, err := scq.New(n, capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &scqAdapter{name: name, boxed: boxed, q: q}, nil
+}
+
+func (a *scqAdapter) Name() string { return a.name }
+
+// Capacity implements qiface.CapacityProvider.
+func (a *scqAdapter) Capacity() int { return a.q.Capacity() }
+
+func (a *scqAdapter) Register() (qiface.Ops, error) {
+	h, err := a.q.Register()
+	if err != nil {
+		return qiface.Ops{}, err
+	}
+	put := boxVal
+	if !a.boxed {
+		ar := &arena{}
+		put = func(v uint64) unsafe.Pointer { return ptr(ar.put(v)) }
+	}
+	return qiface.WithBatchFallback(qiface.Ops{
+		TryEnqueue: func(v uint64) bool { return h.TryEnqueue(put(v)) == nil },
+		Enqueue: func(v uint64) {
+			p := put(v)
+			for h.TryEnqueue(p) != nil {
+				runtime.Gosched()
+			}
+		},
+		Dequeue: func() (uint64, bool) {
+			p, ok := h.Dequeue()
+			if !ok {
+				return 0, false
+			}
+			return *(*uint64)(p), true
+		},
+		Release: h.Release,
+	}), nil
+}
+
+// Stats implements qiface.StatsProvider (the scq counter keys).
+func (a *scqAdapter) Stats() map[string]uint64 { return a.q.Stats() }
+
+// scqShardedAdapter drives the sharded queue in SCQ lane mode. The sharded
+// package's own Enqueue blocks on a full lane, so only TryEnqueue needs
+// adapter-level translation.
+type scqShardedAdapter struct {
+	name  string
+	boxed bool
+	q     *sharded.Queue
+}
+
+func newSCQSharded(name string, n int, boxed bool, opts ...sharded.Option) (qiface.Queue, error) {
+	opts = append(opts, sharded.WithSCQLanes(scqShardedLaneCapacity))
+	return &scqShardedAdapter{name: name, boxed: boxed, q: sharded.New(n, opts...)}, nil
+}
+
+func (a *scqShardedAdapter) Name() string { return a.name }
+
+// Capacity implements qiface.CapacityProvider: the total retention bound,
+// lanes × per-lane ring capacity (backpressure itself is per lane).
+func (a *scqShardedAdapter) Capacity() int { return a.q.Capacity() }
+
+func (a *scqShardedAdapter) Register() (qiface.Ops, error) {
+	h, err := a.q.Register()
+	if err != nil {
+		return qiface.Ops{}, err
+	}
+	put := boxVal
+	if !a.boxed {
+		ar := &arena{}
+		put = func(v uint64) unsafe.Pointer { return ptr(ar.put(v)) }
+	}
+	return qiface.WithBatchFallback(qiface.Ops{
+		TryEnqueue: func(v uint64) bool { return a.q.TryEnqueue(h, put(v)) == nil },
+		Enqueue:    func(v uint64) { a.q.Enqueue(h, put(v)) },
+		Dequeue: func() (uint64, bool) {
+			p, ok := a.q.Dequeue(h)
+			if !ok {
+				return 0, false
+			}
+			return *(*uint64)(p), true
+		},
+		Release: h.Release,
+	}), nil
+}
+
+// Stats implements qiface.StatsProvider: the lane-summed scq counters plus
+// the sharded layer's own.
+func (a *scqShardedAdapter) Stats() map[string]uint64 {
+	st := a.q.Stats()
+	m := a.q.SCQStats()
+	m["lanes"] = uint64(st.Lanes)
+	m["steals"] = st.Sharded.Steals
+	m["sweeps"] = st.Sharded.Sweeps
+	m["empty_dequeues"] = st.Sharded.EmptyDequeues
+	m["full_rejects"] = st.Sharded.FullRejects
+	return m
 }
 
 type ofAdapter struct {
@@ -757,6 +911,10 @@ func NewChecked(name string, n int) (qiface.Queue, error) {
 		return newWF(name, n, 10, false, true, core.WithAdaptive())
 	case "wf-sharded-adaptive":
 		return newSharded(name, n, true, sharded.WithAdaptive())
+	case "wf-scq":
+		return newSCQ(name, n, scqDefaultCapacity, true)
+	case "wf-sharded-scq":
+		return newSCQSharded(name, n, true)
 	case "wf-10-mutexreg":
 		return newMutexReg(name, n, true)
 	case "of":

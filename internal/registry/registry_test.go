@@ -10,6 +10,7 @@ import (
 	"wfqueue/internal/core"
 	"wfqueue/internal/qiface"
 	"wfqueue/internal/qtest"
+	"wfqueue/internal/scq"
 )
 
 // realQueues are all registered implementations with actual queue semantics
@@ -72,14 +73,19 @@ func makerFor(name string) qtest.Maker {
 				// Capacity denial is a legal outcome the churn harnesses
 				// provoke deliberately; per the Maker contract it maps to
 				// zero Ops. Anything else is a real failure.
-				if errors.Is(err, core.ErrTooManyHandles) {
+				if errors.Is(err, core.ErrTooManyHandles) || errors.Is(err, scq.ErrTooManyHandles) {
 					return qtest.Ops{}
 				}
 				t.Fatal(err)
 			}
+			var tryEnq func(int64) bool
+			if ops.TryEnqueue != nil {
+				tryEnq = func(v int64) bool { return ops.TryEnqueue(uint64(v)) }
+			}
 			return qtest.Ops{
 				Release: ops.Release,
 				Enq:     func(v int64) { ops.Enqueue(uint64(v)) },
+				TryEnq:  tryEnq,
 				Deq: func() (int64, bool) {
 					v, ok := ops.Dequeue()
 					return int64(v), ok
@@ -219,6 +225,10 @@ func TestWaitFreeFlags(t *testing.T) {
 		"wf-sharded": true, "wf-sharded-1": true, "wf-sharded-8": true, "wf-sharded-rr": true,
 		"wf-adaptive": true, "wf-sharded-adaptive": true, "wf-10-mutexreg": true,
 		"lcrq": false, "msqueue": false, "ccqueue": false, "of": false, "faa": false, "chan": false,
+		// Honest flags for the SCQ variants: the ring's enqueue side is
+		// lock-free (threshold-based livelock freedom), and the dequeue-side
+		// helping bound holds under DESIGN.md §7's model, not unconditionally.
+		"wf-scq": false, "wf-sharded-scq": false,
 	}
 	for name, want := range waitFree {
 		f := MustLookup(name)
@@ -249,6 +259,10 @@ func TestOrderingDeclarations(t *testing.T) {
 		// The mutex-registration baseline only changes the handle lifecycle,
 		// never the queue order.
 		"wf-10-mutexreg": qiface.OrderFIFO,
+		// The single SCQ ring is one linearizable FIFO; SCQ lanes inherit the
+		// sharded affinity-dispatch relaxation.
+		"wf-scq":         qiface.OrderFIFO,
+		"wf-sharded-scq": qiface.OrderPerProducer,
 	}
 	for name, o := range want {
 		if got := MustLookup(name).Ordering; got != o {
@@ -330,6 +344,53 @@ func TestAdaptiveProvider(t *testing.T) {
 	}
 }
 
+// TestBoundedContract pins which implementations declare the capacity
+// contract and enforces what the flag promises: instances implement
+// qiface.CapacityProvider with a positive capacity, every Ops carries a
+// non-nil TryEnqueue, and the full-queue battery holds — fill to rejection,
+// sticky full verdict, drain-one/retry, cycle reuse, and the concurrent
+// TryEnqueue path. Exact capacity-slot accounting is asserted for the
+// OrderFIFO ring; the sharded variant's backpressure is per lane, so a
+// single producer rejects at its home lane's share of the total.
+func TestBoundedContract(t *testing.T) {
+	bounded := map[string]bool{
+		"wf-scq": true, "wf-sharded-scq": true,
+	}
+	for _, name := range qiface.Names() {
+		f := MustLookup(name)
+		if f.Bounded != bounded[name] {
+			t.Errorf("%s: Bounded = %v, want %v", name, f.Bounded, bounded[name])
+		}
+	}
+	for name := range bounded {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			f := MustLookup(name)
+			q, err := f.New(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cp, ok := q.(qiface.CapacityProvider)
+			if !ok {
+				t.Fatalf("%s does not implement qiface.CapacityProvider", name)
+			}
+			capacity := cp.Capacity()
+			if capacity <= 0 {
+				t.Fatalf("Capacity() = %d, want > 0", capacity)
+			}
+			ops, err := q.Register()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ops.TryEnqueue == nil {
+				t.Fatal("bounded factory handed out Ops with nil TryEnqueue")
+			}
+			ops.Release()
+			qtest.BoundedBattery(t, makerFor(name), capacity, f.Ordering == qiface.OrderFIFO)
+		})
+	}
+}
+
 // TestChurnSafeContract pins which implementations declare the
 // handle-churn contract, and enforces what the flag promises: a non-nil
 // Release on every Ops, idempotence of a double Release, and immediate
@@ -339,6 +400,7 @@ func TestChurnSafeContract(t *testing.T) {
 		"wf-10": true, "wf-0": true, "wf-10-recycle": true, "wf-10-tiny": true,
 		"wf-sharded": true, "wf-sharded-1": true, "wf-sharded-8": true, "wf-sharded-rr": true,
 		"wf-adaptive": true, "wf-sharded-adaptive": true, "wf-10-mutexreg": true,
+		"wf-scq": true, "wf-sharded-scq": true,
 		"of": false, "lcrq": false, "lcrq-gc": false, "msqueue": false, "msqueue-gc": false,
 		"ccqueue": false, "kpqueue": false, "faa": false, "simqueue": false, "chan": false,
 	}

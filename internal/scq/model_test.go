@@ -1,0 +1,93 @@
+package scq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAgainstModel runs a random single-threaded op sequence against a
+// bounded-slice model: every TryEnqueue/Dequeue outcome must match exactly,
+// including ErrFull and EMPTY.
+func TestAgainstModel(t *testing.T) {
+	for _, capReq := range []int{1, 4, 5, 32} {
+		q, err := New(1, capReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cap := q.Capacity()
+		var model []uint64
+		rng := rand.New(rand.NewSource(int64(capReq)))
+		for op := 0; op < 50000; op++ {
+			if rng.Intn(2) == 0 {
+				v := rng.Uint64() >> 1
+				err := h.TryEnqueue(box(v))
+				if len(model) < cap {
+					if err != nil {
+						t.Fatalf("cap %d op %d: TryEnqueue failed with %d/%d queued: %v", cap, op, len(model), cap, err)
+					}
+					model = append(model, v)
+				} else if err == nil {
+					t.Fatalf("cap %d op %d: TryEnqueue succeeded on a full queue", cap, op)
+				}
+			} else {
+				p, ok := h.Dequeue()
+				if len(model) > 0 {
+					if !ok {
+						t.Fatalf("cap %d op %d: EMPTY with %d queued", cap, op, len(model))
+					}
+					if got := unbox(p); got != model[0] {
+						t.Fatalf("cap %d op %d: dequeued %d, want %d", cap, op, got, model[0])
+					}
+					model = model[1:]
+				} else if ok {
+					t.Fatalf("cap %d op %d: dequeued %d from an empty queue", cap, op, unbox(p))
+				}
+			}
+		}
+		h.Release()
+	}
+}
+
+// TestDequeueSlowDirect exercises the published-request path without
+// contention: with no helpers around, the owner's own closed-window attempt
+// must produce the value (or a sound EMPTY).
+func TestDequeueSlowDirect(t *testing.T) {
+	q, err := New(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+
+	if err := h.TryEnqueue(box(7)); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := h.dequeueSlow()
+	if !ok || unbox(v) != 7 {
+		t.Fatalf("dequeueSlow = (%v, %v), want 7", v, ok)
+	}
+	if w := h.deqReq.Load(); w != reqIdle {
+		t.Errorf("request word %#x after slow dequeue, want idle", w)
+	}
+	if n := q.pendingDeqs.Load(); n != 0 {
+		t.Errorf("pendingDeqs = %d after slow dequeue, want 0", n)
+	}
+
+	if _, ok := h.dequeueSlow(); ok {
+		t.Fatal("dequeueSlow succeeded on an empty queue")
+	}
+	if w := h.deqReq.Load(); w != reqIdle {
+		t.Errorf("request word %#x after EMPTY slow dequeue, want idle", w)
+	}
+	st := q.Stats()
+	if st["deq_slow"] != 2 {
+		t.Errorf("deq_slow = %d, want 2", st["deq_slow"])
+	}
+}

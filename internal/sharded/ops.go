@@ -145,6 +145,10 @@ func (q *Queue) stealFrom(h *Handle, li int) (unsafe.Pointer, bool) {
 // reserved ⊥). The operation is wait-free: one core enqueue plus at most
 // one FAA.
 func (q *Queue) Enqueue(h *Handle, v unsafe.Pointer) {
+	if q.scqCap != 0 {
+		q.scqEnqueue(h, v)
+		return
+	}
 	li := q.pickLane(h)
 	q.lanes[li].q.Enqueue(h.hs[li], v)
 	if q.adaptive {
@@ -170,6 +174,9 @@ func (q *Queue) Enqueue(h *Handle, v unsafe.Pointer) {
 // value moves through the stolen lane's ordinary per-cell claim CAS, which
 // at most one dequeuer queue-wide can win.
 func (q *Queue) Dequeue(h *Handle) (unsafe.Pointer, bool) {
+	if q.scqCap != 0 {
+		return q.scqDequeue(h)
+	}
 	v, ok := q.lanes[h.home].q.Dequeue(h.hs[h.home])
 	if q.adaptive {
 		q.noteLane(h, h.home)
@@ -219,6 +226,10 @@ func (q *Queue) EnqueueBatch(h *Handle, vs []unsafe.Pointer) {
 	if len(vs) == 0 {
 		return
 	}
+	if q.scqCap != 0 {
+		q.scqEnqueueBatch(h, vs)
+		return
+	}
 	li := q.pickLane(h)
 	q.lanes[li].q.EnqueueBatch(h.hs[li], vs)
 	if q.adaptive {
@@ -235,6 +246,9 @@ func (q *Queue) EnqueueBatch(h *Handle, vs []unsafe.Pointer) {
 func (q *Queue) DequeueBatch(h *Handle, dst []unsafe.Pointer) int {
 	if len(dst) == 0 {
 		return 0
+	}
+	if q.scqCap != 0 {
+		return q.scqDequeueBatch(h, dst)
 	}
 	got := q.lanes[h.home].q.DequeueBatch(h.hs[h.home], dst)
 	if q.adaptive {

@@ -55,6 +55,7 @@ import (
 	"wfqueue/internal/affinity"
 	"wfqueue/internal/core"
 	"wfqueue/internal/pad"
+	"wfqueue/internal/scq"
 )
 
 // MaxLanes bounds the lane count; beyond this the steal sweep's O(lanes)
@@ -100,6 +101,9 @@ type config struct {
 	cpuHome  bool
 	adaptive bool
 	coreOpts []core.Option
+	// scqCap, when nonzero, selects SCQ lane mode: every lane is a bounded
+	// scq ring of this capacity instead of a core queue (see scqlane.go).
+	scqCap int
 }
 
 // WithLanes fixes the lane count (clamped to [1, MaxLanes]); 0 selects
@@ -166,8 +170,13 @@ func WithAdaptive() Option {
 type lane struct {
 	_ pad.CacheLinePad
 	q *core.Queue
-	// id is the lane's index (fixed after New).
-	id int
+	// sq is the lane's bounded ring in SCQ mode (nil in core mode; exactly
+	// one of q/sq is non-nil).
+	sq *scq.Queue
+	// id is the lane's index (fixed after New). int64 so the atomic words
+	// below stay 8-aligned on 32-bit targets now that the descriptor holds
+	// two 4-byte pointers there (padding audit).
+	id int64
 	// stolenFrom counts values removed from this lane by handles homed
 	// elsewhere (atomic).
 	stolenFrom uint64
@@ -190,6 +199,7 @@ type Counters struct {
 	Sweeps        uint64 // dequeue calls that had to look beyond the home lane
 	RRDispatches  uint64 // enqueues routed by the round-robin cursor
 	HotDiverts    uint64 // enqueues diverted off a hot home lane (adaptive)
+	FullRejects   uint64 // TryEnqueues rejected by a full lane (SCQ mode)
 }
 
 // QueueStats is the aggregate view returned by Stats.
@@ -214,6 +224,10 @@ type Queue struct {
 	cpuHome    bool
 	adaptive   bool
 	maxHandles int
+	// scqCap is the requested per-lane ring capacity in SCQ mode (0 in core
+	// mode); the effective, rounded-up value is LaneCapacity(). int64 keeps
+	// rr and regSeq 8-aligned on 32-bit targets (padding audit).
+	scqCap int64
 
 	_ pad.CacheLinePad
 	// rr is the round-robin dispatch cursor, FAAed on every enqueue in
@@ -246,6 +260,7 @@ type Handle struct {
 	q    *Queue
 	home int
 	hs   []*core.Handle // per-lane core handles, indexed by lane id
+	shs  []*scq.Handle  // per-lane scq handles in SCQ mode (nil otherwise)
 
 	// Adaptive-dispatch scratch (allocated at Register in adaptive mode,
 	// nil otherwise; all owner-only). seen holds the last contention-event
@@ -287,27 +302,46 @@ func New(maxHandles int, opts ...Option) *Queue {
 	if n == 0 {
 		n = DefaultLanes()
 	}
+	if cfg.scqCap != 0 {
+		// SCQ mode cannot feed hotness scoring (see scqlane.go).
+		cfg.adaptive = false
+		// The scq handle pool packs indices into handleIdxBits of the
+		// free-list word; stay clearly inside it.
+		if maxHandles > 1<<16 {
+			maxHandles = 1 << 16
+		}
+	}
 	q := &Queue{
 		lanes:    make([]lane, n),
 		dispatch: cfg.dispatch,
 		cpuHome:  cfg.cpuHome,
 		adaptive: cfg.adaptive,
+		scqCap:   int64(cfg.scqCap),
 	}
-	for i := range q.lanes {
-		q.lanes[i].id = i
-		q.lanes[i].q = core.New(maxHandles, cfg.coreOpts...)
+	if cfg.scqCap != 0 {
+		q.newSCQLanes(maxHandles, &cfg)
+	} else {
+		for i := range q.lanes {
+			q.lanes[i].id = int64(i)
+			q.lanes[i].q = core.New(maxHandles, cfg.coreOpts...)
+		}
+		// The core clamps oversized maxThreads; size the shell pool to what
+		// the lanes actually support so a popped shell can always register on
+		// every lane (see the counting argument on Register).
+		q.maxHandles = q.lanes[0].q.Capacity()
 	}
-	// The core clamps oversized maxThreads; size the shell pool to what the
-	// lanes actually support so a popped shell can always register on every
-	// lane (see the counting argument on Register).
-	q.maxHandles = q.lanes[0].q.Capacity()
 	// Pre-allocate every Handle shell — hs slice, adaptive scratch, stats —
 	// and chain them onto the lock-free free list (shell i links to i+1,
 	// 1-based; the last links to 0). Register/Release recirculate these
 	// shells without allocating.
 	q.shells = make([]*Handle, q.maxHandles)
 	for i := range q.shells {
-		h := &Handle{q: q, idx: i, hs: make([]*core.Handle, n)}
+		h := &Handle{q: q, idx: i}
+		if cfg.scqCap != 0 {
+			h.shs = make([]*scq.Handle, n)
+		} else {
+			h.hs = make([]*core.Handle, n)
+		}
 		if cfg.adaptive {
 			h.seen = make([]uint64, n)
 			h.order = make([]int, n-1)
@@ -414,17 +448,24 @@ func (q *Queue) RegisterOnLane(home int) (*Handle, error) {
 		return nil, fmt.Errorf("sharded: %w", core.ErrTooManyHandles)
 	}
 	h.home = home
-	for i := range q.lanes {
-		ch, err := q.lanes[i].q.Register()
-		if err != nil {
-			for j := 0; j < i; j++ {
-				h.hs[j].Release()
-				h.hs[j] = nil
-			}
+	if q.scqCap != 0 {
+		if err := q.registerSCQ(h); err != nil {
 			q.pushShell(uint32(h.idx + 1))
-			return nil, fmt.Errorf("sharded: lane %d: %w", i, err)
+			return nil, fmt.Errorf("sharded: %w", err)
 		}
-		h.hs[i] = ch
+	} else {
+		for i := range q.lanes {
+			ch, err := q.lanes[i].q.Register()
+			if err != nil {
+				for j := 0; j < i; j++ {
+					h.hs[j].Release()
+					h.hs[j] = nil
+				}
+				q.pushShell(uint32(h.idx + 1))
+				return nil, fmt.Errorf("sharded: lane %d: %w", i, err)
+			}
+			h.hs[i] = ch
+		}
 	}
 	if q.adaptive {
 		// Re-snapshot the contention baseline: the core handles this shell
@@ -465,8 +506,14 @@ func (h *Handle) Release() {
 	if !h.life.CompareAndSwap(cur, cur+1) {
 		return // lost the closing race: the other Release returns the slot
 	}
-	for _, ch := range h.hs {
-		ch.Release()
+	if h.q.scqCap != 0 {
+		for _, sh := range h.shs {
+			sh.Release()
+		}
+	} else {
+		for _, ch := range h.hs {
+			ch.Release()
+		}
 	}
 	h.q.pushShell(uint32(h.idx + 1))
 }
@@ -479,6 +526,7 @@ func (c *Counters) add(o *Counters) {
 	c.Sweeps += ctrLoad(&o.Sweeps)
 	c.RRDispatches += ctrLoad(&o.RRDispatches)
 	c.HotDiverts += ctrLoad(&o.HotDiverts)
+	c.FullRejects += ctrLoad(&o.FullRejects)
 }
 
 // Size returns an instantaneous approximation of the total queue length
@@ -486,7 +534,11 @@ func (c *Counters) add(o *Counters) {
 func (q *Queue) Size() int64 {
 	var total int64
 	for i := range q.lanes {
-		total += q.lanes[i].q.Size()
+		if q.scqCap != 0 {
+			total += int64(q.lanes[i].sq.Size())
+		} else {
+			total += q.lanes[i].q.Size()
+		}
 	}
 	return total
 }
@@ -500,8 +552,9 @@ func (q *Queue) Stats() QueueStats {
 		StolenFrom: make([]uint64, len(q.lanes)),
 	}
 	for i := range q.lanes {
-		cs := q.lanes[i].q.Stats()
-		st.Core.Add(cs)
+		if q.scqCap == 0 {
+			st.Core.Add(q.lanes[i].q.Stats())
+		}
 		st.StolenFrom[i] = atomic.LoadUint64(&q.lanes[i].stolenFrom)
 	}
 	// Shells are never freed and their counters never reset, so summing
@@ -519,6 +572,9 @@ func (q *Queue) Adaptive() bool { return q.adaptive }
 // one view (see core.AdaptiveStats). Zero-valued with Enabled=false when the
 // queue is not adaptive.
 func (q *Queue) AdaptiveStats() core.AdaptiveStats {
+	if q.scqCap != 0 {
+		return core.AdaptiveStats{} // SCQ lanes carry no adaptive controller
+	}
 	st := q.lanes[0].q.AdaptiveStats()
 	for i := 1; i < len(q.lanes); i++ {
 		st.Merge(q.lanes[i].q.AdaptiveStats())

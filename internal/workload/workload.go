@@ -47,6 +47,15 @@ const (
 	// Register/Release cost; the workload only runs against queues whose
 	// Ops carry a Release (qiface.Factory.ChurnSafe).
 	Churn
+	// StalledConsumer is the bounded-memory adversary: producers keep
+	// offering values while the consumer parks for a whole phase, then
+	// resumes and drains. An unbounded queue buffers the entire phase, so
+	// its live heap grows linearly with the stall length; a bounded queue
+	// rejects with backpressure once all capacity slots are held, keeping
+	// retention flat at its capacity. The phase structure is asymmetric by
+	// design, so this kind is driven by bench.RunStall and wfqstress
+	// -stall, not by the symmetric per-thread trial loop.
+	StalledConsumer
 )
 
 // BurstPhase is the Bursty phase length in pairs: storms and quiet spells
@@ -74,6 +83,8 @@ func (k Kind) String() string {
 		return "bursty-pairs"
 	case Churn:
 		return "handle-churn-pairs"
+	case StalledConsumer:
+		return "stalled-consumer"
 	default:
 		return "unknown"
 	}
@@ -83,7 +94,7 @@ func (k Kind) String() string {
 // its Kind, for harnesses that round-trip workloads through recorded
 // baseline documents.
 func ParseKind(s string) (Kind, bool) {
-	for _, k := range []Kind{Pairs, HalfHalf, PairsBatched, Bursty, Churn} {
+	for _, k := range []Kind{Pairs, HalfHalf, PairsBatched, Bursty, Churn, StalledConsumer} {
 		if k.String() == s {
 			return k, true
 		}
