@@ -6,7 +6,7 @@ GO ?= go
 # lands here; the directory is untracked (see .gitignore).
 ARTIFACTS ?= artifacts
 
-.PHONY: all build vet lint test race short bench bench-json bench-json-sharded bench-adaptive bench-handles bench-scq bench-compare fuzz stress soak ci experiments examples clean
+.PHONY: all build vet lint test race short bench bench-json bench-json-sharded bench-adaptive bench-handles bench-scq bench-coalesce bench-trajectory bench-all bench-compare fuzz stress soak ci experiments examples clean
 
 all: build vet lint test
 
@@ -96,6 +96,26 @@ bench-scq:
 	$(GO) run ./cmd/wfqbench scq -out BENCH_scq.json -tolerance 0.30 \
 		-ops 50000 -trials 3 -iters 3 -nowork -nopin
 
+# Operation-coalescing baseline: the exact zero-allocation gate per window
+# (the coalesced hot path's buffers live inside the handle, so every window
+# must run allocation-free at steady state), run-grouped throughput for the
+# wf-coalesce-w{1,4,16,64} variants, and the pairwise ratios over wf-10 from
+# interleaved best-of rounds — window 1 must not tax the disabled path and
+# window 16 must never be a pessimization. Writes BENCH_coalesce.json at the
+# repo root — the committed baseline (see EXPERIMENTS.md for the window-sweep
+# methodology and the single-hardware-thread caveat on the speedup target).
+bench-coalesce:
+	$(GO) run ./cmd/wfqbench coalesce -out BENCH_coalesce.json \
+		-ops 50000 -trials 3 -iters 3 -nowork -nopin
+
+# Merge every committed BENCH_*.json into BENCH_trajectory.json, keyed by
+# the PR that introduced each baseline. Pure reader: no benchmarks run.
+bench-trajectory:
+	$(GO) run ./cmd/wfqbench trajectory -out BENCH_trajectory.json
+
+# Regenerate every committed perf baseline, then the merged trajectory.
+bench-all: bench-json bench-json-sharded bench-adaptive bench-handles bench-scq bench-coalesce bench-trajectory
+
 # Bench trajectory gate: re-run the committed baselines' measurements and
 # fail on any steady-state allocation regression, or (on the baseline's
 # platform) on a >20% wall throughput drop, a bursty cell where the
@@ -104,6 +124,7 @@ bench-scq:
 bench-compare:
 	$(GO) run ./cmd/wfqbench compare -baseline BENCH_core.json -nowork -nopin
 	GOMAXPROCS=8 $(GO) run ./cmd/wfqbench compare -baseline BENCH_adaptive.json -nopin
+	$(GO) run ./cmd/wfqbench compare -baseline BENCH_coalesce.json -nowork -nopin
 
 fuzz:
 	$(GO) test ./internal/core -fuzz FuzzAgainstModel -fuzztime 30s
@@ -122,6 +143,8 @@ soak: | $(ARTIFACTS)
 	$(GO) run ./cmd/wfqstress -queue wf-10 -threads 8 -duration 10s -batch 8 2>&1 | tee -a $(ARTIFACTS)/soak_output.txt
 	$(GO) run ./cmd/wfqstress -queue wf-10 -threads 8 -duration 10s -adaptive -bursty 2>&1 | tee -a $(ARTIFACTS)/soak_output.txt
 	$(GO) run ./cmd/wfqstress -queue wf-sharded -threads 8 -duration 10s -adaptive -bursty 2>&1 | tee -a $(ARTIFACTS)/soak_output.txt
+	$(GO) run ./cmd/wfqstress -queue wf-10 -threads 8 -duration 10s -coalesce 2>&1 | tee -a $(ARTIFACTS)/soak_output.txt
+	$(GO) run ./cmd/wfqstress -queue wf-sharded -threads 8 -duration 10s -coalesce 2>&1 | tee -a $(ARTIFACTS)/soak_output.txt
 
 # Regenerate the paper's tables and figures (quick parameters; add
 # WFQ_FLAGS=-paper for the full methodology).

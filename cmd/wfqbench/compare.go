@@ -49,6 +49,18 @@ func runCompare(o options, baselinePath string, tolerance float64, strict bool) 
 	if err != nil {
 		fatalf("compare: %v", err)
 	}
+	// Dispatch on the baseline's schema: the coalesce baseline has its own
+	// shape and its own pairwise gates.
+	var peek struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(raw, &peek); err != nil {
+		fatalf("compare: %s: %v", baselinePath, err)
+	}
+	if peek.Schema == coalesceSchema {
+		runCompareCoalesce(o, raw, baselinePath, tolerance, strict)
+		return
+	}
 	var base jsonDoc
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fatalf("compare: %s: %v", baselinePath, err)
@@ -121,9 +133,18 @@ func runCompare(o options, baselinePath string, tolerance float64, strict bool) 
 			b.Name, b.WallMops, fresh, ratio, b.AllocsPerOp, res.AllocsPerOp,
 			retainedStr(b.StallRetainedBytes), retainedStr(freshRetained))
 
-		// Allocation gate: always on. The floor absorbs MemStats jitter on
-		// queues that allocate legitimately (GC-reclaimed baselines).
-		if res.AllocsPerOp > b.AllocsPerOp*1.1+0.02 {
+		// Allocation gate: always on. A baseline that reads exactly 0 pins a
+		// zero-allocation hot path, and the harness takes the minimum across
+		// trials precisely so stray runtime allocations cannot blur that
+		// floor — demand exact zero back. Queues that allocate legitimately
+		// (GC-reclaimed baselines) keep the relative gate with a noise floor.
+		if b.AllocsPerOp == 0 {
+			if res.AllocsPerOp > 0 {
+				failures = append(failures, fmt.Sprintf(
+					"%s: zero-allocation hot path now allocates %.6f allocs/op, want exactly 0",
+					b.Name, res.AllocsPerOp))
+			}
+		} else if res.AllocsPerOp > b.AllocsPerOp*1.1+0.02 {
 			failures = append(failures, fmt.Sprintf(
 				"%s: steady-state allocations regressed %.4f -> %.4f allocs/op",
 				b.Name, b.AllocsPerOp, res.AllocsPerOp))
@@ -148,6 +169,103 @@ func runCompare(o options, baselinePath string, tolerance float64, strict bool) 
 	}
 	fmt.Printf("compare: OK — no alloc regressions, throughput within %.0f%% of baseline%s\n",
 		100*tolerance, map[bool]string{true: "", false: " (throughput informational)"}[gateThroughput])
+}
+
+// runCompareCoalesce is the trajectory gate over a coalesce baseline
+// (wfqbench coalesce): it re-runs the per-window zero-allocation gate
+// (always; deterministic) and the pairwise run-grouped ratios against wf-10
+// with the baseline's own parameters. The pairwise gates are same-run
+// ratios, so like the adaptive gates they apply whenever throughput gating
+// is on: window 1 within -tolerance of wf-10, and window 16 — coalescing's
+// headline — never below wf-10 minus the noise grace (a coalesced queue
+// must never be a pessimization against the plain queue it wraps).
+func runCompareCoalesce(o options, raw []byte, baselinePath string, tolerance float64, strict bool) {
+	var base coalesceDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("compare: %s: %v", baselinePath, err)
+	}
+	if tolerance <= 0 || tolerance >= 1 {
+		fatalf("compare: bad -tolerance %.2f (need 0 < t < 1)", tolerance)
+	}
+	p := bench.DetectPlatform()
+	samePlatform := p.Model == base.Platform.Model &&
+		p.Threads == base.Platform.HWThreads &&
+		runtime.GOMAXPROCS(0) == base.Platform.GOMAXPROCS
+	gate := samePlatform || strict
+	fmt.Printf("compare: coalesce baseline %s (%s, %d hw threads, run length %d)\n",
+		baselinePath, base.Platform.Model, base.Platform.HWThreads, base.RunLength)
+	if !gate {
+		fmt.Printf("compare: platform differs (%s, %d hw threads) — pairwise ratios informational only (use -strict to gate)\n",
+			p.Model, p.Threads)
+	}
+
+	o.ops = base.Params.Ops
+	o.trials = base.Params.Trials
+	o.iters = base.Params.Iters
+	cfg := func(qn string) bench.Config {
+		c := o.config(qn, workload.RunGrouped, base.Params.Threads)
+		c.Batch = base.RunLength
+		return c
+	}
+
+	var failures []string
+	fmt.Println("window | queue | base ratio | fresh wall Mops | fresh wf-10 | fresh ratio | steady allocs/op")
+	fmt.Println("--- | --- | --- | --- | --- | --- | ---")
+	for _, row := range base.Windows {
+		st := bench.CoalesceSteadyStateAllocs(200_000, row.Window)
+		if st.AllocsPerOp > 0 {
+			failures = append(failures, fmt.Sprintf(
+				"window %d: coalesced hot path allocates %.6f objects/op at steady state, want 0",
+				row.Window, st.AllocsPerOp))
+		}
+		var coalWall, baseWall float64
+		for r := 0; r < adaptiveRounds; r++ {
+			cres, err := bench.Run(cfg(row.Queue))
+			if err != nil {
+				fatalf("compare coalesce %s: %v", row.Queue, err)
+			}
+			bres, err := bench.Run(cfg("wf-10"))
+			if err != nil {
+				fatalf("compare coalesce wf-10: %v", err)
+			}
+			coalWall = math.Max(coalWall, cres.WallInterval.Mean)
+			baseWall = math.Max(baseWall, bres.WallInterval.Mean)
+		}
+		ratio := 0.0
+		if baseWall > 0 {
+			ratio = coalWall / baseWall
+		}
+		fmt.Printf("%d | %s | %.2fx | %.2f | %.2f | %.2fx | %.6f\n",
+			row.Window, row.Queue, row.OverWF10, coalWall, baseWall, ratio, st.AllocsPerOp)
+		if !gate {
+			continue
+		}
+		switch row.Window {
+		case 1:
+			if ratio < 1-tolerance {
+				failures = append(failures, fmt.Sprintf(
+					"window 1 passthrough runs %.2fx wf-10, below the %.2f floor", ratio, 1-tolerance))
+			}
+		case 16:
+			grace := coalesceGrace
+			if tolerance > grace {
+				grace = tolerance
+			}
+			if ratio < 1-grace {
+				failures = append(failures, fmt.Sprintf(
+					"window 16 runs %.2fx wf-10 on run-grouped, below the %.2f never-a-pessimization floor",
+					ratio, 1-grace))
+			}
+		}
+	}
+	fmt.Println()
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "wfqbench compare: REGRESSION: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("compare: OK — coalesce gates hold (zero allocs at every window; pairwise ratios within bounds)")
 }
 
 // adaptiveBurstyGrace absorbs run-to-run noise in the bursty adaptive gate:

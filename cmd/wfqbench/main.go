@@ -13,6 +13,8 @@
 //	wfqbench json    [-out BENCH_core.json] [flags]
 //	wfqbench handles [-out BENCH_handles.json] [flags]
 //	wfqbench scq     [-out BENCH_scq.json] [flags]
+//	wfqbench coalesce [-out BENCH_coalesce.json] [flags]
+//	wfqbench trajectory [-out BENCH_trajectory.json]
 //	wfqbench compare [-baseline BENCH_core.json] [-tolerance 0.20] [-strict] [flags]
 //	wfqbench all     [flags]
 //
@@ -42,6 +44,17 @@
 // wf-scq vs wf-10 ratio, and runs the stalled-consumer adversary — bounded
 // queues must keep their live-heap retention under a capacity-derived bound
 // while wf-10's linear growth is recorded alongside (exits 1 on any gate).
+//
+// The coalesce subcommand is the operation-coalescing baseline emitter
+// (BENCH_coalesce.json): per window in {1,4,16,64} it verifies the coalesced
+// hot path allocates nothing at steady state and measures the run-grouped
+// pairwise ratio against plain wf-10 — window 1 must stay within -tolerance
+// of wf-10 (the passthrough may not tax the disabled path) and window 16
+// must never be a pessimization (exits 1 on any gate).
+//
+// The trajectory subcommand merges every committed BENCH_*.json into one
+// schema-versioned BENCH_trajectory.json keyed by the PR that introduced
+// each baseline; it runs nothing and reads only committed artifacts.
 //
 // Common flags:
 //
@@ -120,6 +133,10 @@ func main() {
 		outDefault = "BENCH_handles.json"
 	case "scq":
 		outDefault = "BENCH_scq.json"
+	case "coalesce":
+		outDefault = "BENCH_coalesce.json"
+	case "trajectory":
+		outDefault = "BENCH_trajectory.json"
 	}
 	outPath := fs.String("out", outDefault, "json/handles: output path for the benchmark baseline")
 	adaptive := fs.Bool("adaptive", false, "json: also measure fixed-vs-adaptive pairs (pairs + bursty workloads, oversubscribed threads)")
@@ -207,6 +224,10 @@ func main() {
 		runHandles(o, *tolerance)
 	case "scq":
 		runSCQ(o, *tolerance)
+	case "coalesce":
+		runCoalesce(o, *tolerance)
+	case "trajectory":
+		runTrajectory(o)
 	case "compare":
 		runCompare(o, *baselinePath, *tolerance, *strict)
 	case "all":
@@ -222,7 +243,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wfqbench {table1|figure2|table2|single|latency|json|handles|scq|compare|all} [flags]  (see -h per subcommand)")
+	fmt.Fprintln(os.Stderr, "usage: wfqbench {table1|figure2|table2|single|latency|json|handles|scq|coalesce|trajectory|compare|all} [flags]  (see -h per subcommand)")
 }
 
 func fatalf(format string, args ...any) {

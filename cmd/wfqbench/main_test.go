@@ -25,7 +25,15 @@ func TestMain(m *testing.M) {
 // runCLI invokes the test binary as if it were wfqbench.
 func runCLI(t *testing.T, args ...string) (string, error) {
 	t.Helper()
+	return runCLIIn(t, "", args...)
+}
+
+// runCLIIn is runCLI with a working directory, for subcommands that read
+// committed artifacts relative to the repository root.
+func runCLIIn(t *testing.T, dir string, args ...string) (string, error) {
+	t.Helper()
 	cmd := exec.Command(os.Args[0], args...)
+	cmd.Dir = dir
 	cmd.Env = append(os.Environ(), "WFQBENCH_MAIN=1")
 	out, err := cmd.CombinedOutput()
 	return string(out), err
@@ -363,6 +371,154 @@ func TestCLIJSONAdaptiveAndCompare(t *testing.T) {
 func TestCLIRejectsBadBatch(t *testing.T) {
 	if out, err := runCLI(t, append([]string{"figure2", "-batch", "0"}, quick...)...); err == nil {
 		t.Errorf("batch 0 should fail:\n%s", out)
+	}
+}
+
+// coalesce must write a schema-valid operation-coalescing baseline: the
+// per-window deterministic zero-allocation gates, a throughput row per
+// window in {1,4,16,64} with its pairwise ratio over wf-10, and the shared
+// wf-10 denominator. -tolerance 0.99 widens both ratio floors so the tiny
+// smoke run cannot flap the gates; the allocation gates stay exact.
+func TestCLICoalesce(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_coalesce.json")
+	args := append([]string{"coalesce", "-threads", "2", "-tolerance", "0.99",
+		"-out", out}, quick...)
+	stdout, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stdout)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+	var doc struct {
+		Schema       string  `json:"schema"`
+		RunLength    int     `json:"run_length"`
+		WF10WallMops float64 `json:"wf10_wall_mops"`
+		Windows      []struct {
+			Window            int     `json:"window"`
+			Queue             string  `json:"queue"`
+			SteadyAllocsPerOp float64 `json:"steady_allocs_per_op"`
+			WallMops          float64 `json:"wall_mops"`
+			OverWF10          float64 `json:"over_wf10_wall"`
+		} `json:"windows"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v\n%s", err, b)
+	}
+	if doc.Schema != "wfqueue/bench-coalesce/v1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	if doc.RunLength < 1 || doc.WF10WallMops <= 0 {
+		t.Errorf("run_length %d / wf10_wall_mops %v malformed", doc.RunLength, doc.WF10WallMops)
+	}
+	windows := map[int]bool{}
+	for _, w := range doc.Windows {
+		windows[w.Window] = true
+		if w.SteadyAllocsPerOp != 0 {
+			t.Errorf("window %d: coalesced hot path allocated %v allocs/op at steady state", w.Window, w.SteadyAllocsPerOp)
+		}
+		if w.WallMops <= 0 || w.OverWF10 <= 0 {
+			t.Errorf("window %d (%s): wall_mops %v over_wf10 %v", w.Window, w.Queue, w.WallMops, w.OverWF10)
+		}
+	}
+	for _, want := range []int{1, 4, 16, 64} {
+		if !windows[want] {
+			t.Errorf("windows missing %d: %v", want, windows)
+		}
+	}
+
+	// compare must recognize the coalesce schema and gate it. De-match the
+	// platform so only the deterministic allocation gates are armed (tiny
+	// single-trial ratios are a coin flip on a shared host).
+	var full map[string]any
+	if err := json.Unmarshal(b, &full); err != nil {
+		t.Fatal(err)
+	}
+	full["platform"].(map[string]any)["gomaxprocs"] = 9999.0
+	mod, err := json.Marshal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modPath := filepath.Join(t.TempDir(), "BENCH_othermachine.json")
+	if err := os.WriteFile(modPath, mod, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmpOut, err := runCLI(t, append([]string{"compare", "-baseline", modPath,
+		"-tolerance", "0.99"}, quick...)...)
+	if err != nil {
+		t.Fatalf("compare failed: %v\n%s", err, cmpOut)
+	}
+	for _, want := range []string{"coalesce baseline", "informational", "compare: OK"} {
+		if !strings.Contains(cmpOut, want) {
+			t.Errorf("compare output missing %q:\n%s", want, cmpOut)
+		}
+	}
+}
+
+// trajectory is a pure reader: it merges whatever committed baselines exist
+// in the working directory into one schema-versioned document, skipping
+// missing files and carrying the coalesce baseline's window tags through.
+func TestCLITrajectory(t *testing.T) {
+	dir := t.TempDir()
+	core := `{"schema":"wfqueue/bench-core/v1","platform":{"model":"m","hw_threads":1,"gomaxprocs":1},
+		"params":{"workload":"enqueue-dequeue-pairs","threads":2},
+		"queues":[{"name":"wf-10","mops":1.5,"wall_mops":3.0,"allocs_per_op":0}]}`
+	coal := `{"schema":"wfqueue/bench-coalesce/v1","platform":{"model":"m","hw_threads":1,"gomaxprocs":1},
+		"params":{"workload":"run-grouped-pairs","threads":2},"run_length":16,"wf10_wall_mops":3.0,
+		"windows":[{"window":16,"queue":"wf-coalesce","mops":2.0,"wall_mops":4.0,"allocs_per_op":0,"over_wf10_wall":1.33}]}`
+	for name, body := range map[string]string{"BENCH_core.json": core, "BENCH_coalesce.json": coal} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stdout, err := runCLIIn(t, dir, "trajectory")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stdout)
+	}
+	for _, want := range []string{"BENCH_sharded.json (PR 3) absent", "2 baselines merged"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("trajectory output missing %q:\n%s", want, stdout)
+		}
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "BENCH_trajectory.json"))
+	if err != nil {
+		t.Fatalf("merged document not written: %v", err)
+	}
+	var doc struct {
+		Schema  string `json:"schema"`
+		Entries []struct {
+			PR           int    `json:"pr"`
+			Topic        string `json:"topic"`
+			SourceSchema string `json:"source_schema"`
+			Queues       []struct {
+				Name     string  `json:"name"`
+				Window   int     `json:"window"`
+				WallMops float64 `json:"wall_mops"`
+			} `json:"queues"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("merged document is not valid JSON: %v\n%s", err, b)
+	}
+	if doc.Schema != "wfqueue/bench-trajectory/v1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	if len(doc.Entries) != 2 {
+		t.Fatalf("merged %d entries, want 2:\n%s", len(doc.Entries), b)
+	}
+	if doc.Entries[0].PR != 2 || doc.Entries[0].Topic != "core" || doc.Entries[0].Queues[0].Name != "wf-10" {
+		t.Errorf("core entry malformed: %+v", doc.Entries[0])
+	}
+	coalEntry := doc.Entries[1]
+	if coalEntry.PR != 8 || len(coalEntry.Queues) != 1 ||
+		coalEntry.Queues[0].Window != 16 || coalEntry.Queues[0].WallMops != 4.0 {
+		t.Errorf("coalesce entry did not carry the window row through: %+v", coalEntry)
+	}
+
+	// An empty directory merges nothing and must fail loudly.
+	if out, err := runCLIIn(t, t.TempDir(), "trajectory"); err == nil {
+		t.Errorf("trajectory with no baselines should fail:\n%s", out)
 	}
 }
 

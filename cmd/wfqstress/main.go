@@ -20,7 +20,7 @@
 //
 // Usage:
 //
-//	wfqstress [-queue wf-10] [-threads 8] [-duration 10s] [-mode stress|lincheck|stall] [-batch 1] [-seed 1] [-adaptive] [-bursty] [-churn]
+//	wfqstress [-queue wf-10] [-threads 8] [-duration 10s] [-mode stress|lincheck|stall] [-batch 1] [-seed 1] [-adaptive] [-coalesce] [-bursty] [-churn]
 //
 // With -batch k > 1 both modes drive the queue through the batched
 // operations (EnqueueBatch/DequeueBatch): the wait-free queue's native
@@ -33,6 +33,17 @@
 // spells (stretched inter-operation work) every workload.BurstPhase local
 // operations — the phase pattern the adaptive controller must track without
 // ever leaving its bounds.
+//
+// -coalesce swaps the selected queue for its operation-coalescing variant
+// (wf-10 → wf-coalesce, wf-sharded → wf-sharded-coalesce, wf-scq →
+// wf-scq-coalesce) and tightens the stress audit to exact accounting:
+// producers flush their windows when idle (before parking on backpressure)
+// and once after their last enqueue, so every produced value must come back
+// — the run fails on any loss or duplication, not just duplication, and the
+// per-producer FIFO check audits that coalesced runs never reorder within a
+// producer. Stress mode only: lincheck needs window 1 (run it directly with
+// -queue wf-coalesce-w1), and stall-mode accounting assumes TryEnqueue
+// visibility, which buffering defers.
 //
 // -churn makes every stress worker periodically Release its handle and
 // Register a fresh one mid-run (every churnEvery values), soaking the
@@ -72,13 +83,23 @@ func main() {
 	batch := flag.Int("batch", 1, "values per batched operation (1 = single-op mode)")
 	seed := flag.Uint64("seed", 1, "base RNG seed")
 	adaptive := flag.Bool("adaptive", false, "use the queue's contention-adaptive variant and report its controller snapshot")
+	coalesce := flag.Bool("coalesce", false, "stress: use the queue's operation-coalescing variant with flush-on-idle producers and exact loss/duplication accounting")
 	bursty := flag.Bool("bursty", false, "stress: alternate contention storms with quiet spells")
 	churn := flag.Bool("churn", false, "stress: workers periodically Release and re-Register their handles (needs a ChurnSafe queue)")
 	flag.Parse()
 
 	name := *queue
+	if *adaptive && *coalesce {
+		fatalf("-adaptive and -coalesce select conflicting variants; pick one")
+	}
 	if *adaptive {
 		name = adaptiveVariant(name)
+	}
+	if *coalesce {
+		if *mode != "stress" {
+			fatalf("-coalesce is a stress-mode audit (for lincheck use -queue wf-coalesce-w1 directly)")
+		}
+		name = coalesceVariant(name)
 	}
 	if !registry.IsRealQueue(name) {
 		fatalf("%s is a microbenchmark, not a queue", name)
@@ -105,7 +126,7 @@ func main() {
 				checkOrder = false
 			}
 		}
-		runStress(name, *threads, *duration, *batch, *seed, checkOrder, *bursty, *churn)
+		runStress(name, *threads, *duration, *batch, *seed, checkOrder, *bursty, *churn, *coalesce)
 	case "lincheck":
 		if ordering != qiface.OrderFIFO {
 			fatalf("%s declares %s order; lincheck requires full FIFO linearizability (try wf-sharded-1)", name, ordering)
@@ -137,6 +158,23 @@ func adaptiveVariant(name string) string {
 	return ""
 }
 
+// coalesceVariant maps a fixed queue name to its operation-coalescing
+// registry twin. Already-coalesced names map to themselves.
+func coalesceVariant(name string) string {
+	switch name {
+	case "wf-10", "wf-coalesce":
+		return "wf-coalesce"
+	case "wf-sharded", "wf-sharded-coalesce":
+		return "wf-sharded-coalesce"
+	case "wf-scq", "wf-scq-coalesce":
+		return "wf-scq-coalesce"
+	case "wf-coalesce-w1", "wf-coalesce-w4", "wf-coalesce-w64":
+		return name
+	}
+	fatalf("%s has no operation-coalescing variant (have: wf-10, wf-sharded, wf-scq)", name)
+	return ""
+}
+
 // churnEvery is how many values a stress worker moves between -churn
 // lifecycle cycles: frequent enough that thousands of Release/Register
 // pairs race per second of stress, long enough that the queue stays loaded.
@@ -154,10 +192,10 @@ func reRegister(q qiface.Queue, ops qiface.Ops) qiface.Ops {
 		// all, so a denial means a Release failed to return its slot.
 		fatalf("churn re-register: %v", err)
 	}
-	return qiface.WithBatchFallback(next)
+	return qiface.WithFlushFallback(qiface.WithBatchFallback(next))
 }
 
-func runStress(name string, threads int, d time.Duration, batch int, seed uint64, checkOrder, bursty, churn bool) {
+func runStress(name string, threads int, d time.Duration, batch int, seed uint64, checkOrder, bursty, churn, coalesce bool) {
 	if threads < 2 {
 		threads = 2
 	}
@@ -176,6 +214,9 @@ func runStress(name string, threads int, d time.Duration, batch int, seed uint64
 	}
 	if churn {
 		burstNote += ", churn"
+	}
+	if coalesce {
+		burstNote += ", coalesce (exact accounting)"
 	}
 	fmt.Printf("stress: %s, %d producers, %d consumers, batch=%d%s, %v\n",
 		name, producers, consumers, batch, burstNote, d)
@@ -198,16 +239,22 @@ func runStress(name string, threads int, d time.Duration, batch int, seed uint64
 		wg.Add(1)
 		go func(p int, ops qiface.Ops) {
 			defer wg.Done()
-			ops = qiface.WithBatchFallback(ops)
+			ops = qiface.WithFlushFallback(qiface.WithBatchFallback(ops))
 			rng := workload.NewRNG(seed + uint64(p)*0x9E3779B97F4A7C15 + 1)
 			var seq int64
 			vs := make([]uint64, batch)
 			for !stopProducing.Load() {
-				for producedTotal.Load()-consumedTotal.Load() > maxOutstanding {
-					if stopProducing.Load() {
-						break
+				if producedTotal.Load()-consumedTotal.Load() > maxOutstanding {
+					// About to park: a coalescing producer publishes its
+					// window first so consumers never starve on values the
+					// backpressure count already charges it for.
+					ops.Flush()
+					for producedTotal.Load()-consumedTotal.Load() > maxOutstanding {
+						if stopProducing.Load() {
+							break
+						}
+						runtime.Gosched()
 					}
-					runtime.Gosched()
 				}
 				if bursty && (seq/workload.BurstPhase)%2 == 1 {
 					// Quiet spell: stretched inter-op work; storms run
@@ -230,6 +277,10 @@ func runStress(name string, threads int, d time.Duration, batch int, seed uint64
 					ops = reRegister(q, ops)
 				}
 			}
+			// Publish the final partial window: after this every produced
+			// value is visible to consumers, so the post-drain accounting
+			// can demand exact recovery.
+			ops.Flush()
 			atomic.StoreInt64(&produced[p], seq)
 		}(p, ops)
 	}
@@ -298,12 +349,16 @@ func runStress(name string, threads int, d time.Duration, batch int, seed uint64
 	stopProducing.Store(true)
 	wg.Wait()
 	// Let consumers drain until the queue reports empty twice in a row.
+	// Producers have flushed and joined, so every produced value is visible;
+	// the helper's count joins the consumers' for exact accounting.
+	var helperDrained int64
 	drainOps, err := q.Register()
 	if err == nil {
 		for {
 			if _, ok := drainOps.Dequeue(); !ok {
 				break
 			}
+			helperDrained++
 		}
 	}
 	time.Sleep(100 * time.Millisecond)
@@ -330,6 +385,23 @@ func runStress(name string, threads int, d time.Duration, batch int, seed uint64
 	// The drain helper may have discarded values, so consumed <= produced.
 	if totalConsumed > totalProduced {
 		fatalf("consumed more values than produced: duplication")
+	}
+	if coalesce {
+		// Producers flushed before joining and a coalescing handle never
+		// reports EMPTY while holding values, so the consumers plus the
+		// drain helper must have recovered every produced value exactly
+		// once: a shortfall is loss (a window stranded in a buffer), an
+		// excess is duplication (a window replayed by a flush retry).
+		if got := totalConsumed + helperDrained; got != totalProduced {
+			kind := "duplication"
+			if got < totalProduced {
+				kind = "loss"
+			}
+			fatalf("coalesce accounting: produced %d but recovered %d (consumers %d + drain helper %d): %s",
+				totalProduced, got, totalConsumed, helperDrained, kind)
+		}
+		fmt.Printf("coalesce: exact recovery, consumers %d + drain helper %d == produced %d\n",
+			totalConsumed, helperDrained, totalProduced)
 	}
 	if ap, ok := q.(qiface.AdaptiveProvider); ok {
 		if s := ap.Adaptive(); s.Enabled {

@@ -147,6 +147,45 @@ func TestStressChurn(t *testing.T) {
 	}
 }
 
+// -coalesce swaps in the operation-coalescing variant and tightens the audit
+// to exact accounting: flush-on-idle producers publish every window, so the
+// consumers plus the drain helper must recover every produced value exactly
+// once, with per-producer FIFO intact.
+func TestStressCoalesce(t *testing.T) {
+	out, err := runCLI(t, "-queue", "wf-10", "-threads", "4", "-duration", "300ms", "-coalesce")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"wf-coalesce", "exact accounting", "exact recovery", "order violations: 0", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("coalesce stress output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The sharded variant coalesces above lane dispatch; the audit is the same.
+	out, err = runCLI(t, "-queue", "wf-sharded", "-threads", "4", "-duration", "300ms", "-coalesce")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"wf-sharded-coalesce", "exact recovery", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sharded coalesce stress output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRejectsCoalesceMisuse(t *testing.T) {
+	if out, err := runCLI(t, "-queue", "msqueue", "-coalesce", "-duration", "100ms"); err == nil {
+		t.Fatalf("msqueue has no coalescing variant, should fail:\n%s", out)
+	}
+	if out, err := runCLI(t, "-mode", "lincheck", "-coalesce", "-duration", "100ms"); err == nil {
+		t.Fatalf("-coalesce outside stress mode should fail:\n%s", out)
+	}
+	if out, err := runCLI(t, "-adaptive", "-coalesce", "-duration", "100ms"); err == nil {
+		t.Fatalf("-adaptive with -coalesce should fail:\n%s", out)
+	}
+}
+
 func TestRejectsAdaptiveWithoutVariant(t *testing.T) {
 	if out, err := runCLI(t, "-queue", "msqueue", "-adaptive", "-duration", "100ms"); err == nil {
 		t.Fatalf("msqueue has no adaptive variant, should fail:\n%s", out)

@@ -16,15 +16,16 @@ func fixtureConfig() Config {
 		Root:   filepath.Join("testdata", "src", "fixture"),
 		Module: "fixture",
 		Tiers: map[string]Tier{
-			"fixture/atomics": TierLockFree,
-			"fixture/align":   TierLockFree,
-			"fixture/layout":  TierLockFree,
-			"fixture/annbad":  TierLockFree,
-			"fixture/loops":   TierWaitFree,
-			"fixture/hpool":   TierWaitFree,
-			"fixture/ring":    TierWaitFree,
-			"fixture/block":   TierWaitFree,
-			"fixture/hot":     TierWaitFree,
+			"fixture/atomics":  TierLockFree,
+			"fixture/align":    TierLockFree,
+			"fixture/layout":   TierLockFree,
+			"fixture/annbad":   TierLockFree,
+			"fixture/loops":    TierWaitFree,
+			"fixture/coalesce": TierWaitFree,
+			"fixture/hpool":    TierWaitFree,
+			"fixture/ring":     TierWaitFree,
+			"fixture/block":    TierWaitFree,
+			"fixture/hot":      TierWaitFree,
 		},
 		HotPaths: map[string][]string{
 			"fixture/block": {"Enqueue", "Dequeue", "Send", "Drain"},
@@ -104,6 +105,29 @@ func TestFixtureLoopsPass(t *testing.T) {
 	}
 	if o, ok := byFunc["Backoff"]; !ok || !strings.Contains(o.Reason, "constant-capped") {
 		t.Errorf("want Backoff's cond-only loop annotation as an obligation, got %v", obls)
+	}
+}
+
+// TestFixtureCoalesceLoops proves the audit handles the operation-coalescing
+// flush-retry shape (DESIGN.md §8): the annotated drain discharges to an
+// obligation, and the identical loop without its annotation is flagged.
+func TestFixtureCoalesceLoops(t *testing.T) {
+	res := fixtureResult(t)
+	ds := diagsIn(res, "loops", "coalesce.go")
+	if len(ds) != 1 {
+		t.Fatalf("want exactly 1 loops diagnostic (BadDrain's unannotated flush retry; GoodDrain annotated), got %d: %v", len(ds), ds)
+	}
+	if !strings.Contains(ds[0].Msg, "BadDrain") && !strings.Contains(ds[0].Pos.Filename, "coalesce.go") {
+		t.Errorf("unexpected coalesce diagnostic: %s", ds[0])
+	}
+	var obls []Obligation
+	for _, o := range res.Obligations {
+		if strings.HasSuffix(o.Pos.Filename, "coalesce.go") {
+			obls = append(obls, o)
+		}
+	}
+	if len(obls) != 1 || obls[0].Func != "(*B).GoodDrain" || !strings.Contains(obls[0].Reason, "flushes the pending buffer") {
+		t.Errorf("want GoodDrain's flush-retry annotation as the one coalesce obligation, got %v", obls)
 	}
 }
 
@@ -227,7 +251,7 @@ func TestFixtureTotals(t *testing.T) {
 	res := fixtureResult(t)
 	want := map[string]int{
 		"atomic":      1,
-		"loops":       3, // Spin + hpool's BadPush + ring's BadTake
+		"loops":       4, // Spin + hpool's BadPush + ring's BadTake + coalesce's BadDrain
 		"block":       3,
 		"padding":     3, // 2 alignment (386+arm) + 1 layout
 		"annotations": 2,

@@ -77,15 +77,29 @@ func TestRepoObligations(t *testing.T) {
 		// helpPeers' scan and dequeueSlow's donation spin are syntactically
 		// bounded (range over the fixed handle array, constant-capped for)
 		// and so never appear here.
-		"(*ring).enqueue":       2,
-		"(*ring).dequeue":       2,
+		// The ticket loops and the per-slot CAS retries live in separate
+		// functions since the batch refactor split claimAt/visitAt out of
+		// enqueue/dequeue; enqueueBatch is the multi-ticket FAA(+k) twin.
+		"(*ring).enqueue":       1,
+		"(*ring).claimAt":       1,
+		"(*ring).enqueueBatch":  1,
+		"(*ring).dequeue":       1,
+		"(*ring).visitAt":       1,
 		"(*ring).catchup":       1,
 		"(*Handle).dequeueSlow": 1,
 		"(*Queue).Register":     1,
 		"(*Handle).Release":     1,
+		// The SCQ batch entry points: per-item rounds that each publish or
+		// harvest at least one value, break on ErrFull/EMPTY witnesses.
+		"(*Handle).TryEnqueueBatch": 1,
+		"(*Handle).DequeueBatch":    1,
 		// The sharded layer's SCQ lane mode: the blocking Enqueue adapter's
 		// backpressure spin (scqlane.go).
 		"(*Queue).scqEnqueue": 1,
+		// Operation coalescing (DESIGN.md §8): the dequeue-side flush-retry
+		// loop appears once in core and once in the sharded shell — at most
+		// two rounds, since the single flush empties the producer buffer.
+		"(*Queue).CoalescedDequeue": 2,
 	}
 	got := map[string]int{}
 	for _, o := range res.Obligations {

@@ -1,0 +1,56 @@
+// Package coalesce is a wfqlint fixture for the operation-coalescing shape
+// (DESIGN.md §8): a dequeue that may have to flush its own producer buffer
+// and retry. The loop has no syntactic bound — it ends because the single
+// flush empties the buffer, so the second empty refill is definitive — which
+// is exactly the kind of bound that must be pinned by annotation. GoodDrain
+// carries it; BadDrain is the true positive without it.
+package coalesce
+
+// B is a minimal coalescing buffer: pending values and a drained cursor.
+type B struct {
+	pending []int
+	queue   []int
+}
+
+func (b *B) flush() {
+	b.queue = append(b.queue, b.pending...)
+	b.pending = b.pending[:0]
+}
+
+func (b *B) refill() (int, bool) {
+	if len(b.queue) == 0 {
+		return 0, false
+	}
+	v := b.queue[0]
+	b.queue = b.queue[1:]
+	return v, true
+}
+
+// GoodDrain is the annotated flush-retry: at most two rounds, because the
+// flush leaves the pending buffer empty.
+func (b *B) GoodDrain() (int, bool) {
+	//wfqlint:bounded(fixture: at most two rounds — a round either returns a refilled value or, exactly once, flushes the pending buffer and retries; with nothing pending an empty refill returns false)
+	for {
+		if v, ok := b.refill(); ok {
+			return v, true
+		}
+		if len(b.pending) == 0 {
+			return 0, false
+		}
+		b.flush()
+	}
+}
+
+// BadDrain is the true positive: the same flush-retry loop with no
+// annotation and no syntactic bound.
+func (b *B) BadDrain() (int, bool) {
+	for {
+		if v, ok := b.refill(); ok {
+			return v, true
+		}
+		if len(b.pending) == 0 {
+			return 0, false
+		}
+		b.flush()
+	}
+}

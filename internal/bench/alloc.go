@@ -121,6 +121,67 @@ func SCQSteadyStateAllocs(ops int) SteadyStateResult {
 	}
 }
 
+// CoalesceSteadyStateAllocs measures the heap allocations of the core
+// queue's coalesced hot path (CoalescedEnqueue/CoalescedDequeue at the
+// given window) at steady state, with the same small-segment recycling
+// setup as SteadyStateAllocs. The coalescing buffers are fixed arrays
+// inside the handle, so the expectation is exactly 0 at every window —
+// window 1 exercises the passthrough, larger windows the flush/refill
+// cycle. Run-grouped shape (a run of window enqueues, then window
+// dequeues) so the window actually fills rather than degenerating through
+// the dequeue-side flush.
+func CoalesceSteadyStateAllocs(ops, window int) SteadyStateResult {
+	if ops < 1 {
+		ops = 1
+	}
+	if window < 1 {
+		window = 1
+	}
+	q := core.New(1,
+		core.WithSegmentShift(6),
+		core.WithMaxGarbage(1),
+		core.WithRecycling(true),
+		core.WithCoalescing(window))
+	h, err := q.Register()
+	if err != nil {
+		panic(err) // cannot happen: fresh queue, first handle
+	}
+	v := new(uint64)
+	p := unsafe.Pointer(v)
+
+	run := func(rounds int) {
+		for i := 0; i < rounds; i++ {
+			for j := 0; j < window; j++ {
+				q.CoalescedEnqueue(h, p)
+			}
+			for j := 0; j < window; j++ {
+				q.CoalescedDequeue(h)
+			}
+		}
+	}
+	// Warm past the first reclamation cycle.
+	run((4 << 6) / window)
+
+	before := q.ReclaimedSegments()
+	rounds := ops / window
+	if rounds < 1 {
+		rounds = 1
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	run(rounds)
+	runtime.ReadMemStats(&m1)
+
+	measured := rounds * window
+	return SteadyStateResult{
+		Ops:         measured,
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(measured),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(measured),
+		Recycled:    q.ReclaimedSegments() - before,
+	}
+}
+
 // ChurnAllocsResult reports the heap traffic of a handle-lifecycle churn
 // measurement (the analogous gate for Register/Release: expected exactly 0,
 // since both pools pre-allocate every handle at construction).

@@ -197,6 +197,19 @@ type Handle struct {
 	// freeSegments all run on the owning goroutine), so access is plain.
 	segCache *segment
 
+	// Coalescing state (coalesce.go): the producer buffer accumulating
+	// enqueues for the next single-FAA flush (cbuf[:clen], cops operations
+	// since the last flush toward the deadline) and the drain buffer
+	// holding a harvested run of dequeued values (dbuf[dhead:dlen]). All
+	// owner-only, fixed-size, never shared — the concurrent protocol only
+	// ever sees the flush/refill batch calls.
+	cbuf  [CoalesceMaxWindow]unsafe.Pointer
+	clen  int32
+	cops  int32
+	dbuf  [CoalesceMaxWindow]unsafe.Pointer
+	dhead int32
+	dlen  int32
+
 	q *Queue
 
 	// Lifecycle state (handlepool.go). freeNext links free handles by
@@ -257,6 +270,15 @@ type Counters struct {
 	EnqBatchFAAs  uint64 // fast-path FAAs on T issued by batched enqueues
 	DeqBatchCalls uint64 // DequeueBatch invocations taking the native batched path
 	DeqBatchFAAs  uint64 // fast-path FAAs on H issued by batched dequeues
+
+	// Coalescing instrumentation (coalesce.go). Flushes over FlushedVals
+	// gives the realized window; DeadlineFlushes counts flushes forced by
+	// the op-count latency bound rather than a full window; Refills counts
+	// drain-buffer harvests that obtained at least one value.
+	CoalesceFlushes         uint64 // producer-buffer flushes (≥1 value each)
+	CoalesceFlushedVals     uint64 // values moved by those flushes
+	CoalesceDeadlineFlushes uint64 // flushes forced by coalesceDeadline
+	CoalesceRefills         uint64 // non-empty drain-buffer refills
 }
 
 // Add folds the already-aggregated counters o into c, field by field (used
@@ -283,6 +305,10 @@ func (c *Counters) Add(o Counters) {
 	c.EnqBatchFAAs += o.EnqBatchFAAs
 	c.DeqBatchCalls += o.DeqBatchCalls
 	c.DeqBatchFAAs += o.DeqBatchFAAs
+	c.CoalesceFlushes += o.CoalesceFlushes
+	c.CoalesceFlushedVals += o.CoalesceFlushedVals
+	c.CoalesceDeadlineFlushes += o.CoalesceDeadlineFlushes
+	c.CoalesceRefills += o.CoalesceRefills
 }
 
 // Queue is the wait-free FIFO queue. Create instances with New; all
@@ -310,6 +336,7 @@ type Queue struct {
 	maxGarbage int64
 	recycle    bool
 	adaptive   bool
+	coalesce   int
 
 	handles []*Handle
 
@@ -341,6 +368,7 @@ type config struct {
 	maxGarbage int64
 	recycle    bool
 	adaptive   bool
+	coalesce   int
 }
 
 // WithPatience sets the number of extra fast-path attempts before an
@@ -430,6 +458,7 @@ func New(maxThreads int, opts ...Option) *Queue {
 		patience:   DefaultPatience,
 		maxSpin:    DefaultMaxSpin,
 		maxGarbage: int64(2 * maxThreads),
+		coalesce:   1,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -442,6 +471,7 @@ func New(maxThreads int, opts ...Option) *Queue {
 		maxGarbage: cfg.maxGarbage,
 		recycle:    cfg.recycle,
 		adaptive:   cfg.adaptive,
+		coalesce:   cfg.coalesce,
 	}
 	if cfg.recycle {
 		// A cleanup retires at most the garbage backlog in one pass and
@@ -527,6 +557,10 @@ func (q *Queue) Stats() Counters {
 		total.EnqBatchFAAs += ctrLoad(&h.stats.EnqBatchFAAs)
 		total.DeqBatchCalls += ctrLoad(&h.stats.DeqBatchCalls)
 		total.DeqBatchFAAs += ctrLoad(&h.stats.DeqBatchFAAs)
+		total.CoalesceFlushes += ctrLoad(&h.stats.CoalesceFlushes)
+		total.CoalesceFlushedVals += ctrLoad(&h.stats.CoalesceFlushedVals)
+		total.CoalesceDeadlineFlushes += ctrLoad(&h.stats.CoalesceDeadlineFlushes)
+		total.CoalesceRefills += ctrLoad(&h.stats.CoalesceRefills)
 	}
 	return total
 }

@@ -81,6 +81,14 @@ func (h *Handle) Release() {
 		// Already released this epoch (or never acquired): idempotent no-op.
 		return
 	}
+	// Auto-flush the coalescing buffers (coalesce.go) while the handle is
+	// still checked out: buffered enqueues and undrained refill values must
+	// enter the shared queue before the slot can be reused, and the flush
+	// may legitimately take an enqueue slow path — which is why it runs
+	// before the pending-request check below, not after.
+	if h.clen > 0 || h.dhead < h.dlen {
+		h.q.releaseFlush(h)
+	}
 	if statePending(atomic.LoadUint64(&h.enqReq.state)) ||
 		statePending(atomic.LoadUint64(&h.deqReq.state)) {
 		panic("core: Release of handle with operation in flight")

@@ -53,6 +53,17 @@ type Ops struct {
 	// nil; use WithBatchFallback to guarantee presence.
 	DequeueBatch func(dst []uint64) int
 
+	// Flush forces any values this registration has buffered locally (an
+	// operation-coalescing window) into the shared queue, making them
+	// visible to other threads. Implementations without local buffering
+	// leave it nil; harnesses call it through WithFlushFallback (or check
+	// nil) whenever a producer goes idle or hands off. Implementations with
+	// coalescing MUST also flush implicitly on Release, so a released
+	// registration never strands values. A Factory whose instances
+	// implement CoalescingProvider with a window > 1 guarantees a non-nil
+	// Flush.
+	Flush func()
+
 	// Release returns the registration these closures belong to, making the
 	// handle's capacity slot available to a subsequent Register. After
 	// Release, none of the other closures may be called. Release must be
@@ -65,6 +76,17 @@ type Ops struct {
 	// workload, wfqstress -churn) skip such queues. A Factory that sets
 	// ChurnSafe guarantees a non-nil Release.
 	Release func()
+}
+
+// WithFlushFallback returns ops with a missing Flush synthesized as a
+// no-op: a queue without local buffering is always flushed. Harnesses that
+// drive producers through the coalescing surface use this so buffering and
+// non-buffering implementations share one code path.
+func WithFlushFallback(ops Ops) Ops {
+	if ops.Flush == nil {
+		ops.Flush = func() {}
+	}
+	return ops
 }
 
 // WithBatchFallback returns ops with any missing batch closure synthesized
@@ -185,6 +207,16 @@ type AdaptiveProvider interface {
 	// Adaptive returns the current controller snapshot; Enabled is false
 	// when the instance was built without adaptivity.
 	Adaptive() AdaptiveSnapshot
+}
+
+// CoalescingProvider is implemented by queues whose registrations buffer
+// operations locally and flush them in single-FAA windows. Harnesses use
+// it to discover the window (1 = coalescing disabled, a pure passthrough)
+// and to decide whether producers must Flush on idle.
+type CoalescingProvider interface {
+	// CoalesceWindow returns the configured coalescing window; 1 means
+	// operations are never buffered.
+	CoalesceWindow() int
 }
 
 // Ordering classifies the FIFO guarantee a queue implementation provides,

@@ -31,10 +31,25 @@ type Ops struct {
 	// DeqBatch fills dst from the front and returns the count; a short
 	// return means the queue was observed empty during the call.
 	DeqBatch func(dst []int64) int
+	// Flush publishes any values this worker has buffered locally (an
+	// operation-coalescing window) to the shared queue (mirroring
+	// qiface.Ops.Flush). Optional: nil on queues without local buffering.
+	// The MPMC batteries call it whenever a producer goes idle, so a
+	// coalescing queue's trailing partial window is never stranded.
+	Flush func()
 	// Release returns the worker's registration, freeing its capacity slot
 	// for a later registration (mirroring qiface.Ops.Release). Optional:
 	// when nil, the churn parts of the battery are skipped.
 	Release func()
+}
+
+// flush invokes ops.Flush when present: producers exiting their enqueue
+// loop call this so locally buffered values reach the shared queue (the
+// consumers' accounting waits for every value).
+func (o Ops) flush() {
+	if o.Flush != nil {
+		o.Flush()
+	}
 }
 
 // withBatch returns ops with nil batch closures synthesized from the
@@ -167,6 +182,7 @@ func MPMC(t *testing.T, mk Maker, producers, consumers, perProducer int) {
 			for s := 0; s < perProducer; s++ {
 				ops.Enq(int64(p)<<32 | int64(s+1))
 			}
+			ops.flush()
 		}(p, ops)
 	}
 
@@ -317,6 +333,7 @@ func MPMCBatch(t *testing.T, mk Maker, producers, consumers, perProducer, batch 
 				}
 				ops.EnqBatch(vs)
 			}
+			ops.flush()
 		}(p, ops)
 	}
 
@@ -551,6 +568,7 @@ func FullQueueMPMC(t *testing.T, mk Maker, producers, consumers, perProducer int
 					runtime.Gosched()
 				}
 			}
+			ops.flush()
 		}(p, ops)
 	}
 

@@ -44,6 +44,15 @@
 //	wf-sharded-scq sharded queue whose lanes are bounded SCQ rings (4096
 //	               values per lane): per-lane backpressure, affinity
 //	               dispatch + stealing (qiface.OrderPerProducer, Bounded)
+//	wf-coalesce    wf-10 with transparent operation coalescing (window 16):
+//	               per-handle producer/drain buffers flushed through the
+//	               k-cell single-FAA reservations (per-producer ordering).
+//	               wf-coalesce-w1/-w4/-w64 sweep the window; window 1 is a
+//	               pure passthrough of wf-10 (strict FIFO, lincheck-able)
+//	wf-sharded-coalesce  sharded lanes with shell-level coalescing: each
+//	               flush lands a whole window in one lane (per-producer order)
+//	wf-scq-coalesce      bounded SCQ ring behind an adapter-level coalescing
+//	               window built on the ring's batch reservations
 //	wf-10-mutexreg wf-10 behind the pre-refactor mutex-guarded
 //	               registration (sync.Mutex + free slice). Queue operations
 //	               are identical to wf-10; only the handle lifecycle
@@ -262,7 +271,10 @@ func adaptiveSnapshot(s core.AdaptiveStats) qiface.AdaptiveSnapshot {
 type wfAdapter struct {
 	name  string
 	boxed bool
-	q     *core.Queue
+	// coalesced routes Register through the coalescing entry points
+	// (coalesce.go); the queue carries the configured window.
+	coalesced bool
+	q         *core.Queue
 }
 
 func newWF(name string, n, patience int, recycle, boxed bool, extra ...core.Option) (qiface.Queue, error) {
@@ -279,7 +291,15 @@ func (a *wfAdapter) Register() (qiface.Ops, error) {
 	if err != nil {
 		return qiface.Ops{}, err
 	}
-	ops := buildWFOps(a.q, h, a.boxed)
+	var ops qiface.Ops
+	if a.coalesced {
+		ops = buildWFCoalescedOps(a.q, h, a.boxed)
+	} else {
+		ops = buildWFOps(a.q, h, a.boxed)
+	}
+	// The core Release auto-flushes any coalescing buffers (handlepool.go),
+	// so handing it through directly preserves the no-stranded-values
+	// contract of qiface.Ops.Flush.
 	ops.Release = h.Release
 	return ops, nil
 }
@@ -388,7 +408,10 @@ func (a *wfAdapter) Adaptive() qiface.AdaptiveSnapshot {
 type shardedAdapter struct {
 	name  string
 	boxed bool
-	q     *sharded.Queue
+	// coalesced routes Register through the shell-level coalescing entry
+	// points (coalesce.go).
+	coalesced bool
+	q         *sharded.Queue
 }
 
 func newSharded(name string, n int, boxed bool, opts ...sharded.Option) (qiface.Queue, error) {
@@ -398,6 +421,9 @@ func newSharded(name string, n int, boxed bool, opts ...sharded.Option) (qiface.
 func (a *shardedAdapter) Name() string { return a.name }
 
 func (a *shardedAdapter) Register() (qiface.Ops, error) {
+	if a.coalesced {
+		return a.registerCoalesced()
+	}
 	h, err := a.q.Register()
 	if err != nil {
 		return qiface.Ops{}, err
@@ -915,6 +941,18 @@ func NewChecked(name string, n int) (qiface.Queue, error) {
 		return newSCQ(name, n, scqDefaultCapacity, true)
 	case "wf-sharded-scq":
 		return newSCQSharded(name, n, true)
+	case "wf-coalesce":
+		return newWFCoalesce(name, n, coalesceDefaultWindow, true)
+	case "wf-coalesce-w1":
+		return newWFCoalesce(name, n, 1, true)
+	case "wf-coalesce-w4":
+		return newWFCoalesce(name, n, 4, true)
+	case "wf-coalesce-w64":
+		return newWFCoalesce(name, n, 64, true)
+	case "wf-sharded-coalesce":
+		return newShardedCoalesce(name, n, coalesceDefaultWindow, true)
+	case "wf-scq-coalesce":
+		return newSCQCoalesce(name, n, scqDefaultCapacity, coalesceDefaultWindow, true)
 	case "wf-10-mutexreg":
 		return newMutexReg(name, n, true)
 	case "of":

@@ -84,6 +84,7 @@ func makerFor(name string) qtest.Maker {
 			}
 			return qtest.Ops{
 				Release: ops.Release,
+				Flush:   ops.Flush,
 				Enq:     func(v int64) { ops.Enqueue(uint64(v)) },
 				TryEnq:  tryEnq,
 				Deq: func() (int64, bool) {
@@ -224,11 +225,17 @@ func TestWaitFreeFlags(t *testing.T) {
 		"wf-10": true, "wf-0": true, "wf-10-recycle": true, "kpqueue": true, "simqueue": true,
 		"wf-sharded": true, "wf-sharded-1": true, "wf-sharded-8": true, "wf-sharded-rr": true,
 		"wf-adaptive": true, "wf-sharded-adaptive": true, "wf-10-mutexreg": true,
+		// Coalescing keeps wait-freedom: every buffer bound is compile-time
+		// (CoalesceMaxWindow), so a flush/refill is one bounded batch.
+		"wf-coalesce": true, "wf-coalesce-w1": true, "wf-coalesce-w4": true,
+		"wf-coalesce-w64": true, "wf-sharded-coalesce": true,
 		"lcrq": false, "msqueue": false, "ccqueue": false, "of": false, "faa": false, "chan": false,
 		// Honest flags for the SCQ variants: the ring's enqueue side is
 		// lock-free (threshold-based livelock freedom), and the dequeue-side
 		// helping bound holds under DESIGN.md §7's model, not unconditionally.
 		"wf-scq": false, "wf-sharded-scq": false,
+		// The SCQ coalescing wrapper inherits the ring's honest flags.
+		"wf-scq-coalesce": false,
 	}
 	for name, want := range waitFree {
 		f := MustLookup(name)
@@ -263,6 +270,15 @@ func TestOrderingDeclarations(t *testing.T) {
 		// sharded affinity-dispatch relaxation.
 		"wf-scq":         qiface.OrderFIFO,
 		"wf-sharded-scq": qiface.OrderPerProducer,
+		// Coalescing moves an enqueue's visibility point to the flush, so any
+		// window > 1 relaxes to per-producer order (each flush deposits the
+		// producer's run in order); window 1 never buffers and stays FIFO.
+		"wf-coalesce":         qiface.OrderPerProducer,
+		"wf-coalesce-w1":      qiface.OrderFIFO,
+		"wf-coalesce-w4":      qiface.OrderPerProducer,
+		"wf-coalesce-w64":     qiface.OrderPerProducer,
+		"wf-sharded-coalesce": qiface.OrderPerProducer,
+		"wf-scq-coalesce":     qiface.OrderPerProducer,
 	}
 	for name, o := range want {
 		if got := MustLookup(name).Ordering; got != o {
@@ -401,6 +417,8 @@ func TestChurnSafeContract(t *testing.T) {
 		"wf-sharded": true, "wf-sharded-1": true, "wf-sharded-8": true, "wf-sharded-rr": true,
 		"wf-adaptive": true, "wf-sharded-adaptive": true, "wf-10-mutexreg": true,
 		"wf-scq": true, "wf-sharded-scq": true,
+		"wf-coalesce": true, "wf-coalesce-w1": true, "wf-coalesce-w4": true,
+		"wf-coalesce-w64": true, "wf-sharded-coalesce": true, "wf-scq-coalesce": true,
 		"of": false, "lcrq": false, "lcrq-gc": false, "msqueue": false, "msqueue-gc": false,
 		"ccqueue": false, "kpqueue": false, "faa": false, "simqueue": false, "chan": false,
 	}

@@ -1,0 +1,145 @@
+package scq
+
+import "unsafe"
+
+// Batched operations over the bounded rings: the same FAA amortization the
+// infinite-array queue gets from its k-cell reservations (core/batch.go),
+// applied to SCQ's fixed rings. One chunk of k values costs one FAA(+k) on
+// the free ring's head, one on the allocated ring's tail (enqueue side) —
+// or the mirror pair on the dequeue side — instead of k FAAs each way.
+// Per-ticket cycle validation is unchanged, so each chunk interleaves
+// exactly like k back-to-back scalar operations and every SCQ invariant
+// (exact ErrFull, sound EMPTY, the threshold bound) carries over.
+
+// TryEnqueueBatch publishes the values of vs in order, stopping at the
+// first exact full observation. It returns the number published and nil,
+// or n < len(vs) and ErrFull — the same exact accounting as TryEnqueue:
+// a short return means all capacity slots were simultaneously in flight
+// at a linearizable point after the first n values were published.
+// Lengths 0 and 1 degenerate to the scalar path.
+func (h *Handle) TryEnqueueBatch(vs []unsafe.Pointer) (int, error) {
+	switch len(vs) {
+	case 0:
+		return 0, nil
+	case 1:
+		if err := h.TryEnqueue(vs[0]); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	q := h.q
+	n := 0
+	//wfqlint:bounded(at most len(vs) rounds: every iteration either publishes at least one value (n advances) or returns with an exact ErrFull from the scalar attempt; each round is one bounded multi-ticket grab or one scalar TryEnqueue)
+	for n < len(vs) {
+		chunk := len(vs) - n
+		if chunk > batchChunk {
+			chunk = batchChunk
+		}
+		// Grab free slots in bulk. Clamp by the free ring's instantaneous
+		// size so a near-full queue is probed with scalar attempts instead
+		// of burning a wide reservation of tickets that mostly poison slots.
+		if sz := q.fq.size(); chunk > sz {
+			chunk = sz
+		}
+		if chunk <= 1 {
+			if err := h.TryEnqueue(vs[n]); err != nil {
+				return n, err
+			}
+			n++
+			continue
+		}
+		got, _ := q.fq.dequeueBatch(h.idxScratch[:chunk])
+		if got == 0 {
+			// No free slots from the wide grab (empty witness or pure
+			// interference): let the scalar path render the exact verdict.
+			if err := h.TryEnqueue(vs[n]); err != nil {
+				return n, err
+			}
+			n++
+			continue
+		}
+		for j := 0; j < got; j++ {
+			// Plain stores, as in TryEnqueue: the aq publication below is
+			// the release edge.
+			q.vals[h.idxScratch[j]] = vs[n+j]
+		}
+		q.aq.enqueueBatch(h.idxScratch[:got])
+		n += got
+		ctrInc(&h.stats.enqBatches)
+		ctrAdd(&h.stats.enq, uint64(got))
+	}
+	return n, nil
+}
+
+// DequeueBatch removes up to len(dst) values in FIFO order, returning the
+// number stored. A short return means EMPTY was witnessed at a
+// linearizable point during the call — the same guarantee Dequeue's
+// ok=false provides; interference alone never causes a short return (the
+// scalar top-up path escalates through the helping layer). Lengths 0 and
+// 1 degenerate to the scalar path.
+func (h *Handle) DequeueBatch(dst []unsafe.Pointer) int {
+	switch len(dst) {
+	case 0:
+		return 0
+	case 1:
+		v, ok := h.Dequeue()
+		if !ok {
+			return 0
+		}
+		dst[0] = v
+		return 1
+	}
+	q := h.q
+	n := 0
+	//wfqlint:bounded(at most len(dst) rounds: every iteration either harvests at least one value (n advances), breaks on an EMPTY witness, or runs one scalar Dequeue — itself bounded by its ticket budget plus the helping layer — whose miss breaks)
+	for n < len(dst) {
+		chunk := len(dst) - n
+		if chunk > batchChunk {
+			chunk = batchChunk
+		}
+		// Clamp by the allocated ring's instantaneous size: reserving head
+		// tickets past tail poisons slots and forces concurrent enqueuers
+		// onto fresh tickets, so a near-empty ring drains scalar.
+		if sz := q.aq.size(); chunk > sz {
+			chunk = sz
+		}
+		if chunk <= 1 {
+			v, ok := h.Dequeue()
+			if !ok {
+				break
+			}
+			dst[n] = v
+			n++
+			continue
+		}
+		got, empty := q.aq.dequeueBatch(h.idxScratch[:chunk])
+		if got > 0 {
+			for j := 0; j < got; j++ {
+				idx := h.idxScratch[j]
+				dst[n+j] = q.vals[idx]
+				q.vals[idx] = nil
+			}
+			// Return the drained slots to the free ring in bulk: one more
+			// FAA instead of got.
+			q.fq.enqueueBatch(h.idxScratch[:got])
+			n += got
+			ctrInc(&h.stats.deqBatches)
+			ctrAdd(&h.stats.deqFast, uint64(got))
+		}
+		if empty {
+			break
+		}
+		if got == 0 {
+			// Pure interference: fall back to one scalar dequeue, whose
+			// budget and helping escalation keep the step count bounded and
+			// whose miss is an exact EMPTY witness.
+			v, ok := h.Dequeue()
+			if !ok {
+				break
+			}
+			dst[n] = v
+			n++
+		}
+	}
+	return n
+}

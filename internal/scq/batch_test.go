@@ -1,0 +1,367 @@
+package scq
+
+// Tests of the batched ring reservations: scalar degeneration at lengths 0
+// and 1, FIFO order across chunk boundaries, exact partial-fill ErrFull
+// accounting, the short-return EMPTY witness, batch counters, and batched
+// MPMC correctness against concurrent scalar traffic.
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+func boxRange(lo, n uint64) []unsafe.Pointer {
+	vs := make([]unsafe.Pointer, n)
+	for i := range vs {
+		vs[i] = box(lo + uint64(i))
+	}
+	return vs
+}
+
+// TestBatchDegenerate pins the 0/1 contract: length 0 is a no-op, length 1
+// is exactly the scalar operation (no batch counters tick).
+func TestBatchDegenerate(t *testing.T) {
+	q, err := New(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := h.TryEnqueueBatch(nil); n != 0 || err != nil {
+		t.Fatalf("TryEnqueueBatch(nil) = (%d,%v)", n, err)
+	}
+	if n := h.DequeueBatch(nil); n != 0 {
+		t.Fatalf("DequeueBatch(nil) = %d", n)
+	}
+	if n, err := h.TryEnqueueBatch(boxRange(1, 1)); n != 1 || err != nil {
+		t.Fatalf("TryEnqueueBatch(len 1) = (%d,%v)", n, err)
+	}
+	dst := make([]unsafe.Pointer, 1)
+	if n := h.DequeueBatch(dst); n != 1 || unbox(dst[0]) != 1 {
+		t.Fatalf("DequeueBatch(len 1) = %d", n)
+	}
+	st := q.Stats()
+	if st["enq_batches"] != 0 || st["deq_batches"] != 0 {
+		t.Fatalf("scalar degenerate lengths ticked batch counters: %v", st)
+	}
+	if st["enq"] != 1 || st["deq_fast"]+st["deq_slow"] != 1 {
+		t.Fatalf("scalar counters wrong: %v", st)
+	}
+}
+
+// TestBatchFIFOAcrossChunks: a batch longer than batchChunk preserves FIFO
+// order across its chunked reservations and ticks one batch counter per
+// chunk-FAA pair.
+func TestBatchFIFOAcrossChunks(t *testing.T) {
+	const n = 3*batchChunk + 7
+	q, err := New(1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.TryEnqueueBatch(boxRange(1, n))
+	if got != n || err != nil {
+		t.Fatalf("TryEnqueueBatch(%d) = (%d,%v)", n, got, err)
+	}
+	st := q.Stats()
+	if st["enq_batches"] == 0 || st["enq_batches"] > (n+batchChunk-1)/batchChunk {
+		t.Fatalf("enq_batches = %d for %d values (chunk %d)", st["enq_batches"], n, batchChunk)
+	}
+	dst := make([]unsafe.Pointer, n)
+	if d := h.DequeueBatch(dst); d != n {
+		t.Fatalf("DequeueBatch = %d, want %d", d, n)
+	}
+	for i := 0; i < n; i++ {
+		if unbox(dst[i]) != uint64(i+1) {
+			t.Fatalf("dst[%d] = %d, want %d (FIFO)", i, unbox(dst[i]), i+1)
+		}
+	}
+	if st := q.Stats(); st["deq_batches"] == 0 {
+		t.Fatal("deq_batches = 0 after a wide harvest")
+	}
+}
+
+// TestBatchEnqueuePartialFull pins the exact ErrFull accounting: a batch
+// wider than the remaining room publishes exactly the free slots in order
+// and returns ErrFull for the rest; after a drain the remainder goes in.
+func TestBatchEnqueuePartialFull(t *testing.T) {
+	q, err := New(1, MinCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := q.Capacity()
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leave 3 free slots.
+	pre := capacity - 3
+	if n, err := h.TryEnqueueBatch(boxRange(1, uint64(pre))); n != pre || err != nil {
+		t.Fatalf("prefill = (%d,%v), want (%d,nil)", n, err, pre)
+	}
+	n, err := h.TryEnqueueBatch(boxRange(uint64(pre+1), 8))
+	if n != 3 || !errors.Is(err, ErrFull) {
+		t.Fatalf("overfull batch = (%d,%v), want (3,ErrFull)", n, err)
+	}
+	// The verdict must be sticky while nothing drains.
+	if err := h.TryEnqueue(box(999)); !errors.Is(err, ErrFull) {
+		t.Fatalf("TryEnqueue after full batch = %v, want ErrFull", err)
+	}
+	// Everything published so far comes out in order.
+	dst := make([]unsafe.Pointer, capacity)
+	if d := h.DequeueBatch(dst); d != capacity {
+		t.Fatalf("drain = %d, want %d", d, capacity)
+	}
+	for i := 0; i < capacity; i++ {
+		if unbox(dst[i]) != uint64(i+1) {
+			t.Fatalf("dst[%d] = %d, want %d", i, unbox(dst[i]), i+1)
+		}
+	}
+	// And the freed ring accepts a batch again.
+	if n, err := h.TryEnqueueBatch(boxRange(1, 4)); n != 4 || err != nil {
+		t.Fatalf("post-drain batch = (%d,%v)", n, err)
+	}
+}
+
+// TestBatchDequeueShortEmpty: a harvest wider than the queue returns
+// exactly the queued values (an EMPTY witness for the shortfall) and the
+// ring stays fully usable afterwards.
+func TestBatchDequeueShortEmpty(t *testing.T) {
+	q, err := New(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := h.TryEnqueueBatch(boxRange(1, 5)); n != 5 || err != nil {
+		t.Fatalf("enqueue = (%d,%v)", n, err)
+	}
+	dst := make([]unsafe.Pointer, 16)
+	if n := h.DequeueBatch(dst); n != 5 {
+		t.Fatalf("DequeueBatch = %d, want 5", n)
+	}
+	for i := 0; i < 5; i++ {
+		if unbox(dst[i]) != uint64(i+1) {
+			t.Fatalf("dst[%d] = %d", i, unbox(dst[i]))
+		}
+	}
+	if n := h.DequeueBatch(dst[:4]); n != 0 {
+		t.Fatalf("empty DequeueBatch = %d, want 0", n)
+	}
+	// Usable after the over-ask.
+	if err := h.TryEnqueue(box(42)); err != nil {
+		t.Fatalf("TryEnqueue after over-ask: %v", err)
+	}
+	if v, ok := h.Dequeue(); !ok || unbox(v) != 42 {
+		t.Fatalf("Dequeue after over-ask: (%v,%v)", v, ok)
+	}
+}
+
+// TestBatchMPMC drives batched producers against batched consumers with
+// concurrent scalar interference and validates no loss, no duplication, and
+// per-producer FIFO order.
+func TestBatchMPMC(t *testing.T) {
+	const (
+		producers   = 3
+		consumers   = 3
+		perProducer = 12000
+		batch       = 24
+	)
+	q, err := New(producers+consumers+1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(p int, h *Handle) {
+			defer wg.Done()
+			vs := make([]unsafe.Pointer, batch)
+			for s := 0; s < perProducer; s += batch {
+				for i := range vs {
+					vs[i] = box(uint64(p)<<32 | uint64(s+i+1))
+				}
+				off := 0
+				for off < batch {
+					n, err := h.TryEnqueueBatch(vs[off:])
+					off += n
+					if err != nil {
+						runtime.Gosched()
+					}
+				}
+			}
+		}(p, h)
+	}
+	// One scalar interferer shears the batch reservations.
+	intf, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if v, ok := intf.Dequeue(); ok {
+				// Put it straight back so accounting is unchanged.
+				for intf.TryEnqueue(v) != nil {
+					runtime.Gosched()
+				}
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	var total int64
+	results := make([][]uint64, consumers)
+	for c := 0; c < consumers; c++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c int, h *Handle) {
+			defer wg.Done()
+			var local []uint64
+			dst := make([]unsafe.Pointer, batch)
+			for atomic.LoadInt64(&total) < producers*perProducer {
+				n := h.DequeueBatch(dst)
+				if n == 0 {
+					runtime.Gosched()
+					continue
+				}
+				for i := 0; i < n; i++ {
+					local = append(local, unbox(dst[i]))
+				}
+				atomic.AddInt64(&total, int64(n))
+			}
+			results[c] = local
+		}(c, h)
+	}
+	wg.Wait()
+	close(stop)
+
+	seen := make(map[uint64]bool, producers*perProducer)
+	dup := 0
+	for _, local := range results {
+		for _, v := range local {
+			if seen[v] {
+				dup++
+			}
+			seen[v] = true
+		}
+	}
+	// The interferer's re-enqueue breaks per-producer order for the values
+	// it touched, so only loss/duplication is checked here; order is pinned
+	// by TestBatchMPMCOrdered below.
+	if dup != 0 {
+		t.Fatalf("%d values dequeued twice", dup)
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("dequeued %d distinct values, want %d", len(seen), producers*perProducer)
+	}
+}
+
+// TestBatchMPMCOrdered is TestBatchMPMC without the interferer: batched
+// traffic alone must preserve per-producer FIFO order.
+func TestBatchMPMCOrdered(t *testing.T) {
+	const (
+		producers   = 4
+		consumers   = 2
+		perProducer = 8000
+		batch       = 16
+	)
+	q, err := New(producers+consumers, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(p int, h *Handle) {
+			defer wg.Done()
+			vs := make([]unsafe.Pointer, batch)
+			for s := 0; s < perProducer; s += batch {
+				for i := range vs {
+					vs[i] = box(uint64(p)<<32 | uint64(s+i+1))
+				}
+				off := 0
+				for off < batch {
+					n, err := h.TryEnqueueBatch(vs[off:])
+					off += n
+					if err != nil {
+						runtime.Gosched()
+					}
+				}
+			}
+		}(p, h)
+	}
+	var total int64
+	results := make([][]uint64, consumers)
+	for c := 0; c < consumers; c++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c int, h *Handle) {
+			defer wg.Done()
+			var local []uint64
+			dst := make([]unsafe.Pointer, batch)
+			for atomic.LoadInt64(&total) < producers*perProducer {
+				n := h.DequeueBatch(dst)
+				if n == 0 {
+					runtime.Gosched()
+					continue
+				}
+				for i := 0; i < n; i++ {
+					local = append(local, unbox(dst[i]))
+				}
+				atomic.AddInt64(&total, int64(n))
+			}
+			results[c] = local
+		}(c, h)
+	}
+	wg.Wait()
+
+	seen := make(map[uint64]bool, producers*perProducer)
+	for c, local := range results {
+		last := map[uint64]uint64{}
+		for _, v := range local {
+			if seen[v] {
+				t.Fatalf("value %x dequeued twice", v)
+			}
+			seen[v] = true
+			p, s := v>>32, v&0xffffffff
+			if l, ok := last[p]; ok && s <= l {
+				t.Fatalf("consumer %d: producer %d seq %d after %d", c, p, s, l)
+			}
+			last[p] = s
+		}
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("dequeued %d distinct values, want %d", len(seen), producers*perProducer)
+	}
+}

@@ -135,24 +135,62 @@ func (r *ring) enqueue(idx uint64) {
 	//wfqlint:bounded(lock-free ticket retry: a ticket is abandoned only when its slot still holds an unconsumed previous-cycle entry marked unsafe by a dequeuer, which implies that dequeuer and the slot's consumer both made progress; by the SCQ invariant at most n of 2n slots hold live entries, so tickets find a claimable slot after bounded interference. Dequeuer-side wait-freedom is layered above (DESIGN.md §7).)
 	for {
 		t := r.tail.Add(1) - 1
-		tcyc := t >> r.order
-		slot := &r.slots[r.remap(t)]
-		//wfqlint:bounded(CAS retry on one slot: each failure means the slot's word changed — a dequeuer consumed, cycle-advanced or unsafe-marked it — and every such transition either makes the claim condition false (exit to a new ticket) or is the single safe-bit clear, so the reload runs at most twice per transition)
-		for {
-			e := atomic.LoadUint64(slot)
-			ecyc, esafe, eidx := r.unpack(e)
-			if ecyc < tcyc && eidx == r.bot && (esafe == 1 || r.head.Load() <= t) {
-				if !atomic.CompareAndSwapUint64(slot, e, r.pack(tcyc, 1, idx)) {
-					continue
-				}
-				// Arm the emptiness threshold: dequeuers may burn up to
-				// 3n-1 tickets after this enqueue before EMPTY is provable.
-				if r.threshold.Load() != r.thresh3 {
-					r.threshold.Store(r.thresh3)
-				}
-				return
+		if r.claimAt(t, idx) {
+			return
+		}
+	}
+}
+
+// claimAt attempts to publish idx at ticket t, arming the emptiness
+// threshold on success. A false return means the ticket is spent (its slot
+// was poisoned by an early dequeuer or already belongs to a later cycle):
+// the caller must take a fresh ticket for this index.
+func (r *ring) claimAt(t, idx uint64) bool {
+	tcyc := t >> r.order
+	slot := &r.slots[r.remap(t)]
+	//wfqlint:bounded(CAS retry on one slot: each failure means the slot's word changed — a dequeuer consumed, cycle-advanced or unsafe-marked it — and every such transition either makes the claim condition false (exit to a new ticket) or is the single safe-bit clear, so the reload runs at most twice per transition)
+	for {
+		e := atomic.LoadUint64(slot)
+		ecyc, esafe, eidx := r.unpack(e)
+		if ecyc < tcyc && eidx == r.bot && (esafe == 1 || r.head.Load() <= t) {
+			if !atomic.CompareAndSwapUint64(slot, e, r.pack(tcyc, 1, idx)) {
+				continue
 			}
-			break
+			// Arm the emptiness threshold: dequeuers may burn up to
+			// 3n-1 tickets after this enqueue before EMPTY is provable.
+			if r.threshold.Load() != r.thresh3 {
+				r.threshold.Store(r.thresh3)
+			}
+			return true
+		}
+		return false
+	}
+}
+
+// enqueueBatch publishes len(idxs) indices with ONE FAA reserving
+// len(idxs) consecutive tail tickets. Per-ticket validation is unchanged:
+// each reserved ticket runs the normal claim protocol, and an index whose
+// reserved ticket was poisoned by an early dequeuer retries on fresh
+// single tickets exactly as a scalar enqueue would. The interleaving is
+// therefore equivalent to len(idxs) scalar enqueuers whose tail FAAs
+// happened back-to-back — every SCQ invariant carries over unchanged.
+// The caller's not-full obligation is the same as enqueue's.
+func (r *ring) enqueueBatch(idxs []uint64) {
+	k := uint64(len(idxs))
+	if k == 0 {
+		return
+	}
+	t0 := r.tail.Add(k) - k
+	for j, idx := range idxs {
+		if r.claimAt(t0+uint64(j), idx) {
+			continue
+		}
+		//wfqlint:bounded(lock-free ticket retry, same bound as enqueue: a fresh ticket is abandoned only when a dequeuer poisoned its slot, which implies system-wide progress; at most n of 2n slots hold live entries, so the index lands after bounded interference)
+		for {
+			t := r.tail.Add(1) - 1
+			if r.claimAt(t, idx) {
+				break
+			}
 		}
 	}
 }
@@ -173,47 +211,8 @@ func (r *ring) dequeue(maxTickets int) (idx uint64, ok bool, exhausted bool) {
 	//wfqlint:bounded(each iteration burns one FAA ticket and decrements the threshold; the loop ends with EMPTY once threshold < 0, so it runs at most 3n-1 iterations past the last concurrent enqueue, or earlier when maxTickets caps it)
 	for {
 		h := r.head.Add(1) - 1
-		hcyc := h >> r.order
-		slot := &r.slots[r.remap(h)]
-		//wfqlint:bounded(CAS retry on one slot: while the slot's cycle is behind this ticket each failed CAS means another operation advanced the slot (progress), and once the cycle matches the only possible concurrent transition is a single safe-bit clear, so the consume CAS reloads at most twice)
-		for {
-			e := atomic.LoadUint64(slot)
-			ecyc, esafe, eidx := r.unpack(e)
-			if ecyc == hcyc {
-				if eidx == r.bot {
-					// Only this ticket writes hcyc into this slot, so an
-					// empty slot at our own cycle is unreachable; kept as a
-					// defensive exit to the emptiness check.
-					break
-				}
-				// Consume: blank the index bits, preserve cycle and safe
-				// bit (a later-cycle dequeuer may clear safe concurrently;
-				// both orders commute).
-				if atomic.CompareAndSwapUint64(slot, e, r.pack(ecyc, esafe, r.bot)) {
-					return eidx, true, false
-				}
-				continue
-			}
-			if ecyc > hcyc {
-				break // ticket expired: the slot is already past us
-			}
-			var enew uint64
-			if eidx != r.bot {
-				if esafe == 0 {
-					break // already unsafe; leave it for its enqueuer
-				}
-				// Unsafe-mark a still-unconsumed older entry: its enqueuer
-				// raced ahead of its dequeuer; the mark forces any future
-				// enqueue of this slot to re-verify against head.
-				enew = r.pack(ecyc, 0, eidx)
-			} else {
-				// Advance an empty older slot to our cycle so the matching
-				// late enqueuer must retry with a fresh ticket.
-				enew = r.pack(hcyc, esafe, r.bot)
-			}
-			if atomic.CompareAndSwapUint64(slot, e, enew) {
-				break
-			}
+		if idx, got := r.visitAt(h); got {
+			return idx, true, false
 		}
 		// Emptiness check for this ticket.
 		tail := r.tail.Load()
@@ -230,6 +229,96 @@ func (r *ring) dequeue(maxTickets int) (idx uint64, ok bool, exhausted bool) {
 			return 0, false, true
 		}
 	}
+}
+
+// visitAt runs the per-ticket slot protocol for head ticket h: consume a
+// matching-cycle entry, or poison the slot (unsafe-mark a live older
+// entry / cycle-advance an empty one) so its late enqueuer retries with a
+// fresh ticket. A false return means the ticket yielded nothing; the
+// caller decides the emptiness accounting.
+func (r *ring) visitAt(h uint64) (uint64, bool) {
+	hcyc := h >> r.order
+	slot := &r.slots[r.remap(h)]
+	//wfqlint:bounded(CAS retry on one slot: while the slot's cycle is behind this ticket each failed CAS means another operation advanced the slot (progress), and once the cycle matches the only possible concurrent transition is a single safe-bit clear, so the consume CAS reloads at most twice)
+	for {
+		e := atomic.LoadUint64(slot)
+		ecyc, esafe, eidx := r.unpack(e)
+		if ecyc == hcyc {
+			if eidx == r.bot {
+				// Only this ticket writes hcyc into this slot, so an
+				// empty slot at our own cycle is unreachable; kept as a
+				// defensive exit to the emptiness check.
+				return 0, false
+			}
+			// Consume: blank the index bits, preserve cycle and safe
+			// bit (a later-cycle dequeuer may clear safe concurrently;
+			// both orders commute).
+			if atomic.CompareAndSwapUint64(slot, e, r.pack(ecyc, esafe, r.bot)) {
+				return eidx, true
+			}
+			continue
+		}
+		if ecyc > hcyc {
+			return 0, false // ticket expired: the slot is already past us
+		}
+		var enew uint64
+		if eidx != r.bot {
+			if esafe == 0 {
+				return 0, false // already unsafe; leave it for its enqueuer
+			}
+			// Unsafe-mark a still-unconsumed older entry: its enqueuer
+			// raced ahead of its dequeuer; the mark forces any future
+			// enqueue of this slot to re-verify against head.
+			enew = r.pack(ecyc, 0, eidx)
+		} else {
+			// Advance an empty older slot to our cycle so the matching
+			// late enqueuer must retry with a fresh ticket.
+			enew = r.pack(hcyc, esafe, r.bot)
+		}
+		if atomic.CompareAndSwapUint64(slot, e, enew) {
+			return 0, false
+		}
+	}
+}
+
+// dequeueBatch removes up to len(out) indices with ONE FAA reserving
+// len(out) consecutive head tickets. EVERY reserved ticket is visited —
+// skipping one would strand the value a late enqueuer deposits there —
+// and each non-yielding ticket runs the scalar emptiness accounting
+// (tail catchup, threshold decrement). The interleaving is equivalent to
+// len(out) scalar dequeuers whose head FAAs happened back-to-back, so the
+// threshold soundness argument carries over unchanged. Returns the number
+// of indices harvested and whether an EMPTY condition was witnessed at
+// some ticket during the call.
+func (r *ring) dequeueBatch(out []uint64) (n int, empty bool) {
+	if len(out) == 0 {
+		return 0, false
+	}
+	// Empty fast path, as in dequeue: burn no tickets on a proven-empty ring.
+	if r.threshold.Load() < 0 {
+		return 0, true
+	}
+	k := uint64(len(out))
+	h0 := r.head.Add(k) - k
+	for j := uint64(0); j < k; j++ {
+		h := h0 + j
+		if idx, got := r.visitAt(h); got {
+			out[n] = idx
+			n++
+			continue
+		}
+		tail := r.tail.Load()
+		if tail <= h+1 {
+			r.catchup(tail, h+1)
+			r.threshold.Add(-1)
+			empty = true
+			continue
+		}
+		if r.threshold.Add(-1) < 0 {
+			empty = true
+		}
+	}
+	return n, empty
 }
 
 // catchup drags tail forward to head after a dequeuer overran it, so the

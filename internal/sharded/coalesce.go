@@ -1,0 +1,164 @@
+package sharded
+
+import (
+	"unsafe"
+
+	"wfqueue/internal/core"
+)
+
+// Operation coalescing at the sharded layer (DESIGN.md §8). Buffering
+// happens in the shell Handle, above lane dispatch, so one flush hands the
+// whole window to EnqueueBatch — which picks ONE lane exactly as Enqueue
+// would and lands the window through that lane's single-FAA k-cell
+// reservation. Under DispatchAffinity the lane is the producer's home
+// lane, so the PR 1 composition argument carries over unchanged and
+// per-producer FIFO survives coalescing: a producer's values enter its
+// lane in enqueue order, window after window.
+//
+// The buffers are owner-only fixed arrays in the shell (allocation-free),
+// the window is clamped to the same compile-time core.CoalesceMaxWindow,
+// and the refill loop is bounded exactly as in core/coalesce.go — so the
+// wait-freedom bounds of the lane operations are inherited with the
+// window maximum substituted.
+
+// coalesceDeadline mirrors core's op-count latency bound: a buffered value
+// waits at most this many of its producer's operations before a forced
+// flush.
+const coalesceDeadline = 256
+
+// WithCoalescing sets the enqueue coalescing window for handles of this
+// queue, clamped to [1, core.CoalesceMaxWindow]; 1 (the default) disables
+// buffering and makes the coalesced entry points pure passthroughs.
+func WithCoalescing(window int) Option {
+	return func(c *config) {
+		if window < 1 {
+			window = 1
+		}
+		if window > core.CoalesceMaxWindow {
+			window = core.CoalesceMaxWindow
+		}
+		c.coalesce = window
+	}
+}
+
+// CoalesceWindow returns the configured coalescing window (1 = disabled).
+func (q *Queue) CoalesceWindow() int { return int(q.coalesce) }
+
+// CoalescedEnqueue appends v through handle h's producer buffer; the
+// buffered window enters one lane when it fills, on the op-count deadline,
+// on an explicit Flush, or on Release. With window 1 it is exactly
+// Enqueue. v must not be nil.
+func (q *Queue) CoalescedEnqueue(h *Handle, v unsafe.Pointer) {
+	if q.coalesce <= 1 {
+		q.Enqueue(h, v)
+		return
+	}
+	if v == nil {
+		panic("sharded: CoalescedEnqueue of nil")
+	}
+	h.cbuf[h.clen] = v
+	h.clen++
+	h.cops++
+	if int(h.clen) >= int(q.coalesce) || h.cops >= coalesceDeadline {
+		q.Flush(h)
+	}
+}
+
+// Flush forces handle h's buffered enqueues into the queue: the whole
+// window lands in one lane (EnqueueBatch's dispatch) through that lane's
+// single-FAA reservation. No-op on an empty buffer.
+func (q *Queue) Flush(h *Handle) {
+	n := h.clen
+	h.cops = 0
+	if n == 0 {
+		return
+	}
+	q.EnqueueBatch(h, h.cbuf[:n])
+	for i := int32(0); i < n; i++ {
+		h.cbuf[i] = nil
+	}
+	h.clen = 0
+}
+
+// CoalescedDequeue removes one value through handle h's drain buffer,
+// refilling it with a batched harvest (home lane first, then the steal
+// sweep — DequeueBatch) when it runs dry. With window 1 it is exactly
+// Dequeue. A false return carries Dequeue's emptiness guarantee — every
+// lane witnessed EMPTY within the call — at a moment when this handle
+// held no unflushed values of its own.
+func (q *Queue) CoalescedDequeue(h *Handle) (unsafe.Pointer, bool) {
+	// Dequeues tick the op-count deadline too (see core/coalesce.go): a
+	// draining handle must publish its buffered enqueues within
+	// coalesceDeadline of its own operations even while refills are served
+	// from other producers' values.
+	if h.clen > 0 {
+		h.cops++
+		if h.cops >= coalesceDeadline {
+			q.Flush(h)
+		}
+	}
+	if h.dhead < h.dlen {
+		v := h.dbuf[h.dhead]
+		h.dbuf[h.dhead] = nil
+		h.dhead++
+		return v, true
+	}
+	if q.coalesce <= 1 {
+		return q.Dequeue(h)
+	}
+	//wfqlint:bounded(at most two rounds: a round either returns a refilled value, or — exactly once — flushes the producer buffer (leaving clen == 0) and retries; with clen == 0 an empty refill returns false. Each refill is one DequeueBatch/Dequeue, themselves bounded by the per-lane wait-freedom plus the 2·lanes sweep)
+	for {
+		if n := q.coalesceRefill(h); n > 0 {
+			v := h.dbuf[0]
+			h.dbuf[0] = nil
+			h.dhead = 1
+			return v, true
+		}
+		if h.clen == 0 {
+			return nil, false
+		}
+		// Every lane looked empty but this handle holds unflushed values:
+		// publish them, then look again.
+		q.Flush(h)
+	}
+}
+
+// coalesceRefill harvests one run into h's drain buffer and returns the
+// count; 0 means every lane witnessed EMPTY. The run length is the window
+// clamped by the instantaneous total size, so a near-empty queue drains
+// through scalar dequeues instead of speculative wide reservations.
+func (q *Queue) coalesceRefill(h *Handle) int {
+	h.dhead, h.dlen = 0, 0
+	w := int64(q.coalesce)
+	if sz := q.Size(); sz < w {
+		w = sz
+	}
+	if w <= 1 {
+		v, ok := q.Dequeue(h)
+		if !ok {
+			return 0
+		}
+		h.dbuf[0] = v
+		h.dlen = 1
+		return 1
+	}
+	n := q.DequeueBatch(h, h.dbuf[:w])
+	h.dlen = int32(n)
+	return n
+}
+
+// releaseFlush empties both coalescing buffers back into the queue as part
+// of Release, while the lane handles are still checked out: buffered
+// enqueues flush normally; undrained refill values are re-enqueued so no
+// value is lost (they may land behind values flushed in between — the
+// per-producer fine print of DESIGN.md §8).
+func (q *Queue) releaseFlush(h *Handle) {
+	q.Flush(h)
+	if h.dhead < h.dlen {
+		q.EnqueueBatch(h, h.dbuf[h.dhead:h.dlen])
+		for i := h.dhead; i < h.dlen; i++ {
+			h.dbuf[i] = nil
+		}
+		h.dhead, h.dlen = 0, 0
+	}
+}

@@ -1,0 +1,341 @@
+package sharded
+
+// Tests of shell-level operation coalescing (whole windows into one lane)
+// and of the batch entry points' contract at the sharded layer: scalar
+// degeneration at lengths 0/1, and partial-batch harvests racing concurrent
+// stealers.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"unsafe"
+
+	"wfqueue/internal/core"
+)
+
+func TestShardedCoalesceWindowClamp(t *testing.T) {
+	if got := New(1).CoalesceWindow(); got != 1 {
+		t.Fatalf("default CoalesceWindow = %d, want 1", got)
+	}
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {16, 16}, {core.CoalesceMaxWindow + 9, core.CoalesceMaxWindow},
+	} {
+		if got := New(1, WithCoalescing(tc.in)).CoalesceWindow(); got != tc.want {
+			t.Errorf("WithCoalescing(%d): window = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestShardedCoalescedFlushOneLane pins the ordering argument: a flushed
+// window lands whole in a single lane (the producer's home lane under
+// affinity dispatch), so a producer's values stay in one FIFO in order.
+func TestShardedCoalescedFlushOneLane(t *testing.T) {
+	const w = 16
+	q := New(2, WithLanes(4), WithCoalescing(w))
+	h, err := q.RegisterOnLane(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= w; i++ {
+		q.CoalescedEnqueue(h, box(i))
+	}
+	for li := range q.lanes {
+		want := int64(0)
+		if li == 2 {
+			want = w
+		}
+		if got := q.lanes[li].q.Size(); got != want {
+			t.Fatalf("lane %d Size = %d, want %d (whole window in the home lane)", li, got, want)
+		}
+	}
+	// A second, partial window flushed explicitly joins the same lane behind
+	// the first — per-producer order through the coalescing layer.
+	for i := int64(w + 1); i <= w+5; i++ {
+		q.CoalescedEnqueue(h, box(i))
+	}
+	q.Flush(h)
+	for i := int64(1); i <= w+5; i++ {
+		v, ok := q.CoalescedDequeue(h)
+		if !ok || unbox(v) != i {
+			t.Fatalf("dequeue %d: got (%v,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.CoalescedDequeue(h); ok {
+		t.Fatal("drained queue returned a value")
+	}
+}
+
+// TestShardedCoalesceNeverEmptyWhileHolding: the flush-retry in
+// CoalescedDequeue publishes the handle's own buffer before concluding
+// EMPTY, even though the sweep looked at every lane.
+func TestShardedCoalesceNeverEmptyWhileHolding(t *testing.T) {
+	q := New(1, WithLanes(4), WithCoalescing(16))
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.CoalescedEnqueue(h, box(7))
+	v, ok := q.CoalescedDequeue(h)
+	if !ok || unbox(v) != 7 {
+		t.Fatalf("own buffered value: got (%v,%v)", v, ok)
+	}
+	if _, ok := q.CoalescedDequeue(h); ok {
+		t.Fatal("empty queue returned a value")
+	}
+}
+
+// TestShardedCoalesceReleaseFlushes: Release publishes both shell buffers;
+// a later registration drains every value.
+func TestShardedCoalesceReleaseFlushes(t *testing.T) {
+	const w = 16
+	q := New(2, WithLanes(2), WithCoalescing(w))
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Producer buffer: 5 values; drain buffer: harvest a run, take one.
+	ps := make([]unsafe.Pointer, w)
+	for i := range ps {
+		ps[i] = box(int64(i + 1))
+	}
+	q.EnqueueBatch(h, ps)
+	if v, ok := q.CoalescedDequeue(h); !ok || unbox(v) != 1 {
+		t.Fatalf("refill dequeue: got (%v,%v)", v, ok)
+	}
+	for i := int64(100); i < 105; i++ {
+		q.CoalescedEnqueue(h, box(i))
+	}
+	h.Release()
+
+	h2, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64]bool{}
+	for {
+		v, ok := q.Dequeue(h2)
+		if !ok {
+			break
+		}
+		got[unbox(v)] = true
+	}
+	if len(got) != w-1+5 {
+		t.Fatalf("drained %d values after Release, want %d", len(got), w-1+5)
+	}
+}
+
+// TestShardedEnqueueBatchDegenerate pins the 0/1 batch contract through the
+// sharded layer: length 0 never picks a lane, length 1 rides the scalar
+// fast path (no reservation, no batch counters).
+func TestShardedEnqueueBatchDegenerate(t *testing.T) {
+	q := New(1, WithLanes(2))
+	h, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.EnqueueBatch(h, nil)
+	if got := q.Size(); got != 0 {
+		t.Fatalf("EnqueueBatch(nil) changed Size to %d", got)
+	}
+	if st := q.Stats(); st.Sharded.Enqueues != 0 {
+		t.Fatalf("EnqueueBatch(nil) counted %d enqueues", st.Sharded.Enqueues)
+	}
+	q.EnqueueBatch(h, []unsafe.Pointer{box(1)})
+	st := q.Stats()
+	if st.Core.EnqBatchCalls != 0 || st.Core.EnqBatchFAAs != 0 {
+		t.Fatalf("len-1 batch took the reservation path: calls=%d faas=%d",
+			st.Core.EnqBatchCalls, st.Core.EnqBatchFAAs)
+	}
+	if st.Core.EnqFast+st.Core.EnqSlow != 1 {
+		t.Fatalf("len-1 batch: scalar enqueues = %d, want 1", st.Core.EnqFast+st.Core.EnqSlow)
+	}
+	dst := make([]unsafe.Pointer, 1)
+	if n := q.DequeueBatch(h, dst); n != 1 || unbox(dst[0]) != 1 {
+		t.Fatalf("DequeueBatch(len 1) = %d", n)
+	}
+	if st := q.Stats(); st.Core.DeqBatchCalls != 0 {
+		t.Fatalf("len-1 dequeue batch took the reservation path: calls=%d", st.Core.DeqBatchCalls)
+	}
+	if n := q.DequeueBatch(h, nil); n != 0 {
+		t.Fatalf("DequeueBatch(nil) = %d", n)
+	}
+}
+
+// TestShardedDequeueBatchUnderStealers races wide batched harvests (home
+// lane + steal sweep) against concurrent scalar stealers on every lane and
+// validates the partial-batch contract: nothing is lost, nothing is
+// duplicated, and the sum of all harvests is exactly what was enqueued.
+func TestShardedDequeueBatchUnderStealers(t *testing.T) {
+	const (
+		lanes    = 4
+		stealers = 4
+		rounds   = 200
+		width    = 48 // > one lane's share, forces the sweep to top up
+	)
+	q := New(2+stealers, WithLanes(lanes))
+	producer, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batcher, err := q.Register()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var produced int64
+	var mu sync.Mutex
+	seen := make(map[int64]bool)
+	record := func(t *testing.T, vs []unsafe.Pointer, n int, who string) {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := 0; i < n; i++ {
+			v := unbox(vs[i])
+			if seen[v] {
+				t.Errorf("%s: value %d dequeued twice", who, v)
+			}
+			seen[v] = true
+		}
+	}
+
+	var consumed int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for s := 0; s < stealers; s++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(h *Handle) {
+			defer wg.Done()
+			buf := make([]unsafe.Pointer, 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if v, ok := q.Dequeue(h); ok {
+					buf[0] = v
+					record(t, buf, 1, "stealer")
+					atomic.AddInt64(&consumed, 1)
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(h)
+	}
+
+	dst := make([]unsafe.Pointer, width)
+	next := int64(1)
+	for r := 0; r < rounds; r++ {
+		// Spread a burst over the lanes through the normal dispatch.
+		burst := 8 + r%57
+		for i := 0; i < burst; i++ {
+			q.Enqueue(producer, box(next))
+			next++
+		}
+		produced += int64(burst)
+		n := q.DequeueBatch(batcher, dst)
+		if n > width {
+			t.Fatalf("DequeueBatch returned %d > width %d", n, width)
+		}
+		record(t, dst, n, "batcher")
+		atomic.AddInt64(&consumed, int64(n))
+	}
+	// Drain the tail with wide batches; stealers keep racing.
+	for atomic.LoadInt64(&consumed) < produced {
+		n := q.DequeueBatch(batcher, dst)
+		if n == 0 {
+			runtime.Gosched()
+			continue
+		}
+		record(t, dst, n, "batcher")
+		atomic.AddInt64(&consumed, int64(n))
+	}
+	close(stop)
+	wg.Wait()
+
+	if int64(len(seen)) != produced {
+		t.Fatalf("harvested %d distinct values, want %d", len(seen), produced)
+	}
+	for i := int64(1); i <= produced; i++ {
+		if !seen[i] {
+			t.Fatalf("value %d lost", i)
+		}
+	}
+	if n := q.DequeueBatch(batcher, dst); n != 0 {
+		t.Fatalf("final DequeueBatch = %d on a drained queue", n)
+	}
+}
+
+// TestShardedCoalescedMPMC: coalesced producers and consumers across lanes
+// lose nothing, duplicate nothing, and keep per-producer order.
+func TestShardedCoalescedMPMC(t *testing.T) {
+	const (
+		producers   = 4
+		consumers   = 2
+		perProducer = 8000
+		w           = 16
+	)
+	q := New(producers+consumers, WithLanes(4), WithCoalescing(w))
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(p int, h *Handle) {
+			defer wg.Done()
+			for s := 0; s < perProducer; s++ {
+				q.CoalescedEnqueue(h, box(int64(p)<<32|int64(s+1)))
+			}
+			q.Flush(h)
+		}(p, h)
+	}
+	var total int64
+	results := make([][]int64, consumers)
+	for c := 0; c < consumers; c++ {
+		h, err := q.Register()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c int, h *Handle) {
+			defer wg.Done()
+			var local []int64
+			for atomic.LoadInt64(&total) < producers*perProducer {
+				v, ok := q.CoalescedDequeue(h)
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				local = append(local, unbox(v))
+				atomic.AddInt64(&total, 1)
+			}
+			results[c] = local
+		}(c, h)
+	}
+	wg.Wait()
+	seen := make(map[int64]bool, producers*perProducer)
+	for c, local := range results {
+		last := map[int64]int64{}
+		for _, v := range local {
+			if seen[v] {
+				t.Fatalf("value %x dequeued twice", v)
+			}
+			seen[v] = true
+			p, s := v>>32, v&0xffffffff
+			if l, ok := last[p]; ok && s <= l {
+				t.Fatalf("consumer %d: producer %d seq %d after %d", c, p, s, l)
+			}
+			last[p] = s
+		}
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("dequeued %d distinct values, want %d", len(seen), producers*perProducer)
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"unsafe"
 
 	"wfqueue/internal/affinity"
 	"wfqueue/internal/core"
@@ -104,6 +105,9 @@ type config struct {
 	// scqCap, when nonzero, selects SCQ lane mode: every lane is a bounded
 	// scq ring of this capacity instead of a core queue (see scqlane.go).
 	scqCap int
+	// coalesce is the enqueue coalescing window (coalesce.go); 0/1 disable
+	// buffering.
+	coalesce int
 }
 
 // WithLanes fixes the lane count (clamped to [1, MaxLanes]); 0 selects
@@ -228,6 +232,9 @@ type Queue struct {
 	// mode); the effective, rounded-up value is LaneCapacity(). int64 keeps
 	// rr and regSeq 8-aligned on 32-bit targets (padding audit).
 	scqCap int64
+	// coalesce is the enqueue coalescing window (coalesce.go); <=1 means
+	// the coalesced entry points are pure passthroughs.
+	coalesce int64
 
 	_ pad.CacheLinePad
 	// rr is the round-robin dispatch cursor, FAAed on every enqueue in
@@ -283,6 +290,17 @@ type Handle struct {
 	freeNext uint32
 	life     atomic.Uint64
 
+	// Coalescing state (coalesce.go): the producer buffer accumulating
+	// enqueues for the next whole-window flush into one lane, and the
+	// drain buffer holding a harvested run. Owner-only fixed arrays, so
+	// coalescing allocates nothing at this layer either.
+	cbuf  [core.CoalesceMaxWindow]unsafe.Pointer
+	clen  int32
+	cops  int32
+	dbuf  [core.CoalesceMaxWindow]unsafe.Pointer
+	dhead int32
+	dlen  int32
+
 	stats Counters
 	_     pad.CacheLinePad
 }
@@ -311,12 +329,16 @@ func New(maxHandles int, opts ...Option) *Queue {
 			maxHandles = 1 << 16
 		}
 	}
+	if cfg.coalesce < 1 {
+		cfg.coalesce = 1
+	}
 	q := &Queue{
 		lanes:    make([]lane, n),
 		dispatch: cfg.dispatch,
 		cpuHome:  cfg.cpuHome,
 		adaptive: cfg.adaptive,
 		scqCap:   int64(cfg.scqCap),
+		coalesce: int64(cfg.coalesce),
 	}
 	if cfg.scqCap != 0 {
 		q.newSCQLanes(maxHandles, &cfg)
@@ -502,6 +524,12 @@ func (h *Handle) Release() {
 	cur := h.life.Load()
 	if cur&1 == 0 {
 		return // already released this epoch: idempotent no-op
+	}
+	// Auto-flush the coalescing buffers (coalesce.go) while the lane
+	// handles are still checked out: buffered and undrained values must
+	// enter the shared queue before the shell can be reused.
+	if h.clen > 0 || h.dhead < h.dlen {
+		h.q.releaseFlush(h)
 	}
 	if !h.life.CompareAndSwap(cur, cur+1) {
 		return // lost the closing race: the other Release returns the slot

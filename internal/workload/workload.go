@@ -47,6 +47,15 @@ const (
 	// Register/Release cost; the workload only runs against queues whose
 	// Ops carry a Release (qiface.Factory.ChurnSafe).
 	Churn
+	// RunGrouped is the coalescing-shaped workload: each round is a run of
+	// B scalar enqueues (with the usual inter-operation work), a Flush, then
+	// a run of B scalar dequeues. Unlike PairsBatched the operations arrive
+	// one value at a time — exactly the caller an operation-coalescing
+	// window accelerates transparently — while the strict lockstep of Pairs
+	// (enqueue, dequeue, enqueue, ...) is avoided, since lockstep degenerates
+	// any window to 1 (the dequeue's flush-before-EMPTY publishes every
+	// single buffered value immediately). A round counts as 2B operations.
+	RunGrouped
 	// StalledConsumer is the bounded-memory adversary: producers keep
 	// offering values while the consumer parks for a whole phase, then
 	// resumes and drains. An unbounded queue buffers the entire phase, so
@@ -83,6 +92,8 @@ func (k Kind) String() string {
 		return "bursty-pairs"
 	case Churn:
 		return "handle-churn-pairs"
+	case RunGrouped:
+		return "run-grouped-pairs"
 	case StalledConsumer:
 		return "stalled-consumer"
 	default:
@@ -94,7 +105,7 @@ func (k Kind) String() string {
 // its Kind, for harnesses that round-trip workloads through recorded
 // baseline documents.
 func ParseKind(s string) (Kind, bool) {
-	for _, k := range []Kind{Pairs, HalfHalf, PairsBatched, Bursty, Churn, StalledConsumer} {
+	for _, k := range []Kind{Pairs, HalfHalf, PairsBatched, Bursty, Churn, RunGrouped, StalledConsumer} {
 		if k.String() == s {
 			return k, true
 		}

@@ -99,6 +99,21 @@ func WithAdaptive() Option { return core.WithAdaptive() }
 // WithAdaptive in the option list.
 func WithFixed() Option { return core.WithFixed() }
 
+// WithCoalescing sets the operation-coalescing window (default 1 =
+// disabled): each Handle buffers up to window enqueued values and publishes
+// them through one fetch-and-add, and dequeues harvest runs of values per
+// FAA, amortizing coordination transparently for one-value-at-a-time
+// callers. window is clamped to [1, 64] at construction.
+//
+// Coalescing trades visibility latency for throughput: a value becomes
+// visible to other goroutines when its window flushes — on fill, after a
+// bounded number of the producer's operations, on Handle.Flush, or on
+// Release — rather than at the Enqueue call. Cross-goroutine FIFO therefore
+// weakens to per-producer FIFO (each flush deposits its run in order).
+// With window 1 every operation is exactly the plain one; wait-freedom is
+// unchanged at any window, since every buffer bound is compile-time.
+func WithCoalescing(window int) Option { return core.WithCoalescing(window) }
+
 // New creates a queue that supports up to maxHandles concurrently
 // registered handles. maxHandles fixes the size of the helping ring, as in
 // the paper; handles can be released and re-registered freely.
@@ -123,13 +138,17 @@ func (q *Queue[T]) Register() (*Handle[T], error) {
 	// The box free list is pre-sized to its cap so putBox's append never
 	// allocates; Register is off the hot path, so the one-time allocation
 	// is paid here.
-	hh := &Handle[T]{q: q.q, qt: q, h: h, free: make([]*T, 0, boxFreeListCap)}
+	hh := &Handle[T]{q: q.q, qt: q, h: h, cw: q.q.CoalesceWindow(), free: make([]*T, 0, boxFreeListCap)}
 	runtime.SetFinalizer(hh, func(hh *Handle[T]) { hh.release() })
 	return hh, nil
 }
 
 // Capacity returns the maximum number of concurrently registered handles.
 func (q *Queue[T]) Capacity() int { return q.q.Capacity() }
+
+// CoalesceWindow returns the operation-coalescing window configured with
+// WithCoalescing (1 = coalescing disabled).
+func (q *Queue[T]) CoalesceWindow() int { return q.q.CoalesceWindow() }
 
 // Len returns an instantaneous approximation of the queue length. It is
 // exact only while the queue is quiescent.
@@ -157,6 +176,9 @@ type Handle[T any] struct {
 	qt       *Queue[T]
 	h        *core.Handle
 	released atomic.Bool
+	// cw caches the queue's coalescing window so the batched entry points
+	// can route through the drain buffer without re-reading the queue.
+	cw int
 	// scratch is reused across batched calls so batches of any size reuse
 	// one pointer buffer. Safe because a Handle is single-goroutine by
 	// contract.
@@ -219,19 +241,33 @@ func (h *Handle[T]) check() {
 // Enqueue appends v to the queue in a bounded number of steps. The value
 // travels in a recycled box (see Queue.boxes), so steady-state enqueues of
 // any fixed-size T perform zero heap allocations.
+//
+// On a queue built WithCoalescing(w > 1) the value may sit in this handle's
+// window until the next flush (fill, deadline, Flush, or Release) before
+// other goroutines can observe it.
 func (h *Handle[T]) Enqueue(v T) {
 	h.check()
 	b := h.getBox()
 	*b = v
-	h.q.Enqueue(h.h, unsafe.Pointer(b))
+	h.q.CoalescedEnqueue(h.h, unsafe.Pointer(b))
+}
+
+// Flush publishes any values this handle has buffered under WithCoalescing,
+// making them visible to other goroutines. Producers call it before going
+// idle or handing off; it is a no-op on an empty window (and always, when
+// coalescing is disabled). Release flushes implicitly.
+func (h *Handle[T]) Flush() {
+	h.check()
+	h.q.Flush(h.h)
 }
 
 // Dequeue removes and returns the oldest value. ok is false when the queue
 // was observed empty (a valid linearization point at which it held no
-// values).
+// values — and, under WithCoalescing, at a moment when this handle held no
+// unflushed values of its own).
 func (h *Handle[T]) Dequeue() (v T, ok bool) {
 	h.check()
-	p, ok := h.q.Dequeue(h.h)
+	p, ok := h.q.CoalescedDequeue(h.h)
 	if !ok {
 		var zero T
 		return zero, false
@@ -258,6 +294,11 @@ func (h *Handle[T]) EnqueueBatch(vs []T) {
 	if len(vs) == 0 {
 		return
 	}
+	// Under coalescing, publish buffered singletons first so they keep
+	// their place ahead of this batch in the producer's order.
+	if h.cw > 1 {
+		h.q.Flush(h.h)
+	}
 	buf := h.scratchPtrs(len(vs))
 	for i := range vs {
 		b := h.getBox()
@@ -277,6 +318,20 @@ func (h *Handle[T]) DequeueBatch(dst []T) int {
 	h.check()
 	if len(dst) == 0 {
 		return 0
+	}
+	// Under coalescing the handle's drain buffer may hold already-harvested
+	// values that must come out first; route per value through it (refills
+	// amortize the FAA exactly as the native batch would, and a short
+	// return still carries the EMPTY witness).
+	if h.cw > 1 {
+		for i := range dst {
+			v, ok := h.Dequeue()
+			if !ok {
+				return i
+			}
+			dst[i] = v
+		}
+		return len(dst)
 	}
 	buf := h.scratchPtrs(len(dst))
 	n := h.q.DequeueBatch(h.h, buf)
