@@ -68,7 +68,10 @@ func init() {
 		// Not Bounded: the adapter's producer buffer sits outside the ring,
 		// so the exact all-slots-in-flight ErrFull verdict of wf-scq does not
 		// survive coalescing (a flush retries through backpressure instead of
-		// rejecting). Capacity still bounds the ring itself.
+		// rejecting). Capacity still bounds the ring itself. Consequence: a
+		// flush blocks (Gosched-spins) until consumers drain the ring, so an
+		// Enqueue that trips the window or deadline on a full ring does not
+		// return until space appears — see scqCoalesceState.flush.
 		Name: "wf-scq-coalesce", Doc: "bounded SCQ ring behind a coalescing window 16 (batch-reservation flushes)",
 		ChurnSafe: true, Ordering: qiface.OrderPerProducer,
 		New: func(n int) (qiface.Queue, error) {
@@ -253,7 +256,12 @@ func (s *scqCoalesceState) enqueue(v unsafe.Pointer) {
 
 // flush publishes the buffered window through the ring's batch reservation,
 // absorbing ErrFull as backpressure (yield and retry the remainder) exactly
-// as the scalar scqAdapter.Enqueue does.
+// as the scalar scqAdapter.Enqueue does. Like that adapter, flush BLOCKS
+// until the ring drains: with no consumers running, the enqueue (or
+// deadline tick) that triggered the flush spins in Gosched rather than
+// surfacing ErrFull — the qiface.Queue contract has no partial-failure
+// channel for a buffered run. Callers needing a full verdict should use
+// wf-scq, whose unbuffered ErrFull is exact.
 func (s *scqCoalesceState) flush() {
 	s.cops = 0
 	off := 0

@@ -75,8 +75,10 @@ func (h *Handle) TryEnqueueBatch(vs []unsafe.Pointer) (int, error) {
 // number stored. A short return means EMPTY was witnessed at a
 // linearizable point during the call — the same guarantee Dequeue's
 // ok=false provides; interference alone never causes a short return (the
-// scalar top-up path escalates through the helping layer). Lengths 0 and
-// 1 degenerate to the scalar path.
+// scalar top-up path escalates through the helping layer). Like Dequeue,
+// the call opens with one bounded helpPeers scan when requests are
+// pending, so batch-only consumers still meet §7's helping obligation.
+// Lengths 0 and 1 degenerate to the scalar path.
 func (h *Handle) DequeueBatch(dst []unsafe.Pointer) int {
 	switch len(dst) {
 	case 0:
@@ -91,6 +93,20 @@ func (h *Handle) DequeueBatch(dst []unsafe.Pointer) int {
 	}
 	q := h.q
 	n := 0
+	// Help first, exactly as Dequeue does: one bounded scan when peers have
+	// published slow-path requests, so a consumer that loops on wide batches
+	// still serves stalled peers (DESIGN.md §7's every-active-dequeuer
+	// obligation). A value the scan could not donate becomes this batch's
+	// first element.
+	if q.pendingDeqs.Load() > 0 {
+		if v, done, ok := h.helpPeers(); done {
+			if !ok {
+				return 0 // sound EMPTY witness from the nested attempt
+			}
+			dst[0] = v
+			n = 1
+		}
+	}
 	//wfqlint:bounded(at most len(dst) rounds: every iteration either harvests at least one value (n advances), breaks on an EMPTY witness, or runs one scalar Dequeue — itself bounded by its ticket budget plus the helping layer — whose miss breaks)
 	for n < len(dst) {
 		chunk := len(dst) - n

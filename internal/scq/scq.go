@@ -93,8 +93,10 @@ type Handle struct {
 	_  pad.CacheLinePad
 	q  *Queue
 	id int
-	// freeNext links pooled handles; owned by the free-list protocol.
-	freeNext uint64
+	// freeNext links pooled handles. Atomic: Register reads it for the
+	// CAS successor while a racing Release of the same (stale-head) handle
+	// may be re-linking it — same window core/handlepool.go guards.
+	freeNext atomic.Uint64
 	// life is the checkout epoch — odd while checked out, even while free,
 	// monotonically increasing — making Release idempotent within an epoch
 	// (same idiom as the sharded shell pool).
@@ -164,7 +166,7 @@ func New(maxHandles, capacity int) (*Queue, error) {
 		h.q = q
 		h.id = i
 		if i+1 < maxHandles {
-			h.freeNext = uint64(i+1) + 1
+			h.freeNext.Store(uint64(i+1) + 1)
 		}
 	}
 	q.hfree.Store(1) // head = handle 0, generation 0
@@ -192,7 +194,7 @@ func (q *Queue) Register() (*Handle, error) {
 		}
 		h := &q.handles[idx-1]
 		gen := old >> handleIdxBits
-		next := (gen+1)<<handleIdxBits | (h.freeNext & (1<<handleIdxBits - 1))
+		next := (gen+1)<<handleIdxBits | (h.freeNext.Load() & (1<<handleIdxBits - 1))
 		if q.hfree.CompareAndSwap(old, next) {
 			h.deqReq.Store(reqIdle)
 			h.life.Add(1) // odd: checked out
@@ -219,7 +221,7 @@ func (h *Handle) Release() {
 	for {
 		old := q.hfree.Load()
 		gen := old >> handleIdxBits
-		h.freeNext = old & (1<<handleIdxBits - 1)
+		h.freeNext.Store(old & (1<<handleIdxBits - 1))
 		next := (gen+1)<<handleIdxBits | uint64(h.id+1)
 		if q.hfree.CompareAndSwap(old, next) {
 			return
