@@ -6,12 +6,12 @@ GO ?= go
 # lands here; the directory is untracked (see .gitignore).
 ARTIFACTS ?= artifacts
 
-.PHONY: all build vet lint test race short bench bench-json bench-json-sharded bench-adaptive bench-handles bench-scq bench-coalesce bench-trajectory bench-all bench-compare fuzz stress soak ci experiments examples clean
+.PHONY: all build vet lint cert cert-check test race short bench bench-json bench-json-sharded bench-adaptive bench-handles bench-scq bench-coalesce bench-trajectory bench-all bench-compare fuzz stress soak ci experiments examples clean
 
 all: build vet lint test
 
 # What .github/workflows/ci.yml runs; keep the two in sync.
-ci: build vet lint
+ci: build vet lint cert-check
 	$(GO) test -short -count=1 ./...
 	$(GO) test -race -short -count=1 ./...
 	$(GO) test ./internal/core -fuzz FuzzAgainstModel -fuzztime 10s -run '^$$'
@@ -28,6 +28,17 @@ vet:
 # over the compiler's -m output. Exits nonzero on any finding.
 lint:
 	$(GO) run ./cmd/wfqlint all
+
+# wfqcert: refresh the committed step-bound certificate baseline after a
+# reviewed bound change (DESIGN.md §5). cert-check is the CI gate — it
+# rebuilds the certificate from the tree and fails on any regression
+# against the committed artifact (grown bound, vanished op, new model
+# assumption, grown symbol value).
+cert:
+	$(GO) run ./cmd/wfqlint cert -out $(ARTIFACTS)/wfqcert.json
+
+cert-check:
+	$(GO) run ./cmd/wfqlint cert -baseline $(ARTIFACTS)/wfqcert.json
 
 test:
 	$(GO) test ./... -count=1

@@ -2,21 +2,31 @@
 // at the source level, the lock-free and wait-free invariants the paper
 // assumes and DESIGN.md §5 catalogs — atomic hygiene on shared words,
 // no blocking constructs reachable from hot paths, an audited bound for
-// every loop in wait-free code, 8-alignment of 64-bit atomics on 32-bit
-// targets, the padding layout that keeps hot fields on separate cache
-// lines, and (via the compiler's escape analysis) a zero-allocation hot
-// path.
+// every loop in wait-free code, publication order on weak memory,
+// 8-alignment of 64-bit atomics on 32-bit targets, the padding layout
+// that keeps hot fields on separate cache lines, and (via the compiler's
+// escape analysis) a zero-allocation hot path.
 //
 // Usage:
 //
-//	wfqlint [-root DIR] [check|escapes|obligations|all]
+//	wfqlint [-root DIR] [-json] [check|escapes|obligations|all]
+//	wfqlint [-root DIR] [-json] cert [-baseline FILE] [-out FILE]
 //
 //	check        typecheck-based passes: atomics, blocking, loops,
-//	             annotations, padding, 32-bit alignment (the default)
+//	             annotations, publication order, certificates, padding,
+//	             32-bit alignment (the default)
 //	obligations  like check, but also print the machine-checkable list of
 //	             //wfqlint:bounded proof obligations
 //	escapes      run `go build -gcflags=-m` and gate hot-path heap escapes
 //	all          check + escapes, printing the obligation list
+//	cert         build the closed-form step-bound certificate; with
+//	             -baseline, diff it against the committed artifact and fail
+//	             on any regression; with -out, write the fresh certificate
+//	             (the `make cert` baseline-refresh path)
+//
+// -json switches the diagnostic and obligation output to one JSON object
+// on stdout, for CI annotation tooling; cert without -out then emits the
+// certificate under a "cert" key.
 //
 // Exit status is 1 if any pass reports a diagnostic, 2 on operational
 // errors. The tool uses only the standard library (go/parser, go/types);
@@ -24,6 +34,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,9 +45,11 @@ import (
 
 func main() {
 	root := flag.String("root", "", "module root to analyze (default: search upward from cwd)")
+	jsonOut := flag.Bool("json", false, "emit one JSON object instead of line-oriented output")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: wfqlint [-root DIR] [check|escapes|obligations|all]\n")
+			"usage: wfqlint [-root DIR] [-json] [check|escapes|obligations|all]\n"+
+				"       wfqlint [-root DIR] [-json] cert [-baseline FILE] [-out FILE]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -44,10 +57,6 @@ func main() {
 	cmd := "check"
 	if flag.NArg() > 0 {
 		cmd = flag.Arg(0)
-	}
-	if flag.NArg() > 1 {
-		flag.Usage()
-		os.Exit(2)
 	}
 
 	dir := *root
@@ -65,37 +74,109 @@ func main() {
 
 	switch cmd {
 	case "check", "obligations", "all":
+		if flag.NArg() > 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
 		res, err := analysis.Run(cfg)
 		if err != nil {
 			fatal(err)
 		}
-		bad := report(res.Diags)
-		if cmd == "obligations" || cmd == "all" {
-			fmt.Printf("%d bounded-loop obligations:\n", len(res.Obligations))
-			for _, o := range res.Obligations {
-				fmt.Printf("  %s\n", o)
-			}
-		}
+		bad := len(res.Diags) > 0
 		if cmd == "all" {
-			if escBad, err := runEscapes(cfg); err != nil {
+			escDiags, err := runEscapes(cfg)
+			if err != nil {
 				fatal(err)
-			} else {
-				bad = bad || escBad
+			}
+			res.Diags = append(res.Diags, escDiags...)
+			bad = bad || len(escDiags) > 0
+		}
+		withObls := cmd == "obligations" || cmd == "all"
+		if *jsonOut {
+			obj := map[string]any{"diags": diagJSON(res.Diags)}
+			if withObls {
+				obj["obligations"] = res.Obligations
+			}
+			emitJSON(obj)
+		} else {
+			report(res.Diags)
+			if withObls {
+				fmt.Printf("%d bounded-loop obligations:\n", len(res.Obligations))
+				for _, o := range res.Obligations {
+					fmt.Printf("  %s\n", o)
+				}
 			}
 		}
 		if bad {
 			os.Exit(1)
 		}
-		fmt.Println("wfqlint: ok")
-	case "escapes":
-		bad, err := runEscapes(cfg)
+		if !*jsonOut {
+			fmt.Println("wfqlint: ok")
+		}
+	case "cert":
+		fs := flag.NewFlagSet("cert", flag.ExitOnError)
+		baseline := fs.String("baseline", "", "committed certificate to diff against; any regression fails")
+		out := fs.String("out", "", "write the freshly built certificate JSON here (baseline refresh)")
+		fs.Parse(flag.Args()[1:])
+		res, err := analysis.Run(cfg)
 		if err != nil {
 			fatal(err)
 		}
-		if bad {
+		if res.Cert == nil {
+			fatal(fmt.Errorf("configuration certifies no operations"))
+		}
+		diags := res.Diags
+		if *baseline != "" {
+			data, err := os.ReadFile(*baseline)
+			if err != nil {
+				fatal(err)
+			}
+			base, err := analysis.ParseCertificate(data)
+			if err != nil {
+				fatal(err)
+			}
+			diags = append(diags, analysis.CompareBaseline(res.Cert, base)...)
+		}
+		if *out != "" {
+			if err := os.WriteFile(*out, res.Cert.JSON(), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		if *jsonOut {
+			obj := map[string]any{"diags": diagJSON(diags)}
+			if *out == "" {
+				obj["cert"] = res.Cert
+			}
+			emitJSON(obj)
+			if len(diags) > 0 {
+				os.Exit(1)
+			}
+			return
+		}
+		if report(diags) {
 			os.Exit(1)
 		}
-		fmt.Println("wfqlint: escapes ok")
+		fmt.Printf("wfqlint: cert ok (%d operations, %d symbols)\n", len(res.Cert.Ops), len(res.Cert.Symbols))
+	case "escapes":
+		if flag.NArg() > 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		diags, err := runEscapes(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			emitJSON(map[string]any{"diags": diagJSON(diags)})
+		} else {
+			report(diags)
+		}
+		if len(diags) > 0 {
+			os.Exit(1)
+		}
+		if !*jsonOut {
+			fmt.Println("wfqlint: escapes ok")
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -105,20 +186,16 @@ func main() {
 // runEscapes rebuilds the hot packages with the compiler's escape-analysis
 // diagnostics enabled and applies the escape gate to the output. The -a is
 // unnecessary: go build replays cached diagnostics, so this is cheap.
-func runEscapes(cfg analysis.Config) (bad bool, err error) {
+func runEscapes(cfg analysis.Config) ([]analysis.Diagnostic, error) {
 	args := []string{"build", "-gcflags=-m"}
 	args = append(args, escapePackages(cfg)...)
 	c := exec.Command("go", args...)
 	c.Dir = cfg.Root
 	out, err := c.CombinedOutput()
 	if err != nil {
-		return true, fmt.Errorf("go %v: %v\n%s", args, err, out)
+		return nil, fmt.Errorf("go %v: %v\n%s", args, err, out)
 	}
-	diags, err := analysis.EscapeGateOutput(cfg, string(out))
-	if err != nil {
-		return true, err
-	}
-	return report(diags), nil
+	return analysis.EscapeGateOutput(cfg, string(out))
 }
 
 // escapePackages lists the import paths with a non-empty hot-function set.
@@ -136,6 +213,30 @@ func escapePackages(cfg analysis.Config) []string {
 		}
 	}
 	return pkgs
+}
+
+// diagJSON renders diagnostics as plain records: positions flattened to
+// file/line/col so consumers need no knowledge of token.Position.
+func diagJSON(diags []analysis.Diagnostic) []map[string]any {
+	out := make([]map[string]any, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, map[string]any{
+			"file": d.Pos.Filename,
+			"line": d.Pos.Line,
+			"col":  d.Pos.Column,
+			"pass": d.Pass,
+			"msg":  d.Msg,
+		})
+	}
+	return out
+}
+
+func emitJSON(obj map[string]any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(obj); err != nil {
+		fatal(err)
+	}
 }
 
 func report(diags []analysis.Diagnostic) bool {

@@ -87,21 +87,26 @@ func (d Diagnostic) String() string {
 // no syntactic bound whose termination argument is carried by a
 // //wfqlint:bounded annotation. The obligation list is the machine-checkable
 // residue of the wait-freedom claim: every entry names the argument a human
-// must be able to defend.
+// must be able to defend, and carries the symbolic worst-case trip count
+// the cert pass composes into per-operation step bounds.
 type Obligation struct {
 	Pos    token.Position
 	Func   string // enclosing function, "(*Queue).Enqueue" style
+	Cost   string // canonical symbolic trip count, e.g. "PATIENCE + 1"
 	Reason string
 }
 
 func (o Obligation) String() string {
-	return fmt.Sprintf("%s:%d: %s: bounded(%s)", o.Pos.Filename, o.Pos.Line, o.Func, o.Reason)
+	return fmt.Sprintf("%s:%d: %s: bounded(%s, %s)", o.Pos.Filename, o.Pos.Line, o.Func, o.Cost, o.Reason)
 }
 
 // Result is the output of Run.
 type Result struct {
 	Diags       []Diagnostic
 	Obligations []Obligation
+	// Cert is the composed step-bound certificate (nil when the config
+	// declares no certified operations).
+	Cert *Certificate
 }
 
 // sortDiags orders diagnostics by position then pass for stable output.

@@ -10,104 +10,155 @@ import (
 type annKind int
 
 const (
-	annBounded annKind = iota // //wfqlint:bounded(<reason>)
+	annBounded annKind = iota // //wfqlint:bounded(<cost>, <reason>)
 	annInit                   // //wfqlint:init
 	annAllow                  // //wfqlint:allow(<pass>,<reason>)
 )
 
 type annotation struct {
-	Kind   annKind
-	Pass   string // allow only
-	Reason string // bounded and allow
-	Line   int    // line the annotation applies to
-	Pos    token.Position
+	Kind     annKind
+	Pass     string // allow only
+	Reason   string // bounded and allow
+	Cost     Cost   // bounded only: the symbolic worst-case trip count
+	CostText string // bounded only: the cost expression as written
+	Line     int    // line the annotation applies to
+	Pos      token.Position
 }
 
-// fileAnns indexes the wfqlint annotations of one file by effective line.
+// fileAnns indexes the wfqlint annotations of one file by effective line,
+// and records every parse failure and every dangling annotation so
+// checkAnnSyntax can report them: a typo'd or misplaced annotation must
+// fail loudly, never silently stop applying.
 type fileAnns struct {
 	byLine map[int][]annotation
+	bad    []Diagnostic
 }
 
 // parseFileAnns extracts //wfqlint: annotations from f. An annotation
-// applies to the line it is written on; when its comment group ends on the
-// line directly above a statement (a leading comment), it also applies to
-// that next line. Malformed annotations are recorded as parse diagnostics
-// by the loops pass via the Bad field — here they are simply skipped, and
-// checkAnnSyntax reports them.
+// applies to the line it is written on; when it is part of a leading
+// comment group — a group whose end sits directly above a line of code —
+// it also applies to that code line, even if further prose comments
+// follow it inside the group. An annotation that ends up attached to no
+// code at all (its group is followed by a blank line or by another
+// comment group) is dangling and becomes a diagnostic: a misplaced
+// obligation or suppression must not silently stop applying. Malformed
+// annotations are likewise recorded as diagnostics here, at parse time —
+// there is exactly one parse path, so nothing can be skipped silently.
 func parseFileAnns(fset *token.FileSet, f *ast.File) *fileAnns {
 	fa := &fileAnns{byLine: map[int][]annotation{}}
+	code := codeLines(fset, f)
 	for _, cg := range f.Comments {
 		endLine := fset.Position(cg.End()).Line
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
 			if !strings.HasPrefix(text, "wfqlint:") {
+				// Near miss: "// wfqlint:..." (leading space) silently
+				// parses as prose. Report it — the author meant an
+				// annotation, and an ignored one disables an obligation
+				// or a suppression unnoticed.
+				if t := strings.TrimSpace(text); strings.HasPrefix(t, "wfqlint:") && !strings.HasPrefix(c.Text, "/*") {
+					fa.bad = append(fa.bad, Diagnostic{
+						Pass: "annotations",
+						Pos:  fset.Position(c.Pos()),
+						Msg:  "wfqlint annotation not flush with //: " + c.Text,
+					})
+				}
 				continue
 			}
-			ann, ok := parseAnnText(strings.TrimPrefix(text, "wfqlint:"))
-			if !ok {
-				continue
-			}
+			ann, err := parseAnnText(strings.TrimPrefix(text, "wfqlint:"))
 			pos := fset.Position(c.Pos())
+			if err != "" {
+				fa.bad = append(fa.bad, Diagnostic{
+					Pass: "annotations",
+					Pos:  pos,
+					Msg:  "malformed wfqlint annotation (" + err + "): " + c.Text,
+				})
+				continue
+			}
 			ann.Pos = pos
 			ann.Line = pos.Line
+			attached := code[pos.Line] // trailing comment on a code line
 			fa.byLine[pos.Line] = append(fa.byLine[pos.Line], ann)
-			// Leading comment group: the annotation closing the group also
-			// attaches to the line directly below it.
-			if pos.Line == endLine {
+			// Leading comment group: every annotation in the group also
+			// attaches to the line of code directly below the group.
+			if code[endLine+1] && pos.Line != endLine+1 {
 				next := ann
 				next.Line = endLine + 1
 				fa.byLine[endLine+1] = append(fa.byLine[endLine+1], next)
+				attached = true
+			}
+			if !attached {
+				fa.bad = append(fa.bad, Diagnostic{
+					Pass: "annotations",
+					Pos:  pos,
+					Msg:  "dangling wfqlint annotation: not on a code line and its comment group is not directly above one",
+				})
 			}
 		}
 	}
 	return fa
 }
 
-// parseAnnText parses the text after "//wfqlint:".
-func parseAnnText(text string) (annotation, bool) {
+// codeLines reports, per line, whether any non-comment syntax node starts
+// there — the lines an annotation can meaningfully attach to.
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup, *ast.File:
+			return true
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		return true
+	})
+	return lines
+}
+
+// parseAnnText parses the text after "//wfqlint:". It returns a non-empty
+// error description when the annotation is malformed.
+func parseAnnText(text string) (annotation, string) {
 	text = strings.TrimSpace(text)
 	switch {
 	case text == "init":
-		return annotation{Kind: annInit}, true
+		return annotation{Kind: annInit}, ""
 	case strings.HasPrefix(text, "bounded(") && strings.HasSuffix(text, ")"):
-		reason := strings.TrimSuffix(strings.TrimPrefix(text, "bounded("), ")")
-		if strings.TrimSpace(reason) == "" {
-			return annotation{}, false
+		body := strings.TrimSuffix(strings.TrimPrefix(text, "bounded("), ")")
+		costText, reason, ok := strings.Cut(body, ",")
+		costText = strings.TrimSpace(costText)
+		reason = strings.TrimSpace(reason)
+		if !ok || reason == "" {
+			return annotation{}, "want bounded(<cost>, <reason>)"
 		}
-		return annotation{Kind: annBounded, Reason: reason}, true
+		cost, err := parseCost(costText)
+		if err != nil {
+			return annotation{}, err.Error()
+		}
+		if cost.IsZero() {
+			return annotation{}, "cost must be positive"
+		}
+		return annotation{Kind: annBounded, Reason: reason, Cost: cost, CostText: costText}, ""
 	case strings.HasPrefix(text, "allow(") && strings.HasSuffix(text, ")"):
 		body := strings.TrimSuffix(strings.TrimPrefix(text, "allow("), ")")
 		pass, reason, ok := strings.Cut(body, ",")
 		pass = strings.TrimSpace(pass)
 		reason = strings.TrimSpace(reason)
 		if !ok || pass == "" || reason == "" {
-			return annotation{}, false
+			return annotation{}, "want allow(<pass>, <reason>)"
 		}
-		return annotation{Kind: annAllow, Pass: pass, Reason: reason}, true
+		return annotation{Kind: annAllow, Pass: pass, Reason: reason}, ""
 	}
-	return annotation{}, false
+	return annotation{}, "unknown annotation form"
 }
 
-// checkAnnSyntax reports malformed //wfqlint: comments in f as diagnostics
-// so a typo'd suppression fails loudly instead of silently not applying.
-func checkAnnSyntax(fset *token.FileSet, f *ast.File) []Diagnostic {
-	var out []Diagnostic
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			text := strings.TrimPrefix(c.Text, "//")
-			if !strings.HasPrefix(text, "wfqlint:") {
-				continue
-			}
-			if _, ok := parseAnnText(strings.TrimPrefix(text, "wfqlint:")); !ok {
-				out = append(out, Diagnostic{
-					Pass: "annotations",
-					Pos:  fset.Position(c.Pos()),
-					Msg:  "malformed wfqlint annotation: " + c.Text,
-				})
-			}
-		}
+// checkAnnSyntax reports the malformed and dangling //wfqlint: comments
+// recorded at parse time. Every annotation flows through parseFileAnns
+// exactly once, so there is no second parse that could disagree with the
+// one the passes use.
+func checkAnnSyntax(fa *fileAnns) []Diagnostic {
+	if fa == nil {
+		return nil
 	}
-	return out
+	return fa.bad
 }
 
 // boundedAt returns the bounded() annotation attached to line, if any.

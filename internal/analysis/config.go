@@ -37,6 +37,38 @@ type Config struct {
 	// LayoutRules are the cache-line separation claims the padding pass
 	// proves against go/types field offsets.
 	LayoutRules []LayoutRule
+
+	// Symbols is the table of names usable in //wfqlint:bounded(<cost>, ...)
+	// expressions. Constant-backed symbols resolve against the named package
+	// constant at type-check time; parameter symbols carry a documented
+	// reference value and surface in each dependent operation's "assumes"
+	// list in the certificate.
+	Symbols []SymbolDef
+
+	// CertOps maps a wait-free package to the public operations the cert
+	// pass composes closed-form step bounds for. Empty means no certificate
+	// is produced (fixture configs).
+	CertOps map[string][]string
+}
+
+// SymbolDef declares one symbol of the bounded-cost grammar.
+type SymbolDef struct {
+	// Name is the symbol as written in annotations (e.g. PATIENCE).
+	Name string
+	// Pkg/Const name the backing package-level constant; empty Pkg marks a
+	// model parameter whose Value below is the reference substitution.
+	Pkg   string
+	Const string
+	// Value is the reference value of a parameter symbol (ignored when the
+	// symbol is constant-backed).
+	Value uint64
+	// Param marks a model parameter: it appears in the "assumes" list of
+	// every operation whose bound mentions it, and the baseline diff gates
+	// the set of assumptions an operation may grow.
+	Param bool
+	// Doc is the one-line meaning of the symbol, embedded in the
+	// certificate so the JSON is self-describing.
+	Doc string
 }
 
 // Import paths of the analyzed packages.
@@ -139,6 +171,71 @@ func RepoConfig(root string) Config {
 			},
 		},
 		LayoutRules: RepoLayoutRules(),
+		Symbols:     RepoSymbols(),
+		// The certified surface: every public operation of the wait-free
+		// tiers. The cert pass walks the static call graph from each and
+		// composes annotated loop costs into a closed-form step bound.
+		CertOps: map[string][]string{
+			PkgCore: {
+				"Enqueue", "Dequeue", "EnqueueBatch", "DequeueBatch",
+				"CoalescedEnqueue", "CoalescedDequeue", "Flush",
+				"Register", "AcquireHandle", "Release",
+			},
+			PkgSharded: {
+				"Enqueue", "Dequeue", "EnqueueBatch", "DequeueBatch",
+				"TryEnqueue", "CoalescedEnqueue", "CoalescedDequeue", "Flush",
+				"Register", "RegisterOnCurrentCPU", "RegisterOnLane", "Release",
+			},
+			PkgSCQ: {
+				"TryEnqueue", "Dequeue", "TryEnqueueBatch", "DequeueBatch",
+				"Register", "Release",
+			},
+		},
+	}
+}
+
+// RepoSymbols is the symbol table of this repository's cost grammar: the
+// adaptive-controller window maxima (the substitution DESIGN.md §3.3 makes),
+// the structural constants of the sharded and SCQ tiers, and the model
+// parameters the paper's bounds are stated over.
+func RepoSymbols() []SymbolDef {
+	return []SymbolDef{
+		// Constant-backed: resolved from package constants at type-check
+		// time, so a knob change reprices every dependent bound.
+		{Name: "PATIENCE", Pkg: PkgCore, Const: "AdaptPatienceMax",
+			Doc: "fast-path attempt budget; adaptive window maximum (DESIGN.md §3.3)"},
+		{Name: "MAX_SPIN", Pkg: PkgCore, Const: "AdaptSpinMax",
+			Doc: "enqueue-helper spin budget; adaptive window maximum"},
+		{Name: "BACKOFF", Pkg: PkgCore, Const: "AdaptBackoffMax",
+			Doc: "CAS-backoff pause cap (constant per DESIGN.md §3.3)"},
+		{Name: "SPIN_POLL", Pkg: PkgCore, Const: "spinPollStride",
+			Doc: "pause iterations between helpEnq polls of a cell"},
+		{Name: "WINDOW", Pkg: PkgCore, Const: "CoalesceMaxWindow",
+			Doc: "coalescing buffer cap: flush/refill width (DESIGN.md §8)"},
+		{Name: "LANES", Pkg: PkgSharded, Const: "MaxLanes",
+			Doc: "sharded lane count cap: dispatch sweeps visit at most LANES lanes"},
+		{Name: "FAST_TICKETS", Pkg: PkgSCQ, Const: "fastTickets",
+			Doc: "SCQ ring-ticket budget of a dequeue fast path (DESIGN.md §7)"},
+		{Name: "HELP_TICKETS", Pkg: PkgSCQ, Const: "helpTickets",
+			Doc: "SCQ ring-ticket budget a helper spends on a peer"},
+		{Name: "SLOW_SPIN", Pkg: PkgSCQ, Const: "slowSpin",
+			Doc: "request-word loads per slow-path round before reclaiming it"},
+		{Name: "CHUNK", Pkg: PkgSCQ, Const: "batchChunk",
+			Doc: "largest multi-ticket reservation of one batched SCQ call"},
+
+		// Model parameters: the quantities the paper's bounds are stated
+		// over. Reference values give the certificate a concrete steps
+		// column; the symbolic bound is the artifact.
+		{Name: "THREADS", Param: true, Value: 64,
+			Doc: "registered handles (New's maxThreads): helping-ring walks, peer scans, in-flight trailing"},
+		{Name: "SEGS", Param: true, Value: 64,
+			Doc: "segment-list hops one walk can take: live window plus maxGarbage, amortized by reclamation (§3.6)"},
+		{Name: "K", Param: true, Value: 64,
+			Doc: "caller-supplied batch length (len of the vs/dst argument)"},
+		{Name: "HELP", Param: true, Value: 4,
+			Doc: "helping rounds before some claim lands (§3.5; scq: DESIGN.md §7 model rounds)"},
+		{Name: "RETRY", Param: true, Value: 4,
+			Doc: "lock-free CAS/ticket retry rounds under the bounded-interference model (DESIGN.md §6, §7): lock-free, not wait-free"},
 	}
 }
 

@@ -26,6 +26,15 @@ func fixtureConfig() Config {
 			"fixture/ring":     TierWaitFree,
 			"fixture/block":    TierWaitFree,
 			"fixture/hot":      TierWaitFree,
+			"fixture/pub":      TierWaitFree,
+			"fixture/cert":     TierWaitFree,
+		},
+		Symbols: []SymbolDef{
+			{Name: "T", Pkg: "fixture/cert", Const: "tries", Doc: "fixture retry cap"},
+			{Name: "P", Value: 5, Param: true, Doc: "fixture batch-size model parameter"},
+		},
+		CertOps: map[string][]string{
+			"fixture/cert": {"Op", "BadOp"},
 		},
 		HotPaths: map[string][]string{
 			"fixture/block": {"Enqueue", "Dequeue", "Send", "Drain"},
@@ -234,13 +243,113 @@ func TestFixtureLayoutPass(t *testing.T) {
 func TestFixtureAnnotationsPass(t *testing.T) {
 	res := fixtureResult(t)
 	ds := diagsIn(res, "annotations", "annbad.go")
-	if len(ds) != 2 {
-		t.Fatalf("want 2 malformed-annotation diagnostics, got %d: %v", len(ds), ds)
+	if len(ds) != 6 {
+		t.Fatalf("want 6 annotation diagnostics (bare bounded, unknown verb, cost-less bounded, zero cost, dangling, near miss), got %d: %v", len(ds), ds)
 	}
+	wantSubstrings := []string{
+		"malformed wfqlint annotation (unknown annotation form)",  // //wfqlint:bounded
+		"malformed wfqlint annotation (unknown annotation form)",  // //wfqlint:frobnicate(x)
+		"malformed wfqlint annotation (want bounded(<cost>, <reason>))",
+		"malformed wfqlint annotation (cost must be positive)",
+		"dangling wfqlint annotation",
+		"not flush with //",
+	}
+	joined := ""
 	for _, d := range ds {
-		if !strings.Contains(d.Msg, "malformed wfqlint annotation") {
-			t.Errorf("unexpected annotations diagnostic: %s", d)
+		joined += d.Msg + "\n"
+	}
+	for _, want := range wantSubstrings {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing annotations diagnostic %q in:\n%s", want, joined)
 		}
+	}
+}
+
+// TestFixturePubOrder proves all three publication-order sub-checks: the
+// late store after an atomic publish (plain Store and CAS success arm),
+// the plain-store publish of a fresh object, and the unpaired atomic
+// load — while the ordered writer, the failed-CAS re-init, the allow
+// suppression, and the init-marked constructor stay clean.
+func TestFixturePubOrder(t *testing.T) {
+	res := fixtureResult(t)
+	ds := diagsIn(res, "puborder", "pub.go")
+	if len(ds) != 4 {
+		t.Fatalf("want 4 puborder diagnostics (BadLate, BadCAS, BadPlainPublish, BadGhost), got %d: %v", len(ds), ds)
+	}
+	joined := ""
+	for _, d := range ds {
+		joined += d.Msg + "\n"
+	}
+	for _, want := range []string{
+		"plain store to s.id after s was published by an atomic store",
+		"freshly allocated s is published by a plain store to cache",
+		"atomic load of field ghost pairs with no store",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing puborder diagnostic %q in:\n%s", want, joined)
+		}
+	}
+	lines := map[int]bool{}
+	for _, d := range ds {
+		lines[d.Pos.Line] = true
+	}
+	for _, clean := range []int{24, 50, 59, 82} { // Good, GoodCASRetry, AllowedLate, wire
+		if lines[clean] {
+			t.Errorf("clean or suppressed site at pub.go:%d was flagged: %v", clean, ds)
+		}
+	}
+}
+
+// TestFixtureCert pins the certificate composition rule end to end: the
+// constant-backed and parameter symbols resolve, Op's bound composes the
+// annotated sweep, the constant-trip loop, and the callee's symbolic
+// bound into a closed form, and BadOp's unannotated loop is a cert
+// diagnostic at its exact position.
+func TestFixtureCert(t *testing.T) {
+	res := fixtureResult(t)
+	if res.Cert == nil {
+		t.Fatal("fixture config certifies fixture/cert but Result.Cert is nil")
+	}
+	syms := map[string]CertSymbol{}
+	for _, s := range res.Cert.Symbols {
+		syms[s.Name] = s
+	}
+	if s := syms["T"]; s.Value != 3 || s.Source != "cert.tries" || s.Param {
+		t.Errorf("symbol T: want value 3 resolved from cert.tries, got %+v", s)
+	}
+	if s := syms["P"]; s.Value != 5 || !s.Param {
+		t.Errorf("symbol P: want parameter with reference value 5, got %+v", s)
+	}
+	ops := map[string]CertOp{}
+	for _, op := range res.Cert.Ops {
+		ops[op.Op] = op
+	}
+	op, ok := ops["Op"]
+	if !ok {
+		t.Fatalf("certified operation Op missing: %v", res.Cert.Ops)
+	}
+	wantBound, err := parseCost("P + 4*T + 13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Bound != wantBound.String() {
+		t.Errorf("Op bound: want %q, got %q", wantBound.String(), op.Bound)
+	}
+	if op.Steps != 30 { // P=5, T=3: 5 + 12 + 13
+		t.Errorf("Op steps at reference values: want 30, got %d", op.Steps)
+	}
+	if len(op.Assumes) != 1 || op.Assumes[0] != "P" {
+		t.Errorf("Op assumes: want [P], got %v", op.Assumes)
+	}
+	if len(op.Obls) != 2 {
+		t.Errorf("Op obligations: want the sweep and the retry annotation, got %v", op.Obls)
+	}
+	ds := diagsIn(res, "cert", "cert.go")
+	if len(ds) != 1 || !strings.Contains(ds[0].Msg, "no machine-readable bound") {
+		t.Fatalf("want exactly 1 cert diagnostic (BadOp's unannotated loop), got %v", ds)
+	}
+	if ds[0].Pos.Line != 27 {
+		t.Errorf("cert diagnostic position: want cert.go:27, got %s", ds[0].Pos)
 	}
 }
 
@@ -254,7 +363,9 @@ func TestFixtureTotals(t *testing.T) {
 		"loops":       4, // Spin + hpool's BadPush + ring's BadTake + coalesce's BadDrain
 		"block":       3,
 		"padding":     3, // 2 alignment (386+arm) + 1 layout
-		"annotations": 2,
+		"annotations": 6, // annbad: bare, unknown verb, cost-less, zero cost, dangling, near miss
+		"puborder":    4, // pub: BadLate, BadCAS, BadPlainPublish, BadGhost
+		"cert":        1, // cert: BadOp's unannotated non-constant loop
 	}
 	got := map[string]int{}
 	for _, d := range res.Diags {

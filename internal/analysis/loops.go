@@ -65,7 +65,7 @@ func loopAudit(p *Package) ([]Diagnostic, []Obligation) {
 				pos := p.Fset.Position(n.Pos())
 				if anns != nil {
 					if a, ok := anns.boundedAt(pos.Line); ok {
-						obls = append(obls, Obligation{Pos: pos, Func: name, Reason: a.Reason})
+						obls = append(obls, Obligation{Pos: pos, Func: name, Cost: a.Cost.String(), Reason: a.Reason})
 						return true
 					}
 				}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -164,12 +165,19 @@ func TestRepoBoundedAnnotationsLoadBearing(t *testing.T) {
 		wantAt[fmt.Sprintf("%s:%d", o.Pos.Filename, o.Pos.Line)] = true
 	}
 	gotAt := map[string]bool{}
+	certDiags := 0
 	for _, d := range stripped.Diags {
-		if d.Pass != "loops" {
-			t.Errorf("unexpected non-loops diagnostic after stripping: %s", d)
-			continue
+		switch d.Pass {
+		case "loops":
+			gotAt[fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)] = true
+		case "cert":
+			// Stripping also de-certifies every annotated loop on a certified
+			// path — including the syntactically bounded ones the loops pass
+			// never needed an annotation for.
+			certDiags++
+		default:
+			t.Errorf("unexpected diagnostic after stripping: %s", d)
 		}
-		gotAt[fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)] = true
 	}
 	for at := range wantAt {
 		if !gotAt[at] {
@@ -178,11 +186,141 @@ func TestRepoBoundedAnnotationsLoadBearing(t *testing.T) {
 	}
 	for at := range gotAt {
 		if !wantAt[at] {
-			t.Errorf("stripping produced a diagnostic at %s with no matching obligation", at)
+			t.Errorf("stripping produced a loops diagnostic at %s with no matching obligation", at)
 		}
+	}
+	if certDiags == 0 {
+		t.Error("stripping every bounded annotation produced no cert diagnostics")
 	}
 	if len(stripped.Obligations) != 0 {
 		t.Errorf("stripped run still discharged %d obligations", len(stripped.Obligations))
+	}
+}
+
+// TestRepoCostExpressionsLoadBearing strips only the cost expression from
+// every bounded annotation (reverting to the pre-certificate grammar) and
+// asserts each annotation fails the parse at its own position: the costs
+// are load-bearing, not decorative.
+func TestRepoCostExpressionsLoadBearing(t *testing.T) {
+	cfg, _ := repoResult(t)
+	costRe := regexp.MustCompile(`//wfqlint:bounded\([^,]*, `)
+	overlay := map[string][]byte{}
+	wantAt := map[string]bool{}
+	for _, rel := range []string{"internal/core", "internal/sharded", "internal/scq"} {
+		dir := filepath.Join(cfg.Root, rel)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			full := filepath.Join(dir, e.Name())
+			src, err := os.ReadFile(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !costRe.Match(src) {
+				continue
+			}
+			for i, line := range strings.Split(string(src), "\n") {
+				if costRe.MatchString(line) {
+					wantAt[fmt.Sprintf("%s:%d", full, i+1)] = true
+				}
+			}
+			overlay[full] = []byte(costRe.ReplaceAllString(string(src), "//wfqlint:bounded("))
+		}
+	}
+	if len(overlay) == 0 {
+		t.Fatal("no files with cost-carrying bounded annotations found")
+	}
+
+	stripped, err := RunOverlay(cfg, overlay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAt := map[string]bool{}
+	for _, d := range stripped.Diags {
+		if d.Pass != "annotations" {
+			continue
+		}
+		if !strings.Contains(d.Msg, "malformed wfqlint annotation") {
+			t.Errorf("unexpected annotations diagnostic after cost strip: %s", d)
+			continue
+		}
+		gotAt[fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)] = true
+	}
+	for at := range wantAt {
+		if !gotAt[at] {
+			t.Errorf("cost-stripped annotation at %s produced no malformed-annotation diagnostic", at)
+		}
+	}
+	for at := range gotAt {
+		if !wantAt[at] {
+			t.Errorf("cost strip produced a malformed-annotation diagnostic at %s with no stripped site", at)
+		}
+	}
+}
+
+// TestRepoCertBaseline regenerates the certificate from the tree and holds
+// it to the committed artifact byte for byte, then runs the comparison
+// gate both ways: the clean diff is empty, and a doctored baseline (a
+// shrunk step bound, a dropped assume) fails with the operation named.
+func TestRepoCertBaseline(t *testing.T) {
+	cfg, res := repoResult(t)
+	if res.Cert == nil {
+		t.Fatal("repo config certifies operations but Result.Cert is nil")
+	}
+	baselinePath := filepath.Join(cfg.Root, "artifacts", "wfqcert.json")
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatalf("committed certificate baseline missing (regenerate with make cert): %v", err)
+	}
+	base, err := ParseCertificate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := CompareBaseline(res.Cert, base); len(ds) != 0 {
+		for _, d := range ds {
+			t.Errorf("%s", d)
+		}
+	}
+	if got := string(res.Cert.JSON()); got != string(data) {
+		t.Errorf("certificate drifted from committed baseline %s (regenerate with make cert)", baselinePath)
+	}
+	if len(res.Cert.Ops) == 0 || len(res.Cert.Symbols) == 0 {
+		t.Fatalf("degenerate certificate: %d ops, %d symbols", len(res.Cert.Ops), len(res.Cert.Symbols))
+	}
+
+	// Doctor the baseline: shrink one op's steps and drop its assumes. The
+	// gate must report the growth and the new assumption.
+	doctored := *base
+	doctored.Ops = append([]CertOp(nil), base.Ops...)
+	victim := -1
+	for i, op := range doctored.Ops {
+		if len(op.Assumes) > 0 {
+			victim = i
+			break
+		}
+	}
+	if victim == -1 {
+		t.Fatal("no certified op with model assumptions to doctor")
+	}
+	doctored.Ops[victim].Steps = 0
+	doctored.Ops[victim].Assumes = nil
+	ds := CompareBaseline(res.Cert, &doctored)
+	var growth, assume bool
+	for _, d := range ds {
+		if strings.Contains(d.Msg, "grew beyond baseline") {
+			growth = true
+		}
+		if strings.Contains(d.Msg, "now assumes model parameter") {
+			assume = true
+		}
+	}
+	if !growth || !assume {
+		t.Errorf("doctored baseline: want growth and new-assume diagnostics, got %v", ds)
 	}
 }
 

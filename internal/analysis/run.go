@@ -29,8 +29,8 @@ func RunOverlay(cfg Config, overlay map[string][]byte) (*Result, error) {
 	}
 	pkgs := tiered(cfg, all)
 	for _, p := range pkgs {
-		for _, f := range p.Files {
-			res.Diags = append(res.Diags, checkAnnSyntax(p.Fset, f)...)
+		for _, fa := range p.Anns {
+			res.Diags = append(res.Diags, checkAnnSyntax(fa)...)
 		}
 	}
 	fields := collectAtomicFields(pkgs)
@@ -44,19 +44,44 @@ func RunOverlay(cfg Config, overlay map[string][]byte) (*Result, error) {
 		}
 		res.Diags = append(res.Diags, layoutAudit(p, cfg.LayoutRules)...)
 	}
+	cert, certDiags := buildCertificate(cfg, all)
+	res.Cert = cert
+	res.Diags = append(res.Diags, certDiags...)
+	res.Diags = append(res.Diags, pubOrder(cfg, all)...)
 
-	for _, arch := range []string{"386", "arm"} {
+	// Publication order is a weak-memory property: re-run it under every
+	// target GOARCH, because build tags can select different files there.
+	// The 32-bit loads also drive the 64-bit alignment audit; arm64 shares
+	// amd64's sizes, so only puborder consumes it.
+	for _, arch := range []string{"386", "arm", "arm64"} {
 		aall, err := loadAll(cfg, arch, overlay)
 		if err != nil {
 			return nil, err
 		}
 		apkgs := tiered(cfg, aall)
-		res.Diags = append(res.Diags, alignmentAudit(apkgs, collectAtomicFields(apkgs))...)
+		if arch != "arm64" {
+			res.Diags = append(res.Diags, alignmentAudit(apkgs, collectAtomicFields(apkgs))...)
+		}
+		res.Diags = append(res.Diags, pubOrder(cfg, aall)...)
 	}
 
 	sortDiags(res.Diags)
+	res.Diags = dedupDiags(res.Diags)
 	sortObligations(res.Obligations)
 	return res, nil
+}
+
+// dedupDiags removes exact duplicates from a sorted diagnostic slice — the
+// per-arch puborder runs re-derive identical findings from shared files.
+func dedupDiags(ds []Diagnostic) []Diagnostic {
+	out := ds[:0]
+	for i, d := range ds {
+		if i > 0 && d == ds[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // loadAll loads the tiered packages plus the Extra context packages.

@@ -2,7 +2,7 @@
 // typo'd suppression must fail loudly, not silently fail to apply.
 package annbad
 
-// Bounded carries a bounded annotation with no reason — malformed.
+// Bounded carries a bounded annotation with no argument list — malformed.
 func Bounded(done func() bool) {
 	//wfqlint:bounded
 	for {
@@ -15,4 +15,44 @@ func Bounded(done func() bool) {
 // Unknown uses a verb the grammar does not define — malformed.
 func Unknown() int {
 	return 0 //wfqlint:frobnicate(x)
+}
+
+// OldStyle carries the pre-certificate grammar — a reason with no leading
+// cost expression. The first comma splits cost from reason, so the whole
+// text parses as a cost and fails: the migration cannot be skipped silently.
+func OldStyle(done func() bool) {
+	//wfqlint:bounded(fixture: reason text without a cost expression)
+	for {
+		if done() {
+			return
+		}
+	}
+}
+
+// ZeroCost claims a loop that runs zero times — a vacuous bound the
+// grammar rejects.
+func ZeroCost(done func() bool) {
+	//wfqlint:bounded(0, fixture: a zero bound certifies nothing)
+	for {
+		if done() {
+			return
+		}
+	}
+}
+
+// Dangling's annotation group is separated from the loop by a blank line,
+// so it attaches to no code line and must be reported, not dropped.
+func Dangling(done func() bool) {
+	//wfqlint:bounded(2, fixture: the blank line below detaches this)
+
+	if done() {
+		return
+	}
+}
+
+// NearMiss writes the annotation with a space after // — it parses as
+// prose, which would silently disable the suppression it names.
+func NearMiss() int {
+	// wfqlint:allow(block, fixture: near miss with a leading space)
+	return 0
 }

@@ -1,0 +1,42 @@
+// Package cert is a wfqlint fixture for the step-bound certificate
+// engine: a certified operation composing an annotated caller-bounded
+// sweep, a constant-trip loop, and a symbol-bounded callee — plus one
+// operation whose loop carries no machine-readable bound.
+package cert
+
+// tries backs the fixture symbol table's T.
+const tries = 3
+
+// Op is the certified operation: bound P + 4*T + 13 at the model.
+func Op(xs []int) int {
+	s := 0
+	//wfqlint:bounded(P, fixture: caller-bounded batch sweep)
+	for _, x := range xs {
+		s += x
+	}
+	for i := 0; i < 4; i++ {
+		s = retry(s)
+	}
+	return s
+}
+
+// BadOp's loop bound is real but not machine-readable: no annotation and
+// a non-constant condition, so certification must fail with its position.
+func BadOp(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s++
+	}
+	return s
+}
+
+// retry terminates within tries iterations.
+func retry(v int) int {
+	//wfqlint:bounded(T, fixture: every iteration advances v and tries divides some value within tries steps)
+	for {
+		v++
+		if v%tries == 0 {
+			return v
+		}
+	}
+}

@@ -29,7 +29,7 @@ func (b *B) refill() (int, bool) {
 // GoodDrain is the annotated flush-retry: at most two rounds, because the
 // flush leaves the pending buffer empty.
 func (b *B) GoodDrain() (int, bool) {
-	//wfqlint:bounded(fixture: at most two rounds — a round either returns a refilled value or, exactly once, flushes the pending buffer and retries; with nothing pending an empty refill returns false)
+	//wfqlint:bounded(2, fixture: at most two rounds — a round either returns a refilled value or, exactly once, flushes the pending buffer and retries; with nothing pending an empty refill returns false)
 	for {
 		if v, ok := b.refill(); ok {
 			return v, true

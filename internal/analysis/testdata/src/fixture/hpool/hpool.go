@@ -20,7 +20,7 @@ type Pool struct {
 // Pop is the discharged case: a tagged pop whose CAS-retry bound lives in
 // the annotation, exactly like (*Queue).AcquireHandle.
 func (p *Pool) Pop() uint32 {
-	//wfqlint:bounded(fixture: lock-free CAS retry — a failed CAS means another goroutine completed a pop or push, and the lifecycle is documented lock-free, not wait-free)
+	//wfqlint:bounded(RETRY, fixture: lock-free CAS retry — a failed CAS means another goroutine completed a pop or push, and the lifecycle is documented lock-free, not wait-free)
 	for {
 		old := p.head.Load()
 		idx := uint32(old & idxMask)

@@ -33,7 +33,7 @@ func Spin(done func() bool) {
 // Retry carries its bound as an annotation, which the audit turns into a
 // proof obligation instead of a diagnostic.
 func Retry(done func() bool) {
-	//wfqlint:bounded(fixture: done flips after a bounded number of calls)
+	//wfqlint:bounded(4, fixture: done flips after a bounded number of calls)
 	for {
 		if done() {
 			return
@@ -47,7 +47,7 @@ func Retry(done func() bool) {
 func Backoff(n int) int {
 	sink := 0
 	i := 0
-	//wfqlint:bounded(fixture: i increments every iteration and n is constant-capped at the call sites)
+	//wfqlint:bounded(N, fixture: i increments every iteration and n is constant-capped at the call sites)
 	for i < n {
 		sink += i
 		i++

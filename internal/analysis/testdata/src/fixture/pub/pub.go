@@ -1,0 +1,83 @@
+// Package pub is a wfqlint fixture for the publication-order pass: each
+// sub-check has a true positive, a clean counterpart, and a sanctioned
+// suppression, so the tests prove the pass fires and the allow applies.
+package pub
+
+import "sync/atomic"
+
+// Seg is the object whose address gets published.
+type Seg struct {
+	id   int
+	next atomic.Pointer[Seg]
+}
+
+// Q owns the shared words.
+type Q struct {
+	head  atomic.Pointer[Seg]
+	cache *Seg
+	ghost atomic.Uint64
+}
+
+// Good initializes fully before the atomic publish — clean.
+func Good(q *Q) {
+	s := &Seg{}
+	s.id = 1
+	q.head.Store(s)
+}
+
+// BadLate publishes first and initializes after — the classic unordered
+// publish a TSO machine never punishes.
+func BadLate(q *Q) {
+	s := &Seg{}
+	q.head.Store(s)
+	s.id = 2
+}
+
+// BadCAS stores to the object inside the CAS success arm, where it is
+// already visible to other threads.
+func BadCAS(q *Q) {
+	s := &Seg{}
+	if q.head.CompareAndSwap(nil, s) {
+		s.id = 3
+	}
+}
+
+// GoodCASRetry re-initializes only on the failure arm — the object was
+// never published there, so the store is private.
+func GoodCASRetry(q *Q) {
+	s := &Seg{}
+	if !q.head.CompareAndSwap(nil, s) {
+		s.id = 4
+		q.head.Store(s)
+	}
+}
+
+// AllowedLate is BadLate with a reviewed suppression.
+func AllowedLate(q *Q) {
+	s := &Seg{}
+	q.head.Store(s)
+	s.id = 5 //wfqlint:allow(puborder, fixture: reviewed — readers tolerate a stale id here)
+}
+
+// BadPlainPublish wires a fresh object into the shared structure with a
+// plain store: the publish itself lacks release semantics.
+func BadPlainPublish(q *Q) {
+	s := &Seg{}
+	s.id = 6
+	q.cache = s
+}
+
+// BadGhost loads a word nothing ever stores — dead protocol.
+func BadGhost(q *Q) uint64 {
+	return q.ghost.Load()
+}
+
+// wire is construction code: single-threaded by contract, so late stores
+// are sanctioned by the init marker.
+//
+//wfqlint:init
+func wire(q *Q) {
+	s := &Seg{}
+	q.head.Store(s)
+	s.id = 7
+}

@@ -21,7 +21,7 @@ type R struct {
 // Put is the discharged case: the enqueue ticket loop whose bound lives in
 // the annotation, exactly like (*ring).enqueue.
 func (r *R) Put(idx uint64) {
-	//wfqlint:bounded(fixture: ticket retry — a ticket is abandoned only when a dequeuer made progress on its slot, and at most half the slots hold live entries)
+	//wfqlint:bounded(RETRY, fixture: ticket retry — a ticket is abandoned only when a dequeuer made progress on its slot, and at most half the slots hold live entries)
 	for {
 		t := r.tail.Add(1) - 1
 		cycle := t >> order

@@ -171,7 +171,7 @@ var pauseSink uint64
 func pause(n int) {
 	s := uint64(0)
 	i := 0
-	//wfqlint:bounded(the pause budget is constant-capped at every call site — at most AdaptBackoffMax iterations for CAS backoff and spinPollStride for a helpEnq poll interval — and i advances every iteration)
+	//wfqlint:bounded(BACKOFF, the pause budget is constant-capped at every call site — at most AdaptBackoffMax iterations for CAS backoff and spinPollStride for a helpEnq poll interval — and i advances every iteration)
 	for i < n {
 		s += uint64(i)
 		i++

@@ -38,6 +38,7 @@ func (q *Queue) EnqueueBatch(h *Handle, vs []unsafe.Pointer) {
 		q.Enqueue(h, vs[0])
 		return
 	}
+	//wfqlint:bounded(K, validation sweep: one nil/sentinel check per element of vs)
 	for _, v := range vs {
 		if v == nil || v == topVal || v == emptyVal {
 			panic("core: EnqueueBatch of nil or reserved sentinel")
@@ -60,6 +61,7 @@ func (q *Queue) EnqueueBatch(h *Handle, vs []unsafe.Pointer) {
 	// next reserved cell.
 	m := 0
 	budget := q.effPatience(h)
+	//wfqlint:bounded(K, one fast-path CAS per cell of the k-cell reservation, k = len(vs) capped by the segment geometry)
 	for j := int64(0); j < k && m < len(vs); j++ {
 		c := q.findCell(h, &h.tail, i0+j)
 		if atomic.CompareAndSwapPointer(&c.val, nil, vs[m]) {
@@ -78,10 +80,12 @@ func (q *Queue) EnqueueBatch(h *Handle, vs []unsafe.Pointer) {
 	// must never repeat), so it performs one or more per-item fast-path
 	// attempts — consuming what remains of the shared PATIENCE budget —
 	// and then publishes an ordinary slow-path request.
+	//wfqlint:bounded(K, slow-path tail: one iteration per remaining batch element)
 	for ; m < len(vs); m++ {
 		v := vs[m]
 		var cellID int64
 		done := false
+		//wfqlint:bounded(PATIENCE+1, per-item attempts drain the shared patience budget: one unconditional first attempt plus at most PATIENCE budgeted retries)
 		for first := true; first || budget > 0; first = false {
 			if !first {
 				budget--
@@ -151,6 +155,7 @@ func (q *Queue) DequeueBatch(h *Handle, dst []unsafe.Pointer) int {
 	// the EMPTY condition of Invariant 6.
 	n := 0
 	sawEmpty := false
+	//wfqlint:bounded(K, one helpEnq-backed harvest per cell of the k-cell reservation)
 	for j := int64(0); j < k; j++ {
 		i := i0 + j
 		c := q.findCell(h, &h.head, i)
@@ -194,7 +199,7 @@ func (q *Queue) DequeueBatch(h *Handle, dst []unsafe.Pointer) int {
 	// Top up interference shortfalls with per-item dequeues (their own
 	// FAA, patience and slow path) until dst is full or EMPTY is observed,
 	// so a short return always witnesses emptiness.
-	//wfqlint:bounded(at most k-n rounds: every iteration stores an item and increments n or observes EMPTY and breaks; each per-item Dequeue is itself wait-free)
+	//wfqlint:bounded(K, at most k-n rounds: every iteration stores an item and increments n or observes EMPTY and breaks; each per-item Dequeue is itself wait-free)
 	for int64(n) < k && !sawEmpty {
 		v, ok := q.Dequeue(h)
 		if !ok {

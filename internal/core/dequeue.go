@@ -18,6 +18,7 @@ func (q *Queue) Dequeue(h *Handle) (v unsafe.Pointer, ok bool) {
 	}
 	var cellID int64
 	v = topVal
+	//wfqlint:bounded(PATIENCE+1, fast-path patience loop: p starts at effPatience <= AdaptPatienceMax and decreases every iteration (§3.3))
 	for p := q.effPatience(h); p >= 0; p-- {
 		v = q.deqFast(h, &cellID)
 		if v != topVal {
@@ -129,7 +130,7 @@ func (q *Queue) helpDeq(h *Handle, helpee *Handle) {
 	s = atomic.LoadUint64(&r.state)
 
 	prior, i, cand := id, id, int64(0)
-	//wfqlint:bounded(paper Listing 5 lines 128-157: each round either CASes the request onto a candidate cell or observes s.idx changed, i.e. another helper claimed it; §3.5's helping bound limits the rounds before some claim lands)
+	//wfqlint:bounded(HELP, paper Listing 5 lines 128-157: each round either CASes the request onto a candidate cell or observes s.idx changed, i.e. another helper claimed it; §3.5's helping bound limits the rounds before some claim lands)
 	for {
 		// Find a candidate cell, if I don't have one. The loop breaks
 		// when this helper finds a candidate or another helper announces
@@ -137,7 +138,7 @@ func (q *Queue) helpDeq(h *Handle, helpee *Handle) {
 		// candidate-search cursor, restarted from the announced-cell
 		// cursor each round.
 		h.scratch[1] = h.scratch[0]
-		//wfqlint:bounded(paper lines 133-142: i advances every iteration and the search stops at the first EMPTY or unclaimed-value cell; helpEnq returns EMPTY once i passes T, which trails i by at most the in-flight enqueue count)
+		//wfqlint:bounded(THREADS, paper lines 133-142: i advances every iteration and the search stops at the first EMPTY or unclaimed-value cell; helpEnq returns EMPTY once i passes T, which trails i by at most the in-flight enqueue count)
 		for cand == 0 && stateID(s) == prior {
 			i++
 			c := q.findCell(h, &h.scratch[1], i)

@@ -22,6 +22,7 @@ func (q *Queue) Enqueue(h *Handle, v unsafe.Pointer) {
 	}
 	var cellID int64
 	ok := false
+	//wfqlint:bounded(PATIENCE+1, fast-path patience loop: p starts at effPatience <= AdaptPatienceMax and decreases every iteration (§3.3))
 	for p := q.effPatience(h); p >= 0; p-- {
 		if q.enqFast(h, v, &cellID) {
 			ok = true
@@ -92,7 +93,7 @@ func (q *Queue) enqSlow(h *Handle, v unsafe.Pointer, cellID int64) {
 	// Handle.scratch): the commit below may need to find a cell earlier
 	// than the last one visited here.
 	h.scratch[0] = atomic.LoadPointer(&h.tail)
-	//wfqlint:bounded(paper Listing 3 lines 75-83: the loop ends once the request is claimed, by this thread's tryToClaimReq or any helper's; §3.5 bounds the rounds before some claim succeeds because every dequeuer visiting a reserved cell helps this request)
+	//wfqlint:bounded(HELP, paper Listing 3 lines 75-83: the loop ends once the request is claimed, by this thread's tryToClaimReq or any helper's; §3.5 bounds the rounds before some claim succeeds because every dequeuer visiting a reserved cell helps this request)
 	for {
 		// Obtain a new cell index and locate the candidate cell.
 		i := atomic.AddInt64(&q.T, 1) - 1
@@ -151,7 +152,7 @@ func (q *Queue) helpEnq(h *Handle, c *cell, i int64) unsafe.Pointer {
 				h.adapt.spinEntries++
 			}
 			spins := budget
-			//wfqlint:bounded(spins starts from the constant-capped budget — MAX_SPIN, or at most AdaptSpinMax in adaptive mode — and decreases by min(spinPollStride, spins) ≥ 1 every iteration: at most ceil(budget/spinPollStride) polls)
+			//wfqlint:bounded(MAX_SPIN, spins starts from the constant-capped budget — MAX_SPIN, or at most AdaptSpinMax in adaptive mode — and decreases by min(spinPollStride, spins) ≥ 1 every iteration: at most ceil(budget/spinPollStride) polls)
 			for spins > 0 && v == nil {
 				k := spinPollStride
 				if k > spins {
@@ -188,7 +189,7 @@ func (q *Queue) helpEnq(h *Handle, c *cell, i int64) unsafe.Pointer {
 			r *enqReq
 			s state
 		)
-		//wfqlint:bounded(two iterations at most, paper line 94: the first iteration either breaks or zeroes enqID, and with enqID == 0 the second iteration always breaks)
+		//wfqlint:bounded(2, two iterations at most, paper line 94: the first iteration either breaks or zeroes enqID, and with enqID == 0 the second iteration always breaks)
 		for {
 			p = q.handles[h.enqPeerIdx]
 			r = &p.enqReq

@@ -50,7 +50,7 @@ const (
 // the fixed handle array is threaded through a generation-tagged free list,
 // so acquisition is one tagged-CAS pop plus one life-word bump.
 func (q *Queue) AcquireHandle() (*Handle, error) {
-	//wfqlint:bounded(lock-free CAS retry: a failed CAS means another goroutine completed an acquire or release, so the system makes progress; the lifecycle is documented as lock-free, not wait-free (DESIGN.md §6), and registration is off every queue operation's path)
+	//wfqlint:bounded(RETRY, lock-free CAS retry: a failed CAS means another goroutine completed an acquire or release, so the system makes progress; the lifecycle is documented as lock-free, not wait-free (DESIGN.md §6), and registration is off every queue operation's path)
 	for {
 		old := q.hfree.Load()
 		idx := uint32(old & handleIdxMask)
@@ -108,7 +108,7 @@ func (h *Handle) Release() {
 // Pushes preserve the generation — only pops advance it — mirroring the
 // segment pool's discipline.
 func (q *Queue) pushHandle(idx uint32) {
-	//wfqlint:bounded(lock-free CAS retry: a failed CAS means another goroutine completed an acquire or release; the lifecycle is documented as lock-free, not wait-free (DESIGN.md §6), and release is off every queue operation's path)
+	//wfqlint:bounded(RETRY, lock-free CAS retry: a failed CAS means another goroutine completed an acquire or release; the lifecycle is documented as lock-free, not wait-free (DESIGN.md §6), and release is off every queue operation's path)
 	for {
 		old := q.hfree.Load()
 		atomic.StoreUint32(&q.handles[idx-1].freeNext, uint32(old&handleIdxMask))

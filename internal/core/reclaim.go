@@ -44,7 +44,7 @@ func (q *Queue) cleanup(h *Handle) {
 		// target; it is reachable because the list is only truncated at
 		// the front by the (mutually excluded) cleaner itself.
 		t := s
-		//wfqlint:bounded(segment-list walk: ids increase by one per hop, so at most limitSeg - I hops (§3.6))
+		//wfqlint:bounded(SEGS, segment-list walk: ids increase by one per hop, so at most limitSeg - I hops (§3.6))
 		for sid(t) < limitSeg {
 			t = (*segment)(atomic.LoadPointer(&t.next))
 		}
@@ -57,7 +57,7 @@ func (q *Queue) cleanup(h *Handle) {
 	// implementation's do-while also starts at the cleaner); a segment
 	// still in use lowers e. Also advance idle threads' head and tail
 	// pointers so a long-quiescent thread cannot block collection forever.
-	//wfqlint:bounded(helping-ring walk: breaks after at most maxThreads hops, when p.next cycles back to h (§3.6))
+	//wfqlint:bounded(THREADS, helping-ring walk: breaks after at most maxThreads hops, when p.next cycles back to h (§3.6))
 	for p := h; ; p = p.next {
 		verify(&e, s, atomic.LoadInt64(&p.hzdp))
 		update(&p.head, &e, s, p)
@@ -73,6 +73,7 @@ func (q *Queue) cleanup(h *Handle) {
 	// pass has made every head/tail at least e, so any backward jump that
 	// happened during it is caught by re-checking hazard pointers in
 	// reverse visit order (§3.6 "Visit threads in reverse order").
+	//wfqlint:bounded(THREADS, reverse re-check of the recorded hazard pointers: at most maxThreads entries (§3.6))
 	for j := len(hds) - 1; j >= 0 && sid(e) > i; j-- {
 		verify(&e, s, atomic.LoadInt64(&hds[j].hzdp))
 	}
@@ -125,7 +126,7 @@ func verify(seg **segment, anchor *segment, hz int64) {
 		return
 	}
 	t := anchor
-	//wfqlint:bounded(segment-list walk toward the hazard id: ids increase by one per hop, at most hz - sid(anchor) hops (§3.6))
+	//wfqlint:bounded(SEGS, segment-list walk toward the hazard id: ids increase by one per hop, at most hz - sid(anchor) hops (§3.6))
 	for sid(t) < hz {
 		t = (*segment)(atomic.LoadPointer(&t.next))
 	}
@@ -139,7 +140,7 @@ func verify(seg **segment, anchor *segment, hz int64) {
 // made them unreachable and the garbage collector reclaims them.
 func (q *Queue) freeSegments(h *Handle, s, e *segment) {
 	n := uint64(0)
-	//wfqlint:bounded(retires the finite range [s,e): every iteration advances s by exactly one segment (§3.6))
+	//wfqlint:bounded(SEGS, retires the finite range [s,e): every iteration advances s by exactly one segment (§3.6))
 	for s != e {
 		next := (*segment)(atomic.LoadPointer(&s.next))
 		if q.recycle {

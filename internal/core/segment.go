@@ -59,6 +59,7 @@ func (q *Queue) recycleSegment(h *Handle, s *segment) {
 func (q *Queue) findCell(h *Handle, sp *unsafe.Pointer, cellID int64) *cell {
 	orig := atomic.LoadPointer(sp)
 	s := (*segment)(orig)
+	//wfqlint:bounded(SEGS, segment-list walk from the cached anchor: sid advances one per hop and reclamation (§3.6) bounds the live list length)
 	for i := sid(s); i < cellID>>q.segShift; i++ {
 		next := (*segment)(atomic.LoadPointer(&s.next))
 		if next == nil {
@@ -91,7 +92,7 @@ func (q *Queue) findCell(h *Handle, sp *unsafe.Pointer, cellID int64) *cell {
 // deposited in (taken from) a cell whose index is below T (H) by the time
 // the operation completes.
 func advanceEndForLinearizability(e *int64, cid int64) {
-	//wfqlint:bounded(paper lines 53-55: returns once the observed index reaches cid; a failed CAS means another thread advanced e, which is monotonic, so at most cid - v rounds)
+	//wfqlint:bounded(THREADS, paper lines 53-55: returns once the observed index reaches cid; a failed CAS means another thread advanced e, which is monotonic, so at most cid - v rounds)
 	for {
 		v := atomic.LoadInt64(e)
 		if v >= cid || atomic.CompareAndSwapInt64(e, v, cid) {

@@ -94,7 +94,7 @@ func newSegPool(capacity int) *segPool {
 // returns 0 if the stack is empty. Each successful pop bumps the
 // generation, which is what defeats ABA (see type comment).
 func (p *segPool) popNode(h *atomic.Uint64) uint32 {
-	//wfqlint:bounded(lock-free CAS retry: a failed CAS means another thread completed a pop or push, so the system makes progress; the pool is documented as lock-free, not wait-free (DESIGN.md §3.2), and newSegment can always fall back to a heap allocation)
+	//wfqlint:bounded(RETRY, lock-free CAS retry: a failed CAS means another thread completed a pop or push, so the system makes progress; the pool is documented as lock-free, not wait-free (DESIGN.md §3.2), and newSegment can always fall back to a heap allocation)
 	for {
 		old := h.Load()
 		idx := uint32(old & segPoolIdxMask)
@@ -114,7 +114,7 @@ func (p *segPool) popNode(h *atomic.Uint64) uint32 {
 // retry loop that only requires head equality is ABA-immune on the push
 // side (a stale head value just fails the CAS).
 func (p *segPool) pushNode(h *atomic.Uint64, idx uint32) {
-	//wfqlint:bounded(lock-free CAS retry: a failed CAS means another thread completed a pop or push; the pool is documented as lock-free, not wait-free (DESIGN.md §3.2), and push may simply drop the segment to the GC)
+	//wfqlint:bounded(RETRY, lock-free CAS retry: a failed CAS means another thread completed a pop or push; the pool is documented as lock-free, not wait-free (DESIGN.md §3.2), and push may simply drop the segment to the GC)
 	for {
 		old := h.Load()
 		atomic.StoreUint32(&p.nodes[idx-1].next, uint32(old&segPoolIdxMask))

@@ -29,7 +29,7 @@ func (h *Handle) TryEnqueueBatch(vs []unsafe.Pointer) (int, error) {
 	}
 	q := h.q
 	n := 0
-	//wfqlint:bounded(at most len(vs) rounds: every iteration either publishes at least one value (n advances) or returns with an exact ErrFull from the scalar attempt; each round is one bounded multi-ticket grab or one scalar TryEnqueue)
+	//wfqlint:bounded(K, at most len(vs) rounds: every iteration either publishes at least one value (n advances) or returns with an exact ErrFull from the scalar attempt; each round is one bounded multi-ticket grab or one scalar TryEnqueue)
 	for n < len(vs) {
 		chunk := len(vs) - n
 		if chunk > batchChunk {
@@ -58,6 +58,7 @@ func (h *Handle) TryEnqueueBatch(vs []unsafe.Pointer) (int, error) {
 			n++
 			continue
 		}
+		//wfqlint:bounded(CHUNK, copies one reserved chunk: got <= batchChunk staged indices)
 		for j := 0; j < got; j++ {
 			// Plain stores, as in TryEnqueue: the aq publication below is
 			// the release edge.
@@ -107,7 +108,7 @@ func (h *Handle) DequeueBatch(dst []unsafe.Pointer) int {
 			n = 1
 		}
 	}
-	//wfqlint:bounded(at most len(dst) rounds: every iteration either harvests at least one value (n advances), breaks on an EMPTY witness, or runs one scalar Dequeue — itself bounded by its ticket budget plus the helping layer — whose miss breaks)
+	//wfqlint:bounded(K, at most len(dst) rounds: every iteration either harvests at least one value (n advances), breaks on an EMPTY witness, or runs one scalar Dequeue — itself bounded by its ticket budget plus the helping layer — whose miss breaks)
 	for n < len(dst) {
 		chunk := len(dst) - n
 		if chunk > batchChunk {
@@ -130,6 +131,7 @@ func (h *Handle) DequeueBatch(dst []unsafe.Pointer) int {
 		}
 		got, empty := q.aq.dequeueBatch(h.idxScratch[:chunk])
 		if got > 0 {
+			//wfqlint:bounded(CHUNK, copies one harvested chunk: got <= batchChunk staged indices)
 			for j := 0; j < got; j++ {
 				idx := h.idxScratch[j]
 				dst[n+j] = q.vals[idx]

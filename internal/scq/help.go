@@ -62,6 +62,7 @@ func (h *Handle) helpPeers() (v unsafe.Pointer, done, ok bool) {
 	ctrInc(&h.stats.helpScans)
 	var target *Handle
 	var targetWord uint64
+	//wfqlint:bounded(THREADS, oldest-request scan: one load per preallocated handle slot)
 	for i := range q.handles {
 		peer := &q.handles[i]
 		if peer == h {
@@ -103,7 +104,7 @@ func (h *Handle) helpPeers() (v unsafe.Pointer, done, ok bool) {
 func (h *Handle) dequeueSlow() (unsafe.Pointer, bool) {
 	q := h.q
 	ctrInc(&h.stats.deqSlow)
-	//wfqlint:bounded(each round ends in a donation (request word changed), an own-attempt success, or an own-attempt EMPTY proof; a round continues only when the own attempt exhausted its ticket budget, which requires other operations to have completed ring transitions meanwhile — under the §7 model (active peer dequeuers help oldest-first, or enqueuers quiesce so the threshold bound applies) the number of rounds is bounded; the residual gap versus full DWCAS-based wCQ is documented in DESIGN.md §7)
+	//wfqlint:bounded(HELP, each round ends in a donation (request word changed), an own-attempt success, or an own-attempt EMPTY proof; a round continues only when the own attempt exhausted its ticket budget, which requires other operations to have completed ring transitions meanwhile — under the §7 model (active peer dequeuers help oldest-first, or enqueuers quiesce so the threshold bound applies) the number of rounds is bounded; the residual gap versus full DWCAS-based wCQ is documented in DESIGN.md §7)
 	for {
 		epoch := q.epoch.Add(1)
 		published := epoch<<q.reqBits | reqAwait

@@ -132,7 +132,7 @@ func (r *ring) initRing(order uint, full bool) {
 // is not full — both rings here carry at most n of the n distinct indices by
 // construction, so a ticket whose slot never frees cannot exist.
 func (r *ring) enqueue(idx uint64) {
-	//wfqlint:bounded(lock-free ticket retry: a ticket is abandoned only when its slot still holds an unconsumed previous-cycle entry marked unsafe by a dequeuer, which implies that dequeuer and the slot's consumer both made progress; by the SCQ invariant at most n of 2n slots hold live entries, so tickets find a claimable slot after bounded interference. Dequeuer-side wait-freedom is layered above (DESIGN.md §7).)
+	//wfqlint:bounded(RETRY, lock-free ticket retry: a ticket is abandoned only when its slot still holds an unconsumed previous-cycle entry marked unsafe by a dequeuer, which implies that dequeuer and the slot's consumer both made progress; by the SCQ invariant at most n of 2n slots hold live entries, so tickets find a claimable slot after bounded interference. Dequeuer-side wait-freedom is layered above (DESIGN.md §7).)
 	for {
 		t := r.tail.Add(1) - 1
 		if r.claimAt(t, idx) {
@@ -148,7 +148,7 @@ func (r *ring) enqueue(idx uint64) {
 func (r *ring) claimAt(t, idx uint64) bool {
 	tcyc := t >> r.order
 	slot := &r.slots[r.remap(t)]
-	//wfqlint:bounded(CAS retry on one slot: each failure means the slot's word changed — a dequeuer consumed, cycle-advanced or unsafe-marked it — and every such transition either makes the claim condition false (exit to a new ticket) or is the single safe-bit clear, so the reload runs at most twice per transition)
+	//wfqlint:bounded(2*RETRY, CAS retry on one slot: each failure means the slot's word changed — a dequeuer consumed, cycle-advanced or unsafe-marked it — and every such transition either makes the claim condition false (exit to a new ticket) or is the single safe-bit clear, so the reload runs at most twice per transition)
 	for {
 		e := atomic.LoadUint64(slot)
 		ecyc, esafe, eidx := r.unpack(e)
@@ -181,11 +181,12 @@ func (r *ring) enqueueBatch(idxs []uint64) {
 		return
 	}
 	t0 := r.tail.Add(k) - k
+	//wfqlint:bounded(K, one claim attempt per reserved index: j ranges over the caller's batch)
 	for j, idx := range idxs {
 		if r.claimAt(t0+uint64(j), idx) {
 			continue
 		}
-		//wfqlint:bounded(lock-free ticket retry, same bound as enqueue: a fresh ticket is abandoned only when a dequeuer poisoned its slot, which implies system-wide progress; at most n of 2n slots hold live entries, so the index lands after bounded interference)
+		//wfqlint:bounded(RETRY, lock-free ticket retry, same bound as enqueue: a fresh ticket is abandoned only when a dequeuer poisoned its slot, which implies system-wide progress; at most n of 2n slots hold live entries, so the index lands after bounded interference)
 		for {
 			t := r.tail.Add(1) - 1
 			if r.claimAt(t, idx) {
@@ -208,7 +209,7 @@ func (r *ring) dequeue(maxTickets int) (idx uint64, ok bool, exhausted bool) {
 		return 0, false, false
 	}
 	tickets := 0
-	//wfqlint:bounded(each iteration burns one FAA ticket and decrements the threshold; the loop ends with EMPTY once threshold < 0, so it runs at most 3n-1 iterations past the last concurrent enqueue, or earlier when maxTickets caps it)
+	//wfqlint:bounded(FAST_TICKETS, each iteration burns one FAA ticket and decrements the threshold; the loop ends with EMPTY once threshold < 0, so it runs at most 3n-1 iterations past the last concurrent enqueue, or earlier when maxTickets caps it)
 	for {
 		h := r.head.Add(1) - 1
 		if idx, got := r.visitAt(h); got {
@@ -239,7 +240,7 @@ func (r *ring) dequeue(maxTickets int) (idx uint64, ok bool, exhausted bool) {
 func (r *ring) visitAt(h uint64) (uint64, bool) {
 	hcyc := h >> r.order
 	slot := &r.slots[r.remap(h)]
-	//wfqlint:bounded(CAS retry on one slot: while the slot's cycle is behind this ticket each failed CAS means another operation advanced the slot (progress), and once the cycle matches the only possible concurrent transition is a single safe-bit clear, so the consume CAS reloads at most twice)
+	//wfqlint:bounded(2*RETRY, CAS retry on one slot: while the slot's cycle is behind this ticket each failed CAS means another operation advanced the slot (progress), and once the cycle matches the only possible concurrent transition is a single safe-bit clear, so the consume CAS reloads at most twice)
 	for {
 		e := atomic.LoadUint64(slot)
 		ecyc, esafe, eidx := r.unpack(e)
@@ -300,6 +301,7 @@ func (r *ring) dequeueBatch(out []uint64) (n int, empty bool) {
 	}
 	k := uint64(len(out))
 	h0 := r.head.Add(k) - k
+	//wfqlint:bounded(K, one visitAt per reserved ticket: k = len(out))
 	for j := uint64(0); j < k; j++ {
 		h := h0 + j
 		if idx, got := r.visitAt(h); got {
@@ -324,7 +326,7 @@ func (r *ring) dequeueBatch(out []uint64) (n int, empty bool) {
 // catchup drags tail forward to head after a dequeuer overran it, so the
 // tail FAA counter never lags arbitrarily behind burned dequeue tickets.
 func (r *ring) catchup(tail, head uint64) {
-	//wfqlint:bounded(CAS retry: each failure means tail moved — an enqueuer took a ticket or another catchup advanced it — and the loop exits as soon as tail >= head, so it retries at most once per concurrent tail movement)
+	//wfqlint:bounded(RETRY, CAS retry: each failure means tail moved — an enqueuer took a ticket or another catchup advanced it — and the loop exits as soon as tail >= head, so it retries at most once per concurrent tail movement)
 	for !r.tail.CompareAndSwap(tail, head) {
 		head = r.head.Load()
 		tail = r.tail.Load()

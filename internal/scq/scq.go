@@ -185,7 +185,7 @@ func (q *Queue) Size() int { return q.aq.size() }
 // Register checks out a handle from the preallocated pool, or returns
 // ErrTooManyHandles. Lock-free and allocation-free.
 func (q *Queue) Register() (*Handle, error) {
-	//wfqlint:bounded(lock-free CAS retry: a failed CAS means another goroutine completed a handle pop or push, so the system makes progress; the lifecycle is documented as lock-free and registration is off every queue operation's path)
+	//wfqlint:bounded(RETRY, lock-free CAS retry: a failed CAS means another goroutine completed a handle pop or push, so the system makes progress; the lifecycle is documented as lock-free and registration is off every queue operation's path)
 	for {
 		old := q.hfree.Load()
 		idx := old & (1<<handleIdxBits - 1)
@@ -217,7 +217,7 @@ func (h *Handle) Release() {
 	if !h.life.CompareAndSwap(cur, cur+1) {
 		return // lost the closing race
 	}
-	//wfqlint:bounded(lock-free CAS retry: a failed CAS means another goroutine completed a handle pop or push; release is off every queue operation's path)
+	//wfqlint:bounded(RETRY, lock-free CAS retry: a failed CAS means another goroutine completed a handle pop or push; release is off every queue operation's path)
 	for {
 		old := q.hfree.Load()
 		gen := old >> handleIdxBits

@@ -379,7 +379,7 @@ func TestAdaptiveBatchOps(t *testing.T) {
 	}
 	seen := map[int64]bool{}
 	dst := make([]unsafe.Pointer, bsz)
-	//wfqlint:bounded(test driver: at most batches*bsz values were enqueued and each round removes ≥1 or breaks)
+	//wfqlint:bounded(K, test driver: at most batches*bsz values were enqueued and each round removes ≥1 or breaks)
 	for {
 		n := q.DequeueBatch(h, dst)
 		if n == 0 {

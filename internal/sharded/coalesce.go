@@ -74,6 +74,7 @@ func (q *Queue) Flush(h *Handle) {
 		return
 	}
 	q.EnqueueBatch(h, h.cbuf[:n])
+	//wfqlint:bounded(WINDOW, clears at most CoalesceMaxWindow staged slots)
 	for i := int32(0); i < n; i++ {
 		h.cbuf[i] = nil
 	}
@@ -106,7 +107,7 @@ func (q *Queue) CoalescedDequeue(h *Handle) (unsafe.Pointer, bool) {
 	if q.coalesce <= 1 {
 		return q.Dequeue(h)
 	}
-	//wfqlint:bounded(at most two rounds: a round either returns a refilled value, or — exactly once — flushes the producer buffer (leaving clen == 0) and retries; with clen == 0 an empty refill returns false. Each refill is one DequeueBatch/Dequeue, themselves bounded by the per-lane wait-freedom plus the 2·lanes sweep)
+	//wfqlint:bounded(2, at most two rounds: a round either returns a refilled value, or — exactly once — flushes the producer buffer (leaving clen == 0) and retries; with clen == 0 an empty refill returns false. Each refill is one DequeueBatch/Dequeue, themselves bounded by the per-lane wait-freedom plus the 2·lanes sweep)
 	for {
 		if n := q.coalesceRefill(h); n > 0 {
 			v := h.dbuf[0]
@@ -156,6 +157,7 @@ func (q *Queue) releaseFlush(h *Handle) {
 	q.Flush(h)
 	if h.dhead < h.dlen {
 		q.EnqueueBatch(h, h.dbuf[h.dhead:h.dlen])
+		//wfqlint:bounded(WINDOW, clears the drained consumer buffer: at most CoalesceMaxWindow slots)
 		for i := h.dhead; i < h.dlen; i++ {
 			h.dbuf[i] = nil
 		}

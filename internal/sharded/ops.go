@@ -90,6 +90,7 @@ func (q *Queue) noteLane(h *Handle, li int) {
 func (h *Handle) coolOrder() []int {
 	q := h.q
 	n := len(q.lanes)
+	//wfqlint:bounded(LANES, one hotness probe per non-home lane)
 	for m := 0; m < n-1; m++ {
 		li := h.home + 1 + m
 		if li >= n {
@@ -97,6 +98,7 @@ func (h *Handle) coolOrder() []int {
 		}
 		s := atomic.LoadUint64(&q.lanes[li].hot)
 		j := m
+		//wfqlint:bounded(LANES, insertion step over the already-sorted prefix: at most LANES shifts)
 		for ; j > 0 && h.hotSnap[j-1] > s; j-- {
 			h.hotSnap[j] = h.hotSnap[j-1]
 			h.order[j] = h.order[j-1]
@@ -196,6 +198,7 @@ func (q *Queue) Dequeue(h *Handle) (unsafe.Pointer, bool) {
 		order = h.coolOrder()
 	}
 	// Hint pass: steal from lanes that look non-empty.
+	//wfqlint:bounded(LANES, hint pass: at most one steal attempt per non-home lane)
 	for off := 1; off < n; off++ {
 		li := h.sweepLane(off, order)
 		if q.lanes[li].q.Size() == 0 {
@@ -208,6 +211,7 @@ func (q *Queue) Dequeue(h *Handle) (unsafe.Pointer, bool) {
 	// Definitive pass: a real dequeue per lane, so a false return is backed
 	// by a per-lane EMPTY witness for every lane (the home lane's was the
 	// failed dequeue that started the sweep).
+	//wfqlint:bounded(LANES, definitive pass: one real dequeue per non-home lane for the EMPTY witness)
 	for off := 1; off < n; off++ {
 		if v, ok := q.stealFrom(h, h.sweepLane(off, order)); ok {
 			return v, true
@@ -264,6 +268,7 @@ func (q *Queue) DequeueBatch(h *Handle, dst []unsafe.Pointer) int {
 	if q.adaptive {
 		order = h.coolOrder()
 	}
+	//wfqlint:bounded(LANES, batch sweep: at most one per-lane DequeueBatch per non-home lane)
 	for off := 1; off < n && got < len(dst); off++ {
 		li := h.sweepLane(off, order)
 		ln := &q.lanes[li]

@@ -81,9 +81,11 @@ func (q *Queue) newSCQLanes(maxHandles int, cfg *config) {
 // registerSCQ acquires one scq handle per lane for a freshly popped shell,
 // with the same rollback discipline as the core path (RegisterOnLane).
 func (q *Queue) registerSCQ(h *Handle) error {
+	//wfqlint:bounded(LANES, one per-lane scq registration)
 	for i := range q.lanes {
 		sh, err := q.lanes[i].sq.Register()
 		if err != nil {
+			//wfqlint:bounded(LANES, rollback of the already-acquired lane handles)
 			for j := 0; j < i; j++ {
 				h.shs[j].Release()
 				h.shs[j] = nil
@@ -124,7 +126,7 @@ func (q *Queue) scqEnqueue(h *Handle, v unsafe.Pointer) {
 		return
 	}
 	ctrInc(&h.stats.FullRejects)
-	//wfqlint:bounded(backpressure wait, not coordination: each retry fails only while the lane ring holds its full capacity of values, and blocking-until-room is the documented contract of the bounded queue's Enqueue (DESIGN.md §7) — callers that must not wait use TryEnqueue)
+	//wfqlint:bounded(RETRY, backpressure wait, not coordination: each retry fails only while the lane ring holds its full capacity of values, and blocking-until-room is the documented contract of the bounded queue's Enqueue (DESIGN.md §7) — callers that must not wait use TryEnqueue)
 	for {
 		runtime.Gosched()
 		if sh.TryEnqueue(v) == nil {
@@ -149,6 +151,7 @@ func (q *Queue) scqDequeue(h *Handle) (unsafe.Pointer, bool) {
 		return nil, false
 	}
 	ctrInc(&h.stats.Sweeps)
+	//wfqlint:bounded(LANES, hint pass: at most one steal attempt per non-home lane)
 	for off := 1; off < n; off++ {
 		li := h.sweepLane(off, nil)
 		if q.lanes[li].sq.Size() == 0 {
@@ -158,6 +161,7 @@ func (q *Queue) scqDequeue(h *Handle) (unsafe.Pointer, bool) {
 			return v, true
 		}
 	}
+	//wfqlint:bounded(LANES, definitive pass: one per-lane dequeue for the EMPTY witness)
 	for off := 1; off < n; off++ {
 		if v, ok := q.scqStealFrom(h, h.sweepLane(off, nil)); ok {
 			return v, true
@@ -184,6 +188,7 @@ func (q *Queue) scqStealFrom(h *Handle, li int) (unsafe.Pointer, bool) {
 // values all land in h's dispatch lane one by one; there is no k-cell
 // reservation on a ring, so the batch is a loop by construction.
 func (q *Queue) scqEnqueueBatch(h *Handle, vs []unsafe.Pointer) {
+	//wfqlint:bounded(K, one blocking enqueue per batch element)
 	for _, v := range vs {
 		q.scqEnqueue(h, v)
 	}
@@ -192,6 +197,7 @@ func (q *Queue) scqEnqueueBatch(h *Handle, vs []unsafe.Pointer) {
 // scqDequeueBatch fills dst through repeated SCQ-mode dequeues; a short
 // return carries the same per-lane EMPTY witnesses as scqDequeue's ok=false.
 func (q *Queue) scqDequeueBatch(h *Handle, dst []unsafe.Pointer) int {
+	//wfqlint:bounded(K, one dequeue per dst slot, short return on the first miss)
 	for i := range dst {
 		v, ok := q.scqDequeue(h)
 		if !ok {

@@ -86,7 +86,7 @@ func (d Dispatch) String() string {
 // ≤ GOMAXPROCS, the per-CPU-lane configuration (at least 1).
 func DefaultLanes() int {
 	n := 1
-	//wfqlint:bounded(n doubles every iteration up to MaxLanes = 64: at most 6 iterations)
+	//wfqlint:bounded(6, n doubles every iteration up to MaxLanes = 64: at most 6 iterations)
 	for n*2 <= runtime.GOMAXPROCS(0) && n*2 <= MaxLanes {
 		n *= 2
 	}
@@ -389,7 +389,7 @@ const (
 // popShell pops a free shell off the tagged free list, or returns nil when
 // every shell is checked out.
 func (q *Queue) popShell() *Handle {
-	//wfqlint:bounded(lock-free CAS retry: a failed CAS means another goroutine completed a shell pop or push, so the system makes progress; the lifecycle is documented as lock-free, not wait-free (DESIGN.md §6), and registration is off every queue operation's path)
+	//wfqlint:bounded(RETRY, lock-free CAS retry: a failed CAS means another goroutine completed a shell pop or push, so the system makes progress; the lifecycle is documented as lock-free, not wait-free (DESIGN.md §6), and registration is off every queue operation's path)
 	for {
 		old := q.hfree.Load()
 		idx := uint32(old & shellIdxMask)
@@ -408,7 +408,7 @@ func (q *Queue) popShell() *Handle {
 // pushShell pushes shell index idx (+1 encoding) back onto the free list.
 // Pushes preserve the generation; only pops advance it.
 func (q *Queue) pushShell(idx uint32) {
-	//wfqlint:bounded(lock-free CAS retry: a failed CAS means another goroutine completed a shell pop or push; the lifecycle is documented as lock-free, not wait-free (DESIGN.md §6), and release is off every queue operation's path)
+	//wfqlint:bounded(RETRY, lock-free CAS retry: a failed CAS means another goroutine completed a shell pop or push; the lifecycle is documented as lock-free, not wait-free (DESIGN.md §6), and release is off every queue operation's path)
 	for {
 		old := q.hfree.Load()
 		atomic.StoreUint32(&q.shells[idx-1].freeNext, uint32(old&shellIdxMask))
@@ -476,9 +476,11 @@ func (q *Queue) RegisterOnLane(home int) (*Handle, error) {
 			return nil, fmt.Errorf("sharded: %w", err)
 		}
 	} else {
+		//wfqlint:bounded(LANES, one per-lane core registration)
 		for i := range q.lanes {
 			ch, err := q.lanes[i].q.Register()
 			if err != nil {
+				//wfqlint:bounded(LANES, rollback of the already-acquired lane handles)
 				for j := 0; j < i; j++ {
 					h.hs[j].Release()
 					h.hs[j] = nil
@@ -496,6 +498,7 @@ func (q *Queue) RegisterOnLane(home int) (*Handle, error) {
 		// baseline would credit a reused handle's entire history to the
 		// first operation's lane). Reset the rotating probe cursor and decay
 		// clock with it.
+		//wfqlint:bounded(LANES, snapshot one contention baseline per lane handle)
 		for i := range h.seen {
 			h.seen[i] = h.hs[i].ContentionEvents()
 		}
@@ -535,10 +538,12 @@ func (h *Handle) Release() {
 		return // lost the closing race: the other Release returns the slot
 	}
 	if h.q.scqCap != 0 {
+		//wfqlint:bounded(LANES, release one scq handle per lane)
 		for _, sh := range h.shs {
 			sh.Release()
 		}
 	} else {
+		//wfqlint:bounded(LANES, release one core handle per lane)
 		for _, ch := range h.hs {
 			ch.Release()
 		}
@@ -561,6 +566,7 @@ func (c *Counters) add(o *Counters) {
 // (the sum of per-lane sizes; exact only in quiescent states).
 func (q *Queue) Size() int64 {
 	var total int64
+	//wfqlint:bounded(LANES, sum one per-lane size)
 	for i := range q.lanes {
 		if q.scqCap != 0 {
 			total += int64(q.lanes[i].sq.Size())
