@@ -6,7 +6,7 @@ GO ?= go
 # lands here; the directory is untracked (see .gitignore).
 ARTIFACTS ?= artifacts
 
-.PHONY: all build vet lint cert cert-check test race short bench bench-json bench-json-sharded bench-adaptive bench-handles bench-scq bench-coalesce bench-trajectory bench-all bench-compare fuzz stress soak ci experiments examples clean
+.PHONY: all build vet lint cert cert-check test race short bench bench-json bench-json-sharded bench-adaptive bench-handles bench-scq bench-coalesce bench-topo bench-trajectory bench-all bench-compare fuzz stress soak ci experiments examples clean
 
 all: build vet lint test
 
@@ -119,13 +119,27 @@ bench-coalesce:
 	$(GO) run ./cmd/wfqbench coalesce -out BENCH_coalesce.json \
 		-ops 50000 -trials 3 -iters 3 -nowork -nopin
 
+# Topology-placement baseline (DESIGN.md §9): the exact zero-allocation
+# gate over the topology surface (LLC-domain lane placement,
+# distance-ordered steal sweeps, the parking ladder), Figure-2-style
+# throughput-vs-threads curves for wf-10 / wf-sharded / wf-sharded-topo
+# over a GOMAXPROCS sweep, and the pairwise wf-sharded-topo vs wf-sharded
+# ratio from interleaved best-of rounds — topology placement must never tax
+# the queue it guides. On a one-hardware-thread host the curves collapse to
+# a single point and the pairwise gate is skipped (recorded as
+# degenerate=true); the alloc gate is host-independent. Writes
+# BENCH_topo.json at the repo root — the committed baseline.
+bench-topo:
+	$(GO) run ./cmd/wfqbench topo -out BENCH_topo.json \
+		-ops 50000 -trials 3 -iters 3 -nowork -nopin
+
 # Merge every committed BENCH_*.json into BENCH_trajectory.json, keyed by
 # the PR that introduced each baseline. Pure reader: no benchmarks run.
 bench-trajectory:
 	$(GO) run ./cmd/wfqbench trajectory -out BENCH_trajectory.json
 
 # Regenerate every committed perf baseline, then the merged trajectory.
-bench-all: bench-json bench-json-sharded bench-adaptive bench-handles bench-scq bench-coalesce bench-trajectory
+bench-all: bench-json bench-json-sharded bench-adaptive bench-handles bench-scq bench-coalesce bench-topo bench-trajectory
 
 # Bench trajectory gate: re-run the committed baselines' measurements and
 # fail on any steady-state allocation regression, or (on the baseline's
@@ -156,6 +170,7 @@ soak: | $(ARTIFACTS)
 	$(GO) run ./cmd/wfqstress -queue wf-sharded -threads 8 -duration 10s -adaptive -bursty 2>&1 | tee -a $(ARTIFACTS)/soak_output.txt
 	$(GO) run ./cmd/wfqstress -queue wf-10 -threads 8 -duration 10s -coalesce 2>&1 | tee -a $(ARTIFACTS)/soak_output.txt
 	$(GO) run ./cmd/wfqstress -queue wf-sharded -threads 8 -duration 10s -coalesce 2>&1 | tee -a $(ARTIFACTS)/soak_output.txt
+	$(GO) run ./cmd/wfqstress -topo -churn -threads 8 -duration 10s 2>&1 | tee -a $(ARTIFACTS)/soak_output.txt
 
 # Regenerate the paper's tables and figures (quick parameters; add
 # WFQ_FLAGS=-paper for the full methodology).

@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's evaluation artifacts with testing.B,
-// one benchmark family per table/figure (see DESIGN.md §9 for the index):
+// one benchmark family per table/figure (see DESIGN.md §10 for the index):
 //
 //	BenchmarkFigure2Pairs       Figure 2, enqueue-dequeue pairs rows
 //	BenchmarkFigure2Half        Figure 2, 50%-enqueues rows

@@ -61,6 +61,10 @@ func runCompare(o options, baselinePath string, tolerance float64, strict bool) 
 		runCompareCoalesce(o, raw, baselinePath, tolerance, strict)
 		return
 	}
+	if peek.Schema == topoSchema {
+		runCompareTopo(o, raw, baselinePath, tolerance, strict)
+		return
+	}
 	var base jsonDoc
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fatalf("compare: %s: %v", baselinePath, err)
@@ -266,6 +270,87 @@ func runCompareCoalesce(o options, raw []byte, baselinePath string, tolerance fl
 		os.Exit(1)
 	}
 	fmt.Println("compare: OK — coalesce gates hold (zero allocs at every window; pairwise ratios within bounds)")
+}
+
+// runCompareTopo is the trajectory gate over a topo baseline (wfqbench
+// topo): it re-runs the deterministic topology zero-allocation gate
+// (always; the fake topology inside makes it host-independent) and
+// re-measures the pairwise topo-over-sharded ratio at the baseline's own
+// top-of-sweep thread count with interleaved best-of rounds. The pairwise
+// floor applies only when throughput gating is on AND this host has more
+// than one hardware thread — a degenerate host runs both variants on one
+// lane and the ratio is scheduler noise, exactly as at emit time.
+func runCompareTopo(o options, raw []byte, baselinePath string, tolerance float64, strict bool) {
+	var base topoDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("compare: %s: %v", baselinePath, err)
+	}
+	if tolerance <= 0 || tolerance >= 1 {
+		fatalf("compare: bad -tolerance %.2f (need 0 < t < 1)", tolerance)
+	}
+	p := bench.DetectPlatform()
+	samePlatform := p.Model == base.Platform.Model &&
+		p.Threads == base.Platform.HWThreads &&
+		runtime.GOMAXPROCS(0) == base.Platform.GOMAXPROCS
+	gate := (samePlatform || strict) && runtime.NumCPU() > 1
+	fmt.Printf("compare: topo baseline %s (%s, %d hw threads, pair procs %d, degenerate=%v)\n",
+		baselinePath, base.Platform.Model, base.Platform.HWThreads, base.PairProcs, base.Degenerate)
+	if !gate {
+		fmt.Printf("compare: pairwise ratio informational only (platform differs or single hardware thread; -strict gates cross-platform)\n")
+	}
+
+	var failures []string
+	st := bench.TopoSteadyStateAllocs(base.Steady.Ops)
+	fmt.Printf("compare: topo steady state %.6f allocs/op over %d ops (baseline %.6f)\n",
+		st.AllocsPerOp, st.Ops, base.Steady.AllocsPerOp)
+	if st.AllocsPerOp > 0 {
+		failures = append(failures, fmt.Sprintf(
+			"topology hot path allocates %.6f objects/op at steady state, want 0", st.AllocsPerOp))
+	}
+
+	o.ops = base.Params.Ops
+	o.trials = base.Params.Trials
+	o.iters = base.Params.Iters
+	top := base.PairProcs
+	if top < 1 {
+		top = base.Params.Threads
+	}
+	prev := runtime.GOMAXPROCS(top)
+	var topoWall, shardedWall float64
+	for r := 0; r < adaptiveRounds; r++ {
+		tres, err := bench.Run(o.config("wf-sharded-topo", workload.Pairs, top))
+		if err != nil {
+			runtime.GOMAXPROCS(prev)
+			fatalf("compare topo wf-sharded-topo: %v", err)
+		}
+		sres, err := bench.Run(o.config("wf-sharded", workload.Pairs, top))
+		if err != nil {
+			runtime.GOMAXPROCS(prev)
+			fatalf("compare topo wf-sharded: %v", err)
+		}
+		topoWall = math.Max(topoWall, tres.WallInterval.Mean)
+		shardedWall = math.Max(shardedWall, sres.WallInterval.Mean)
+	}
+	runtime.GOMAXPROCS(prev)
+	ratio := 0.0
+	if shardedWall > 0 {
+		ratio = topoWall / shardedWall
+	}
+	fmt.Printf("compare: topo/sharded base %.2fx, fresh %.2f / %.2f = %.2fx at procs=%d\n",
+		base.TopoOverSharded, topoWall, shardedWall, ratio, top)
+	if gate && ratio > 0 && ratio < 1-tolerance {
+		failures = append(failures, fmt.Sprintf(
+			"wf-sharded-topo runs %.2fx wf-sharded at procs=%d, below the %.2f floor",
+			ratio, top, 1-tolerance))
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "wfqbench compare: REGRESSION: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("compare: OK — topo gates hold (zero allocs on the topology surface; pairwise ratio within bounds)")
 }
 
 // adaptiveBurstyGrace absorbs run-to-run noise in the bursty adaptive gate:

@@ -14,6 +14,7 @@
 //	wfqbench handles [-out BENCH_handles.json] [flags]
 //	wfqbench scq     [-out BENCH_scq.json] [flags]
 //	wfqbench coalesce [-out BENCH_coalesce.json] [flags]
+//	wfqbench topo    [-out BENCH_topo.json] [flags]
 //	wfqbench trajectory [-out BENCH_trajectory.json]
 //	wfqbench compare [-baseline BENCH_core.json] [-tolerance 0.20] [-strict] [flags]
 //	wfqbench all     [flags]
@@ -51,6 +52,15 @@
 // pairwise ratio against plain wf-10 — window 1 must stay within -tolerance
 // of wf-10 (the passthrough may not tax the disabled path) and window 16
 // must never be a pessimization (exits 1 on any gate).
+//
+// The topo subcommand is the topology-placement baseline emitter
+// (BENCH_topo.json): it verifies the topology surface (placement tables,
+// distance-ordered sweeps, the parking ladder) allocates nothing, records
+// Figure-2-style throughput-vs-threads curves for wf-10 / wf-sharded /
+// wf-sharded-topo over a GOMAXPROCS sweep, and gates the pairwise
+// topo-over-sharded ratio on multi-core hosts (topology placement must not
+// tax blind sharding; on one hardware thread the curves are recorded as
+// degenerate and the ratio is informational).
 //
 // The trajectory subcommand merges every committed BENCH_*.json into one
 // schema-versioned BENCH_trajectory.json keyed by the PR that introduced
@@ -135,6 +145,8 @@ func main() {
 		outDefault = "BENCH_scq.json"
 	case "coalesce":
 		outDefault = "BENCH_coalesce.json"
+	case "topo":
+		outDefault = "BENCH_topo.json"
 	case "trajectory":
 		outDefault = "BENCH_trajectory.json"
 	}
@@ -226,6 +238,8 @@ func main() {
 		runSCQ(o, *tolerance)
 	case "coalesce":
 		runCoalesce(o, *tolerance)
+	case "topo":
+		runTopo(o, *tolerance)
 	case "trajectory":
 		runTrajectory(o)
 	case "compare":
@@ -243,7 +257,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: wfqbench {table1|figure2|table2|single|latency|json|handles|scq|coalesce|trajectory|compare|all} [flags]  (see -h per subcommand)")
+	fmt.Fprintln(os.Stderr, "usage: wfqbench {table1|figure2|table2|single|latency|json|handles|scq|coalesce|topo|trajectory|compare|all} [flags]  (see -h per subcommand)")
 }
 
 func fatalf(format string, args ...any) {

@@ -33,6 +33,7 @@ var trajectoryManifest = []struct {
 	{6, "handles", "BENCH_handles.json"},
 	{7, "scq", "BENCH_scq.json"},
 	{8, "coalesce", "BENCH_coalesce.json"},
+	{10, "topo", "BENCH_topo.json"},
 }
 
 type trajectoryDoc struct {

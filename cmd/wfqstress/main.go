@@ -20,7 +20,7 @@
 //
 // Usage:
 //
-//	wfqstress [-queue wf-10] [-threads 8] [-duration 10s] [-mode stress|lincheck|stall] [-batch 1] [-seed 1] [-adaptive] [-coalesce] [-bursty] [-churn]
+//	wfqstress [-queue wf-10] [-threads 8] [-duration 10s] [-mode stress|lincheck|stall] [-batch 1] [-seed 1] [-adaptive] [-coalesce] [-bursty] [-churn] [-topo]
 //
 // With -batch k > 1 both modes drive the queue through the batched
 // operations (EnqueueBatch/DequeueBatch): the wait-free queue's native
@@ -54,6 +54,15 @@
 // (full-FIFO queues keep their order checks — a single linearizable queue
 // orders values no matter which handle enqueued them).
 //
+// -topo swaps the selected queue for wf-sharded-topo built over a fake
+// 16-CPU topology snapshot whose CPU source lies for most of the run: it
+// cycles through shrunk machines (hot-unplugged CPUs), grown machines
+// reporting ids the snapshot has never heard of, and getcpu failures, while
+// registrations — continuous under -churn — re-home handles through every
+// phase. The audit is the placement contract: a vanished CPU must degrade
+// to round-robin placement, never index a vanished lane or crash, with the
+// usual loss/duplication accounting on top. Stress mode only.
+//
 // Queues that declare no cross-handle ordering (wf-sharded-adaptive's
 // hotness dispatch trades per-producer FIFO for throughput) are still
 // stress-checkable: order validation is skipped and the run verifies loss
@@ -86,11 +95,15 @@ func main() {
 	coalesce := flag.Bool("coalesce", false, "stress: use the queue's operation-coalescing variant with flush-on-idle producers and exact loss/duplication accounting")
 	bursty := flag.Bool("bursty", false, "stress: alternate contention storms with quiet spells")
 	churn := flag.Bool("churn", false, "stress: workers periodically Release and re-Register their handles (needs a ChurnSafe queue)")
+	topo := flag.Bool("topo", false, "stress: wf-sharded-topo over a fake topology whose CPU source shrinks, grows and fails mid-run")
 	flag.Parse()
 
 	name := *queue
 	if *adaptive && *coalesce {
 		fatalf("-adaptive and -coalesce select conflicting variants; pick one")
+	}
+	if *topo && (*adaptive || *coalesce) {
+		fatalf("-topo selects the topology-aware variant; it conflicts with -adaptive and -coalesce")
 	}
 	if *adaptive {
 		name = adaptiveVariant(name)
@@ -100,6 +113,16 @@ func main() {
 			fatalf("-coalesce is a stress-mode audit (for lincheck use -queue wf-coalesce-w1 directly)")
 		}
 		name = coalesceVariant(name)
+	}
+	var fault *topoFault
+	newQ := func(capacity int) (qiface.Queue, error) { return registry.NewChecked(name, capacity) }
+	if *topo {
+		if *mode != "stress" {
+			fatalf("-topo is a stress-mode fault injection")
+		}
+		name = topoVariant(name)
+		fault = &topoFault{}
+		newQ = fault.newQueue
 	}
 	if !registry.IsRealQueue(name) {
 		fatalf("%s is a microbenchmark, not a queue", name)
@@ -126,7 +149,10 @@ func main() {
 				checkOrder = false
 			}
 		}
-		runStress(name, *threads, *duration, *batch, *seed, checkOrder, *bursty, *churn, *coalesce)
+		runStress(name, newQ, *threads, *duration, *batch, *seed, checkOrder, *bursty, *churn, *coalesce)
+		if fault != nil {
+			fault.report()
+		}
 	case "lincheck":
 		if ordering != qiface.OrderFIFO {
 			fatalf("%s declares %s order; lincheck requires full FIFO linearizability (try wf-sharded-1)", name, ordering)
@@ -195,7 +221,7 @@ func reRegister(q qiface.Queue, ops qiface.Ops) qiface.Ops {
 	return qiface.WithFlushFallback(qiface.WithBatchFallback(next))
 }
 
-func runStress(name string, threads int, d time.Duration, batch int, seed uint64, checkOrder, bursty, churn, coalesce bool) {
+func runStress(name string, newQ func(int) (qiface.Queue, error), threads int, d time.Duration, batch int, seed uint64, checkOrder, bursty, churn, coalesce bool) {
 	if threads < 2 {
 		threads = 2
 	}
@@ -203,7 +229,7 @@ func runStress(name string, threads int, d time.Duration, batch int, seed uint64
 	consumers := threads - producers
 	// +1 handle for the drain helper; checked adapters box every value so
 	// the accounting below is exact regardless of scheduling.
-	q, err := registry.NewChecked(name, threads+1)
+	q, err := newQ(threads + 1)
 	if err != nil {
 		fatalf("%v", err)
 	}

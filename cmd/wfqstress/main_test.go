@@ -186,6 +186,46 @@ func TestRejectsCoalesceMisuse(t *testing.T) {
 	}
 }
 
+// -topo drives wf-sharded-topo over the shrinking fake topology: with
+// -churn the continuous re-registrations sweep every fault phase (shrunk,
+// grown, failing CPU source) and the run must stay loss/dup-free — the
+// placement contract is that a vanished CPU degrades to round-robin, never
+// an out-of-range lane index. Without -churn the per-producer FIFO check
+// stays on: a topo home assignment is sticky, so order must hold.
+func TestStressTopoFault(t *testing.T) {
+	out, err := runCLI(t, "-threads", "4", "-duration", "500ms", "-topo", "-churn")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"wf-sharded-topo", "fault source answered", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("topo fault stress output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = runCLI(t, "-threads", "4", "-duration", "300ms", "-topo")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"order violations: 0", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("topo stress output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRejectsTopoMisuse(t *testing.T) {
+	if out, err := runCLI(t, "-queue", "msqueue", "-topo", "-duration", "100ms"); err == nil {
+		t.Fatalf("msqueue has no topology-aware variant, should fail:\n%s", out)
+	}
+	if out, err := runCLI(t, "-mode", "lincheck", "-topo", "-duration", "100ms"); err == nil {
+		t.Fatalf("-topo outside stress mode should fail:\n%s", out)
+	}
+	if out, err := runCLI(t, "-topo", "-adaptive", "-duration", "100ms"); err == nil {
+		t.Fatalf("-topo with -adaptive should fail:\n%s", out)
+	}
+}
+
 func TestRejectsAdaptiveWithoutVariant(t *testing.T) {
 	if out, err := runCLI(t, "-queue", "msqueue", "-adaptive", "-duration", "100ms"); err == nil {
 		t.Fatalf("msqueue has no adaptive variant, should fail:\n%s", out)

@@ -4,6 +4,7 @@ package affinity
 
 import (
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"unsafe"
 )
@@ -56,14 +57,33 @@ var sysGetcpu = map[string]uintptr{
 	"mips64le": 5271,
 }[runtime.GOARCH]
 
+// getcpuBroken latches a failed getcpu attempt. The kernel either supports
+// the syscall or it does not — the answer cannot change within a process
+// lifetime — so the first failure (ENOSYS on an old kernel, a seccomp
+// EPERM, ...) makes every later CurrentCPU call return not-ok without
+// re-issuing a doomed syscall. CurrentCPU sits on the sharded queue's
+// registration/dispatch path, so before this latch an unsupported kernel
+// paid the full failed-syscall round trip on every dispatch.
+var getcpuBroken atomic.Bool
+
 // CurrentCPU returns the CPU the calling thread is executing on, via the
-// getcpu syscall. ok is false if the kernel rejects the call or the
-// architecture is not in the table. The result is only a hint unless the
-// thread is pinned: the scheduler may migrate the thread immediately after
-// the syscall returns. The sharded queue uses it to home a pinned worker's
+// getcpu(2) syscall. ok is false if the kernel rejects the call or the
+// architecture is not in the table; the failure is cached, so only the first
+// call pays for discovering it. The result is only a hint unless the thread
+// is pinned: the scheduler may migrate the thread immediately after the
+// syscall returns. The sharded queue uses it to home a pinned worker's
 // handle on the lane matching its CPU.
+//
+// Performance note: the kernel exports getcpu through the vDSO
+// (__vdso_getcpu), which C callers reach in a few nanoseconds without a
+// kernel entry. Go's runtime patches in vDSO fast paths only for
+// clock_gettime/gettimeofday, and syscall.RawSyscall always takes the real
+// SYSCALL instruction, so this call costs a genuine user→kernel round trip
+// (~50ns). That is acceptable on its call sites — handle registration and
+// per-CPU homing decisions, not the per-operation hot path — and is why
+// CurrentCPU must not be called per enqueue/dequeue.
 func CurrentCPU() (cpu int, ok bool) {
-	if sysGetcpu == 0 {
+	if sysGetcpu == 0 || getcpuBroken.Load() {
 		return 0, false
 	}
 	var c, node uint32
@@ -74,6 +94,7 @@ func CurrentCPU() (cpu int, ok bool) {
 		0,
 	)
 	if errno != 0 {
+		getcpuBroken.Store(true)
 		return 0, false
 	}
 	return int(c), true

@@ -1,0 +1,341 @@
+package affinity
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// --- fixture-tree parser tests ------------------------------------------
+
+func TestParseSys1SocketSMT(t *testing.T) {
+	topo, err := ParseSysCPUDir("testdata/sys1smt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.NumCPU(); got != 4 {
+		t.Fatalf("NumCPU = %d, want 4", got)
+	}
+	if got := topo.NumLLC(); got != 1 {
+		t.Fatalf("NumLLC = %d, want 1", got)
+	}
+	if got := topo.NumPackages(); got != 1 {
+		t.Fatalf("NumPackages = %d, want 1", got)
+	}
+	if got := topo.NumNodes(); got != 1 {
+		t.Fatalf("NumNodes = %d, want 1", got)
+	}
+	// cpus 0,1 share core 0; cpus 2,3 share core 1.
+	if d := topo.Distance(0, 1); d != DistSMT {
+		t.Errorf("Distance(0,1) = %d, want DistSMT", d)
+	}
+	if d := topo.Distance(0, 2); d != DistLLC {
+		t.Errorf("Distance(0,2) = %d, want DistLLC", d)
+	}
+	if d := topo.Distance(3, 3); d != DistSelf {
+		t.Errorf("Distance(3,3) = %d, want DistSelf", d)
+	}
+	// SMT sibling must come before the same-LLC strangers.
+	order := topo.DistanceOrder(0)
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("DistanceOrder(0) = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestParseSys2Socket(t *testing.T) {
+	topo, err := ParseSysCPUDir("testdata/sys2socket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.NumCPU(); got != 8 {
+		t.Fatalf("NumCPU = %d, want 8", got)
+	}
+	if got := topo.NumLLC(); got != 2 {
+		t.Fatalf("NumLLC = %d, want 2", got)
+	}
+	if got := topo.NumPackages(); got != 2 {
+		t.Fatalf("NumPackages = %d, want 2", got)
+	}
+	if got := topo.NumNodes(); got != 2 {
+		t.Fatalf("NumNodes = %d, want 2", got)
+	}
+	// Raw core_id values repeat across sockets (0,1 on each); densification
+	// must keep cpu0 (pkg0 core0) and cpu4 (pkg1 core0) on DIFFERENT cores.
+	if d := topo.Distance(0, 4); d != DistRemote {
+		t.Errorf("Distance(0,4) = %d, want DistRemote", d)
+	}
+	if d := topo.Distance(0, 1); d != DistSMT {
+		t.Errorf("Distance(0,1) = %d, want DistSMT", d)
+	}
+	if d := topo.Distance(0, 2); d != DistLLC {
+		t.Errorf("Distance(0,2) = %d, want DistLLC", d)
+	}
+	if l0, l4 := topo.LLC(0), topo.LLC(4); l0 == l4 {
+		t.Errorf("LLC(0) == LLC(4) == %d, want distinct domains", l0)
+	}
+	// Distance order from cpu 5: sibling 4 first, then same-socket 6,7,
+	// then the remote socket.
+	order := topo.DistanceOrder(5)
+	want := []int{5, 4, 6, 7, 0, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("DistanceOrder(5) = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestParseSysMissingIndex3(t *testing.T) {
+	// No cache/index3 anywhere (hidden cache hierarchy) and no online file
+	// (enumeration falls back to scanning cpuN dirs): the LLC domain must
+	// degrade to the package.
+	topo, err := ParseSysCPUDir("testdata/sysnoindex3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.NumCPU(); got != 4 {
+		t.Fatalf("NumCPU = %d, want 4", got)
+	}
+	if got := topo.NumLLC(); got != 2 {
+		t.Fatalf("NumLLC = %d, want 2 (per-package fallback)", got)
+	}
+	if topo.LLC(0) != topo.LLC(1) || topo.LLC(2) != topo.LLC(3) {
+		t.Errorf("package members split across LLC domains: %v %v %v %v",
+			topo.LLC(0), topo.LLC(1), topo.LLC(2), topo.LLC(3))
+	}
+	if topo.LLC(0) == topo.LLC(2) {
+		t.Errorf("packages merged into one LLC domain")
+	}
+}
+
+func TestParseSysOfflineCPUs(t *testing.T) {
+	// online = "0-1,4-5": cpus 2 and 3 are holes in the id space.
+	topo, err := ParseSysCPUDir("testdata/sysoffline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.NumCPU(); got != 4 {
+		t.Fatalf("NumCPU = %d, want 4", got)
+	}
+	cpus := topo.CPUs()
+	want := []int{0, 1, 4, 5}
+	for i := range want {
+		if cpus[i] != want[i] {
+			t.Fatalf("CPUs = %v, want %v", cpus, want)
+		}
+	}
+	if got := topo.NumLLC(); got != 2 {
+		t.Fatalf("NumLLC = %d, want 2", got)
+	}
+	// Queries against offline/absent/wild ids must resolve to online CPUs
+	// (never panic, never invent an id outside the snapshot).
+	for _, cpu := range []int{2, 3, 6, 17, 1 << 20, -3} {
+		info := topo.Info(cpu)
+		found := false
+		for _, on := range want {
+			if info.CPU == on {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Info(%d) resolved to offline cpu %d", cpu, info.CPU)
+		}
+		if l := topo.LLC(cpu); l < 0 || l >= topo.NumLLC() {
+			t.Errorf("LLC(%d) = %d out of range", cpu, l)
+		}
+	}
+}
+
+// --- synthetic-source tests ---------------------------------------------
+
+func TestFlatTopology(t *testing.T) {
+	topo := Flat(6)
+	if !topo.IsFlat() {
+		t.Fatal("Flat topology not flagged flat")
+	}
+	if topo.NumCPU() != 6 || topo.NumLLC() != 1 || topo.NumPackages() != 1 {
+		t.Fatalf("unexpected shape: %v", topo)
+	}
+	// No SMT information: distinct CPUs are same-LLC, nothing closer.
+	if d := topo.Distance(0, 5); d != DistLLC {
+		t.Errorf("Distance(0,5) = %d, want DistLLC", d)
+	}
+	// Degenerate inputs clamp.
+	if Flat(0).NumCPU() != 1 || Flat(-4).NumCPU() != 1 {
+		t.Error("Flat must clamp n to at least 1")
+	}
+}
+
+func TestBuildDensifiesAndDedupes(t *testing.T) {
+	topo := Build([]CPUInfo{
+		{CPU: 9, Pkg: 70, Core: 3, LLC: 400, Node: 2},
+		{CPU: 4, Pkg: 70, Core: 3, LLC: 400, Node: 2}, // SMT sibling of 9
+		{CPU: 2, Pkg: 71, Core: 3, LLC: 401, Node: 5}, // same raw core id, other pkg
+		{CPU: 2, Pkg: 99, Core: 9, LLC: 999, Node: 9}, // duplicate: dropped
+		{CPU: -1, Pkg: 0, Core: 0, LLC: 0, Node: 0},   // negative: dropped
+	})
+	if got := topo.NumCPU(); got != 3 {
+		t.Fatalf("NumCPU = %d, want 3", got)
+	}
+	if d := topo.Distance(4, 9); d != DistSMT {
+		t.Errorf("Distance(4,9) = %d, want DistSMT (shared raw core)", d)
+	}
+	if d := topo.Distance(2, 9); d != DistRemote {
+		t.Errorf("Distance(2,9) = %d, want DistRemote (distinct pkg+node)", d)
+	}
+	if topo.NumLLC() != 2 || topo.NumPackages() != 2 || topo.NumNodes() != 2 {
+		t.Errorf("densified counts wrong: %v", topo)
+	}
+	// Empty input degenerates to Flat(1), never nil/panic.
+	if e := Build(nil); e.NumCPU() != 1 {
+		t.Errorf("Build(nil).NumCPU = %d, want 1", e.NumCPU())
+	}
+}
+
+func TestParseCPUList(t *testing.T) {
+	got, err := parseCPUList("0-2,8,10-11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 8, 10, 11}
+	if len(got) != len(want) {
+		t.Fatalf("parseCPUList = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseCPUList = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "3-1", "1-"} {
+		if _, err := parseCPUList(bad); err == nil {
+			t.Errorf("parseCPUList(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSystemTopologyNeverNil(t *testing.T) {
+	topo := System()
+	if topo == nil {
+		t.Fatal("System() returned nil")
+	}
+	if topo.NumCPU() < 1 || topo.NumLLC() < 1 {
+		t.Fatalf("degenerate system topology: %v", topo)
+	}
+	if System() != topo {
+		t.Error("System() must return the cached snapshot")
+	}
+}
+
+// --- property tests over random fake topologies -------------------------
+
+// randomTopology builds a topology with a random but structurally valid
+// shape: packages contain cores, cores contain 1-2 SMT threads, LLC domains
+// nest inside packages, nodes equal packages.
+func randomTopology(r *rand.Rand) *Topology {
+	var infos []CPUInfo
+	cpu := 0
+	pkgs := 1 + r.Intn(3)
+	for p := 0; p < pkgs; p++ {
+		llcPerPkg := 1 + r.Intn(2)
+		cores := 1 + r.Intn(4)
+		for c := 0; c < cores; c++ {
+			smt := 1 + r.Intn(2)
+			for s := 0; s < smt; s++ {
+				infos = append(infos, CPUInfo{
+					CPU:  cpu,
+					Pkg:  p,
+					Core: p*100 + c,
+					LLC:  p*10 + c%llcPerPkg,
+					Node: p,
+				})
+				cpu++
+			}
+		}
+	}
+	// Punch random holes to model offline CPUs.
+	if len(infos) > 2 {
+		hole := r.Intn(len(infos))
+		infos = append(infos[:hole], infos[hole+1:]...)
+	}
+	return Build(infos)
+}
+
+// TestTopologyProperties checks the two invariants the sharded layer's
+// placement depends on: every CPU belongs to exactly one LLC domain (the
+// domains partition the online set), and a distance order from any CPU is a
+// permutation of the online set with non-decreasing distance.
+func TestTopologyProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		topo := randomTopology(r)
+
+		// LLC domains partition the online CPUs.
+		total := 0
+		seen := map[int]int{}
+		for llc := 0; llc < topo.NumLLC(); llc++ {
+			members := topo.LLCCPUs(llc)
+			if len(members) == 0 {
+				t.Fatalf("trial %d: empty LLC domain %d in %v", trial, llc, topo)
+			}
+			total += len(members)
+			for _, c := range members {
+				seen[c]++
+				if got := topo.LLC(c); got != llc {
+					t.Fatalf("trial %d: cpu %d listed in domain %d but LLC()=%d", trial, c, llc, got)
+				}
+			}
+		}
+		if total != topo.NumCPU() {
+			t.Fatalf("trial %d: LLC domains cover %d of %d cpus", trial, total, topo.NumCPU())
+		}
+		for c, n := range seen {
+			if n != 1 {
+				t.Fatalf("trial %d: cpu %d appears in %d domains", trial, c, n)
+			}
+		}
+
+		// DistanceOrder is a permutation with non-decreasing distance.
+		for _, from := range topo.CPUs() {
+			order := topo.DistanceOrder(from)
+			if len(order) != topo.NumCPU() {
+				t.Fatalf("trial %d: DistanceOrder(%d) has %d entries, want %d",
+					trial, from, len(order), topo.NumCPU())
+			}
+			visited := map[int]bool{}
+			prev := -1
+			for _, c := range order {
+				if visited[c] {
+					t.Fatalf("trial %d: DistanceOrder(%d) repeats cpu %d", trial, from, c)
+				}
+				visited[c] = true
+				d := topo.Distance(from, c)
+				if d < prev {
+					t.Fatalf("trial %d: DistanceOrder(%d) not sorted: cpu %d at distance %d after %d",
+						trial, from, c, d, prev)
+				}
+				prev = d
+			}
+			if order[0] != from {
+				t.Fatalf("trial %d: DistanceOrder(%d) starts at %d", trial, from, order[0])
+			}
+		}
+	}
+}
+
+// TestCurrentCPUStable exercises the cached-failure satellite: repeated
+// calls must agree on ok (the latch means a failure can never flip back to
+// success) and never report a negative CPU.
+func TestCurrentCPUStable(t *testing.T) {
+	cpu1, ok1 := CurrentCPU()
+	for i := 0; i < 100; i++ {
+		cpu, ok := CurrentCPU()
+		if ok != ok1 {
+			t.Fatalf("CurrentCPU ok flipped: first %v then %v", ok1, ok)
+		}
+		if ok && cpu < 0 {
+			t.Fatalf("negative cpu %d", cpu)
+		}
+	}
+	_ = cpu1
+}

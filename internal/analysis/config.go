@@ -137,6 +137,9 @@ func RepoConfig(root string) Config {
 				// inside the operations above and must not allocate either.
 				"pause", "backoff", "adaptOpStart", "adaptTick", "adaptStep",
 				"effPatience", "effSpin", "ContentionEvents",
+				// The parking ladder's clamped spin runs inside empty
+				// dequeues and must not allocate.
+				"Pause",
 				// Handle lifecycle: acquisition and release work over the
 				// preallocated handle array through a tagged free list and
 				// must not allocate either. (core Register is an alias for
@@ -149,6 +152,10 @@ func RepoConfig(root string) Config {
 			PkgSharded: {
 				"Enqueue", "Dequeue", "EnqueueBatch", "DequeueBatch",
 				"pickLane", "noteLane", "stealFrom", "sweepLane", "coolOrder",
+				// Topology dispatch and the parking ladder: precomputed-table
+				// lookups and EWMA arithmetic on the dequeue EMPTY path.
+				"altLaneTopo", "homeLaneFor", "dequeueEmpty", "batchPark",
+				"parkNote", "parkEmpty",
 				// Shell-pool lifecycle. RegisterOnLane is deliberately absent:
 				// its error paths wrap with fmt.Errorf (cold, sanctioned);
 				// the steady-state machinery it drives is what must stay
@@ -212,6 +219,8 @@ func RepoSymbols() []SymbolDef {
 			Doc: "pause iterations between helpEnq polls of a cell"},
 		{Name: "WINDOW", Pkg: PkgCore, Const: "CoalesceMaxWindow",
 			Doc: "coalescing buffer cap: flush/refill width (DESIGN.md §8)"},
+		{Name: "PARK", Pkg: PkgCore, Const: "ParkSpinMax",
+			Doc: "parking-ladder spin cap: the longest bounded pause an empty dequeue spends before a single Gosched (DESIGN.md §9)"},
 		{Name: "LANES", Pkg: PkgSharded, Const: "MaxLanes",
 			Doc: "sharded lane count cap: dispatch sweeps visit at most LANES lanes"},
 		{Name: "FAST_TICKETS", Pkg: PkgSCQ, Const: "fastTickets",

@@ -101,6 +101,9 @@ func TestRepoObligations(t *testing.T) {
 		// loop appears once in core and once in the sharded shell — at most
 		// two rounds, since the single flush empties the producer buffer.
 		"(*Queue).CoalescedDequeue": 2,
+		// Consumer parking (DESIGN.md §9): the parking ladder's spin,
+		// clamped to ParkSpinMax (the PARK symbol) on entry.
+		"Pause": 1,
 	}
 	got := map[string]int{}
 	for _, o := range res.Obligations {

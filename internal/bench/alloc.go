@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"unsafe"
 
+	"wfqueue/internal/affinity"
 	"wfqueue/internal/core"
 	"wfqueue/internal/scq"
 	"wfqueue/internal/sharded"
@@ -180,6 +181,88 @@ func CoalesceSteadyStateAllocs(ops, window int) SteadyStateResult {
 		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(measured),
 		Recycled:    q.ReclaimedSegments() - before,
 	}
+}
+
+// TopoSteadyStateAllocs measures the heap allocations of the
+// topology-aware sharded queue's hot path at steady state: enqueue/dequeue
+// pairs (placement + distance-ordered stealing) interleaved with runs of
+// EMPTY dequeues long enough to arm and climb the parking ladder, so the
+// number proves the whole topology surface — precomputed steal tables, the
+// parking EWMA, the bounded spin rungs and the Gosched rung — allocates
+// nothing. A deterministic fake topology (8 CPUs, 2 LLC domains) keeps the
+// measurement identical on every host. Expected: exactly 0.
+func TopoSteadyStateAllocs(ops int) SteadyStateResult {
+	if ops < 1 {
+		ops = 1
+	}
+	infos := make([]affinity.CPUInfo, 8)
+	for c := range infos {
+		infos[c] = affinity.CPUInfo{CPU: c, Pkg: c / 4, Core: c / 2, LLC: c / 4, Node: c / 4}
+	}
+	cpu := 0
+	q := sharded.New(4, sharded.WithLanes(4),
+		sharded.WithTopology(affinity.Build(infos)),
+		sharded.WithParking(),
+		sharded.WithCPUSource(func() (int, bool) { cpu++; return cpu, true }),
+		sharded.WithCoreOptions(core.WithSegmentShift(6), core.WithMaxGarbage(1), core.WithRecycling(true)))
+	// One handle per lane, all driven by this goroutine in rotation: every
+	// lane keeps receiving enqueues, so the cells the EMPTY sweeps poison on
+	// foreign lanes are continually passed by that lane's own T and the
+	// segments recycle (a lane polled but never fed retains segments by the
+	// core's design — that is a workload property, not an allocation bug).
+	var hs [4]*sharded.Handle
+	for i := range hs {
+		h, err := q.RegisterOnLane(i)
+		if err != nil {
+			panic(err) // cannot happen: fresh queue, capacity 4
+		}
+		hs[i] = h
+	}
+	v := new(uint64)
+	p := unsafe.Pointer(v)
+
+	// Warm every lane past its first reclamation cycle and arm the parking
+	// EWMA (full windows of EMPTY sweeps).
+	for i := 0; i < 4*(4<<6); i++ {
+		h := hs[i%len(hs)]
+		q.Enqueue(h, p)
+		q.Dequeue(h)
+	}
+	for i := 0; i < 512; i++ {
+		q.Dequeue(hs[i%len(hs)])
+	}
+
+	// Minimum over a few rounds, like churnAllocs: runtime background work
+	// (timers, GC metadata — the Gosched rung hands the processor to the
+	// scheduler, which occasionally runs some) can land a handful of stray
+	// allocations inside one window, while a genuine hot-path allocation
+	// shows up in every round at >= 1 alloc/op.
+	res := SteadyStateResult{Ops: ops}
+	var m0, m1 runtime.MemStats
+	const rounds = 3
+	for r := 0; r < rounds; r++ {
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		for i := 0; i < ops; i++ {
+			h := hs[i%len(hs)]
+			q.Enqueue(h, p)
+			q.Dequeue(h)
+			// One EMPTY full-queue sweep every few pairs keeps the parking
+			// controller and the distance-ordered definitive pass in the
+			// measured window.
+			if i&7 == 0 {
+				q.Dequeue(h)
+			}
+		}
+		runtime.ReadMemStats(&m1)
+		allocs := float64(m1.Mallocs-m0.Mallocs) / float64(ops)
+		bytes := float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ops)
+		if r == 0 || allocs < res.AllocsPerOp {
+			res.AllocsPerOp = allocs
+			res.BytesPerOp = bytes
+		}
+	}
+	return res
 }
 
 // ChurnAllocsResult reports the heap traffic of a handle-lifecycle churn

@@ -416,3 +416,16 @@ func TestSteadyStateAllocsZero(t *testing.T) {
 		t.Error("measurement window recycled no segments; it proves nothing about the segment path")
 	}
 }
+
+// TestTopoSteadyStateAllocsZero is the topology-layer zero-allocation gate:
+// placement, distance-ordered sweeps, and the parking ladder must allocate
+// nothing at steady state.
+func TestTopoSteadyStateAllocsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	st := TopoSteadyStateAllocs(50_000)
+	if st.AllocsPerOp != 0 {
+		t.Fatalf("topology hot path allocates %.6f objects/op at steady state, want 0", st.AllocsPerOp)
+	}
+}

@@ -181,6 +181,36 @@ func pause(n int) {
 	}
 }
 
+// ParkSpinMax caps one exported Pause call, in pause-loop iterations. It is
+// the top spin rung of the sharded layer's empty-queue parking ladder
+// (DESIGN.md §9): a repeatedly-empty dequeuer doubles its pause from a few
+// dozen iterations up to this cap, then escalates to runtime.Gosched. As a
+// compile-time constant it prices the ladder into the wait-freedom
+// certificate — one parked call costs at most ParkSpinMax + O(1) steps.
+const ParkSpinMax = 4096
+
+// Pause busy-waits for about n iterations of trivial arithmetic without
+// touching shared memory, clamping n to ParkSpinMax — the exported spin
+// primitive for bounded wait ladders layered above the core (the sharded
+// queue's consumer parking). Like pause it never blocks, never yields and
+// never loads shared state, so a parked consumer takes its cache-line
+// traffic off the interconnect entirely.
+func Pause(n int) {
+	if n > ParkSpinMax {
+		n = ParkSpinMax
+	}
+	s := uint64(0)
+	i := 0
+	//wfqlint:bounded(PARK, n is clamped to ParkSpinMax on entry and i advances every iteration)
+	for i < n {
+		s += uint64(i)
+		i++
+	}
+	if s == ^uint64(0) {
+		pauseSink = s
+	}
+}
+
 // backoff pauses h after a failed fast-path CAS: bounded exponential, the
 // LCRQ remedy for CAS storms but with a constant cap (AdaptBackoffMax) so
 // the operation's step bound stays constant. The pause doubles per

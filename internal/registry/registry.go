@@ -36,6 +36,12 @@
 //	               adaptive lanes plus hotness-aware dispatch and
 //	               coolness-ordered stealing. Diverting off a hot home lane
 //	               gives up per-producer ordering (qiface.OrderNone)
+//	wf-sharded-topo  sharded queue with topology-aware placement: lanes
+//	               anchored over the host's LLC domains (affinity.System),
+//	               registration homed inside the caller's domain, the steal
+//	               sweep in cache-distance order, and the empty-queue parking
+//	               ladder on. No diverting, so per-producer ordering holds
+//	               (qiface.OrderPerProducer)
 //	wf-scq         bounded SCQ ring queue (internal/scq): indirect ring over
 //	               cycle-tagged entries, FAA ticket hot path, TryEnqueue /
 //	               ErrFull backpressure at a fixed capacity of 16384 values,
@@ -73,6 +79,7 @@ import (
 	"runtime"
 	"unsafe"
 
+	"wfqueue/internal/affinity"
 	"wfqueue/internal/ccqueue"
 	"wfqueue/internal/chanq"
 	"wfqueue/internal/core"
@@ -223,6 +230,14 @@ func init() {
 		WaitFree: true, ChurnSafe: true, Ordering: qiface.OrderNone,
 		New: func(n int) (qiface.Queue, error) {
 			return newSharded("wf-sharded-adaptive", n, false, sharded.WithAdaptive())
+		},
+	})
+	qiface.Register(qiface.Factory{
+		Name: "wf-sharded-topo", Doc: "sharded queue, LLC-domain lane placement + distance-ordered stealing + parking",
+		WaitFree: true, ChurnSafe: true, Ordering: qiface.OrderPerProducer,
+		New: func(n int) (qiface.Queue, error) {
+			return newSharded("wf-sharded-topo", n, false,
+				sharded.WithTopology(affinity.System()), sharded.WithParking())
 		},
 	})
 	qiface.Register(qiface.Factory{
@@ -494,6 +509,9 @@ func (a *shardedAdapter) Stats() map[string]uint64 {
 	m["empty_dequeues"] = st.Sharded.EmptyDequeues
 	m["rr_dispatches"] = st.Sharded.RRDispatches
 	m["hot_diverts"] = st.Sharded.HotDiverts
+	m["domain_spills"] = st.Sharded.DomainSpills
+	m["parks"] = st.Sharded.Parks
+	m["park_yields"] = st.Sharded.ParkYields
 	return m
 }
 
@@ -908,6 +926,22 @@ func (a *simAdapter) Register() (qiface.Ops, error) {
 	}), nil
 }
 
+// NewShardedTopoChecked builds a value-exact (boxed) topology-aware sharded
+// queue over an injected topology snapshot and CPU source — the wfqstress
+// -topo fault-injection entry point. The source may report CPUs that do not
+// exist in the snapshot (a shrinking fake topology): placement must clamp,
+// never index a vanished lane, which is exactly what the stress run audits.
+// lanes <= 0 selects the default lane count.
+func NewShardedTopoChecked(n int, topo *affinity.Topology, src func() (int, bool), lanes int) (qiface.Queue, error) {
+	opts := []sharded.Option{
+		sharded.WithTopology(topo), sharded.WithParking(), sharded.WithCPUSource(src),
+	}
+	if lanes > 0 {
+		opts = append(opts, sharded.WithLanes(lanes))
+	}
+	return newSharded("wf-sharded-topo", n, true, opts...)
+}
+
 // NewChecked builds the named queue with value-exact adapters: pointer-based
 // queues box every value on the heap instead of cycling a fixed arena. Use
 // this for correctness validation (stress accounting, long soaks); the
@@ -937,6 +971,9 @@ func NewChecked(name string, n int) (qiface.Queue, error) {
 		return newWF(name, n, 10, false, true, core.WithAdaptive())
 	case "wf-sharded-adaptive":
 		return newSharded(name, n, true, sharded.WithAdaptive())
+	case "wf-sharded-topo":
+		return newSharded(name, n, true,
+			sharded.WithTopology(affinity.System()), sharded.WithParking())
 	case "wf-scq":
 		return newSCQ(name, n, scqDefaultCapacity, true)
 	case "wf-sharded-scq":

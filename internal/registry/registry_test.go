@@ -225,6 +225,10 @@ func TestWaitFreeFlags(t *testing.T) {
 		"wf-10": true, "wf-0": true, "wf-10-recycle": true, "kpqueue": true, "simqueue": true,
 		"wf-sharded": true, "wf-sharded-1": true, "wf-sharded-8": true, "wf-sharded-rr": true,
 		"wf-adaptive": true, "wf-sharded-adaptive": true, "wf-10-mutexreg": true,
+		// Topology placement only reorders precomputed tables, and the
+		// parking ladder is a bounded spin plus at most one Gosched per
+		// EMPTY, so the sharded step bound survives.
+		"wf-sharded-topo": true,
 		// Coalescing keeps wait-freedom: every buffer bound is compile-time
 		// (CoalesceMaxWindow), so a flush/refill is one bounded batch.
 		"wf-coalesce": true, "wf-coalesce-w1": true, "wf-coalesce-w4": true,
@@ -415,8 +419,9 @@ func TestChurnSafeContract(t *testing.T) {
 	churnSafe := map[string]bool{
 		"wf-10": true, "wf-0": true, "wf-10-recycle": true, "wf-10-tiny": true,
 		"wf-sharded": true, "wf-sharded-1": true, "wf-sharded-8": true, "wf-sharded-rr": true,
-		"wf-adaptive": true, "wf-sharded-adaptive": true, "wf-10-mutexreg": true,
-		"wf-scq": true, "wf-sharded-scq": true,
+		"wf-adaptive": true, "wf-sharded-adaptive": true, "wf-sharded-topo": true,
+		"wf-10-mutexreg": true,
+		"wf-scq":         true, "wf-sharded-scq": true,
 		"wf-coalesce": true, "wf-coalesce-w1": true, "wf-coalesce-w4": true,
 		"wf-coalesce-w64": true, "wf-sharded-coalesce": true, "wf-scq-coalesce": true,
 		"of": false, "lcrq": false, "lcrq-gc": false, "msqueue": false, "msqueue-gc": false,

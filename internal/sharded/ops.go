@@ -48,6 +48,11 @@ func (q *Queue) pickLane(h *Handle) int {
 	if hot <= hotDivertThreshold {
 		return li
 	}
+	if q.topo != nil {
+		// Distance-constrained divert: same-LLC alternative first, one
+		// cross-domain spill candidate after (topo.go).
+		return q.altLaneTopo(h, li, hot)
+	}
 	alt := li + 1 + h.probe%(n-1)
 	if alt >= n {
 		alt -= n
@@ -83,13 +88,25 @@ func (q *Queue) noteLane(h *Handle, li int) {
 	}
 }
 
+// hotKeyMax caps the hotness half of coolOrder's composite sort key so the
+// distance tier in the top byte always dominates: under a topology the sweep
+// orders lanes by (cache distance, hotness), never trading a near lane for a
+// marginally cooler remote one.
+const hotKeyMax = 1<<56 - 1
+
 // coolOrder sorts the non-home lanes by ascending hotness snapshot into
 // h.order (insertion sort over the owner-only scratch — at most MaxLanes-1
 // elements, no allocation) and returns it, so steal sweeps drain calm lanes
-// before wading into contended ones.
+// before wading into contended ones. Under a topology the sort key is
+// (distance tier, hotness): nearest lanes first, coolness breaking ties
+// within a tier.
 func (h *Handle) coolOrder() []int {
 	q := h.q
 	n := len(q.lanes)
+	var tiers []uint8
+	if q.stealTier != nil {
+		tiers = q.stealTier[h.home]
+	}
 	//wfqlint:bounded(LANES, one hotness probe per non-home lane)
 	for m := 0; m < n-1; m++ {
 		li := h.home + 1 + m
@@ -97,6 +114,12 @@ func (h *Handle) coolOrder() []int {
 			li -= n
 		}
 		s := atomic.LoadUint64(&q.lanes[li].hot)
+		if tiers != nil {
+			if s > hotKeyMax {
+				s = hotKeyMax
+			}
+			s |= uint64(tiers[li]) << 56
+		}
 		j := m
 		//wfqlint:bounded(LANES, insertion step over the already-sorted prefix: at most LANES shifts)
 		for ; j > 0 && h.hotSnap[j-1] > s; j-- {
@@ -185,17 +208,21 @@ func (q *Queue) Dequeue(h *Handle) (unsafe.Pointer, bool) {
 	}
 	if ok {
 		ctrInc(&h.stats.Dequeues)
+		if q.park {
+			h.parkNote(false)
+		}
 		return v, true
 	}
 	n := len(q.lanes)
 	if n == 1 {
-		ctrInc(&h.stats.EmptyDequeues)
-		return nil, false
+		return nil, q.dequeueEmpty(h)
 	}
 	ctrInc(&h.stats.Sweeps)
 	var order []int
 	if q.adaptive {
 		order = h.coolOrder()
+	} else if q.stealOrder != nil {
+		order = q.stealOrder[h.home]
 	}
 	// Hint pass: steal from lanes that look non-empty.
 	//wfqlint:bounded(LANES, hint pass: at most one steal attempt per non-home lane)
@@ -205,6 +232,9 @@ func (q *Queue) Dequeue(h *Handle) (unsafe.Pointer, bool) {
 			continue
 		}
 		if v, ok := q.stealFrom(h, li); ok {
+			if q.park {
+				h.parkNote(false)
+			}
 			return v, true
 		}
 	}
@@ -214,11 +244,28 @@ func (q *Queue) Dequeue(h *Handle) (unsafe.Pointer, bool) {
 	//wfqlint:bounded(LANES, definitive pass: one real dequeue per non-home lane for the EMPTY witness)
 	for off := 1; off < n; off++ {
 		if v, ok := q.stealFrom(h, h.sweepLane(off, order)); ok {
+			if q.park {
+				h.parkNote(false)
+			}
 			return v, true
 		}
 	}
+	return nil, q.dequeueEmpty(h)
+}
+
+// dequeueEmpty is Dequeue's shared EMPTY exit: count it, feed the parking
+// controller, and — for a handle whose recent dequeues were mostly EMPTY —
+// climb one rung of the bounded spin/yield ladder (topo.go) before handing
+// EMPTY back to a caller that is probably about to re-poll. Always returns
+// false. The EMPTY linearization guarantee is untouched: every witness was
+// collected before the park.
+func (q *Queue) dequeueEmpty(h *Handle) bool {
 	ctrInc(&h.stats.EmptyDequeues)
-	return nil, false
+	if q.park {
+		h.parkNote(true)
+		q.parkEmpty(h)
+	}
+	return false
 }
 
 // EnqueueBatch appends the values of vs in order using handle h. The whole
@@ -261,12 +308,15 @@ func (q *Queue) DequeueBatch(h *Handle, dst []unsafe.Pointer) int {
 	n := len(q.lanes)
 	if got == len(dst) || n == 1 {
 		ctrAdd(&h.stats.Dequeues, uint64(got))
+		q.batchPark(h, got)
 		return got
 	}
 	ctrInc(&h.stats.Sweeps)
 	var order []int
 	if q.adaptive {
 		order = h.coolOrder()
+	} else if q.stealOrder != nil {
+		order = q.stealOrder[h.home]
 	}
 	//wfqlint:bounded(LANES, batch sweep: at most one per-lane DequeueBatch per non-home lane)
 	for off := 1; off < n && got < len(dst); off++ {
@@ -283,5 +333,21 @@ func (q *Queue) DequeueBatch(h *Handle, dst []unsafe.Pointer) int {
 		got += m
 	}
 	ctrAdd(&h.stats.Dequeues, uint64(got))
+	q.batchPark(h, got)
 	return got
+}
+
+// batchPark feeds one completed DequeueBatch into the parking controller: a
+// batch that came back with nothing after its sweep is the batched analogue
+// of an EMPTY dequeue and climbs the same ladder.
+func (q *Queue) batchPark(h *Handle, got int) {
+	if !q.park {
+		return
+	}
+	if got == 0 {
+		h.parkNote(true)
+		q.parkEmpty(h)
+		return
+	}
+	h.parkNote(false)
 }

@@ -108,6 +108,11 @@ type config struct {
 	// coalesce is the enqueue coalescing window (coalesce.go); 0/1 disable
 	// buffering.
 	coalesce int
+	// topo, park, cpuSrc configure topology-aware placement and empty-queue
+	// parking (topo.go).
+	topo   *affinity.Topology
+	park   bool
+	cpuSrc func() (int, bool)
 }
 
 // WithLanes fixes the lane count (clamped to [1, MaxLanes]); 0 selects
@@ -204,6 +209,9 @@ type Counters struct {
 	RRDispatches  uint64 // enqueues routed by the round-robin cursor
 	HotDiverts    uint64 // enqueues diverted off a hot home lane (adaptive)
 	FullRejects   uint64 // TryEnqueues rejected by a full lane (SCQ mode)
+	DomainSpills  uint64 // diverts that left the home LLC domain (topology mode)
+	Parks         uint64 // empty-dequeue spin parks taken (parking ladder)
+	ParkYields    uint64 // empty-dequeue Gosched yields past the top rung
 }
 
 // QueueStats is the aggregate view returned by Stats.
@@ -245,6 +253,30 @@ type Queue struct {
 
 	// regSeq assigns default home lanes round-robin (Register-time only).
 	regSeq int64
+
+	// Topology placement state (topo.go; all nil/false when topology-blind).
+	// The tables are precomputed at New from the immutable snapshot and only
+	// read afterwards — read-mostly like the descriptor fields, and placed
+	// here (after the 64-bit atomic words) so they cannot disturb rr/regSeq
+	// alignment on 32-bit targets. topo is the snapshot; park enables the
+	// empty-queue parking ladder; cpuSrc is where placement reads the calling
+	// thread's CPU (injectable for tests and fault injection; default
+	// affinity.CurrentCPU).
+	topo   *affinity.Topology
+	park   bool
+	cpuSrc func() (int, bool)
+	// laneCPU anchors each lane to a representative CPU; laneDomain is that
+	// CPU's LLC domain; domainLanes lists each domain's lanes (Register's
+	// placement pool); stealOrder is each home lane's distance-ordered visit
+	// sequence over the other lanes; stealTier caches the distance tier of
+	// every lane from every home (coolOrder's sort-key input); sameDomain is
+	// the number of same-domain entries leading each stealOrder row.
+	laneCPU     []int
+	laneDomain  []int
+	domainLanes [][]int
+	stealOrder  [][]int
+	stealTier   [][]uint8
+	sameDomain  []int
 
 	// The lock-free shell pool (see Register): every Handle shell — the hs
 	// slice, the adaptive scratch, the stats — is allocated once at New and
@@ -301,6 +333,15 @@ type Handle struct {
 	dhead int32
 	dlen  int32
 
+	// Parking ladder state (topo.go; owner-only). parkStreak counts
+	// consecutive EMPTY dequeues (the ladder rung); parkEWMA is the Q8
+	// smoothed empty rate; parkOps/parkEmpties accumulate the current
+	// window before the next EWMA fold.
+	parkStreak  int
+	parkEWMA    uint64
+	parkOps     uint64
+	parkEmpties uint64
+
 	stats Counters
 	_     pad.CacheLinePad
 }
@@ -332,6 +373,9 @@ func New(maxHandles int, opts ...Option) *Queue {
 	if cfg.coalesce < 1 {
 		cfg.coalesce = 1
 	}
+	if cfg.cpuSrc == nil {
+		cfg.cpuSrc = affinity.CurrentCPU
+	}
 	q := &Queue{
 		lanes:    make([]lane, n),
 		dispatch: cfg.dispatch,
@@ -339,6 +383,12 @@ func New(maxHandles int, opts ...Option) *Queue {
 		adaptive: cfg.adaptive,
 		scqCap:   int64(cfg.scqCap),
 		coalesce: int64(cfg.coalesce),
+		topo:     cfg.topo,
+		park:     cfg.park,
+		cpuSrc:   cfg.cpuSrc,
+	}
+	if q.topo != nil {
+		q.initTopology()
 	}
 	if cfg.scqCap != 0 {
 		q.newSCQLanes(maxHandles, &cfg)
@@ -424,14 +474,20 @@ func (q *Queue) Lanes() int { return len(q.lanes) }
 // DispatchPolicy returns the configured enqueue dispatch policy.
 func (q *Queue) DispatchPolicy() Dispatch { return q.dispatch }
 
-// Register checks out a handle. The home lane is derived from the calling
-// thread's CPU when WithCPUHoming is on (and the platform supports it),
-// otherwise assigned round-robin over lanes so concurrent workers spread
-// evenly. Each concurrent worker needs its own handle; return it with
+// Register checks out a handle. Under WithTopology the home lane is a lane
+// inside the calling CPU's LLC domain (round-robin within the domain); with
+// WithCPUHoming it is cpu mod lanes; otherwise it is assigned round-robin
+// over all lanes so concurrent workers spread evenly. Both CPU-derived
+// placements fall back to round-robin when the platform cannot report the
+// CPU. Each concurrent worker needs its own handle; return it with
 // Handle.Release.
 func (q *Queue) Register() (*Handle, error) {
-	if q.cpuHome {
-		if cpu, ok := affinity.CurrentCPU(); ok {
+	if q.topo != nil {
+		if cpu, ok := q.cpuSrc(); ok {
+			return q.RegisterOnLane(q.homeLaneFor(cpu))
+		}
+	} else if q.cpuHome {
+		if cpu, ok := q.cpuSrc(); ok {
 			return q.RegisterOnLane(cpu % len(q.lanes))
 		}
 	}
@@ -440,11 +496,15 @@ func (q *Queue) Register() (*Handle, error) {
 }
 
 // RegisterOnCurrentCPU checks out a handle homed on the lane matching the
-// calling thread's current CPU (cpu mod lanes) — the per-CPU-lane placement
-// for workers that pin themselves with internal/affinity. It falls back to
-// Register's round-robin homing when the platform cannot report the CPU.
+// calling thread's current CPU — under WithTopology a lane in the CPU's LLC
+// domain, otherwise cpu mod lanes — the per-CPU-lane placement for workers
+// that pin themselves with internal/affinity. It falls back to Register's
+// round-robin homing when the platform cannot report the CPU.
 func (q *Queue) RegisterOnCurrentCPU() (*Handle, error) {
-	if cpu, ok := affinity.CurrentCPU(); ok {
+	if cpu, ok := q.cpuSrc(); ok {
+		if q.topo != nil {
+			return q.RegisterOnLane(q.homeLaneFor(cpu))
+		}
 		return q.RegisterOnLane(cpu % len(q.lanes))
 	}
 	return q.Register()
@@ -560,6 +620,9 @@ func (c *Counters) add(o *Counters) {
 	c.RRDispatches += ctrLoad(&o.RRDispatches)
 	c.HotDiverts += ctrLoad(&o.HotDiverts)
 	c.FullRejects += ctrLoad(&o.FullRejects)
+	c.DomainSpills += ctrLoad(&o.DomainSpills)
+	c.Parks += ctrLoad(&o.Parks)
+	c.ParkYields += ctrLoad(&o.ParkYields)
 }
 
 // Size returns an instantaneous approximation of the total queue length
